@@ -1,0 +1,50 @@
+// Shared helpers for the bench binaries: named graph instances with
+// analytic spectral gaps where available, and table printing.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "markov/spectral.hpp"
+
+namespace dlb::bench {
+
+/// A graph plus the spectral gap of its balancing graph for a given d°.
+struct Instance {
+  Graph graph;
+  double mu;  ///< spectral gap of G⁺ (analytic when the family has one)
+};
+
+inline Instance cycle_instance(NodeId n, int d_loops) {
+  Graph g = make_cycle(n);
+  return {std::move(g), 1.0 - lambda2_cycle(n, d_loops)};
+}
+
+inline Instance torus_instance(NodeId w, NodeId h, int d_loops) {
+  Graph g = make_torus2d(w, h);
+  return {std::move(g), 1.0 - lambda2_torus({w, h}, d_loops)};
+}
+
+inline Instance hypercube_instance(int dim, int d_loops) {
+  Graph g = make_hypercube(dim);
+  return {std::move(g), 1.0 - lambda2_hypercube(dim, d_loops)};
+}
+
+inline Instance random_regular_instance(NodeId n, int d, std::uint64_t seed,
+                                        int d_loops) {
+  Graph g = make_random_regular(n, d, seed);
+  const double mu = spectral_gap(g, d_loops).gap;
+  return {std::move(g), mu};
+}
+
+/// Prints a horizontal rule sized for `width` characters.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace dlb::bench

@@ -1,0 +1,76 @@
+// E12 — Cross-model comparison: diffusive model vs dimension exchange.
+//
+// The paper's related-work section (and Table 1's framing) notes that in
+// the matching models a *constant* final discrepancy is achievable
+// ([10], [18]), whereas every diffusive algorithm is stuck at Ω(d) for
+// stateless schemes (Thm 4.2). This bench runs the best diffusive
+// schemes against the balancing-circuit and random-matching dimension
+// exchange on the same graphs and the same initial loads, reporting the
+// final discrepancy of each — the diffusive ones land at Θ(d), the
+// matching ones at O(1).
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "balancers/registry.hpp"
+#include "bench_common.hpp"
+#include "dimexchange/de_engine.hpp"
+#include "markov/mixing.hpp"
+
+namespace {
+
+using namespace dlb;
+
+void compare(const bench::Instance& inst, Load k) {
+  const Graph& g = inst.graph;
+  const int d = g.degree();
+  const LoadVector initial = point_mass_initial(g.num_nodes(), k);
+  const Step t_bal = balancing_time(g.num_nodes(), k, inst.mu);
+  const Step horizon = 4 * t_bal;
+
+  std::printf("\n--- %s (d=%d, K=%lld, horizon=%lld) ---\n", g.name().c_str(),
+              d, static_cast<long long>(k), static_cast<long long>(horizon));
+
+  for (Algorithm a : {Algorithm::kRotorRouter, Algorithm::kRotorRouterStar,
+                      Algorithm::kSendFloor}) {
+    auto b = make_balancer(a, 17);
+    Engine e(g, EngineConfig{.self_loops = d}, *b, initial);
+    e.run(horizon);
+    std::printf("  diffusive  %-16s disc = %lld\n",
+                algorithm_name(a).c_str(),
+                static_cast<long long>(e.discrepancy()));
+    std::printf("CSV,dimexchange,%s,diffusive,%s,%lld\n", g.name().c_str(),
+                algorithm_name(a).c_str(),
+                static_cast<long long>(e.discrepancy()));
+  }
+  {
+    DimensionExchange de(g, edge_coloring_circuit(g), DePolicy::kAverageDown,
+                         17, initial);
+    de.run(horizon);
+    std::printf("  matching   %-16s disc = %lld\n", "CIRCUIT(avg-down)",
+                static_cast<long long>(de.discrepancy()));
+    std::printf("CSV,dimexchange,%s,matching,circuit,%lld\n",
+                g.name().c_str(), static_cast<long long>(de.discrepancy()));
+  }
+  {
+    DimensionExchange de(g, DePolicy::kRandomOrientation, 17, initial);
+    de.run(horizon);
+    std::printf("  matching   %-16s disc = %lld\n", "RANDOM(rand-orient)",
+                static_cast<long long>(de.discrepancy()));
+    std::printf("CSV,dimexchange,%s,matching,random,%lld\n",
+                g.name().c_str(), static_cast<long long>(de.discrepancy()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_dimexchange: diffusive vs dimension-exchange final "
+              "discrepancy (same graph, same K, same horizon)\n");
+  compare(bench::hypercube_instance(8, 8), 100 * 256);
+  compare(bench::random_regular_instance(256, 16, 3, 16), 100 * 256);
+  compare(bench::torus_instance(12, 12, 4), 100 * 144);
+  std::printf("\nexpected shape: diffusive schemes land at Θ(d) (cf. "
+              "Thm 4.2's stateless floor), matching-model runs land at "
+              "O(1) — the related-work separation the paper cites.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E13 — Non-regular extension: the regular theory with d -> max degree.
+//
+// The paper claims its results extend to non-regular graphs; the
+// standard construction pads every node to a uniform balancing degree
+// D = 2·max_degree with self-loops. This bench runs SEND(⌊x/D⌋) and the
+// padded ROTOR-ROUTER on four heterogeneous families — grid (degrees
+// 2/3/4), wheel (hub degree n−1), barbell (bad conductance), G(n,p) —
+// and reports discrepancy at T(µ_padded) against the d_max-based
+// Thm 2.3 envelope.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "irregular/iengine.hpp"
+#include "irregular/igraph.hpp"
+#include "markov/mixing.hpp"
+
+namespace {
+
+using namespace dlb;
+
+void run_instance(const IrregularGraph& g, Load k) {
+  const double mu = irregular_spectral_gap(g, 0);
+  const int d_max = g.max_degree();
+  LoadVector init(static_cast<std::size_t>(g.num_nodes()), 0);
+  init[0] = k;
+  const Step t_bal = balancing_time(g.num_nodes(), k, mu);
+
+  Load disc[2] = {0, 0};
+  const IrregularPolicy policies[2] = {IrregularPolicy::kSendFloor,
+                                       IrregularPolicy::kRotorRouter};
+  for (int i = 0; i < 2; ++i) {
+    IrregularEngine e(g, policies[i], 0, init);
+    e.run(t_bal);
+    disc[i] = e.discrepancy();
+  }
+  const double envelope =
+      d_max * std::sqrt(std::log(static_cast<double>(g.num_nodes())) / mu);
+  std::printf("%-18s %5d %5d/%-4d %9.4f %8lld %10lld %10lld %10.1f\n",
+              g.name().c_str(), g.num_nodes(), g.min_degree(), d_max, mu,
+              static_cast<long long>(t_bal), static_cast<long long>(disc[0]),
+              static_cast<long long>(disc[1]), envelope);
+  std::printf("CSV,irregular,%s,%d,%d,%d,%.6f,%lld,%lld,%lld\n",
+              g.name().c_str(), g.num_nodes(), g.min_degree(), d_max, mu,
+              static_cast<long long>(t_bal), static_cast<long long>(disc[0]),
+              static_cast<long long>(disc[1]));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_irregular: diffusion balancing on non-regular graphs "
+              "(padding D = 2*max_degree)\n");
+  std::printf("%-18s %5s %10s %9s %8s %10s %10s %10s\n", "graph", "n",
+              "deg(mn/mx)", "mu", "T", "SENDfloor", "ROTOR",
+              "dmax*sq(ln/mu)");
+  bench::rule(88);
+
+  run_instance(make_grid2d(16, 16), 100 * 256);
+  run_instance(make_wheel(128), 100 * 128);
+  run_instance(make_barbell(8, 8), 100 * 24);
+  run_instance(make_gnp_connected(256, 8.0, 11), 100 * 256);
+
+  std::printf("expected shape: every family balances to well under the "
+              "d_max-based Thm 2.3 envelope at T — the regular theory "
+              "survives the padding, including the hub-heavy wheel and the "
+              "tiny-gap barbell.\n");
+  return 0;
+}

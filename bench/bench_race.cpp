@@ -1,0 +1,72 @@
+// E11 — Throughput race: wall-clock cost of one balancing step for every
+// algorithm (google-benchmark harness).
+//
+// The paper's schemes are attractive partly because they are *cheap*:
+// SEND needs one division per node, ROTOR-ROUTER one division plus a
+// rotor bump, and none of them needs to know the neighbours' loads. This
+// bench quantifies steps/second per algorithm on a 2^14-node random
+// regular graph, plus the continuous reference and the spectral-gap
+// computation used for calibration.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "analysis/experiment.hpp"
+#include "balancers/continuous.hpp"
+#include "balancers/registry.hpp"
+#include "graph/generators.hpp"
+#include "markov/spectral.hpp"
+
+namespace {
+
+using namespace dlb;
+
+const Graph& big_graph() {
+  static const Graph g = make_random_regular(1 << 14, 8, 2024);
+  return g;
+}
+
+void BM_BalancerStep(benchmark::State& state) {
+  const auto algo = static_cast<Algorithm>(state.range(0));
+  const Graph& g = big_graph();
+  auto balancer = make_balancer(algo, 1);
+  Engine e(g, EngineConfig{.self_loops = g.degree(),
+                           .check_conservation = false},
+           *balancer, random_initial(g.num_nodes(), 200, 3));
+  for (auto _ : state) {
+    e.step();
+    benchmark::DoNotOptimize(e.loads().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+  state.SetLabel(algorithm_name(algo));
+}
+
+void BM_ContinuousStep(benchmark::State& state) {
+  const Graph& g = big_graph();
+  ContinuousDiffusion c(g, g.degree(),
+                        random_initial(g.num_nodes(), 200, 3));
+  for (auto _ : state) {
+    c.step();
+    benchmark::DoNotOptimize(c.loads().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+  state.SetLabel("CONTINUOUS");
+}
+
+void BM_SpectralGap(benchmark::State& state) {
+  const Graph g = make_random_regular(static_cast<NodeId>(state.range(0)), 8, 7);
+  for (auto _ : state) {
+    auto res = spectral_gap(g, g.degree());
+    benchmark::DoNotOptimize(res.gap);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_BalancerStep)
+    ->DenseRange(0, 8, 1)  // the nine Algorithm enum values
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ContinuousStep)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SpectralGap)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

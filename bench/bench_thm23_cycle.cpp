@@ -1,0 +1,72 @@
+// E3 — Theorem 2.3(ii): on poorly expanding graphs the min-term
+// O((δ+1)·d·√n) takes over. Workload: cycles (µ = Θ(1/n²), so the
+// √(log n/µ) term would be ~n·√log n while √n is far smaller).
+//
+// For each n we run the cumulatively fair schemes to time T and report
+// the discrepancy against the d·√n overlay and the estimated growth
+// exponent of disc(n) (OLS in log-log space). Thm 2.3(ii) predicts an
+// exponent <= 0.5; the [17] bound corresponds to ~2 (d·log n/µ ~ n²·…).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/experiment.hpp"
+#include "balancers/registry.hpp"
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace dlb;
+  std::printf("bench_thm23_cycle: Thm 2.3(ii) — discrepancy at T on cycles "
+              "(d = 2, d° = 2, K = n)\n");
+  std::printf("%6s %10s %9s %10s %10s %10s %9s %11s\n", "n", "mu", "T",
+              "ROT@T/16", "SFL@T/16", "SNE@T/16", "d*sqrt(n)", "rsw_bound");
+  bench::rule(84);
+
+  std::vector<double> log_n, log_disc;
+  for (NodeId n : {33, 65, 97, 129, 193}) {
+    const auto inst = bench::cycle_instance(n, 2);
+    const LoadVector initial = bimodal_initial(n, n);
+
+    Load disc[3] = {0, 0, 0};
+    Step t_bal = 0;
+    const Algorithm algos[3] = {Algorithm::kRotorRouter,
+                                Algorithm::kSendFloor, Algorithm::kSendRound};
+    for (int i = 0; i < 3; ++i) {
+      auto b = make_balancer(algos[i], 5);
+      ExperimentSpec spec;
+      spec.self_loops = 2;
+      spec.run_continuous = false;
+      // Sample at T/16 = 1·log(nK)/µ — the point where the continuous
+      // process has just flattened and the discrete deviation shows.
+      spec.sample_fractions = {1.0 / 16.0};
+      const auto r = run_experiment(inst.graph, *b, initial, inst.mu, spec);
+      disc[i] = r.samples[0].second;
+      t_bal = r.t_balance;
+    }
+
+    const double bnd = bound_thm23_sqrt_n(1.0, 2, n);
+    const double rsw = bound_rsw(2, n, inst.mu);
+    std::printf("%6d %10.3e %9lld %10lld %10lld %10lld %9.1f %11.0f\n", n,
+                inst.mu, static_cast<long long>(t_bal),
+                static_cast<long long>(disc[0]),
+                static_cast<long long>(disc[1]),
+                static_cast<long long>(disc[2]), bnd, rsw);
+    std::printf("CSV,thm23ii,%d,2,%.6e,%lld,%lld,%lld,%lld,%.2f,%.2f\n", n,
+                inst.mu, static_cast<long long>(t_bal),
+                static_cast<long long>(disc[0]),
+                static_cast<long long>(disc[1]),
+                static_cast<long long>(disc[2]), bnd, rsw);
+
+    log_n.push_back(std::log(static_cast<double>(n)));
+    log_disc.push_back(
+        std::log(std::max<double>(1.0, static_cast<double>(disc[0]))));
+  }
+
+  const double p = ols_slope(log_n, log_disc);
+  std::printf("shape: ROTOR-ROUTER disc ~ n^%.2f  "
+              "(Thm2.3(ii) predicts <= 0.5; [17]'s bound scales like n^2)\n",
+              p);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E2 — Theorem 2.3(i): on expanders, cumulatively fair balancers reach
+// discrepancy O((δ+1)·d·√(log n / µ)) at time T — asymptotically below
+// the O(d·log n / µ) bound of Rabani–Sinclair–Wanka [17].
+//
+// Workload: random d-regular graphs (configuration model), n swept over
+// powers of two, bimodal initial load with K = n. For each point we
+// report the measured discrepancy at T for the cumulatively fair schemes
+// and the two overlay curves. Pass criterion (recorded in
+// EXPERIMENTS.md): the measured/√(log n/µ)-bound ratio stays bounded as n
+// grows (the measured curve has the √log-shape), while the [17] curve
+// grows visibly faster.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/experiment.hpp"
+#include "balancers/registry.hpp"
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dlb;
+
+void sweep_degree(int d) {
+  std::printf("\n--- random %d-regular expanders, K = n, d° = d ---\n", d);
+  std::printf("%6s %8s %8s | %9s %9s | %9s %9s | %9s %9s | %9s %9s\n", "n",
+              "mu", "T", "ROT@T/16", "ROT@T", "SFL@T/16", "SFL@T", "SNE@T/16",
+              "SNE@T", "bnd_sqrt", "bnd_rsw");
+  dlb::bench::rule(118);
+
+  std::vector<double> log_ns, rotor_dev;
+  for (NodeId n : {256, 512, 1024, 2048, 4096}) {
+    const auto inst = bench::random_regular_instance(n, d, 1000 + n, d);
+    const Graph& g = inst.graph;
+    const LoadVector initial = bimodal_initial(n, n);
+
+    // disc at T/16 (= 1·log(nK)/µ, where the continuous process has just
+    // flattened and the *discrete deviation* is what remains) and at the
+    // full proof horizon T = 16·log(nK)/µ.
+    Load early[3] = {0, 0, 0};
+    Load late[3] = {0, 0, 0};
+    const Algorithm algos[3] = {Algorithm::kRotorRouter,
+                                Algorithm::kSendFloor, Algorithm::kSendRound};
+    Step t_bal = 0;
+    for (int i = 0; i < 3; ++i) {
+      auto b = make_balancer(algos[i], 5);
+      ExperimentSpec spec;
+      spec.self_loops = d;
+      spec.run_continuous = false;
+      spec.sample_fractions = {1.0 / 16.0, 1.0};
+      const auto r = run_experiment(g, *b, initial, inst.mu, spec);
+      early[i] = r.samples[0].second;
+      late[i] = r.final_discrepancy;
+      t_bal = r.t_balance;
+    }
+
+    const double bnd_sqrt = bound_thm23_sqrt_log(1.0, d, n, inst.mu);
+    const double bnd_rsw = bound_rsw(d, n, inst.mu);
+    std::printf("%6d %8.4f %8lld | %9lld %9lld | %9lld %9lld | %9lld %9lld "
+                "| %9.1f %9.1f\n",
+                n, inst.mu, static_cast<long long>(t_bal),
+                static_cast<long long>(early[0]),
+                static_cast<long long>(late[0]),
+                static_cast<long long>(early[1]),
+                static_cast<long long>(late[1]),
+                static_cast<long long>(early[2]),
+                static_cast<long long>(late[2]), bnd_sqrt, bnd_rsw);
+    std::printf("CSV,thm23i,%d,%d,%.6f,%lld,%lld,%lld,%lld,%lld,%lld,%lld,"
+                "%.2f,%.2f\n",
+                n, d, inst.mu, static_cast<long long>(t_bal),
+                static_cast<long long>(early[0]),
+                static_cast<long long>(late[0]),
+                static_cast<long long>(early[1]),
+                static_cast<long long>(late[1]),
+                static_cast<long long>(early[2]),
+                static_cast<long long>(late[2]), bnd_sqrt, bnd_rsw);
+
+    log_ns.push_back(std::log(std::log(static_cast<double>(n))));
+    rotor_dev.push_back(
+        std::log(std::max<double>(1.0, static_cast<double>(early[0]))));
+  }
+
+  // Shape check on the T/16 deviation: if disc ~ (log n)^p the slope of
+  // log(disc) against log(log n) estimates p; Thm 2.3(i) allows p <= 0.5,
+  // [17] only guarantees p <= 1.
+  const double p = ols_slope(log_ns, rotor_dev);
+  std::printf("shape: ROTOR-ROUTER deviation @T/16 ~ (log n)^%.2f  "
+              "(Thm2.3(i) budget: 0.5; [17] budget: 1.0; measured must not "
+              "exceed ~0.5)\n",
+              p);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_thm23_expander: Thm 2.3(i) — discrepancy at T on "
+              "random regular expanders\n");
+  sweep_degree(4);
+  sweep_degree(8);
+  return 0;
+}

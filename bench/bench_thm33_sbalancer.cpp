@@ -1,0 +1,112 @@
+// E5 — Theorem 3.3: good s-balancers reach the explicit O(d) discrepancy
+// (2δ+1)·d⁺ + 4d° within O(log K + (d/s)·log²n/µ) steps, and larger s
+// balances faster.
+//
+// Workload: 12×12 torus (d = 4), bimodal K = 1440. We sweep the
+// self-preference s by configuring SEND([x/d⁺]) with d⁺ ∈ {2d+2, 3d, 4d}
+// (guaranteed s = ⌈(d⁺−2d)/2⌉ grows along the sweep) plus ROTOR-ROUTER*
+// (s = 1, d⁺ = 2d), and measure the time until the discrepancy first
+// drops to the Thm 3.3 level, comparing against the (d/s)·log²n/µ shape.
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "analysis/experiment.hpp"
+#include "balancers/rotor_router_star.hpp"
+#include "balancers/send_round.hpp"
+#include "bench_common.hpp"
+#include "core/fairness.hpp"
+#include "markov/mixing.hpp"
+
+namespace {
+
+using namespace dlb;
+
+struct Config {
+  const char* label;
+  bool star;    // ROTOR-ROUTER* instead of SEND(nearest)
+  int d_loops;  // d° (ignored for star: fixed to d)
+};
+
+}  // namespace
+
+int main() {
+  std::printf("bench_thm33_sbalancer: Thm 3.3 — time for good s-balancers "
+              "to reach the O(d) discrepancy level\n");
+
+  const NodeId w = 12, h = 12;
+  const Graph g = make_torus2d(w, h);
+  const int d = g.degree();
+  const Load k = 10 * g.num_nodes();
+  const LoadVector initial = bimodal_initial(g.num_nodes(), k);
+
+  std::printf("graph=%s d=%d K=%lld\n", g.name().c_str(), d,
+              static_cast<long long>(k));
+  std::printf("%-22s %5s %5s %7s %9s %10s %10s %12s %14s\n", "algorithm",
+              "d.o", "s", "target", "T", "t_reach", "disc_eq", "t_reach/T",
+              "bound_t33(s)");
+  dlb::bench::rule(102);
+
+  const Config configs[] = {
+      {"ROTOR-ROUTER* (s=1)", true, d},
+      {"SEND(nearest) 2d+2", false, d + 2},
+      {"SEND(nearest) 3d", false, 2 * d},
+      {"SEND(nearest) 4d", false, 3 * d},
+  };
+
+  for (const Config& cfg : configs) {
+    const int d_loops = cfg.d_loops;
+    const int d_plus = d + d_loops;
+    const double mu = 1.0 - lambda2_torus({w, h}, d_loops);
+    const Step t_bal = balancing_time(g.num_nodes(), k, mu);
+
+    RotorRouterStar star(7);
+    SendRound send;
+    Balancer& balancer = cfg.star ? static_cast<Balancer&>(star)
+                                  : static_cast<Balancer&>(send);
+
+    const int s = cfg.star ? 1 : std::max(1, (d_plus - 2 * d + 1) / 2);
+    const Load target = bound_thm33_discrepancy(cfg.star ? 1 : 0, d_plus,
+                                                d_loops);
+
+    Engine e(g, EngineConfig{.self_loops = d_loops}, balancer, initial);
+    FairnessAuditor auditor;
+    e.add_observer(auditor);
+    const Step cap = 50 * t_bal;
+    const Step t_reach = e.run_until_discrepancy(target, cap);
+    // Equilibrium level: run well past the target and report where the
+    // process settles. Stateless schemes freeze at Θ(d⁺) (they cannot
+    // beat the Thm 4.2 stateless lower bound); the stateful rotor keeps
+    // churning and typically lands lower.
+    e.run(4 * t_bal);
+    const Load disc_eq = e.discrepancy();
+
+    const double bound =
+        bound_thm33_time(k, d, s, g.num_nodes(), mu);
+    std::printf("%-22s %5d %5d %7lld %9lld %10lld %10lld %12.2f %14.0f\n",
+                cfg.label, d_loops, s, static_cast<long long>(target),
+                static_cast<long long>(t_bal),
+                static_cast<long long>(t_reach),
+                static_cast<long long>(disc_eq),
+                static_cast<double>(t_reach) / static_cast<double>(t_bal),
+                bound);
+    std::printf("CSV,thm33,%s,%d,%d,%lld,%lld,%lld,%lld,%.1f\n", cfg.label,
+                d_loops, s, static_cast<long long>(target),
+                static_cast<long long>(t_bal),
+                static_cast<long long>(t_reach),
+                static_cast<long long>(disc_eq), bound);
+
+    // Class-membership sanity printed once per run.
+    const auto& rep = auditor.report();
+    if (!rep.round_fair || rep.observed_delta > 1) {
+      std::printf("  WARNING: run was not a good balancer (delta=%lld, "
+                  "round_fair=%d)\n",
+                  static_cast<long long>(rep.observed_delta), rep.round_fair);
+    }
+  }
+  std::printf("expected shape: every good s-balancer reaches its explicit "
+              "(2δ+1)d⁺+4d° level within a small fraction of the "
+              "(d/s)·log²n/µ budget, and disc_eq stays at or below the "
+              "target — O(d) sustained, the paper's Thm 3.3 claim. "
+              "(Stateless rows settle at Θ(d⁺), consistent with Thm 4.2.)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// expander_race: all Table-1 algorithms racing on one expander.
+//
+// Scenario from the paper's introduction: a cluster of n processors in a
+// well-connected (expander) topology with a heavily skewed initial job
+// assignment. We race every implemented scheme from the same initial
+// load, printing the discrepancy trajectory and the audited fairness
+// class — a compact, runnable version of Table 1 on a single instance.
+//
+// Usage: expander_race [n] [d] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "balancers/registry.hpp"
+#include "graph/generators.hpp"
+#include "markov/spectral.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlb;
+  const NodeId n = argc > 1 ? std::atoi(argv[1]) : 512;
+  const int d = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  const Graph g = make_random_regular(n, d, seed);
+  const double mu = spectral_gap(g, d).gap;
+  const LoadVector initial = point_mass_initial(n, 100 * n);
+
+  std::printf("expander race: %s, d°=d=%d, µ=%.4f, K=%lld tokens on node 0\n",
+              g.name().c_str(), d, mu,
+              static_cast<long long>(discrepancy(initial)));
+  std::printf("%-16s %10s %10s %10s %8s %7s %9s\n", "algorithm", "disc@T/4",
+              "disc@T/2", "disc@T", "delta", "rfair", "min-load");
+  for (int i = 0; i < 76; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+
+  for (Algorithm a : all_algorithms()) {
+    auto balancer = make_balancer(a, seed + 1);
+    ExperimentSpec spec;
+    spec.self_loops = d;
+    spec.sample_fractions = {0.25, 0.5, 1.0};
+    spec.run_continuous = false;
+    const ExperimentResult r = run_experiment(g, *balancer, initial, mu, spec);
+    std::printf("%-16s %10lld %10lld %10lld %8lld %7s %9lld\n",
+                r.algorithm.c_str(),
+                static_cast<long long>(r.samples[0].second),
+                static_cast<long long>(r.samples[1].second),
+                static_cast<long long>(r.final_discrepancy),
+                static_cast<long long>(r.fairness.observed_delta),
+                r.fairness.round_fair ? "yes" : "no",
+                static_cast<long long>(r.min_load_seen));
+  }
+  std::printf("\nreading guide: deterministic cumulatively fair schemes "
+              "(SEND*, ROTOR*) match or beat the randomized baselines, "
+              "without ever going negative (min-load column).\n");
+  return 0;
+}

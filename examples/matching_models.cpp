@@ -1,0 +1,75 @@
+// matching_models: the dimension-exchange side of the story.
+//
+// Scenario from the paper's related work: the same network can balance
+// through matchings (one partner per node per step) instead of full
+// diffusion, and then *constant* final discrepancy is possible. This
+// example runs the hypercube dimension circuit, an edge-colouring
+// circuit, and fresh random matchings side by side against the best
+// diffusive scheme, printing the discrepancy trajectory of each.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "balancers/rotor_router_star.hpp"
+#include "core/engine.hpp"
+#include "dimexchange/de_engine.hpp"
+#include "graph/generators.hpp"
+#include "markov/mixing.hpp"
+#include "markov/spectral.hpp"
+
+int main() {
+  using namespace dlb;
+  const int dim = 9;
+  const Graph g = make_hypercube(dim);
+  const Load k = 100 * g.num_nodes();
+  const LoadVector initial = point_mass_initial(g.num_nodes(), k);
+  const double mu = 1.0 - lambda2_hypercube(dim, dim);
+  const Step horizon = 2 * balancing_time(g.num_nodes(), k, mu);
+
+  std::printf("matching_models: %s, K=%lld, horizon=%lld steps\n",
+              g.name().c_str(), static_cast<long long>(k),
+              static_cast<long long>(horizon));
+  std::printf("%-28s", "t:");
+  const Step checkpoints[] = {horizon / 8, horizon / 4, horizon / 2, horizon};
+  for (Step c : checkpoints) std::printf(" %10lld", static_cast<long long>(c));
+  std::printf("\n");
+
+  // Diffusive reference: ROTOR-ROUTER* with d° = d.
+  {
+    RotorRouterStar b(1);
+    Engine e(g, EngineConfig{.self_loops = dim}, b, initial);
+    std::printf("%-28s", "diffusive ROTOR-ROUTER*:");
+    Step done = 0;
+    for (Step c : checkpoints) {
+      e.run(c - done);
+      done = c;
+      std::printf(" %10lld", static_cast<long long>(e.discrepancy()));
+    }
+    std::printf("\n");
+  }
+
+  auto run_de = [&](const char* label, DimensionExchange de) {
+    std::printf("%-28s", label);
+    Step done = 0;
+    for (Step c : checkpoints) {
+      de.run(c - done);
+      done = c;
+      std::printf(" %10lld", static_cast<long long>(de.discrepancy()));
+    }
+    std::printf("\n");
+  };
+
+  run_de("circuit dimension-exchange:",
+         DimensionExchange(g, hypercube_dimension_circuit(dim),
+                           DePolicy::kAverageDown, 1, initial));
+  run_de("circuit edge-colouring:",
+         DimensionExchange(g, edge_coloring_circuit(g),
+                           DePolicy::kAverageDown, 1, initial));
+  run_de("random matchings:",
+         DimensionExchange(g, DePolicy::kRandomOrientation, 1, initial));
+
+  std::printf("\nreading guide: diffusive schemes flatten to O(d); the "
+              "matching models keep halving pair differences and end at "
+              "O(1) — the related-work separation the paper cites "
+              "([10], [18]).\n");
+  return 0;
+}

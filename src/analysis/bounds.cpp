@@ -1,0 +1,63 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+namespace {
+
+double checked_log_n(NodeId n) {
+  DLB_REQUIRE(n >= 2, "bound formulas need n >= 2");
+  return std::log(static_cast<double>(n));
+}
+
+}  // namespace
+
+double bound_rsw(int d, NodeId n, double mu) {
+  DLB_REQUIRE(mu > 0.0, "bound_rsw: µ must be positive");
+  return d * checked_log_n(n) / mu;
+}
+
+double bound_thm23_sqrt_log(double delta, int d, NodeId n, double mu) {
+  DLB_REQUIRE(mu > 0.0, "bound_thm23_sqrt_log: µ must be positive");
+  return (delta + 1.0) * d * std::sqrt(checked_log_n(n) / mu);
+}
+
+double bound_thm23_sqrt_n(double delta, int d, NodeId n) {
+  DLB_REQUIRE(n >= 1, "bound_thm23_sqrt_n: n must be positive");
+  return (delta + 1.0) * d * std::sqrt(static_cast<double>(n));
+}
+
+double bound_thm23(double delta, int d, NodeId n, double mu) {
+  return std::min(bound_thm23_sqrt_log(delta, d, n, mu),
+                  bound_thm23_sqrt_n(delta, d, n));
+}
+
+double bound_thm23_general(double delta, int d, NodeId n, double mu) {
+  DLB_REQUIRE(mu > 0.0, "bound_thm23_general: µ must be positive");
+  return (delta + 1.0) * d * checked_log_n(n) / mu;
+}
+
+Load bound_thm33_discrepancy(Load delta, int d_plus, int d_loops) {
+  DLB_REQUIRE(d_plus > 0 && d_loops >= 0, "bound_thm33_discrepancy: bad args");
+  return (2 * delta + 1) * d_plus + 4 * d_loops;
+}
+
+double bound_thm33_time(Load initial_discrepancy, int d, int s, NodeId n,
+                        double mu) {
+  DLB_REQUIRE(mu > 0.0 && s >= 1 && d >= 1, "bound_thm33_time: bad args");
+  const double log_n = checked_log_n(n);
+  const double log_k =
+      std::log(std::max<double>(2.0, static_cast<double>(initial_discrepancy)));
+  return log_k + (static_cast<double>(d) / s) * log_n * log_n / mu;
+}
+
+double lower_bound_thm41(int d, int diam) { return static_cast<double>(d) * diam; }
+
+double lower_bound_thm42(int d) { return static_cast<double>(d); }
+
+double lower_bound_thm43(int d, int phi) { return static_cast<double>(d) * phi; }
+
+}  // namespace dlb

@@ -1,0 +1,47 @@
+// The paper's bound formulas, as overlay curves for the experiments.
+//
+// Benches report measured discrepancy side by side with these formulas
+// (constants set to 1 — the paper proves asymptotics, so EXPERIMENTS.md
+// compares *shapes* via measured/bound ratios across sweeps).
+#pragma once
+
+#include <cstdint>
+
+#include "core/load_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// [17] Rabani–Sinclair–Wanka: discrepancy O(d·log n / µ) after T for any
+/// round-fair scheme.
+double bound_rsw(int d, NodeId n, double mu);
+
+/// Theorem 2.3(i): O((δ+1)·d·√(log n / µ)) for d⁺ >= 2d.
+double bound_thm23_sqrt_log(double delta, int d, NodeId n, double mu);
+
+/// Theorem 2.3(ii): O((δ+1)·d·√n) for d⁺ >= 2d.
+double bound_thm23_sqrt_n(double delta, int d, NodeId n);
+
+/// Theorem 2.3, combined min of claims (i) and (ii).
+double bound_thm23(double delta, int d, NodeId n, double mu);
+
+/// Theorem 2.3(iii): O((δ+1)·d·log n / µ) for any d° >= 1.
+double bound_thm23_general(double delta, int d, NodeId n, double mu);
+
+/// Theorem 3.3 discrepancy: the explicit constant (2δ+1)·d⁺ + 4d°.
+Load bound_thm33_discrepancy(Load delta, int d_plus, int d_loops);
+
+/// Theorem 3.3 time: O(log K + (d/s)·log²n / µ).
+double bound_thm33_time(Load initial_discrepancy, int d, int s, NodeId n,
+                        double mu);
+
+/// Theorem 4.1 lower bound: Ω(d·diam(G)).
+double lower_bound_thm41(int d, int diam);
+
+/// Theorem 4.2 lower bound for stateless algorithms: Ω(d).
+double lower_bound_thm42(int d);
+
+/// Theorem 4.3 lower bound for self-loop-free rotor walks: Ω(d·φ(G)).
+double lower_bound_thm43(int d, int phi);
+
+}  // namespace dlb

@@ -1,0 +1,33 @@
+#include "analysis/deviation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+DeviationTracker::DeviationTracker(const Graph& g, int self_loops,
+                                   const LoadVector& initial)
+    : op_(g, self_loops) {
+  DLB_REQUIRE(initial.size() == static_cast<std::size_t>(g.num_nodes()),
+              "DeviationTracker: initial size mismatch");
+  y_.assign(initial.begin(), initial.end());
+}
+
+void DeviationTracker::on_step(Step /*t*/, const Graph& /*g*/,
+                               int /*d_loops*/, std::span<const Load> /*pre*/,
+                               std::span<const Load> /*flows*/,
+                               std::span<const Load> post) {
+  op_.apply_in_place(y_);
+  DLB_REQUIRE(post.size() == y_.size(), "DeviationTracker: size changed");
+  double dev = 0.0;
+  for (std::size_t i = 0; i < y_.size(); ++i) {
+    dev = std::max(dev, std::abs(static_cast<double>(post[i]) - y_[i]));
+  }
+  current_ = dev;
+  max_seen_ = std::max(max_seen_, dev);
+  trajectory_.push_back(dev);
+}
+
+}  // namespace dlb

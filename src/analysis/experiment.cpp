@@ -1,0 +1,110 @@
+#include "analysis/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "balancers/continuous.hpp"
+#include "markov/mixing.hpp"
+#include "util/assertions.hpp"
+#include "util/rng.hpp"
+
+namespace dlb {
+
+LoadVector point_mass_initial(NodeId n, Load total) {
+  DLB_REQUIRE(n >= 1 && total >= 0, "point_mass_initial: bad args");
+  LoadVector x(static_cast<std::size_t>(n), 0);
+  x[0] = total;
+  return x;
+}
+
+LoadVector bimodal_initial(NodeId n, Load k) {
+  DLB_REQUIRE(n >= 2 && k >= 0, "bimodal_initial: bad args");
+  LoadVector x(static_cast<std::size_t>(n), 0);
+  for (NodeId u = 0; u < n / 2; ++u) x[static_cast<std::size_t>(u)] = k;
+  return x;
+}
+
+LoadVector random_initial(NodeId n, Load max_per_node, std::uint64_t seed) {
+  DLB_REQUIRE(n >= 1 && max_per_node >= 0, "random_initial: bad args");
+  Rng rng(seed);
+  LoadVector x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform_int(0, max_per_node);
+  return x;
+}
+
+ExperimentResult run_experiment(const Graph& g, Balancer& balancer,
+                                const LoadVector& initial, double mu,
+                                const ExperimentSpec& spec) {
+  DLB_REQUIRE(mu > 0.0, "run_experiment: µ must be positive");
+  DLB_REQUIRE(spec.time_multiplier > 0.0, "run_experiment: bad multiplier");
+
+  ExperimentResult r;
+  r.graph = g.name();
+  r.n = g.num_nodes();
+  r.d = g.degree();
+  r.d_loops = spec.self_loops;
+  r.mu = mu;
+  r.initial_discrepancy = discrepancy(initial);
+  r.t_balance =
+      balancing_time(g.num_nodes(), r.initial_discrepancy, mu, spec.balancing_c);
+  r.horizon = std::max<Step>(
+      1, static_cast<Step>(std::ceil(spec.time_multiplier *
+                                     static_cast<double>(r.t_balance))));
+
+  Engine engine(g, EngineConfig{.self_loops = spec.self_loops,
+                                .check_conservation = true},
+                balancer, initial);
+  r.algorithm = balancer.name();
+  FairnessAuditor auditor;
+  engine.add_observer(auditor);
+
+  // Sample times: sorted unique step indices inside the horizon.
+  std::vector<Step> sample_at;
+  for (double f : spec.sample_fractions) {
+    DLB_REQUIRE(f > 0.0 && f <= 1.0, "sample fraction must be in (0, 1]");
+    sample_at.push_back(std::max<Step>(
+        1, static_cast<Step>(std::llround(f * static_cast<double>(r.horizon)))));
+  }
+  std::sort(sample_at.begin(), sample_at.end());
+  sample_at.erase(std::unique(sample_at.begin(), sample_at.end()),
+                  sample_at.end());
+
+  std::size_t next_sample = 0;
+  for (Step t = 1; t <= r.horizon; ++t) {
+    engine.step();
+    if (next_sample < sample_at.size() && t == sample_at[next_sample]) {
+      r.samples.emplace_back(t, engine.discrepancy());
+      ++next_sample;
+    }
+  }
+
+  r.final_discrepancy = engine.discrepancy();
+  r.final_balancedness = balancedness(engine.loads());
+  r.fairness = auditor.report();
+  r.min_load_seen = engine.min_load_seen();
+
+  if (spec.run_continuous) {
+    ContinuousDiffusion cont(g, spec.self_loops, initial);
+    cont.run(r.horizon);
+    r.continuous_final_discrepancy = cont.discrepancy();
+  } else {
+    r.continuous_final_discrepancy = std::numeric_limits<double>::quiet_NaN();
+  }
+  return r;
+}
+
+std::string summarize(const ExperimentResult& r) {
+  std::ostringstream os;
+  os << r.algorithm << " on " << r.graph << " (d°=" << r.d_loops
+     << ", µ=" << r.mu << "): K=" << r.initial_discrepancy << " -> disc@"
+     << r.horizon << "=" << r.final_discrepancy
+     << " (continuous=" << r.continuous_final_discrepancy
+     << ", observed δ=" << r.fairness.observed_delta
+     << ", round-fair=" << (r.fairness.round_fair ? "yes" : "no")
+     << ", min-load=" << r.min_load_seen << ")";
+  return os.str();
+}
+
+}  // namespace dlb

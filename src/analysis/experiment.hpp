@@ -1,0 +1,69 @@
+// Experiment driver: one standardized run = graph × balancer × initial
+// load, measured at fractions of the continuous balancing time T.
+//
+// Every bench and example goes through run_experiment so that all results
+// share the same protocol: compute µ, derive T = c·log(nK)/µ (c = 16 as
+// in the proofs), attach the fairness auditor, run to a multiple of T,
+// and record the discrepancy trajectory plus the audited class
+// properties. The continuous process is run alongside as the yardstick.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "core/engine.hpp"
+#include "core/fairness.hpp"
+#include "core/load_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// All m tokens on node 0 (worst-case single spike; K = m).
+LoadVector point_mass_initial(NodeId n, Load total);
+
+/// First half of the nodes hold K tokens each, the rest 0 (K = K).
+LoadVector bimodal_initial(NodeId n, Load k);
+
+/// Independent uniform loads in [0, max_per_node] (expected K ≈ max).
+LoadVector random_initial(NodeId n, Load max_per_node, std::uint64_t seed);
+
+struct ExperimentSpec {
+  int self_loops = 0;             ///< d° of the run
+  double time_multiplier = 1.0;   ///< horizon = multiplier × T
+  double balancing_c = 16.0;      ///< the c in T = c·log(nK)/µ
+  /// Fractions of the horizon at which the discrepancy is sampled.
+  std::vector<double> sample_fractions = {0.25, 0.5, 1.0};
+  bool run_continuous = true;     ///< also run the continuous yardstick
+};
+
+struct ExperimentResult {
+  std::string algorithm;
+  std::string graph;
+  NodeId n = 0;
+  int d = 0;
+  int d_loops = 0;
+  double mu = 0.0;
+  Step horizon = 0;                          ///< total steps run
+  Step t_balance = 0;                        ///< T = c·log(nK)/µ
+  Load initial_discrepancy = 0;
+  std::vector<std::pair<Step, Load>> samples;  ///< (t, discrepancy)
+  Load final_discrepancy = 0;
+  double final_balancedness = 0.0;
+  FairnessReport fairness;
+  Load min_load_seen = 0;
+  double continuous_final_discrepancy = 0.0;  ///< NaN if not run
+};
+
+/// Runs one experiment. `mu` is the spectral gap of the balancing graph
+/// (pass the analytic value when known, else spectral_gap(...).gap).
+ExperimentResult run_experiment(const Graph& g, Balancer& balancer,
+                                const LoadVector& initial, double mu,
+                                const ExperimentSpec& spec);
+
+/// Formats a result as a one-line human-readable summary.
+std::string summarize(const ExperimentResult& r);
+
+}  // namespace dlb

@@ -1,0 +1,76 @@
+#include "analysis/potentials.hpp"
+
+#include <algorithm>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+Load phi_potential(std::span<const Load> loads, Load c, int d_plus) {
+  DLB_REQUIRE(d_plus > 0, "phi_potential: d⁺ must be positive");
+  const Load level = c * d_plus;
+  Load sum = 0;
+  for (Load x : loads) sum += std::max<Load>(x - level, 0);
+  return sum;
+}
+
+Load phi_prime_potential(std::span<const Load> loads, Load c, int d_plus,
+                         Load s) {
+  DLB_REQUIRE(d_plus > 0, "phi_prime_potential: d⁺ must be positive");
+  const Load level = c * d_plus + s;
+  Load sum = 0;
+  for (Load x : loads) sum += std::max<Load>(level - x, 0);
+  return sum;
+}
+
+void PotentialMonitor::on_step(Step /*t*/, const Graph& g, int d_loops,
+                               std::span<const Load> pre,
+                               std::span<const Load> /*flows*/,
+                               std::span<const Load> post) {
+  const int d_plus = g.degree() + d_loops;
+  if (!started_) {
+    last_phi_ = phi_potential(pre, c_, d_plus);
+    last_phi_prime_ = phi_prime_potential(pre, c_, d_plus, s_);
+    started_ = true;
+  }
+  const Load phi_now = phi_potential(post, c_, d_plus);
+  const Load phi_prime_now = phi_prime_potential(post, c_, d_plus, s_);
+  if (phi_now > last_phi_) phi_monotone_ = false;
+  if (phi_prime_now > last_phi_prime_) phi_prime_monotone_ = false;
+  last_phi_ = phi_now;
+  last_phi_prime_ = phi_prime_now;
+}
+
+void LemmaDropMonitor::on_step(Step /*t*/, const Graph& g, int d_loops,
+                               std::span<const Load> pre,
+                               std::span<const Load> /*flows*/,
+                               std::span<const Load> post) {
+  const int d_plus = g.degree() + d_loops;
+  const Load level = c_ * d_plus;
+
+  Load drop35 = 0;
+  Load drop37 = 0;
+  for (std::size_t u = 0; u < pre.size(); ++u) {
+    const Load before = pre[u];
+    const Load after = post[u];
+    drop35 += std::max<Load>(
+        std::min<Load>(before - level, s_) - std::max<Load>(after - level, 0),
+        0);
+    drop37 += std::max<Load>(
+        std::min(std::min<Load>(after - before, s_),
+                 std::min<Load>(after - level, level + s_ - before)),
+        0);
+  }
+
+  const Load phi_before = phi_potential(pre, c_, d_plus);
+  const Load phi_after = phi_potential(post, c_, d_plus);
+  if (phi_after > phi_before - drop35) lemma35_ = false;
+
+  const Load phip_before = phi_prime_potential(pre, c_, d_plus, s_);
+  const Load phip_after = phi_prime_potential(post, c_, d_plus, s_);
+  if (phip_after > phip_before - drop37) lemma37_ = false;
+
+  ++steps_;
+}
+
+}  // namespace dlb

@@ -1,0 +1,81 @@
+// The Section-3 potential functions φ_t(c) and φ'_t(c).
+//
+//   φ_t(c)  = Σ_v max{x_t(v) − c·d⁺, 0}     — tokens above level c·d⁺
+//   φ'_t(c) = Σ_v max{c·d⁺ + s − x_t(v), 0} — gaps below level c·d⁺ + s
+//
+// Lemma 3.5 / 3.7 prove both are non-increasing under any good
+// s-balancer; the Theorem 3.3 proof drives them down phase by phase.
+// Tests check the monotonicity on live runs (a direct, mechanical
+// verification of the lemmas), and the Thm 3.3 bench tracks the level
+// sets to exhibit the phased potential drop.
+#pragma once
+
+#include <span>
+
+#include "core/engine.hpp"
+#include "core/load_vector.hpp"
+
+namespace dlb {
+
+/// φ(c) = Σ_v max{x(v) − c·d⁺, 0}.
+Load phi_potential(std::span<const Load> loads, Load c, int d_plus);
+
+/// φ'(c) = Σ_v max{c·d⁺ + s − x(v), 0}.
+Load phi_prime_potential(std::span<const Load> loads, Load c, int d_plus,
+                         Load s);
+
+/// Observer that tracks φ_t(c) and φ'_t(c) for one level c and records
+/// whether either ever increased (they must not for good s-balancers).
+class PotentialMonitor : public StepObserver {
+ public:
+  PotentialMonitor(Load c, Load s) : c_(c), s_(s) {}
+
+  void on_step(Step t, const Graph& g, int d_loops,
+               std::span<const Load> pre, std::span<const Load> flows,
+               std::span<const Load> post) override;
+
+  bool phi_monotone() const noexcept { return phi_monotone_; }
+  bool phi_prime_monotone() const noexcept { return phi_prime_monotone_; }
+  Load last_phi() const noexcept { return last_phi_; }
+  Load last_phi_prime() const noexcept { return last_phi_prime_; }
+
+ private:
+  Load c_;
+  Load s_;
+  bool started_ = false;
+  bool phi_monotone_ = true;
+  bool phi_prime_monotone_ = true;
+  Load last_phi_ = 0;
+  Load last_phi_prime_ = 0;
+};
+
+/// Mechanical verifier of the Lemma 3.5 / 3.7 potential-drop inequalities.
+///
+/// Lemma 3.5: φ_t(c) <= φ_{t−1}(c) − Σ_u ∆_t(c, u) with
+///   ∆_t(c,u) = max{ min{x_{t−1}(u) − c·d⁺, s} − max{x_t(u) − c·d⁺, 0}, 0 }.
+/// Lemma 3.7: φ'_t(c) <= φ'_{t−1}(c) − Σ_u ∆'_t(c, u) with
+///   ∆'_t(c,u) = max{ min{x_t(u) − x_{t−1}(u), s, x_t(u) − c·d⁺,
+///                        c·d⁺ + s − x_{t−1}(u)}, 0 }.
+/// Both must hold for every step of a good s-balancer; tests run this
+/// monitor against live engines as a direct check of the proofs' claims.
+class LemmaDropMonitor : public StepObserver {
+ public:
+  LemmaDropMonitor(Load c, Load s) : c_(c), s_(s) {}
+
+  void on_step(Step t, const Graph& g, int d_loops,
+               std::span<const Load> pre, std::span<const Load> flows,
+               std::span<const Load> post) override;
+
+  bool lemma35_holds() const noexcept { return lemma35_; }
+  bool lemma37_holds() const noexcept { return lemma37_; }
+  Step steps_checked() const noexcept { return steps_; }
+
+ private:
+  Load c_;
+  Load s_;
+  bool lemma35_ = true;
+  bool lemma37_ = true;
+  Step steps_ = 0;
+};
+
+}  // namespace dlb

@@ -1,0 +1,38 @@
+#include "balancers/bounded_error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+void BoundedError::reset(const Graph& graph, int d_loops) {
+  DLB_REQUIRE(d_loops >= 0, "BoundedError: negative self-loop count");
+  d_ = graph.degree();
+  d_plus_ = d_ + d_loops;
+  carry_.assign(static_cast<std::size_t>(graph.num_nodes()) * d_, 0.0);
+}
+
+void BoundedError::decide(NodeId u, Load load, Step /*t*/,
+                          std::span<Load> flows) {
+  const double share = static_cast<double>(load) / d_plus_;
+  for (int p = 0; p < d_; ++p) {
+    double& c = carry_[static_cast<std::size_t>(u) * d_ +
+                       static_cast<std::size_t>(p)];
+    const double desired = share + c;
+    const auto f = static_cast<Load>(std::llround(desired));
+    c = desired - static_cast<double>(f);
+    flows[static_cast<std::size_t>(p)] = f;
+  }
+  // Self-loops: everything not sent stays as the remainder.
+  for (int p = d_; p < d_plus_; ++p) flows[static_cast<std::size_t>(p)] = 0;
+}
+
+double BoundedError::max_abs_carry() const {
+  double worst = 0.0;
+  for (double c : carry_) worst = std::max(worst, std::abs(c));
+  return worst;
+}
+
+}  // namespace dlb

@@ -1,0 +1,40 @@
+// BOUNDED-ERROR: quasirandom diffusion (Friedrich–Gairing–Sauerwald,
+// SODA 2010) — deterministic per-edge rounding with bounded cumulative
+// rounding error.
+//
+// Each directed edge keeps a fractional carry c(e) ∈ (−1/2, 1/2]. In
+// every step the edge's continuous share is x_t(u)/d⁺; the scheme sends
+// the nearest integer to share+carry and stores the residual:
+//   desired = x/d⁺ + c(e);  f = round(desired);  c(e) = desired − f.
+// By induction |Σ_τ (f_τ(e) − x_τ(u)/d⁺)| = |c(e)| <= 1/2 — the
+// "bounded-error property" of [9], under which they prove O(log^{3/2} n)
+// discrepancy on hypercubes and O(1) on constant-dimension tori.
+//
+// Faithful caveat (the paper's Section 1.2 criticism): the rounded demand
+// can exceed a node's available load, producing negative loads; the
+// engine tolerates this via allows_negative() and the benches report it.
+#pragma once
+
+#include <vector>
+
+#include "core/balancer.hpp"
+
+namespace dlb {
+
+class BoundedError : public Balancer {
+ public:
+  std::string name() const override { return "BOUNDED-ERROR"; }
+  void reset(const Graph& graph, int d_loops) override;
+  void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
+  bool allows_negative() const override { return true; }
+
+  /// Largest |carry| currently stored (tests assert <= 1/2).
+  double max_abs_carry() const;
+
+ private:
+  int d_ = 0;
+  int d_plus_ = 0;
+  std::vector<double> carry_;  // n * d, one per directed original edge
+};
+
+}  // namespace dlb

@@ -1,0 +1,43 @@
+#include "balancers/continuous.hpp"
+
+#include <algorithm>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+ContinuousDiffusion::ContinuousDiffusion(const Graph& g, int self_loops,
+                                         std::vector<double> initial)
+    : op_(g, self_loops), x_(std::move(initial)) {
+  DLB_REQUIRE(x_.size() == static_cast<std::size_t>(g.num_nodes()),
+              "ContinuousDiffusion: initial size mismatch");
+}
+
+ContinuousDiffusion::ContinuousDiffusion(const Graph& g, int self_loops,
+                                         const LoadVector& initial)
+    : ContinuousDiffusion(g, self_loops,
+                          std::vector<double>(initial.begin(),
+                                              initial.end())) {}
+
+void ContinuousDiffusion::step() {
+  op_.apply_in_place(x_);
+  ++t_;
+}
+
+void ContinuousDiffusion::run(Step steps) {
+  DLB_REQUIRE(steps >= 0, "run: negative step count");
+  for (Step i = 0; i < steps; ++i) step();
+}
+
+double ContinuousDiffusion::discrepancy() const {
+  const auto [lo, hi] = std::minmax_element(x_.begin(), x_.end());
+  return *hi - *lo;
+}
+
+double ContinuousDiffusion::total() const {
+  double sum = 0.0;
+  for (double v : x_) sum += v;
+  return sum;
+}
+
+}  // namespace dlb

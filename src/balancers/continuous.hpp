@@ -1,0 +1,42 @@
+// The continuous (idealized) diffusion process x_{t+1} = P·x_t.
+//
+// This is the reference Markovian process every discrete scheme is
+// compared against (Section 1: node u keeps d°/d⁺ of its load and sends
+// 1/d⁺ to each neighbour). It balances perfectly in the limit; its
+// balancing time defines the T against which all discrete discrepancies
+// are measured. Real-valued, hence not a Balancer.
+#pragma once
+
+#include <vector>
+
+#include "core/load_vector.hpp"
+#include "graph/graph.hpp"
+#include "markov/matrix.hpp"
+
+namespace dlb {
+
+/// Real-valued synchronous diffusion on the balancing graph.
+class ContinuousDiffusion {
+ public:
+  ContinuousDiffusion(const Graph& g, int self_loops,
+                      std::vector<double> initial);
+
+  /// Convenience: start from an integer token vector.
+  ContinuousDiffusion(const Graph& g, int self_loops,
+                      const LoadVector& initial);
+
+  void step();
+  void run(Step steps);
+
+  const std::vector<double>& loads() const noexcept { return x_; }
+  Step time() const noexcept { return t_; }
+  double discrepancy() const;
+  double total() const;
+
+ private:
+  TransitionOperator op_;
+  std::vector<double> x_;
+  Step t_ = 0;
+};
+
+}  // namespace dlb

@@ -1,0 +1,71 @@
+#include "balancers/continuous_mimic.hpp"
+
+#include <cmath>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+void ContinuousMimic::reset(const Graph& graph, int d_loops) {
+  DLB_REQUIRE(d_loops >= 0, "ContinuousMimic: negative self-loop count");
+  g_ = &graph;
+  d_ = graph.degree();
+  d_loops_ = d_loops;
+  d_plus_ = d_ + d_loops;
+  current_step_ = -1;
+  initialized_ = false;
+  seen_ = 0;
+  y_.assign(static_cast<std::size_t>(graph.num_nodes()), 0.0);
+  w_cum_.assign(static_cast<std::size_t>(graph.num_nodes()) * d_, 0.0);
+  f_cum_.assign(static_cast<std::size_t>(graph.num_nodes()) * d_, 0);
+}
+
+void ContinuousMimic::advance_continuous() {
+  // y <- P·y on the balancing graph (d° self-loops).
+  std::vector<double> next(y_.size());
+  const double inv = 1.0 / d_plus_;
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    double acc = static_cast<double>(d_loops_) * inv *
+                 y_[static_cast<std::size_t>(v)];
+    for (NodeId u : g_->neighbors(v)) {
+      acc += inv * y_[static_cast<std::size_t>(u)];
+    }
+    next[static_cast<std::size_t>(v)] = acc;
+  }
+  y_.swap(next);
+}
+
+void ContinuousMimic::decide(NodeId u, Load load, Step t,
+                             std::span<Load> flows) {
+  if (t > current_step_) {
+    // First decide() of a new step: advance the internal continuous
+    // simulation (no-op before the very first step, when y is captured
+    // from the engine's initial loads below).
+    if (initialized_) advance_continuous();
+    current_step_ = t;
+  }
+  if (!initialized_) {
+    // Step 0: discrete and continuous loads coincide; capture them (one
+    // decide() call per node, in any order).
+    y_[static_cast<std::size_t>(u)] = static_cast<double>(load);
+    if (++seen_ == g_->num_nodes()) initialized_ = true;
+  }
+
+  // Continuous flow this step over every original edge of u is y(u)/d⁺;
+  // send the difference between the rounded cumulative continuous flow
+  // and what has been sent so far, keeping |F_t(e) − W_t(e)| <= 1/2.
+  const double per_edge = y_[static_cast<std::size_t>(u)] / d_plus_;
+  for (int p = 0; p < d_; ++p) {
+    const std::size_t e = static_cast<std::size_t>(u) * d_ +
+                          static_cast<std::size_t>(p);
+    w_cum_[e] += per_edge;
+    const Load target = static_cast<Load>(std::llround(w_cum_[e]));
+    flows[static_cast<std::size_t>(p)] = target - f_cum_[e];
+    f_cum_[e] = target;
+  }
+  // Self-loop ports carry nothing explicitly; the rest of the load stays
+  // as the node's remainder (which may be negative — cf. Table 1's NL).
+  for (int p = d_; p < d_plus_; ++p) flows[static_cast<std::size_t>(p)] = 0;
+}
+
+}  // namespace dlb

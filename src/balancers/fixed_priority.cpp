@@ -1,0 +1,23 @@
+#include "balancers/fixed_priority.hpp"
+
+#include "util/assertions.hpp"
+#include "util/intmath.hpp"
+
+namespace dlb {
+
+void FixedPriority::reset(const Graph& graph, int d_loops) {
+  DLB_REQUIRE(d_loops >= 0, "FixedPriority: negative self-loop count");
+  d_plus_ = graph.degree() + d_loops;
+}
+
+void FixedPriority::decide(NodeId /*u*/, Load load, Step /*t*/,
+                           std::span<Load> flows) {
+  DLB_REQUIRE(load >= 0, "FixedPriority cannot handle negative load");
+  const Load q = floor_div(load, d_plus_);
+  const Load r = load - q * d_plus_;
+  for (int p = 0; p < d_plus_; ++p) {
+    flows[static_cast<std::size_t>(p)] = q + (p < r ? 1 : 0);
+  }
+}
+
+}  // namespace dlb

@@ -1,0 +1,28 @@
+// FIXED-PRIORITY: a round-fair balancer that is *not* cumulatively fair.
+//
+// Every port receives ⌊x/d⁺⌋ and the excess e(u) goes, one token each, to
+// the first e(u) ports in a fixed priority order (original edges first,
+// no rotation). This sits squarely in the Rabani–Sinclair–Wanka class
+// ([17]: each edge's flow is the continuous amount rounded up or down)
+// but violates Definition 2.1(ii): the cumulative imbalance between the
+// first and last original edge grows linearly in time. It is the natural
+// "arbitrary rounding" strawman that Theorems 2.3/4.1 improve upon — the
+// benches show it plateaus near the Ω(d·diam) lower bound on tori and
+// cycles instead of reaching the cumulatively-fair O(d√(log n/µ)).
+#pragma once
+
+#include "core/balancer.hpp"
+
+namespace dlb {
+
+class FixedPriority : public Balancer {
+ public:
+  std::string name() const override { return "FIXED-PRIORITY"; }
+  void reset(const Graph& graph, int d_loops) override;
+  void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
+
+ private:
+  int d_plus_ = 0;
+};
+
+}  // namespace dlb

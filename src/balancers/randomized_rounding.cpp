@@ -1,0 +1,30 @@
+#include "balancers/randomized_rounding.hpp"
+
+#include "util/assertions.hpp"
+#include "util/intmath.hpp"
+
+namespace dlb {
+
+void RandomizedRounding::reset(const Graph& graph, int d_loops) {
+  DLB_REQUIRE(d_loops >= 0, "RandomizedRounding: negative self-loop count");
+  d_ = graph.degree();
+  d_plus_ = d_ + d_loops;
+  rng_ = Rng(seed_);
+}
+
+void RandomizedRounding::decide(NodeId /*u*/, Load load, Step /*t*/,
+                                std::span<Load> flows) {
+  // Works for negative loads too: floor_div floors toward −∞ so the
+  // fractional part stays in [0, 1).
+  const Load q = floor_div(load, d_plus_);
+  const double frac =
+      static_cast<double>(load - q * d_plus_) / static_cast<double>(d_plus_);
+  for (int p = 0; p < d_; ++p) {
+    flows[static_cast<std::size_t>(p)] = q + (rng_.bernoulli(frac) ? 1 : 0);
+  }
+  for (int p = d_; p < d_plus_; ++p) {
+    flows[static_cast<std::size_t>(p)] = q;
+  }
+}
+
+}  // namespace dlb

@@ -1,0 +1,36 @@
+// RAND-ROUND: randomized rounding of edge flows (Table 1 row 3).
+//
+// Sauerwald–Sun (FOCS 2012): the continuous process would send x/d⁺ over
+// every edge; the discrete scheme sends ⌊x/d⁺⌋ + Bernoulli(frac) tokens
+// independently per original edge, and the floor share per self-loop.
+// Achieves O(√(d log n)) discrepancy after O(T) w.h.p. — better than any
+// deterministic diffusive scheme — but the independent roundings can
+// oversubscribe a node's load: the remainder, and subsequently the node
+// load, can go negative (the paper's "NL" column). The engine tolerates
+// this because allows_negative() is true; benches report min_load_seen.
+#pragma once
+
+#include <cstdint>
+
+#include "core/balancer.hpp"
+#include "util/rng.hpp"
+
+namespace dlb {
+
+class RandomizedRounding : public Balancer {
+ public:
+  explicit RandomizedRounding(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  std::string name() const override { return "RAND-ROUND"; }
+  void reset(const Graph& graph, int d_loops) override;
+  void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
+  bool allows_negative() const override { return true; }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+  int d_ = 0;
+  int d_plus_ = 0;
+};
+
+}  // namespace dlb

@@ -1,0 +1,73 @@
+#include "balancers/registry.hpp"
+
+#include "balancers/bounded_error.hpp"
+#include "balancers/continuous_mimic.hpp"
+#include "balancers/fixed_priority.hpp"
+#include "balancers/randomized_extra.hpp"
+#include "balancers/randomized_rounding.hpp"
+#include "balancers/rotor_router.hpp"
+#include "balancers/rotor_router_star.hpp"
+#include "balancers/send_floor.hpp"
+#include "balancers/send_round.hpp"
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+std::vector<Algorithm> all_algorithms() {
+  return {Algorithm::kFixedPriority,      Algorithm::kRandomizedExtra,
+          Algorithm::kRandomizedRounding, Algorithm::kContinuousMimic,
+          Algorithm::kBoundedError,       Algorithm::kSendFloor,
+          Algorithm::kSendRound,          Algorithm::kRotorRouter,
+          Algorithm::kRotorRouterStar};
+}
+
+std::string algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSendFloor: return "SEND(floor)";
+    case Algorithm::kSendRound: return "SEND(nearest)";
+    case Algorithm::kRotorRouter: return "ROTOR-ROUTER";
+    case Algorithm::kRotorRouterStar: return "ROTOR-ROUTER*";
+    case Algorithm::kFixedPriority: return "FIXED-PRIORITY";
+    case Algorithm::kRandomizedExtra: return "RAND-EXTRA";
+    case Algorithm::kRandomizedRounding: return "RAND-ROUND";
+    case Algorithm::kContinuousMimic: return "CONT-MIMIC";
+    case Algorithm::kBoundedError: return "BOUNDED-ERROR";
+  }
+  DLB_REQUIRE(false, "algorithm_name: unknown algorithm");
+  return {};
+}
+
+std::unique_ptr<Balancer> make_balancer(Algorithm a, std::uint64_t seed) {
+  switch (a) {
+    case Algorithm::kSendFloor: return std::make_unique<SendFloor>();
+    case Algorithm::kSendRound: return std::make_unique<SendRound>();
+    case Algorithm::kRotorRouter: return std::make_unique<RotorRouter>(seed);
+    case Algorithm::kRotorRouterStar:
+      return std::make_unique<RotorRouterStar>(seed);
+    case Algorithm::kFixedPriority: return std::make_unique<FixedPriority>();
+    case Algorithm::kRandomizedExtra:
+      return std::make_unique<RandomizedExtra>(seed);
+    case Algorithm::kRandomizedRounding:
+      return std::make_unique<RandomizedRounding>(seed);
+    case Algorithm::kContinuousMimic:
+      return std::make_unique<ContinuousMimic>();
+    case Algorithm::kBoundedError:
+      return std::make_unique<BoundedError>();
+  }
+  DLB_REQUIRE(false, "make_balancer: unknown algorithm");
+  return nullptr;
+}
+
+int min_self_loops(Algorithm a, int degree) {
+  switch (a) {
+    case Algorithm::kSendRound: return degree;  // round-up must fit the load
+    case Algorithm::kRotorRouterStar: return degree;  // fixed d° = d
+    default: return 0;
+  }
+}
+
+bool requires_exact_d_loops(Algorithm a) {
+  return a == Algorithm::kRotorRouterStar;
+}
+
+}  // namespace dlb

@@ -1,0 +1,45 @@
+// Registry: construct any Table-1 algorithm by enum, with its self-loop
+// requirements, so benches and examples can sweep "all algorithms"
+// uniformly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/balancer.hpp"
+
+namespace dlb {
+
+/// The discrete algorithms of Table 1 implemented in this library.
+enum class Algorithm {
+  kSendFloor,        ///< SEND(⌊x/d⁺⌋) — stateless, cumulatively 0-fair
+  kSendRound,        ///< SEND([x/d⁺]) — stateless, good s-balancer for d⁺>2d
+  kRotorRouter,      ///< ROTOR-ROUTER — cumulatively 1-fair
+  kRotorRouterStar,  ///< ROTOR-ROUTER* — good 1-balancer
+  kFixedPriority,    ///< round-fair but not cumulatively fair ([17] class)
+  kRandomizedExtra,  ///< randomized excess distribution [5]
+  kRandomizedRounding,  ///< randomized edge rounding [18], may go negative
+  kContinuousMimic,  ///< continuous-flow mimicking [4]: Θ(d), stateful, NL
+  kBoundedError,  ///< quasirandom diffusion [9]: bounded rounding error, NL
+};
+
+/// All algorithms, in Table-1 order.
+std::vector<Algorithm> all_algorithms();
+
+/// Stable display name (matches the Balancer::name() of the instance).
+std::string algorithm_name(Algorithm a);
+
+/// Instantiates the balancer. `seed` feeds randomized algorithms and
+/// rotor initialization; deterministic algorithms ignore it.
+std::unique_ptr<Balancer> make_balancer(Algorithm a, std::uint64_t seed = 0);
+
+/// Smallest d° the algorithm supports on a d-regular graph; the paper's
+/// theorems additionally want d° >= d for the improved bounds.
+int min_self_loops(Algorithm a, int degree);
+
+/// True if the algorithm requires exactly d° == d (ROTOR-ROUTER*).
+bool requires_exact_d_loops(Algorithm a);
+
+}  // namespace dlb

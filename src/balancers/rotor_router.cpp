@@ -1,0 +1,97 @@
+#include "balancers/rotor_router.hpp"
+
+#include <numeric>
+
+#include "util/assertions.hpp"
+#include "util/intmath.hpp"
+#include "util/rng.hpp"
+
+namespace dlb {
+
+void RotorRouter::reset(const Graph& graph, int d_loops) {
+  DLB_REQUIRE(d_loops >= 0, "RotorRouter: negative self-loop count");
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  d_plus_ = graph.degree() + d_loops;
+  DLB_REQUIRE(d_plus_ >= 1, "RotorRouter: needs at least one port");
+
+  port_order_.resize(n * static_cast<std::size_t>(d_plus_));
+  rotor_.assign(n, 0);
+
+  Rng rng(seed_);
+  for (std::size_t u = 0; u < n; ++u) {
+    std::int32_t* row = port_order_.data() + u * static_cast<std::size_t>(d_plus_);
+    std::iota(row, row + d_plus_, 0);
+    if (seed_ != 0) {
+      std::span<std::int32_t> perm{row, static_cast<std::size_t>(d_plus_)};
+      rng.shuffle(perm);
+      rotor_[u] = static_cast<int>(rng.uniform_u64(
+          static_cast<std::uint64_t>(d_plus_)));
+    }
+  }
+
+  if (!prescribed_order_.empty()) {
+    DLB_REQUIRE(prescribed_order_.size() == port_order_.size(),
+                "prescribed port order has wrong size");
+    // Each node's row must be a permutation of its ports.
+    for (std::size_t u = 0; u < n; ++u) {
+      std::vector<char> seen(static_cast<std::size_t>(d_plus_), 0);
+      for (int k = 0; k < d_plus_; ++k) {
+        const std::int32_t p =
+            prescribed_order_[u * static_cast<std::size_t>(d_plus_) +
+                              static_cast<std::size_t>(k)];
+        DLB_REQUIRE(p >= 0 && p < d_plus_ && !seen[static_cast<std::size_t>(p)],
+                    "prescribed port order is not a permutation");
+        seen[static_cast<std::size_t>(p)] = 1;
+      }
+    }
+    port_order_ = prescribed_order_;
+  }
+
+  if (!prescribed_rotors_.empty()) {
+    DLB_REQUIRE(prescribed_rotors_.size() == n,
+                "prescribed rotor vector has wrong size");
+    for (std::size_t u = 0; u < n; ++u) {
+      DLB_REQUIRE(prescribed_rotors_[u] >= 0 && prescribed_rotors_[u] < d_plus_,
+                  "prescribed rotor out of range");
+      rotor_[u] = prescribed_rotors_[u];
+    }
+  }
+}
+
+void RotorRouter::set_initial_rotors(std::vector<int> rotors) {
+  prescribed_rotors_ = std::move(rotors);
+}
+
+void RotorRouter::set_port_order(std::vector<std::int32_t> order) {
+  prescribed_order_ = std::move(order);
+}
+
+int RotorRouter::rotor(NodeId u) const {
+  DLB_REQUIRE(u >= 0 && static_cast<std::size_t>(u) < rotor_.size(),
+              "rotor: bad node");
+  return rotor_[static_cast<std::size_t>(u)];
+}
+
+void RotorRouter::decide(NodeId u, Load load, Step /*t*/,
+                         std::span<Load> flows) {
+  DLB_REQUIRE(load >= 0, "RotorRouter cannot handle negative load");
+  const Load q = floor_div(load, d_plus_);
+  const Load r = load - q * d_plus_;
+
+  const std::int32_t* order =
+      port_order_.data() + static_cast<std::size_t>(u) * d_plus_;
+  int& rotor = rotor_[static_cast<std::size_t>(u)];
+
+  // Every port gets the floor share; the next r ports in cyclic order
+  // (starting at the rotor) get one extra token each.
+  for (int k = 0; k < d_plus_; ++k) {
+    flows[static_cast<std::size_t>(order[k])] = q;
+  }
+  for (Load k = 0; k < r; ++k) {
+    const int pos = static_cast<int>((rotor + k) % d_plus_);
+    ++flows[static_cast<std::size_t>(order[pos])];
+  }
+  rotor = static_cast<int>((rotor + r) % d_plus_);
+}
+
+}  // namespace dlb

@@ -1,0 +1,59 @@
+// ROTOR-ROUTER (Propp machine) load balancing.
+//
+// Each node owns a rotor over its d⁺ ports (original edges and
+// self-loops, in a per-node cyclic order). Tokens are dealt round-robin
+// starting at the rotor, which then advances past the last port served.
+// Dealing x tokens gives every port ⌊x/d⁺⌋ and the next x mod d⁺ ports
+// one extra — so over any interval the cumulative flows of two ports
+// differ by at most 1: ROTOR-ROUTER is cumulatively 1-fair
+// (Observation 2.2) and Theorem 2.3 applies when d° >= d.
+//
+// The cyclic port order is an arbitrary per-node permutation (the paper
+// allows any); a seed of 0 keeps the natural order (original edges then
+// self-loops), any other seed shuffles per node. Initial rotor positions
+// can be prescribed explicitly — the Thm 4.3 lower-bound construction
+// needs exactly that control.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/balancer.hpp"
+
+namespace dlb {
+
+class RotorRouter : public Balancer {
+ public:
+  /// `seed` randomizes per-node port orders and initial rotor positions;
+  /// seed 0 means natural port order with all rotors at position 0.
+  explicit RotorRouter(std::uint64_t seed = 0) : seed_(seed) {}
+
+  std::string name() const override { return "ROTOR-ROUTER"; }
+  void reset(const Graph& graph, int d_loops) override;
+  void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
+
+  /// Prescribes initial rotor positions (applied at the next reset; must
+  /// then match the graph size). Positions index the *cyclic order*, i.e.
+  /// position k means the first token goes to the k-th port in this
+  /// node's permutation.
+  void set_initial_rotors(std::vector<int> rotors);
+
+  /// Prescribes the cyclic port order explicitly: entry [u*d⁺ + k] is the
+  /// port served k-th (counting from rotor position 0). Overrides the
+  /// seed-derived permutation at the next reset. The Thm 4.3 adversary
+  /// needs this to place the P1 ports ahead of the P2 ports.
+  void set_port_order(std::vector<std::int32_t> order);
+
+  /// Current rotor position of node u (for tests).
+  int rotor(NodeId u) const;
+
+ private:
+  std::uint64_t seed_;
+  int d_plus_ = 0;
+  std::vector<int> rotor_;                // per node, in [0, d⁺)
+  std::vector<std::int32_t> port_order_;  // n * d⁺ permutation table
+  std::vector<int> prescribed_rotors_;
+  std::vector<std::int32_t> prescribed_order_;
+};
+
+}  // namespace dlb

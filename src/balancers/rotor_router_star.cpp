@@ -1,0 +1,50 @@
+#include "balancers/rotor_router_star.hpp"
+
+#include "util/assertions.hpp"
+#include "util/intmath.hpp"
+#include "util/rng.hpp"
+
+namespace dlb {
+
+void RotorRouterStar::reset(const Graph& graph, int d_loops) {
+  DLB_REQUIRE(d_loops == graph.degree(),
+              "ROTOR-ROUTER* requires d° == d (d⁺ = 2d)");
+  d_ = graph.degree();
+  rotor_ports_ = 2 * d_ - 1;
+  DLB_REQUIRE(rotor_ports_ >= 1, "ROTOR-ROUTER* needs d >= 1");
+  rotor_.assign(static_cast<std::size_t>(graph.num_nodes()), 0);
+  if (seed_ != 0) {
+    Rng rng(seed_);
+    for (auto& r : rotor_) {
+      r = static_cast<int>(rng.uniform_u64(
+          static_cast<std::uint64_t>(rotor_ports_)));
+    }
+  }
+}
+
+void RotorRouterStar::decide(NodeId u, Load load, Step /*t*/,
+                             std::span<Load> flows) {
+  DLB_REQUIRE(load >= 0, "ROTOR-ROUTER* cannot handle negative load");
+  const int d_plus = 2 * d_;
+  const Load q = floor_div(load, d_plus);
+  const Load r = load - q * d_plus;
+
+  // Port layout: [0, d) original edges, [d, 2d−1) ordinary self-loops,
+  // 2d−1 the special self-loop.
+  const std::size_t special = static_cast<std::size_t>(d_plus - 1);
+  flows[special] = q + (r > 0 ? 1 : 0);
+
+  // Rotor-deal the rest over the first 2d−1 ports: q each plus r−1 extras
+  // (or 0 extras when r == 0).
+  const Load extras = r > 0 ? r - 1 : 0;
+  for (int p = 0; p < rotor_ports_; ++p) {
+    flows[static_cast<std::size_t>(p)] = q;
+  }
+  int& rotor = rotor_[static_cast<std::size_t>(u)];
+  for (Load k = 0; k < extras; ++k) {
+    ++flows[static_cast<std::size_t>((rotor + k) % rotor_ports_)];
+  }
+  rotor = static_cast<int>((rotor + extras) % rotor_ports_);
+}
+
+}  // namespace dlb

@@ -1,0 +1,40 @@
+// ROTOR-ROUTER*: the paper's good 1-balancer rotor variant (Section 1.1).
+//
+// Configuration: d° = d self-loops (so d⁺ = 2d). One *special* self-loop
+// always receives ⌈x/(2d)⌉ = ⌈x/d⁺⌉ tokens; the remaining load is dealt
+// by an ordinary rotor over the other 2d−1 ports (d original edges and
+// d−1 self-loops). Arithmetic (x = q·2d + r):
+//   r = 0:   special gets q, the 2d−1 rotor ports get exactly q each;
+//   r >= 1:  special gets q+1, remaining q(2d−1) + (r−1) splits as q per
+//            port plus r−1 rotor extras.
+// Every port therefore gets ⌊x/d⁺⌋ or ⌈x/d⁺⌉ (round-fair), original-edge
+// cumulative flows differ by <= 1 (cumulatively 1-fair), and whenever
+// e(u) > 0 the special self-loop gets the ceiling — a good 1-balancer
+// (Observation 3.2), so Theorem 3.3 gives O(d) discrepancy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/balancer.hpp"
+
+namespace dlb {
+
+class RotorRouterStar : public Balancer {
+ public:
+  explicit RotorRouterStar(std::uint64_t seed = 0) : seed_(seed) {}
+
+  std::string name() const override { return "ROTOR-ROUTER*"; }
+
+  /// Requires d_loops == graph.degree() (the paper fixes d° = d).
+  void reset(const Graph& graph, int d_loops) override;
+  void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
+
+ private:
+  std::uint64_t seed_;
+  int d_ = 0;
+  int rotor_ports_ = 0;  // 2d − 1
+  std::vector<int> rotor_;
+};
+
+}  // namespace dlb

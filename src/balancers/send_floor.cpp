@@ -1,0 +1,23 @@
+#include "balancers/send_floor.hpp"
+
+#include <algorithm>
+
+#include "util/assertions.hpp"
+#include "util/intmath.hpp"
+
+namespace dlb {
+
+void SendFloor::reset(const Graph& graph, int d_loops) {
+  DLB_REQUIRE(d_loops >= 0, "SendFloor: negative self-loop count");
+  d_plus_ = graph.degree() + d_loops;
+}
+
+void SendFloor::decide(NodeId /*u*/, Load load, Step /*t*/,
+                       std::span<Load> flows) {
+  DLB_REQUIRE(load >= 0, "SendFloor cannot handle negative load");
+  const Load share = floor_div(load, d_plus_);
+  std::fill(flows.begin(), flows.end(), share);
+  // Excess e(u) = load − d⁺·share stays as the remainder.
+}
+
+}  // namespace dlb

@@ -1,0 +1,25 @@
+// SEND(⌊x/d⁺⌋): the simplest stateless cumulatively 0-fair balancer.
+//
+// Section 1.1: a node with load x sends ⌊x/d⁺⌋ tokens over every original
+// edge; each self-loop also receives ⌊x/d⁺⌋ and the excess
+// e(u) = x − d⁺·⌊x/d⁺⌋ < d⁺ stays as the remainder. Observation 2.2: this
+// is cumulatively 0-fair, so Theorem 2.3 applies; it is *not* a good
+// s-balancer (no self-loop is preferred), which is exactly the gap the
+// paper's Table 1 marks as "open" for its O(d) convergence.
+#pragma once
+
+#include "core/balancer.hpp"
+
+namespace dlb {
+
+class SendFloor : public Balancer {
+ public:
+  std::string name() const override { return "SEND(floor)"; }
+  void reset(const Graph& graph, int d_loops) override;
+  void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
+
+ private:
+  int d_plus_ = 0;
+};
+
+}  // namespace dlb

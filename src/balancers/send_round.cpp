@@ -1,0 +1,49 @@
+#include "balancers/send_round.hpp"
+
+#include <algorithm>
+
+#include "util/assertions.hpp"
+#include "util/intmath.hpp"
+
+namespace dlb {
+
+void SendRound::reset(const Graph& graph, int d_loops) {
+  // Round-up steps send d·⌈x/d⁺⌉ over original edges, which only fits in
+  // the available load when 2r >= d⁺ implies r >= d, i.e. d⁺ >= 2d.
+  DLB_REQUIRE(d_loops >= graph.degree(), "SendRound requires d° >= d");
+  d_ = graph.degree();
+  d_loops_ = d_loops;
+  d_plus_ = d_ + d_loops;
+  guaranteed_s_ = d_plus_ > 2 * d_ ? (d_plus_ - 2 * d_ + 1) / 2 : 0;
+}
+
+void SendRound::decide(NodeId /*u*/, Load load, Step /*t*/,
+                       std::span<Load> flows) {
+  DLB_REQUIRE(load >= 0, "SendRound cannot handle negative load");
+  const Load q = floor_div(load, d_plus_);
+  const Load r = load - q * d_plus_;          // e(u) ∈ [0, d⁺)
+  const Load nearest = round_nearest_div(load, d_plus_);
+
+  // Original edges all receive [x/d⁺].
+  for (int p = 0; p < d_; ++p) flows[static_cast<std::size_t>(p)] = nearest;
+
+  // Self-loops: round-fair split of what remains, ceiling-first so the
+  // algorithm is as self-preferring as the totals allow.
+  Load extras;  // number of self-loops that receive q+1 instead of q
+  if (nearest == q) {
+    // Round-down case: d·q went out, excess is r; at most d° self-loops
+    // can take one extra each, the rest stays as the remainder.
+    extras = std::min<Load>(r, d_loops_);
+  } else {
+    // Round-up case (2r >= d⁺ implies r >= d, so load covers d·(q+1)):
+    // remaining load is q·d° + (r − d) with 0 <= r − d < d°.
+    extras = r - d_;
+    DLB_ASSERT(extras >= 0 && extras < d_loops_ + 1,
+               "SendRound: round-up arithmetic broken");
+  }
+  for (int k = 0; k < d_loops_; ++k) {
+    flows[static_cast<std::size_t>(d_ + k)] = q + (k < extras ? 1 : 0);
+  }
+}
+
+}  // namespace dlb

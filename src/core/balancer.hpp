@@ -1,0 +1,48 @@
+// The Balancer interface: one synchronous send decision per node per step.
+//
+// Design note (mirrors the paper's model, Section 1.3): a balancer decides,
+// for node u with load x_t(u), how many tokens go over each of the d
+// original edges and each of the d° self-loops. Tokens assigned to no port
+// form the *remainder* r_t(u) (Section 2 allows r_t(u) < d⁺ without loss of
+// generality — Proposition A.2). The engine owns token movement and flow
+// accounting; class membership (cumulative fairness, round-fairness,
+// s-self-preference) is *observed* by auditors rather than trusted, so a
+// buggy balancer fails tests instead of silently producing wrong science.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/load_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// Per-node, per-step send policy.
+///
+/// Implementations may keep internal per-node state (rotor positions);
+/// stateless algorithms (SEND variants) must depend only on the load.
+class Balancer {
+ public:
+  virtual ~Balancer() = default;
+
+  /// Human-readable algorithm name for reports.
+  virtual std::string name() const = 0;
+
+  /// Called once before a run. `d_loops` is the engine's d°; balancers
+  /// that need per-node state size it here.
+  virtual void reset(const Graph& graph, int d_loops) = 0;
+
+  /// Fills `flows` (size d + d°) with the token counts for step `t`:
+  /// entries [0, d) are the original edges in the graph's port order,
+  /// entries [d, d+d°) are the self-loops. Unassigned tokens remain at u
+  /// as the remainder. The sum of flows must not exceed `load` unless
+  /// allows_negative() is true.
+  virtual void decide(NodeId u, Load load, Step t, std::span<Load> flows) = 0;
+
+  /// True for schemes (e.g. randomized rounding of [18]) that may send
+  /// more than the available load, creating negative loads.
+  virtual bool allows_negative() const { return false; }
+};
+
+}  // namespace dlb

@@ -1,0 +1,88 @@
+// Synchronous discrete diffusion engine.
+//
+// Each step: every node asks its Balancer for a send decision over its
+// d + d° ports, the engine moves tokens along original edges, returns
+// self-loop tokens and the remainder to the node, and notifies observers
+// with the full flow matrix of the step. Token conservation is checked
+// every step (the paper's model conserves total load exactly).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "core/load_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// Receives the complete flow matrix after every engine step.
+///
+/// `flows` is laid out as [u * (d + d°) + port]; ports [0, d) are original
+/// edges, [d, d + d°) self-loops. `pre` and `post` are the load vectors
+/// before and after the step; `t` is the 1-based index of the completed
+/// step (after the first step, t == 1).
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_step(Step t, const Graph& g, int d_loops,
+                       std::span<const Load> pre, std::span<const Load> flows,
+                       std::span<const Load> post) = 0;
+};
+
+struct EngineConfig {
+  int self_loops = 0;             ///< d°, the number of self-loops per node
+  bool check_conservation = true; ///< verify Σx invariant every step
+};
+
+/// Drives one balancer over one graph; owns loads and flow buffers.
+class Engine {
+ public:
+  /// `initial` must have g.num_nodes() entries. The balancer is reset.
+  Engine(const Graph& g, EngineConfig config, Balancer& balancer,
+         LoadVector initial);
+
+  /// Registers an observer (not owned); call before stepping.
+  void add_observer(StepObserver& observer);
+
+  /// Executes one synchronous round.
+  void step();
+
+  /// Executes `steps` rounds.
+  void run(Step steps);
+
+  /// Runs until discrepancy() <= target or max_steps elapse; returns the
+  /// number of *additional* steps taken.
+  Step run_until_discrepancy(Load target, Step max_steps);
+
+  const Graph& graph() const noexcept { return *g_; }
+  int self_loops() const noexcept { return config_.self_loops; }
+  int balancing_degree() const noexcept {
+    return g_->degree() + config_.self_loops;
+  }
+
+  const LoadVector& loads() const noexcept { return loads_; }
+  Step time() const noexcept { return t_; }
+  Load total() const noexcept { return total_; }
+  Load discrepancy() const { return ::dlb::discrepancy(loads_); }
+  double average() const { return average_load(loads_); }
+
+  /// Minimum load ever observed on any node (negative iff the balancer
+  /// drove some node negative, cf. the NL column of Table 1).
+  Load min_load_seen() const noexcept { return min_load_seen_; }
+
+ private:
+  const Graph* g_;
+  EngineConfig config_;
+  Balancer* balancer_;
+  LoadVector loads_;
+  LoadVector next_;
+  LoadVector flows_;  // scratch: n * (d + d°) per step
+  std::vector<StepObserver*> observers_;
+  Step t_ = 0;
+  Load total_ = 0;
+  Load min_load_seen_ = 0;
+};
+
+}  // namespace dlb

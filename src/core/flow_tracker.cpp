@@ -1,0 +1,68 @@
+#include "core/flow_tracker.hpp"
+
+#include <algorithm>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+void FlowTracker::on_step(Step /*t*/, const Graph& g, int d_loops,
+                          std::span<const Load> /*pre*/,
+                          std::span<const Load> flows,
+                          std::span<const Load> /*post*/) {
+  if (!initialized_) {
+    n_ = g.num_nodes();
+    d_ = g.degree();
+    d_loops_ = d_loops;
+    cum_.assign(flows.size(), 0);
+    initialized_ = true;
+  }
+  DLB_REQUIRE(flows.size() == cum_.size(), "FlowTracker: layout changed");
+  for (std::size_t i = 0; i < flows.size(); ++i) cum_[i] += flows[i];
+  ++steps_;
+}
+
+Load FlowTracker::cumulative(NodeId u, int port) const {
+  DLB_REQUIRE(initialized_, "FlowTracker has observed no steps");
+  DLB_REQUIRE(u >= 0 && u < n_ && port >= 0 && port < d_,
+              "cumulative: bad args");
+  return cum_[static_cast<std::size_t>(u) * (d_ + d_loops_) +
+              static_cast<std::size_t>(port)];
+}
+
+Load FlowTracker::cumulative_self_loop(NodeId u, int loop) const {
+  DLB_REQUIRE(initialized_, "FlowTracker has observed no steps");
+  DLB_REQUIRE(u >= 0 && u < n_ && loop >= 0 && loop < d_loops_,
+              "cumulative_self_loop: bad args");
+  return cum_[static_cast<std::size_t>(u) * (d_ + d_loops_) +
+              static_cast<std::size_t>(d_ + loop)];
+}
+
+Load FlowTracker::cumulative_out(NodeId u) const {
+  DLB_REQUIRE(initialized_, "FlowTracker has observed no steps");
+  DLB_REQUIRE(u >= 0 && u < n_, "cumulative_out: bad node");
+  const std::size_t width = static_cast<std::size_t>(d_ + d_loops_);
+  const Load* row = cum_.data() + static_cast<std::size_t>(u) * width;
+  Load sum = 0;
+  for (std::size_t p = 0; p < width; ++p) sum += row[p];
+  return sum;
+}
+
+Load FlowTracker::edge_imbalance(NodeId u) const {
+  DLB_REQUIRE(initialized_, "FlowTracker has observed no steps");
+  DLB_REQUIRE(u >= 0 && u < n_, "edge_imbalance: bad node");
+  const std::size_t width = static_cast<std::size_t>(d_ + d_loops_);
+  const Load* row = cum_.data() + static_cast<std::size_t>(u) * width;
+  const auto [lo, hi] = std::minmax_element(row, row + d_);
+  return *hi - *lo;
+}
+
+Load FlowTracker::max_edge_imbalance() const {
+  Load worst = 0;
+  for (NodeId u = 0; u < n_; ++u) {
+    worst = std::max(worst, edge_imbalance(u));
+  }
+  return worst;
+}
+
+}  // namespace dlb

@@ -1,0 +1,54 @@
+// Cumulative flow accounting F_t(e) = Σ_{τ≤t} f_τ(e).
+//
+// Definition 2.1 (cumulative δ-fairness) and the lower-bound proofs all
+// quantify over cumulative per-edge flows, so the tracker stores one
+// counter per directed original edge and per self-loop, updated from the
+// engine's step callback.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace dlb {
+
+/// Observer that accumulates F_t(e) for every port of every node.
+class FlowTracker : public StepObserver {
+ public:
+  FlowTracker() = default;
+
+  void on_step(Step t, const Graph& g, int d_loops,
+               std::span<const Load> pre, std::span<const Load> flows,
+               std::span<const Load> post) override;
+
+  /// Cumulative tokens sent over the `port`-th original edge of u.
+  Load cumulative(NodeId u, int port) const;
+
+  /// Cumulative tokens over the `loop`-th self-loop of u (loop < d°).
+  Load cumulative_self_loop(NodeId u, int loop) const;
+
+  /// Cumulative out-flow F_t^out(u) over all ports (edges + self-loops),
+  /// excluding remainders.
+  Load cumulative_out(NodeId u) const;
+
+  /// Max over original-edge pairs of |F(e1) − F(e2)| at node u (the
+  /// quantity bounded by δ in Definition 2.1).
+  Load edge_imbalance(NodeId u) const;
+
+  /// Max edge_imbalance over all nodes (the empirical δ of the run).
+  Load max_edge_imbalance() const;
+
+  Step steps_observed() const noexcept { return steps_; }
+
+ private:
+  bool initialized_ = false;
+  NodeId n_ = 0;
+  int d_ = 0;
+  int d_loops_ = 0;
+  Step steps_ = 0;
+  std::vector<Load> cum_;  // n * (d + d°), same layout as engine flows
+};
+
+}  // namespace dlb

@@ -1,0 +1,56 @@
+// Load-vector helpers: the paper's basic observables.
+//
+// x_t ∈ Z^n is the token count per node. The two quantities every theorem
+// speaks about are the *discrepancy* max x − min x and the *balancedness*
+// max x − x̄ (gap to the average load).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+using Load = std::int64_t;
+using Step = std::int64_t;
+using LoadVector = std::vector<Load>;
+
+inline Load total_load(std::span<const Load> x) {
+  Load sum = 0;
+  for (Load v : x) sum += v;
+  return sum;
+}
+
+inline Load max_load(std::span<const Load> x) {
+  DLB_REQUIRE(!x.empty(), "max_load of empty vector");
+  return *std::max_element(x.begin(), x.end());
+}
+
+inline Load min_load(std::span<const Load> x) {
+  DLB_REQUIRE(!x.empty(), "min_load of empty vector");
+  return *std::min_element(x.begin(), x.end());
+}
+
+/// Discrepancy: max_u x(u) − min_u x(u).
+inline Load discrepancy(std::span<const Load> x) {
+  DLB_REQUIRE(!x.empty(), "discrepancy of empty vector");
+  const auto [lo, hi] = std::minmax_element(x.begin(), x.end());
+  return *hi - *lo;
+}
+
+/// Average load x̄ as a real number (total load is conserved, so this is
+/// constant over a run).
+inline double average_load(std::span<const Load> x) {
+  DLB_REQUIRE(!x.empty(), "average_load of empty vector");
+  return static_cast<double>(total_load(x)) / static_cast<double>(x.size());
+}
+
+/// Balancedness: max_u x(u) − x̄ (the paper's "gap to the average").
+inline double balancedness(std::span<const Load> x) {
+  return static_cast<double>(max_load(x)) - average_load(x);
+}
+
+}  // namespace dlb

@@ -1,0 +1,95 @@
+#include "dimexchange/de_engine.hpp"
+
+#include <utility>
+
+#include "util/assertions.hpp"
+#include "util/intmath.hpp"
+
+namespace dlb {
+
+DimensionExchange::DimensionExchange(const Graph& g,
+                                     std::vector<Matching> circuit,
+                                     DePolicy policy, std::uint64_t seed,
+                                     LoadVector initial)
+    : g_(&g), circuit_(std::move(circuit)), policy_(policy),
+      schedule_(DeSchedule::kCircuit), rng_(seed),
+      loads_(std::move(initial)) {
+  DLB_REQUIRE(!circuit_.empty(), "balancing circuit must be non-empty");
+  DLB_REQUIRE(loads_.size() == static_cast<std::size_t>(g.num_nodes()),
+              "initial load vector has wrong size");
+  for (const Matching& m : circuit_) validate_matching(g, m);
+  total_ = total_load(loads_);
+}
+
+DimensionExchange::DimensionExchange(const Graph& g, DePolicy policy,
+                                     std::uint64_t seed, LoadVector initial)
+    : g_(&g), policy_(policy), schedule_(DeSchedule::kRandomMatching),
+      rng_(seed), loads_(std::move(initial)) {
+  DLB_REQUIRE(loads_.size() == static_cast<std::size_t>(g.num_nodes()),
+              "initial load vector has wrong size");
+  total_ = total_load(loads_);
+}
+
+void DimensionExchange::apply_matching(const Matching& m) {
+  for (const auto& [u, v] : m) {
+    Load& xu = loads_[static_cast<std::size_t>(u)];
+    Load& xv = loads_[static_cast<std::size_t>(v)];
+    const Load sum = xu + xv;
+    const Load lo = floor_div(sum, 2);
+    const Load hi = sum - lo;
+    if (lo == hi) {
+      xu = xv = lo;
+      continue;
+    }
+    switch (policy_) {
+      case DePolicy::kAverageDown:
+        // Deterministic: the previously richer node keeps the odd token
+        // (ties cannot happen here since sum is odd).
+        if (xu >= xv) {
+          xu = hi;
+          xv = lo;
+        } else {
+          xu = lo;
+          xv = hi;
+        }
+        break;
+      case DePolicy::kRandomOrientation:
+        if (rng_.bernoulli(0.5)) {
+          xu = hi;
+          xv = lo;
+        } else {
+          xu = lo;
+          xv = hi;
+        }
+        break;
+    }
+  }
+}
+
+void DimensionExchange::step() {
+  if (schedule_ == DeSchedule::kCircuit) {
+    apply_matching(circuit_[static_cast<std::size_t>(
+        t_ % static_cast<Step>(circuit_.size()))]);
+  } else {
+    apply_matching(random_matching(*g_, rng_));
+  }
+  ++t_;
+  DLB_ASSERT(total_load(loads_) == total_,
+             "dimension exchange lost or created tokens");
+}
+
+void DimensionExchange::run(Step steps) {
+  DLB_REQUIRE(steps >= 0, "run: negative step count");
+  for (Step i = 0; i < steps; ++i) step();
+}
+
+Step DimensionExchange::run_until_discrepancy(Load target, Step max_steps) {
+  DLB_REQUIRE(max_steps >= 0, "run_until_discrepancy: negative cap");
+  for (Step i = 0; i < max_steps; ++i) {
+    if (discrepancy() <= target) return i;
+    step();
+  }
+  return max_steps;
+}
+
+}  // namespace dlb

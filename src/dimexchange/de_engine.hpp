@@ -1,0 +1,74 @@
+// Dimension-exchange engine: synchronous balancing over matchings.
+//
+// In each step every matched pair (u, v) balances pairwise: the
+// continuous rule moves (x(u) − x(v))/2 across the edge; discrete rules
+// differ in how the odd token is rounded:
+//   kAverageDown — the higher-loaded node keeps the odd token
+//                  (deterministic; the classic dimension exchange);
+//   kRandomOrientation — the odd token goes to either side with
+//                  probability 1/2 (Friedrich–Sauerwald [10]; reaches
+//                  constant discrepancy in the random matching model).
+//
+// The engine supports the two schedules from the paper's related work:
+// a periodic balancing circuit (fixed matching sequence) or fresh random
+// matchings each step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/load_vector.hpp"
+#include "dimexchange/matching.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dlb {
+
+enum class DePolicy {
+  kAverageDown,        ///< deterministic: the richer node keeps the extra
+  kRandomOrientation,  ///< randomized rounding of the odd token [10]
+};
+
+enum class DeSchedule {
+  kCircuit,         ///< periodic balancing circuit
+  kRandomMatching,  ///< fresh random matching per step
+};
+
+/// Synchronous dimension-exchange simulator.
+class DimensionExchange {
+ public:
+  /// Circuit mode: cycles through `circuit` (must be non-empty, each a
+  /// valid matching of g).
+  DimensionExchange(const Graph& g, std::vector<Matching> circuit,
+                    DePolicy policy, std::uint64_t seed, LoadVector initial);
+
+  /// Random-matching mode.
+  DimensionExchange(const Graph& g, DePolicy policy, std::uint64_t seed,
+                    LoadVector initial);
+
+  void step();
+  void run(Step steps);
+
+  /// Runs until discrepancy() <= target or cap; returns steps taken.
+  Step run_until_discrepancy(Load target, Step max_steps);
+
+  const LoadVector& loads() const noexcept { return loads_; }
+  Step time() const noexcept { return t_; }
+  Load discrepancy() const { return ::dlb::discrepancy(loads_); }
+  Load total() const noexcept { return total_; }
+  DeSchedule schedule() const noexcept { return schedule_; }
+
+ private:
+  void apply_matching(const Matching& m);
+
+  const Graph* g_;
+  std::vector<Matching> circuit_;
+  DePolicy policy_;
+  DeSchedule schedule_;
+  Rng rng_;
+  LoadVector loads_;
+  Step t_ = 0;
+  Load total_ = 0;
+};
+
+}  // namespace dlb

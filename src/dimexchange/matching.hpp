@@ -1,0 +1,43 @@
+// Matchings for the dimension-exchange (matching) model.
+//
+// Section 1.2 of the paper contrasts the diffusive model with the
+// dimension-exchange model, where in each step nodes balance with at most
+// one neighbour, given by a matching: the *balancing circuit* (periodic)
+// model cycles through a fixed sequence of matchings, and the *random
+// matching* model draws a fresh random matching each step. Friedrich &
+// Sauerwald [10] and Sauerwald & Sun [18] show these models reach
+// *constant* discrepancy — beating the diffusive model's Ω(d) — which our
+// bench_dimexchange reproduces as the cross-model comparison.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dlb {
+
+/// A matching is a set of disjoint matched edges, stored as (u, v) pairs
+/// with u < v; nodes absent from every pair are idle that step.
+using Matching = std::vector<std::pair<NodeId, NodeId>>;
+
+/// Throws unless `m` is a valid matching of `g` (disjoint, real edges).
+void validate_matching(const Graph& g, const Matching& m);
+
+/// The canonical balancing circuit of the hypercube: matching k pairs
+/// every node with its neighbour across dimension k (a perfect matching;
+/// the circuit has exactly `dim` rounds).
+std::vector<Matching> hypercube_dimension_circuit(int dim);
+
+/// A balancing circuit for an arbitrary graph via greedy edge colouring:
+/// every edge is assigned to one of at most 2d−1 matchings (Vizing-style
+/// greedy bound for multigraphs); self-edges are skipped.
+std::vector<Matching> edge_coloring_circuit(const Graph& g);
+
+/// One random maximal matching: scan edges in a random order, greedily
+/// matching free endpoint pairs. Deterministic given the Rng state.
+Matching random_matching(const Graph& g, Rng& rng);
+
+}  // namespace dlb

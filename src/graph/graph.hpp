@@ -1,0 +1,94 @@
+// Immutable d-regular symmetric (multi)graph used as the balancing network.
+//
+// The paper's model (Section 1.3): a symmetric directed d-regular graph
+// G = (V, E) with n nodes; every node has out-degree and in-degree d. The
+// *balancing graph* G⁺ adds d° self-loops per node, but — as the paper
+// stresses — G⁺ is an analysis device only, so this class stores G alone;
+// the number of self-loops is a run-time parameter of the engine.
+//
+// Storage is a flat port array: node u's i-th out-neighbour lives at
+// adj[u*d + i]. Because every directed edge (u→v) has a reverse edge
+// (v→u), we also precompute rev_port so that flow bookkeeping can pair the
+// two directions in O(1). Parallel edges are allowed (the configuration
+// model can produce them); self-edges in G are rejected.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+using NodeId = std::int32_t;
+
+/// d-regular symmetric multigraph with O(1) reverse-port lookup.
+class Graph {
+ public:
+  /// Builds a graph from a flat port array.
+  ///
+  /// `adjacency` has `num_nodes * degree` entries; entry `u*degree + i` is
+  /// the head of the i-th out-edge of node u. The edge multiset must be
+  /// symmetric (as a multiset of directed edges). Self-edges are rejected
+  /// unless `allow_self_edges` is set (the Margulis–Gabber–Galil expander
+  /// has fixed points of its defining maps; such self-edges always come in
+  /// map/inverse-map pairs and are paired with each other). Throws
+  /// invariant_error otherwise.
+  Graph(NodeId num_nodes, int degree, std::vector<NodeId> adjacency,
+        std::string name = "graph", bool allow_self_edges = false);
+
+  NodeId num_nodes() const noexcept { return n_; }
+  int degree() const noexcept { return d_; }
+  std::int64_t num_directed_edges() const noexcept {
+    return static_cast<std::int64_t>(n_) * d_;
+  }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Head of the `port`-th out-edge of `u`.
+  NodeId neighbor(NodeId u, int port) const {
+    DLB_ASSERT(valid_node(u) && port >= 0 && port < d_, "neighbor: bad args");
+    return adj_[static_cast<std::size_t>(u) * d_ + port];
+  }
+
+  /// All out-neighbours of `u` (size d).
+  std::span<const NodeId> neighbors(NodeId u) const {
+    DLB_ASSERT(valid_node(u), "neighbors: bad node");
+    return {adj_.data() + static_cast<std::size_t>(u) * d_,
+            static_cast<std::size_t>(d_)};
+  }
+
+  /// Port index at `neighbor(u, port)` of the paired reverse edge.
+  ///
+  /// Invariant: neighbor(neighbor(u,p), rev_port(u,p)) == u, and the
+  /// pairing is an involution.
+  int rev_port(NodeId u, int port) const {
+    DLB_ASSERT(valid_node(u) && port >= 0 && port < d_, "rev_port: bad args");
+    return rev_[static_cast<std::size_t>(u) * d_ + port];
+  }
+
+  /// Global directed-edge index of (u, port); dense in [0, n*d).
+  std::int64_t edge_index(NodeId u, int port) const {
+    DLB_ASSERT(valid_node(u) && port >= 0 && port < d_,
+               "edge_index: bad args");
+    return static_cast<std::int64_t>(u) * d_ + port;
+  }
+
+  bool valid_node(NodeId u) const noexcept { return u >= 0 && u < n_; }
+
+  /// True if some unordered pair of nodes is joined by >1 edge.
+  bool has_parallel_edges() const noexcept { return has_parallel_; }
+
+ private:
+  void build_reverse_ports();
+
+  NodeId n_;
+  int d_;
+  std::vector<NodeId> adj_;
+  std::vector<std::int32_t> rev_;
+  std::string name_;
+  bool has_parallel_ = false;
+};
+
+}  // namespace dlb

@@ -1,0 +1,45 @@
+// Structural graph properties used by the experiments.
+//
+// The lower-bound theorems are parameterized by structural quantities:
+// Thm 4.1 by the diameter, Thm 4.3 by the odd girth 2φ(G)+1. These are
+// computed exactly by BFS sweeps (O(n·m)); the graphs in experiments are
+// at most a few thousand nodes, and the structured families also have
+// closed forms that the tests cross-check against.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// True if every node is reachable from node 0.
+bool is_connected(const Graph& g);
+
+/// True if the graph is bipartite (two-colourable).
+bool is_bipartite(const Graph& g);
+
+/// Exact diameter via BFS from every node. Requires a connected graph.
+int diameter(const Graph& g);
+
+/// Eccentricity of one node (max BFS distance). Requires connectivity.
+int eccentricity(const Graph& g, NodeId source);
+
+/// BFS distances from `source`; unreachable nodes get -1.
+std::vector<int> bfs_distances(const Graph& g, NodeId source);
+
+/// Length of the shortest odd cycle, or nullopt if bipartite.
+///
+/// The paper writes the odd girth as 2φ(G)+1; odd_girth_phi returns φ(G).
+std::optional<int> odd_girth(const Graph& g);
+
+/// φ(G) = (odd_girth - 1) / 2, or nullopt if bipartite.
+std::optional<int> odd_girth_phi(const Graph& g);
+
+/// Verifies d-regularity and symmetric edge multiset (throws if violated,
+/// returns the degree otherwise). The Graph constructor already enforces
+/// this; the function exists so tests can assert it on raw data too.
+int verify_regular_symmetric(const Graph& g);
+
+}  // namespace dlb

@@ -1,0 +1,114 @@
+#include "irregular/hetero.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+HeteroInstance make_hetero_instance(const Graph& g,
+                                    const std::vector<int>& speeds) {
+  DLB_REQUIRE(speeds.size() == static_cast<std::size_t>(g.num_nodes()),
+              "hetero: speeds size mismatch");
+  std::int64_t total = 0;
+  for (int s : speeds) {
+    DLB_REQUIRE(s >= 1, "hetero: speeds must be >= 1");
+    total += s;
+  }
+  DLB_REQUIRE(total <= (1 << 22), "hetero: blow-up too large");
+
+  std::vector<std::int64_t> first(static_cast<std::size_t>(g.num_nodes()) + 1,
+                                  0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    first[static_cast<std::size_t>(u) + 1] =
+        first[static_cast<std::size_t>(u)] + speeds[static_cast<std::size_t>(u)];
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  // Intra-node cliques between replicas.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto base = first[static_cast<std::size_t>(u)];
+    const int s = speeds[static_cast<std::size_t>(u)];
+    for (int i = 0; i < s; ++i) {
+      for (int j = i + 1; j < s; ++j) {
+        edges.emplace_back(static_cast<NodeId>(base + i),
+                           static_cast<NodeId>(base + j));
+      }
+    }
+  }
+  // Complete bipartite bundles along original edges (visited once).
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (int p = 0; p < g.degree(); ++p) {
+      const NodeId v = g.neighbor(u, p);
+      if (v <= u) continue;
+      for (int i = 0; i < speeds[static_cast<std::size_t>(u)]; ++i) {
+        for (int j = 0; j < speeds[static_cast<std::size_t>(v)]; ++j) {
+          edges.emplace_back(
+              static_cast<NodeId>(first[static_cast<std::size_t>(u)] + i),
+              static_cast<NodeId>(first[static_cast<std::size_t>(v)] + j));
+        }
+      }
+    }
+  }
+
+  HeteroInstance inst{
+      IrregularGraph(static_cast<NodeId>(total), edges,
+                     "hetero(" + g.name() + ")"),
+      {}, std::move(first), speeds};
+  inst.replica_of.resize(static_cast<std::size_t>(total));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (std::int64_t r = inst.first_replica[static_cast<std::size_t>(u)];
+         r < inst.first_replica[static_cast<std::size_t>(u) + 1]; ++r) {
+      inst.replica_of[static_cast<std::size_t>(r)] = u;
+    }
+  }
+  return inst;
+}
+
+LoadVector spread_to_replicas(const HeteroInstance& inst,
+                              const LoadVector& physical) {
+  DLB_REQUIRE(physical.size() + 1 == inst.first_replica.size(),
+              "spread: physical size mismatch");
+  LoadVector out(static_cast<std::size_t>(inst.blowup.num_nodes()), 0);
+  for (std::size_t u = 0; u < physical.size(); ++u) {
+    const std::int64_t base = inst.first_replica[u];
+    const auto count =
+        static_cast<Load>(inst.first_replica[u + 1] - base);
+    const Load q = physical[u] / count;
+    const Load r = physical[u] - q * count;
+    for (Load i = 0; i < count; ++i) {
+      out[static_cast<std::size_t>(base + i)] = q + (i < r ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+LoadVector collapse_to_physical(const HeteroInstance& inst,
+                                const LoadVector& replica_loads) {
+  DLB_REQUIRE(replica_loads.size() ==
+                  static_cast<std::size_t>(inst.blowup.num_nodes()),
+              "collapse: replica size mismatch");
+  LoadVector out(inst.first_replica.size() - 1, 0);
+  for (std::size_t r = 0; r < replica_loads.size(); ++r) {
+    out[static_cast<std::size_t>(inst.replica_of[r])] += replica_loads[r];
+  }
+  return out;
+}
+
+double weighted_discrepancy(const LoadVector& physical,
+                            const std::vector<int>& speeds) {
+  DLB_REQUIRE(physical.size() == speeds.size() && !physical.empty(),
+              "weighted_discrepancy: size mismatch");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (std::size_t u = 0; u < physical.size(); ++u) {
+    const double norm =
+        static_cast<double>(physical[u]) / static_cast<double>(speeds[u]);
+    lo = std::min(lo, norm);
+    hi = std::max(hi, norm);
+  }
+  return hi - lo;
+}
+
+}  // namespace dlb

@@ -1,0 +1,139 @@
+#include "irregular/iengine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertions.hpp"
+#include "util/intmath.hpp"
+
+namespace dlb {
+
+IrregularEngine::IrregularEngine(const IrregularGraph& g,
+                                 IrregularPolicy policy, int uniform_d_plus,
+                                 LoadVector initial)
+    : g_(&g), policy_(policy),
+      d_plus_(uniform_d_plus == 0 ? 2 * g.max_degree() : uniform_d_plus),
+      loads_(std::move(initial)) {
+  DLB_REQUIRE(d_plus_ > g.max_degree(),
+              "uniform D must exceed the maximum degree");
+  DLB_REQUIRE(loads_.size() == static_cast<std::size_t>(g.num_nodes()),
+              "initial load vector has wrong size");
+  next_.assign(loads_.size(), 0);
+  rotor_.assign(loads_.size(), 0);
+  total_ = total_load(loads_);
+}
+
+void IrregularEngine::step() {
+  std::fill(next_.begin(), next_.end(), 0);
+  for (NodeId u = 0; u < g_->num_nodes(); ++u) {
+    const Load x = loads_[static_cast<std::size_t>(u)];
+    DLB_REQUIRE(x >= 0, "irregular engine: negative load");
+    const int deg = g_->degree(u);
+    const auto nb = g_->neighbors(u);
+    const Load q = floor_div(x, d_plus_);
+    const Load r = x - q * d_plus_;
+
+    Load sent = 0;
+    switch (policy_) {
+      case IrregularPolicy::kSendFloor:
+        // Floor share on every real edge; the rest (self-loops + e(u))
+        // stays local.
+        for (int p = 0; p < deg; ++p) {
+          next_[static_cast<std::size_t>(nb[static_cast<std::size_t>(p)])] += q;
+        }
+        sent = q * deg;
+        break;
+      case IrregularPolicy::kRotorRouter: {
+        // Ports [0, deg) are real edges, [deg, D) the padding self-loops.
+        int& rotor = rotor_[static_cast<std::size_t>(u)];
+        for (int p = 0; p < deg; ++p) {
+          Load f = q;
+          // Port p receives an extra token iff its cyclic distance from
+          // the rotor is < r.
+          const int dist = (p - rotor + d_plus_) % d_plus_;
+          if (dist < r) ++f;
+          next_[static_cast<std::size_t>(nb[static_cast<std::size_t>(p)])] += f;
+          sent += f;
+        }
+        rotor = static_cast<int>((rotor + r) % d_plus_);
+        break;
+      }
+    }
+    DLB_REQUIRE(sent <= x, "irregular engine: oversent");
+    next_[static_cast<std::size_t>(u)] += x - sent;
+  }
+  loads_.swap(next_);
+  ++t_;
+  DLB_ASSERT(total_load(loads_) == total_, "irregular engine lost tokens");
+}
+
+void IrregularEngine::run(Step steps) {
+  DLB_REQUIRE(steps >= 0, "run: negative step count");
+  for (Step i = 0; i < steps; ++i) step();
+}
+
+Step IrregularEngine::run_until_discrepancy(Load target, Step max_steps) {
+  DLB_REQUIRE(max_steps >= 0, "run_until_discrepancy: negative cap");
+  for (Step i = 0; i < max_steps; ++i) {
+    if (discrepancy() <= target) return i;
+    step();
+  }
+  return max_steps;
+}
+
+double irregular_spectral_gap(const IrregularGraph& g, int uniform_d_plus,
+                              double tol, int max_iters) {
+  const int d_plus = uniform_d_plus == 0 ? 2 * g.max_degree() : uniform_d_plus;
+  DLB_REQUIRE(d_plus > g.max_degree(), "D must exceed max degree");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  DLB_REQUIRE(n >= 2, "spectral gap needs n >= 2");
+
+  auto matvec = [&](const std::vector<double>& x, std::vector<double>& y) {
+    const double inv = 1.0 / d_plus;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      double acc = (d_plus - g.degree(v)) * inv *
+                   x[static_cast<std::size_t>(v)];
+      for (NodeId u : g.neighbors(v)) {
+        acc += inv * x[static_cast<std::size_t>(u)];
+      }
+      y[static_cast<std::size_t>(v)] = acc;
+    }
+  };
+
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(0.7 * static_cast<double>(i) + 0.3);
+  }
+  auto deflate = [&](std::vector<double>& v) {
+    double mean = 0.0;
+    for (double e : v) mean += e;
+    mean /= static_cast<double>(v.size());
+    double norm2 = 0.0;
+    for (double& e : v) {
+      e -= mean;
+      norm2 += e * e;
+    }
+    return std::sqrt(norm2);
+  };
+  double norm = deflate(x);
+  DLB_REQUIRE(norm > 0, "degenerate start vector");
+  for (double& e : x) e /= norm;
+
+  double rho_prev = -1.0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    matvec(x, y);
+    for (std::size_t i = 0; i < n; ++i) y[i] = 0.5 * (y[i] + x[i]);
+    double rho = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rho += x[i] * y[i];
+    norm = deflate(y);
+    if (norm == 0.0) return 1.0 - (2.0 * rho - 1.0);
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / norm;
+    if (iter > 16 && std::abs(rho - rho_prev) < tol) {
+      return 1.0 - (2.0 * rho - 1.0);
+    }
+    rho_prev = rho;
+  }
+  return 1.0 - (2.0 * rho_prev - 1.0);
+}
+
+}  // namespace dlb

@@ -1,0 +1,62 @@
+// Diffusion balancing on non-regular graphs via self-loop padding.
+//
+// Every node is padded with D − deg(u) virtual self-loops for a uniform
+// balancing degree D (default 2·max_degree). The diffusive step rules of
+// the regular theory then apply verbatim: SEND(⌊x/D⌋) sends the floor
+// share over every real edge; ROTOR-ROUTER deals tokens round-robin over
+// the D ports (real edges first, then padding). The padded chain is
+// doubly stochastic, so both balance toward the *uniform* load — the
+// correct target for heterogeneous-degree networks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/load_vector.hpp"
+#include "irregular/igraph.hpp"
+
+namespace dlb {
+
+enum class IrregularPolicy {
+  kSendFloor,    ///< SEND(⌊x/D⌋) on every real edge
+  kRotorRouter,  ///< rotor over the D padded ports
+};
+
+/// Synchronous engine for irregular graphs (self-contained: the padding
+/// makes flows per node ragged, so the regular Engine is not reused).
+class IrregularEngine {
+ public:
+  /// `uniform_d_plus` = D; 0 selects the default 2·max_degree. Must be
+  /// strictly greater than max_degree (every node needs >= 1 self-loop
+  /// to break periodicity).
+  IrregularEngine(const IrregularGraph& g, IrregularPolicy policy,
+                  int uniform_d_plus, LoadVector initial);
+
+  void step();
+  void run(Step steps);
+  Step run_until_discrepancy(Load target, Step max_steps);
+
+  const LoadVector& loads() const noexcept { return loads_; }
+  Step time() const noexcept { return t_; }
+  Load discrepancy() const { return ::dlb::discrepancy(loads_); }
+  Load total() const noexcept { return total_; }
+  int uniform_d_plus() const noexcept { return d_plus_; }
+
+ private:
+  const IrregularGraph* g_;
+  IrregularPolicy policy_;
+  int d_plus_;
+  LoadVector loads_;
+  LoadVector next_;
+  std::vector<int> rotor_;  // rotor position in [0, D) per node
+  Step t_ = 0;
+  Load total_ = 0;
+};
+
+/// Spectral gap of the padded chain P(u,v) = 1/D per edge,
+/// P(u,u) = (D − deg u)/D, via deflated shifted power iteration.
+double irregular_spectral_gap(const IrregularGraph& g, int uniform_d_plus,
+                              double tol = 1e-10, int max_iters = 500000);
+
+}  // namespace dlb

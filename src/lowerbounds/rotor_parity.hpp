@@ -1,0 +1,61 @@
+// Theorem 4.3 construction: ROTOR-ROUTER without self-loops is stuck at
+// Ω(d·φ(G)) on non-bipartite graphs — Ω(n) on an odd cycle.
+//
+// Appendix C.3, implemented for *any* non-bipartite d-regular graph:
+// with b(v) = dist(v, u) for a vertex u on a shortest odd cycle and
+// φ(G) = (odd girth − 1)/2, prescribe period-2 alternating flows around
+// a base level L ≥ φ:
+//   f0(v1→v2) = L                      if b(v1) ≥ φ and b(v2) ≥ φ,
+//             = L + (φ − min(b1, b2))  if b(v1) even,
+//             = L − (φ − min(b1, b2))  if b(v1) odd,
+//   f1(v1→v2) = f0(v2→v1),   f_{t+2} = f_t.
+// (The paper's text applies the L-case when *either* endpoint reaches φ,
+// but adjacent flows then differ by 2, contradicting its own
+// |f(v,v1) − f(v,v2)| ≤ 1 observation; the both-endpoints reading is the
+// consistent one and is what we implement.)
+//
+// Key structural facts (proved in the paper, verified in our tests):
+// every edge with both levels < φ joins consecutive levels (a same-level
+// edge below φ would close an odd walk shorter than the odd girth), so
+// each node's prescribed flows take at most two adjacent values
+// {c, c+1}. Partition each node's ports into P1 (flow c+1) and P2
+// (flow c). A rotor whose cyclic order serves P1 before P2, starting at
+// position 0, reproduces the construction *exactly*: step t sends the
+// |P1| extra tokens to P1, leaves the rotor at |P1|, and step t+1's
+// |P2| extras land precisely on P2, returning the rotor to 0 — a
+// period-2 orbit. The source swings between (L+φ)·d and (L−φ)·d while
+// the average stays L·d, so the discrepancy is ≈ 2·d·φ forever.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/load_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+struct RotorParityInstance {
+  LoadVector initial;        ///< x_0(v) = Σ_p f_0(v, p)
+  std::vector<int> rotors;   ///< initial rotor positions (all 0)
+  /// Cyclic port order per node (n × d, P1 ports first); feed to
+  /// RotorRouter::set_port_order together with `rotors`.
+  std::vector<std::int32_t> port_order;
+  std::vector<Load> flows0;  ///< n*d prescribed step-0 flows (for tests)
+  int phi = 0;               ///< φ(G)
+  Load base_load = 0;        ///< L
+};
+
+/// Builds the Thm 4.3 instance on any connected non-bipartite d-regular
+/// graph. `source` should lie on a shortest odd cycle (pass the vertex
+/// found by odd_girth computation; any vertex works but the discrepancy
+/// guarantee holds for on-cycle sources). Requires L >= φ(G) so all
+/// flows and loads are non-negative. Run with EngineConfig{.self_loops=0}.
+RotorParityInstance make_rotor_parity_instance(const Graph& g, NodeId source,
+                                               Load base_load);
+
+/// A vertex lying on a shortest odd cycle (nullopt-free: throws if the
+/// graph is bipartite). Convenience for choosing the Thm 4.3 source.
+NodeId odd_cycle_vertex(const Graph& g);
+
+}  // namespace dlb

@@ -1,0 +1,54 @@
+// Theorem 4.2 construction: every stateless algorithm is stuck at Ω(d).
+//
+// Appendix C.2: take the circulant graph where node i is adjacent to
+// i ± 1, …, i ± ⌊d/2⌋ (mod n), so C = {0, …, ⌊d/2⌋−1} is a clique. Put
+// load ℓ = |C| − 1 on every clique node and 0 elsewhere. A stateless
+// algorithm's decision is a function of the load alone; the adversary
+// controls which physical edges play the role of the algorithm's "first ℓ
+// ports" and points them at the other clique members. Every clique node
+// then sends one token to each fellow member and receives one back:
+// loads are invariant and the discrepancy stays ℓ = ⌊d/2⌋ − 1 = Θ(d)
+// forever.
+//
+// StatelessCliqueBalancer implements the load ↦ decision map
+//   ℓ ↦ (1 token on each of the first ℓ ports, keep the rest)
+//   0 ↦ (send nothing)
+// under the adversarial port relabeling (realized here by sending along
+// the ports that point into C — the relabeling is legal because the model
+// treats nodes as anonymous and port orders as arbitrary).
+#pragma once
+
+#include "core/balancer.hpp"
+#include "core/load_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+struct CliqueAdversaryInstance {
+  LoadVector initial;    ///< ℓ on clique nodes, 0 elsewhere
+  NodeId clique_size;    ///< |C| = ⌊d/2⌋
+  Load clique_load;      ///< ℓ = |C| − 1
+};
+
+/// Builds the instance for a graph produced by make_clique_circulant.
+CliqueAdversaryInstance make_clique_adversary_instance(const Graph& g);
+
+class StatelessCliqueBalancer : public Balancer {
+ public:
+  explicit StatelessCliqueBalancer(CliqueAdversaryInstance instance)
+      : instance_(instance) {}
+
+  std::string name() const override { return "STATELESS-ADV(Thm4.2)"; }
+  void reset(const Graph& graph, int d_loops) override;
+  void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
+
+ private:
+  CliqueAdversaryInstance instance_;
+  int d_ = 0;
+  int d_loops_ = 0;
+  // clique_ports_[u*ℓ + k]: the k-th port of clique node u that points at
+  // another clique member (the adversary's "first ℓ ports").
+  std::vector<std::int32_t> clique_ports_;
+};
+
+}  // namespace dlb

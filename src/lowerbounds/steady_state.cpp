@@ -1,0 +1,60 @@
+#include "lowerbounds/steady_state.hpp"
+
+#include <algorithm>
+
+#include "graph/properties.hpp"
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+SteadyStateInstance make_steady_state_instance(const Graph& g,
+                                               NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  for (int d : dist) {
+    DLB_REQUIRE(d >= 0, "steady-state instance needs a connected graph");
+  }
+  const int d = g.degree();
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+
+  SteadyStateInstance inst;
+  inst.flows.assign(n * static_cast<std::size_t>(d), 0);
+  inst.initial.assign(n, 0);
+  inst.eccentricity = *std::max_element(dist.begin(), dist.end());
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    Load out = 0;
+    for (int p = 0; p < d; ++p) {
+      const NodeId w = g.neighbor(v, p);
+      const Load f = std::min(dist[static_cast<std::size_t>(v)],
+                              dist[static_cast<std::size_t>(w)]);
+      inst.flows[static_cast<std::size_t>(v) * d + static_cast<std::size_t>(p)] = f;
+      out += f;
+    }
+    inst.initial[static_cast<std::size_t>(v)] = out;
+  }
+  return inst;
+}
+
+void SteadyStateBalancer::reset(const Graph& graph, int d_loops) {
+  DLB_REQUIRE(d_loops == 0,
+              "SteadyStateBalancer is defined on the original graph only");
+  d_ = graph.degree();
+  DLB_REQUIRE(instance_.flows.size() ==
+                  static_cast<std::size_t>(graph.num_nodes()) * d_,
+              "SteadyStateBalancer: instance does not match graph");
+}
+
+void SteadyStateBalancer::decide(NodeId u, Load load, Step /*t*/,
+                                 std::span<Load> flows) {
+  const Load* row = instance_.flows.data() + static_cast<std::size_t>(u) * d_;
+  Load out = 0;
+  for (int p = 0; p < d_; ++p) {
+    flows[static_cast<std::size_t>(p)] = row[p];
+    out += row[p];
+  }
+  // The instance is frozen: the prescribed out-flow must equal the load,
+  // otherwise the caller initialized the engine with different loads.
+  DLB_REQUIRE(out == load, "SteadyStateBalancer: load diverged from instance");
+}
+
+}  // namespace dlb

@@ -1,0 +1,52 @@
+// Theorem 4.1 construction: a round-fair balancer stuck at Ω(d·diam(G)).
+//
+// Appendix C.1: pick a source u with eccentricity diam(G) and let
+// b(v) = dist(v, u). Prescribe the constant per-step flow
+// f(v1, v2) = min(b(v1), b(v2)) on every directed edge and set the
+// initial load x(v) = Σ_ports f(v, ·). Then in-flow equals out-flow at
+// every node, the system is frozen forever, each node's flows differ by
+// at most 1 (so the balancer is round-fair, i.e. inside the class of
+// [17]) — yet the discrepancy is at least d·(diam−1)/… ≈ d·diam, because
+// the source sends 0 everywhere while the farthest node sends ≈ d·diam.
+//
+// The construction runs with d° = 0 (no self-loops), which is allowed for
+// round-fair balancers; it is of course not cumulatively fair — the whole
+// point of the theorem.
+#pragma once
+
+#include "core/balancer.hpp"
+#include "core/load_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// The frozen instance: prescribed flows and matching initial loads.
+struct SteadyStateInstance {
+  LoadVector initial;       ///< x(v) = Σ_p flows(v, p)
+  std::vector<Load> flows;  ///< n*d; flows[v*d + p] sent every step
+  int eccentricity = 0;     ///< ecc(source): the b-range of the instance
+};
+
+/// Builds the Thm 4.1 instance for `source` (use a node of maximum
+/// eccentricity to get the full Ω(d·diam) separation).
+SteadyStateInstance make_steady_state_instance(const Graph& g, NodeId source);
+
+/// Balancer that sends the prescribed flows every step. Round-fair by
+/// construction; run it with EngineConfig{.self_loops = 0}.
+class SteadyStateBalancer : public Balancer {
+ public:
+  explicit SteadyStateBalancer(SteadyStateInstance instance)
+      : instance_(std::move(instance)) {}
+
+  std::string name() const override { return "STEADY-STATE(Thm4.1)"; }
+  void reset(const Graph& graph, int d_loops) override;
+  void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
+
+  const SteadyStateInstance& instance() const noexcept { return instance_; }
+
+ private:
+  SteadyStateInstance instance_;
+  int d_ = 0;
+};
+
+}  // namespace dlb

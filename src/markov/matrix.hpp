@@ -1,0 +1,73 @@
+// The diffusion transition matrix P of the balancing graph G⁺.
+//
+// Section 1.3 of the paper: P(u,v) = 1/d⁺ for each original edge (u,v),
+// P(u,u) = d°/d⁺ (the d° self-loops), 0 otherwise, with d⁺ = d + d°.
+// For a d-regular symmetric graph P is symmetric and doubly stochastic;
+// its stationary distribution is uniform and the continuous diffusion
+// process is x_{t+1} = P · x_t.
+//
+// We provide a matrix-free operator (matvec via the graph) for large
+// instances plus a dense representation with a Jacobi eigensolver for
+// cross-validation on small instances.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// Matrix-free P-operator for the balancing graph (G with d° self-loops).
+class TransitionOperator {
+ public:
+  /// `self_loops` = d°, must be >= 0. d⁺ = degree + self_loops must be > 0.
+  TransitionOperator(const Graph& g, int self_loops);
+
+  const Graph& graph() const noexcept { return *g_; }
+  int self_loops() const noexcept { return d_loops_; }
+  int balancing_degree() const noexcept { return g_->degree() + d_loops_; }
+
+  /// y = P·x. Spans must have size n and must not alias.
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  /// x <- P·x using an internal scratch buffer.
+  void apply_in_place(std::vector<double>& x) const;
+
+ private:
+  const Graph* g_;
+  int d_loops_;
+  mutable std::vector<double> scratch_;
+};
+
+/// Dense symmetric matrix with a cyclic Jacobi eigensolver.
+///
+/// Intended for validation at small n (tests cap n at a few hundred):
+/// the Jacobi method is slow but simple and numerically robust, which is
+/// exactly what a reference implementation should be.
+class DenseSymmetric {
+ public:
+  explicit DenseSymmetric(std::size_t n);
+
+  /// Builds the dense P for the balancing graph.
+  static DenseSymmetric transition_matrix(const Graph& g, int self_loops);
+
+  std::size_t size() const noexcept { return n_; }
+  double at(std::size_t i, std::size_t j) const { return a_[i * n_ + j]; }
+  double& at(std::size_t i, std::size_t j) { return a_[i * n_ + j]; }
+
+  /// All eigenvalues, sorted in descending order.
+  ///
+  /// Cyclic Jacobi sweeps until off-diagonal Frobenius mass < tol.
+  std::vector<double> eigenvalues(double tol = 1e-12, int max_sweeps = 100) const;
+
+  /// y = A·x.
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,46 @@
+#include "markov/mixing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "markov/matrix.hpp"
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+std::int64_t balancing_time(NodeId n, std::int64_t initial_discrepancy,
+                            double spectral_gap, double c) {
+  DLB_REQUIRE(n >= 2, "balancing_time needs n >= 2");
+  DLB_REQUIRE(spectral_gap > 0.0, "balancing_time needs a positive gap");
+  DLB_REQUIRE(c > 0.0, "balancing_time needs c > 0");
+  const double k = std::max<double>(2.0, static_cast<double>(initial_discrepancy));
+  const double t = c * std::log(static_cast<double>(n) * k) / spectral_gap;
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(t)));
+}
+
+std::int64_t mixing_unit(NodeId n, double spectral_gap) {
+  DLB_REQUIRE(n >= 2, "mixing_unit needs n >= 2");
+  DLB_REQUIRE(spectral_gap > 0.0, "mixing_unit needs a positive gap");
+  const double t = 6.0 * std::log(static_cast<double>(n)) / spectral_gap;
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(t)));
+}
+
+std::int64_t empirical_continuous_time(const Graph& g, int self_loops,
+                                       const std::vector<double>& initial,
+                                       double target_spread,
+                                       std::int64_t max_steps) {
+  DLB_REQUIRE(initial.size() == static_cast<std::size_t>(g.num_nodes()),
+              "empirical_continuous_time: initial size mismatch");
+  DLB_REQUIRE(target_spread > 0.0, "target_spread must be positive");
+  const TransitionOperator op(g, self_loops);
+  std::vector<double> x = initial;
+  for (std::int64_t t = 0; t < max_steps; ++t) {
+    const auto [lo, hi] = std::minmax_element(x.begin(), x.end());
+    if (*hi - *lo < target_spread) return t;
+    op.apply_in_place(x);
+  }
+  return max_steps;
+}
+
+}  // namespace dlb

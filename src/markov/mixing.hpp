@@ -1,0 +1,32 @@
+// Time scales of the paper, derived from the spectral gap.
+//
+// T = O(log(Kn)/µ) is the balancing time of the continuous process on an
+// instance with initial discrepancy K (Section 2 uses the explicit
+// threshold t ≥ 16·log(nK)/µ); t_µ = 6·log(n)/µ is the mixing-scale unit
+// the proofs use for interval lengths. Benches run discrete balancers to
+// a configurable multiple of T and sample at fractions of it.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// Continuous-process balancing-time scale T(K, n, µ) = c·log(nK)/µ,
+/// rounded up, minimum 1. Default c = 16 matches the proof of Thm 2.3.
+std::int64_t balancing_time(NodeId n, std::int64_t initial_discrepancy,
+                            double spectral_gap, double c = 16.0);
+
+/// Mixing-scale unit t_µ = 6·log(n)/µ from the proofs, rounded up.
+std::int64_t mixing_unit(NodeId n, double spectral_gap);
+
+/// Empirical continuous balancing time: number of diffusion steps until
+/// the real-valued process started from `initial` has max-min spread
+/// below `target_spread`. Capped at `max_steps` (returns the cap).
+std::int64_t empirical_continuous_time(const Graph& g, int self_loops,
+                                       const std::vector<double>& initial,
+                                       double target_spread,
+                                       std::int64_t max_steps);
+
+}  // namespace dlb

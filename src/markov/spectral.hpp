@@ -1,0 +1,48 @@
+// Spectral gap µ = 1 − λ₂ of the balancing graph's transition matrix.
+//
+// µ is the single most important parameter of the paper: the continuous
+// balancing time is T = O(log(Kn)/µ) and every discrepancy bound carries a
+// 1/µ or 1/√µ factor. We compute λ₂ two ways:
+//
+//   * numerically — power iteration on (P+I)/2 deflated against the
+//     all-ones eigenvector; the shift keeps the spectrum in [0,1] so the
+//     dominant deflated eigenvalue is the *signed* λ₂ even when negative
+//     eigenvalues of P have larger magnitude (possible for d° < d);
+//   * analytically — closed forms for the structured families, used by
+//     benches on instances too large for dense linear algebra and
+//     cross-checked against the numeric path in tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "markov/matrix.hpp"
+
+namespace dlb {
+
+struct SpectralResult {
+  double lambda2 = 0.0;  ///< second-largest (signed) eigenvalue of P
+  double gap = 0.0;      ///< µ = 1 − λ₂
+  int iterations = 0;    ///< power-iteration steps used
+};
+
+/// Numeric λ₂ via deflated, shifted power iteration. Deterministic.
+///
+/// Requires a connected graph (the deflation assumes the top eigenvector
+/// is the uniform vector, which needs irreducibility).
+SpectralResult spectral_gap(const Graph& g, int self_loops,
+                            double tol = 1e-11, int max_iters = 2000000);
+
+/// Analytic λ₂ for the cycle C_n with d° self-loops.
+double lambda2_cycle(NodeId n, int self_loops);
+
+/// Analytic λ₂ for an r-dimensional torus with given extents and d° loops.
+double lambda2_torus(const std::vector<NodeId>& extents, int self_loops);
+
+/// Analytic λ₂ for the dim-dimensional hypercube with d° self-loops.
+double lambda2_hypercube(int dim, int self_loops);
+
+/// Analytic λ₂ for the complete graph K_n with d° self-loops.
+double lambda2_complete(NodeId n, int self_loops);
+
+}  // namespace dlb

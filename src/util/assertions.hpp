@@ -1,0 +1,48 @@
+// Lightweight runtime assertion helpers for the dlb library.
+//
+// The library is used both from tests (where we want loud failures) and from
+// long benchmark sweeps (where we want cheap checks). DLB_REQUIRE is always
+// on and throws; DLB_ASSERT compiles away in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dlb {
+
+/// Error thrown when a library precondition or invariant is violated.
+class invariant_error : public std::logic_error {
+ public:
+  explicit invariant_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "dlb requirement failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace dlb
+
+/// Always-on check; throws dlb::invariant_error on failure.
+#define DLB_REQUIRE(expr, msg)                                       \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::dlb::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                \
+  } while (false)
+
+/// Debug-only check; compiles to nothing under NDEBUG.
+#ifdef NDEBUG
+#define DLB_ASSERT(expr, msg) \
+  do {                        \
+  } while (false)
+#else
+#define DLB_ASSERT(expr, msg) DLB_REQUIRE(expr, msg)
+#endif

@@ -1,0 +1,76 @@
+// Minimal CSV emission for experiment results.
+//
+// Benches and examples print machine-readable rows alongside the
+// human-readable summaries so that plots can be regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+/// Streams rows of comma-separated values to any std::ostream.
+///
+/// Quotes fields containing commas/quotes/newlines per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row; must be called before any data row.
+  void header(const std::vector<std::string>& columns) {
+    DLB_REQUIRE(!header_written_, "CSV header already written");
+    DLB_REQUIRE(!columns.empty(), "CSV header must have columns");
+    width_ = columns.size();
+    write_row(columns);
+    header_written_ = true;
+  }
+
+  /// Writes one data row; width must match the header.
+  void row(const std::vector<std::string>& fields) {
+    DLB_REQUIRE(header_written_, "CSV header not yet written");
+    DLB_REQUIRE(fields.size() == width_, "CSV row width mismatch");
+    write_row(fields);
+  }
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Escapes a single field per RFC 4180.
+  static std::string escape(std::string_view field) {
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quotes) return std::string(field);
+    std::string out;
+    out.reserve(field.size() + 2);
+    out.push_back('"');
+    for (char c : field) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+
+ private:
+  void write_row(const std::vector<std::string>& fields) {
+    std::ostringstream line;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i) line << ',';
+      line << escape(fields[i]);
+    }
+    (*out_) << line.str() << '\n';
+    ++rows_;
+  }
+
+  std::ostream* out_;
+  std::size_t width_ = 0;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dlb

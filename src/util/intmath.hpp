@@ -1,0 +1,43 @@
+// Integer division helpers with mathematician's (floor) semantics.
+//
+// C++ integer division truncates toward zero, which disagrees with the
+// paper's ⌊x/d⁺⌋ / ⌈x/d⁺⌉ / [x/d⁺] for negative x. Negative loads do occur
+// for the randomized-rounding baseline of [18], so all balancers use these
+// helpers instead of raw '/' and '%'.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+/// ⌊a / b⌋ for b > 0.
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  DLB_ASSERT(b > 0, "floor_div: divisor must be positive");
+  const std::int64_t q = a / b;
+  return (a % b != 0 && (a < 0)) ? q - 1 : q;
+}
+
+/// ⌈a / b⌉ for b > 0.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  DLB_ASSERT(b > 0, "ceil_div: divisor must be positive");
+  const std::int64_t q = a / b;
+  return (a % b != 0 && (a > 0)) ? q + 1 : q;
+}
+
+/// a mod b in [0, b) for b > 0 (true mathematical modulus).
+constexpr std::int64_t floor_mod(std::int64_t a, std::int64_t b) {
+  DLB_ASSERT(b > 0, "floor_mod: divisor must be positive");
+  const std::int64_t r = a % b;
+  return r < 0 ? r + b : r;
+}
+
+/// [a / b]: rounding to the nearest integer, ties rounded up.
+/// This is the paper's [x/d⁺] used by SEND([x/d⁺]).
+constexpr std::int64_t round_nearest_div(std::int64_t a, std::int64_t b) {
+  DLB_ASSERT(b > 0, "round_nearest_div: divisor must be positive");
+  return floor_div(2 * a + b, 2 * b);
+}
+
+}  // namespace dlb

@@ -1,0 +1,104 @@
+// Small descriptive-statistics helpers used by experiments and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+/// Running mean/variance (Welford) plus min/max, for streaming series.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a span; requires at least one element.
+inline double mean(std::span<const double> xs) {
+  DLB_REQUIRE(!xs.empty(), "mean of empty span");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+/// Median (by copy + nth_element); requires at least one element.
+inline double median(std::span<const double> xs) {
+  DLB_REQUIRE(!xs.empty(), "median of empty span");
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   v.end());
+  return 0.5 * (v[mid - 1] + hi);
+}
+
+/// Ordinary least squares slope of y against x.
+///
+/// Used by experiments to estimate scaling exponents: regressing
+/// log(discrepancy) on log(n) (or on log log n) gives the empirical growth
+/// exponent that is compared against the paper's bound shape.
+inline double ols_slope(std::span<const double> x, std::span<const double> y) {
+  DLB_REQUIRE(x.size() == y.size(), "ols_slope size mismatch");
+  DLB_REQUIRE(x.size() >= 2, "ols_slope needs at least two points");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+  }
+  DLB_REQUIRE(sxx > 0.0, "ols_slope: x values are all equal");
+  return sxy / sxx;
+}
+
+/// Pearson correlation coefficient between two series.
+inline double pearson(std::span<const double> x, std::span<const double> y) {
+  DLB_REQUIRE(x.size() == y.size() && x.size() >= 2, "pearson: bad sizes");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  DLB_REQUIRE(sxx > 0.0 && syy > 0.0, "pearson: degenerate series");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace dlb

@@ -1,0 +1,186 @@
+// Brute-force cross-validation: the engine, the flow tracker and the
+// potentials are re-implemented here in the most naive way possible and
+// compared against the library on small instances. Any divergence in
+// token routing, cumulative accounting, or potential arithmetic fails
+// these tests even if both implementations are internally consistent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/potentials.hpp"
+#include "balancers/registry.hpp"
+#include "balancers/rotor_router.hpp"
+#include "core/flow_tracker.hpp"
+#include "graph/generators.hpp"
+#include "util/intmath.hpp"
+
+namespace dlb {
+namespace {
+
+/// Naive reference: re-routes a step's flow matrix by brute force.
+LoadVector naive_route(const Graph& g, int d_loops,
+                       std::span<const Load> pre,
+                       std::span<const Load> flows) {
+  const int d_plus = g.degree() + d_loops;
+  LoadVector next(pre.begin(), pre.end());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const Load* row = flows.data() + static_cast<std::size_t>(u) * d_plus;
+    for (int p = 0; p < g.degree(); ++p) {
+      next[static_cast<std::size_t>(u)] -= row[p];
+      next[static_cast<std::size_t>(g.neighbor(u, p))] += row[p];
+    }
+    // Self-loop ports and the remainder never leave u: no-op.
+  }
+  return next;
+}
+
+/// Observer that replays every step through naive_route and compares.
+class CrossChecker : public StepObserver {
+ public:
+  void on_step(Step t, const Graph& g, int d_loops,
+               std::span<const Load> pre, std::span<const Load> flows,
+               std::span<const Load> post) override {
+    const LoadVector expected = naive_route(g, d_loops, pre, flows);
+    ASSERT_EQ(expected.size(), post.size());
+    for (std::size_t i = 0; i < post.size(); ++i) {
+      ASSERT_EQ(post[i], expected[i]) << "node " << i << " at step " << t;
+    }
+    ++steps;
+  }
+  Step steps = 0;
+};
+
+class EngineCrossCheckTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(EngineCrossCheckTest, EngineRoutingMatchesNaiveReference) {
+  const Algorithm algo = GetParam();
+  for (const Graph& g : {make_cycle(7), make_torus2d(3, 4), make_petersen()}) {
+    auto b = make_balancer(algo, 3);
+    Engine e(g, EngineConfig{.self_loops = g.degree()}, *b,
+             random_initial(g.num_nodes(), 60, 5));
+    CrossChecker checker;
+    e.add_observer(checker);
+    e.run(120);
+    EXPECT_EQ(checker.steps, 120) << g.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, EngineCrossCheckTest,
+                         ::testing::ValuesIn(all_algorithms()),
+                         [](const auto& info) {
+                           std::string n = algorithm_name(info.param);
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return n;
+                         });
+
+// ------------------------------------------- cumulative flow accounting --
+
+TEST(BruteForce, FlowTrackerMatchesManualAccumulation) {
+  const Graph g = make_cycle(5);
+  const int d_loops = 2;
+  RotorRouter b(7);
+
+  // Manual accumulator alongside the library's FlowTracker.
+  class ManualSum : public StepObserver {
+   public:
+    std::map<std::pair<NodeId, int>, Load> cum;
+    void on_step(Step, const Graph& g2, int dl, std::span<const Load>,
+                 std::span<const Load> flows, std::span<const Load>) override {
+      const int width = g2.degree() + dl;
+      for (NodeId u = 0; u < g2.num_nodes(); ++u) {
+        for (int p = 0; p < width; ++p) {
+          cum[{u, p}] += flows[static_cast<std::size_t>(u) * width +
+                               static_cast<std::size_t>(p)];
+        }
+      }
+    }
+  } manual;
+
+  Engine e(g, EngineConfig{.self_loops = d_loops}, b,
+           random_initial(5, 40, 9));
+  FlowTracker tracker;
+  e.add_observer(tracker);
+  e.add_observer(manual);
+  e.run(200);
+
+  for (NodeId u = 0; u < 5; ++u) {
+    for (int p = 0; p < 2; ++p) {
+      EXPECT_EQ(tracker.cumulative(u, p), (manual.cum[{u, p}]));
+    }
+    for (int l = 0; l < d_loops; ++l) {
+      EXPECT_EQ(tracker.cumulative_self_loop(u, l), (manual.cum[{u, 2 + l}]));
+    }
+  }
+}
+
+// ------------------------------------------------ potential arithmetic --
+
+TEST(BruteForce, PotentialsMatchElementwiseDefinition) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    LoadVector x(12);
+    for (auto& v : x) v = rng.uniform_int(0, 100);
+    const Load c = rng.uniform_int(0, 10);
+    const int d_plus = static_cast<int>(rng.uniform_int(1, 12));
+    const Load s = rng.uniform_int(0, 5);
+
+    Load phi = 0, phip = 0;
+    for (Load v : x) {
+      if (v > c * d_plus) phi += v - c * d_plus;
+      if (v < c * d_plus + s) phip += c * d_plus + s - v;
+    }
+    EXPECT_EQ(phi_potential(x, c, d_plus), phi);
+    EXPECT_EQ(phi_prime_potential(x, c, d_plus, s), phip);
+  }
+}
+
+// -------------------------------------------- rotor dealing, exhaustive --
+
+TEST(BruteForce, RotorDealMatchesTokenByTokenSimulation) {
+  // Deal x tokens one at a time around the cyclic order and compare with
+  // the closed-form bulk deal in RotorRouter::decide, for every load and
+  // every starting rotor position.
+  const Graph g = make_cycle(4);  // d = 2
+  const int d_loops = 3;          // d⁺ = 5
+  const int d_plus = 5;
+  for (int start = 0; start < d_plus; ++start) {
+    for (Load x = 0; x <= 23; ++x) {
+      RotorRouter b(0);
+      b.set_initial_rotors({start, 0, 0, 0});
+      b.reset(g, d_loops);
+      LoadVector flows(static_cast<std::size_t>(d_plus), 0);
+      b.decide(0, x, 0, flows);
+
+      LoadVector expected(static_cast<std::size_t>(d_plus), 0);
+      int rotor = start;
+      for (Load k = 0; k < x; ++k) {
+        ++expected[static_cast<std::size_t>(rotor)];
+        rotor = (rotor + 1) % d_plus;
+      }
+      EXPECT_EQ(flows, expected) << "start=" << start << " x=" << x;
+      EXPECT_EQ(b.rotor(0), static_cast<int>((start + x) % d_plus));
+    }
+  }
+}
+
+TEST(BruteForce, IntMathAgainstFloatingPointReference) {
+  for (std::int64_t a = -300; a <= 300; ++a) {
+    for (std::int64_t q : {1, 2, 3, 5, 7, 11}) {
+      EXPECT_EQ(floor_div(a, q),
+                static_cast<std::int64_t>(
+                    std::floor(static_cast<double>(a) / static_cast<double>(q))));
+      EXPECT_EQ(ceil_div(a, q),
+                static_cast<std::int64_t>(
+                    std::ceil(static_cast<double>(a) / static_cast<double>(q))));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlb

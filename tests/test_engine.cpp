@@ -1,0 +1,193 @@
+// Tests for the synchronous engine: conservation, flow routing, observer
+// protocol, remainder handling, and the run helpers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "balancers/send_floor.hpp"
+#include "core/engine.hpp"
+#include "core/load_vector.hpp"
+#include "graph/generators.hpp"
+#include "util/assertions.hpp"
+
+namespace dlb {
+namespace {
+
+/// All tokens on node 0.
+LoadVector point_mass(const Graph& g, Load total) {
+  LoadVector x(static_cast<std::size_t>(g.num_nodes()), 0);
+  x[0] = total;
+  return x;
+}
+
+/// Test balancer that sends a fixed amount over port 0 and keeps the rest.
+class SendOneOnPortZero : public Balancer {
+ public:
+  std::string name() const override { return "test:port0"; }
+  void reset(const Graph&, int) override {}
+  void decide(NodeId, Load load, Step, std::span<Load> flows) override {
+    std::fill(flows.begin(), flows.end(), 0);
+    if (load > 0) flows[0] = 1;
+  }
+};
+
+/// Test balancer that (incorrectly) sends more than the available load.
+class Oversender : public Balancer {
+ public:
+  std::string name() const override { return "test:oversend"; }
+  void reset(const Graph&, int) override {}
+  void decide(NodeId, Load load, Step, std::span<Load> flows) override {
+    std::fill(flows.begin(), flows.end(), load + 1);
+  }
+};
+
+/// Observer recording every callback for inspection.
+class RecordingObserver : public StepObserver {
+ public:
+  struct Record {
+    Step t;
+    LoadVector pre, flows, post;
+  };
+  void on_step(Step t, const Graph&, int, std::span<const Load> pre,
+               std::span<const Load> flows,
+               std::span<const Load> post) override {
+    records.push_back({t, LoadVector(pre.begin(), pre.end()),
+                       LoadVector(flows.begin(), flows.end()),
+                       LoadVector(post.begin(), post.end())});
+  }
+  std::vector<Record> records;
+};
+
+// ---------------------------------------------------------- load_vector --
+
+TEST(LoadVector, BasicObservables) {
+  const LoadVector x{3, 7, 1, 5};
+  EXPECT_EQ(total_load(x), 16);
+  EXPECT_EQ(max_load(x), 7);
+  EXPECT_EQ(min_load(x), 1);
+  EXPECT_EQ(discrepancy(x), 6);
+  EXPECT_DOUBLE_EQ(average_load(x), 4.0);
+  EXPECT_DOUBLE_EQ(balancedness(x), 3.0);
+}
+
+TEST(LoadVector, UniformVectorHasZeroDiscrepancy) {
+  const LoadVector x{4, 4, 4};
+  EXPECT_EQ(discrepancy(x), 0);
+  EXPECT_DOUBLE_EQ(balancedness(x), 0.0);
+}
+
+// --------------------------------------------------------------- engine --
+
+TEST(Engine, RejectsWrongInitialSize) {
+  const Graph g = make_cycle(4);
+  SendFloor b;
+  EXPECT_THROW(Engine(g, EngineConfig{}, b, LoadVector{1, 2}),
+               invariant_error);
+}
+
+TEST(Engine, ConservesTokens) {
+  const Graph g = make_torus2d(4, 4);
+  SendFloor b;
+  Engine e(g, EngineConfig{.self_loops = 4}, b, point_mass(g, 12345));
+  const Load total = e.total();
+  e.run(50);
+  EXPECT_EQ(total_load(e.loads()), total);
+  EXPECT_EQ(e.total(), total);
+  EXPECT_EQ(e.time(), 50);
+}
+
+TEST(Engine, RoutesFlowAlongCorrectPort) {
+  // Cycle 0-1-2: port 0 of node u points at (u+1) mod 3.
+  const Graph g = make_cycle(3);
+  SendOneOnPortZero b;
+  Engine e(g, EngineConfig{.self_loops = 0}, b, LoadVector{5, 0, 0});
+  e.step();
+  // Node 0 sent 1 token to node 1, kept 4 as the remainder.
+  EXPECT_EQ(e.loads()[0], 4);
+  EXPECT_EQ(e.loads()[1], 1);
+  EXPECT_EQ(e.loads()[2], 0);
+}
+
+TEST(Engine, SelfLoopTokensStayLocal) {
+  const Graph g = make_cycle(3);
+
+  class SelfLoopOnly : public Balancer {
+   public:
+    std::string name() const override { return "test:selfloop"; }
+    void reset(const Graph&, int) override {}
+    void decide(NodeId, Load load, Step, std::span<Load> flows) override {
+      std::fill(flows.begin(), flows.end(), 0);
+      flows[2] = load;  // port 2 = first self-loop (d = 2)
+    }
+  } b;
+
+  Engine e(g, EngineConfig{.self_loops = 1}, b, LoadVector{3, 1, 4});
+  e.run(10);
+  EXPECT_EQ(e.loads(), (LoadVector{3, 1, 4}));
+}
+
+TEST(Engine, ThrowsWhenBalancerOversends) {
+  const Graph g = make_cycle(3);
+  Oversender b;
+  Engine e(g, EngineConfig{}, b, LoadVector{1, 1, 1});
+  EXPECT_THROW(e.step(), invariant_error);
+}
+
+TEST(Engine, ObserverSeesConsistentSnapshots) {
+  const Graph g = make_cycle(4);
+  SendFloor b;
+  Engine e(g, EngineConfig{.self_loops = 2}, b, LoadVector{8, 0, 0, 0});
+  RecordingObserver obs;
+  e.add_observer(obs);
+  e.run(3);
+  ASSERT_EQ(obs.records.size(), 3u);
+  EXPECT_EQ(obs.records[0].t, 1);
+  EXPECT_EQ(obs.records[2].t, 3);
+  for (const auto& rec : obs.records) {
+    EXPECT_EQ(total_load(rec.pre), 8);
+    EXPECT_EQ(total_load(rec.post), 8);
+    EXPECT_EQ(rec.flows.size(), 4u * 4u);  // n * (d + d°)
+  }
+  // Chaining: post of step k is pre of step k+1.
+  EXPECT_EQ(obs.records[0].post, obs.records[1].pre);
+  EXPECT_EQ(obs.records[1].post, obs.records[2].pre);
+}
+
+TEST(Engine, RunUntilDiscrepancyStopsEarly) {
+  const Graph g = make_hypercube(4);
+  SendFloor b;
+  Engine e(g, EngineConfig{.self_loops = 4}, b, point_mass(g, 1600));
+  const Step used = e.run_until_discrepancy(20, 100000);
+  EXPECT_LT(used, 100000);
+  EXPECT_LE(e.discrepancy(), 20);
+}
+
+TEST(Engine, RunUntilDiscrepancyRespectsCap) {
+  const Graph g = make_cycle(64);
+  SendFloor b;
+  Engine e(g, EngineConfig{.self_loops = 2}, b, point_mass(g, 6400));
+  const Step used = e.run_until_discrepancy(0, 5);
+  EXPECT_EQ(used, 5);
+  EXPECT_GT(e.discrepancy(), 0);
+}
+
+TEST(Engine, MinLoadSeenTracksInitialMinimum) {
+  const Graph g = make_cycle(3);
+  SendFloor b;
+  Engine e(g, EngineConfig{.self_loops = 2}, b, LoadVector{10, 0, 2});
+  EXPECT_EQ(e.min_load_seen(), 0);
+  e.run(5);
+  EXPECT_GE(e.min_load_seen(), 0);  // SendFloor never goes negative
+}
+
+TEST(Engine, TimeStartsAtZero) {
+  const Graph g = make_cycle(3);
+  SendFloor b;
+  Engine e(g, EngineConfig{}, b, LoadVector{1, 1, 1});
+  EXPECT_EQ(e.time(), 0);
+  e.step();
+  EXPECT_EQ(e.time(), 1);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,165 @@
+// Tests for the experiment driver and the bound-formula helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "analysis/experiment.hpp"
+#include "balancers/rotor_router.hpp"
+#include "balancers/send_floor.hpp"
+#include "graph/generators.hpp"
+#include "markov/spectral.hpp"
+
+namespace dlb {
+namespace {
+
+// ------------------------------------------------------ initial loads --
+
+TEST(InitialLoads, PointMass) {
+  const auto x = point_mass_initial(5, 100);
+  EXPECT_EQ(x.size(), 5u);
+  EXPECT_EQ(x[0], 100);
+  EXPECT_EQ(total_load(x), 100);
+  EXPECT_EQ(discrepancy(x), 100);
+}
+
+TEST(InitialLoads, Bimodal) {
+  const auto x = bimodal_initial(6, 10);
+  EXPECT_EQ(total_load(x), 30);
+  EXPECT_EQ(discrepancy(x), 10);
+  EXPECT_EQ(x[2], 10);
+  EXPECT_EQ(x[3], 0);
+}
+
+TEST(InitialLoads, BimodalOddSize) {
+  const auto x = bimodal_initial(7, 10);
+  EXPECT_EQ(total_load(x), 30);  // ⌊7/2⌋ = 3 loaded nodes
+}
+
+TEST(InitialLoads, RandomWithinRangeAndSeedStable) {
+  const auto a = random_initial(100, 25, 7);
+  const auto b = random_initial(100, 25, 7);
+  const auto c = random_initial(100, 25, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (Load v : a) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 25);
+  }
+}
+
+// ---------------------------------------------------------- driver --
+
+TEST(Experiment, RecordsSamplesAndFinalState) {
+  const Graph g = make_hypercube(5);
+  RotorRouter b(1);
+  ExperimentSpec spec;
+  spec.self_loops = 5;
+  spec.sample_fractions = {0.5, 1.0};
+  const double mu = 1.0 - lambda2_hypercube(5, 5);
+  const auto r = run_experiment(g, b, bimodal_initial(g.num_nodes(), 320),
+                                mu, spec);
+
+  EXPECT_EQ(r.algorithm, "ROTOR-ROUTER");
+  EXPECT_EQ(r.n, 32);
+  EXPECT_EQ(r.d, 5);
+  EXPECT_EQ(r.d_loops, 5);
+  EXPECT_EQ(r.initial_discrepancy, 320);
+  ASSERT_EQ(r.samples.size(), 2u);
+  EXPECT_EQ(r.samples[1].first, r.horizon);
+  EXPECT_EQ(r.samples[1].second, r.final_discrepancy);
+  EXPECT_LT(r.final_discrepancy, 320);
+  EXPECT_GE(r.horizon, r.t_balance);
+  EXPECT_LT(r.continuous_final_discrepancy, 1.0);
+}
+
+TEST(Experiment, TimeMultiplierScalesHorizon) {
+  const Graph g = make_hypercube(4);
+  SendFloor b;
+  ExperimentSpec spec;
+  spec.self_loops = 4;
+  spec.time_multiplier = 3.0;
+  const double mu = 1.0 - lambda2_hypercube(4, 4);
+  const auto r = run_experiment(g, b, bimodal_initial(16, 64), mu, spec);
+  EXPECT_EQ(r.horizon,
+            static_cast<Step>(std::ceil(3.0 * static_cast<double>(r.t_balance))));
+}
+
+TEST(Experiment, ContinuousCanBeSkipped) {
+  const Graph g = make_hypercube(4);
+  SendFloor b;
+  ExperimentSpec spec;
+  spec.self_loops = 4;
+  spec.run_continuous = false;
+  const double mu = 1.0 - lambda2_hypercube(4, 4);
+  const auto r = run_experiment(g, b, bimodal_initial(16, 64), mu, spec);
+  EXPECT_TRUE(std::isnan(r.continuous_final_discrepancy));
+}
+
+TEST(Experiment, SummaryMentionsKeyFields) {
+  const Graph g = make_hypercube(4);
+  SendFloor b;
+  ExperimentSpec spec;
+  spec.self_loops = 4;
+  const double mu = 1.0 - lambda2_hypercube(4, 4);
+  const auto r = run_experiment(g, b, bimodal_initial(16, 64), mu, spec);
+  const std::string s = summarize(r);
+  EXPECT_NE(s.find("SEND(floor)"), std::string::npos);
+  EXPECT_NE(s.find("hypercube(4)"), std::string::npos);
+  EXPECT_NE(s.find("K=64"), std::string::npos);
+}
+
+TEST(Experiment, RejectsBadArguments) {
+  const Graph g = make_hypercube(3);
+  SendFloor b;
+  ExperimentSpec spec;
+  spec.self_loops = 3;
+  EXPECT_THROW(run_experiment(g, b, bimodal_initial(8, 8), 0.0, spec),
+               invariant_error);
+  spec.sample_fractions = {1.5};
+  EXPECT_THROW(run_experiment(g, b, bimodal_initial(8, 8), 0.5, spec),
+               invariant_error);
+}
+
+// ------------------------------------------------------------ bounds --
+
+TEST(Bounds, FormulasMatchDefinitions) {
+  const double mu = 0.25;
+  EXPECT_DOUBLE_EQ(bound_rsw(4, 100, mu), 4.0 * std::log(100.0) / mu);
+  EXPECT_DOUBLE_EQ(bound_thm23_sqrt_log(1.0, 4, 100, mu),
+                   2.0 * 4.0 * std::sqrt(std::log(100.0) / mu));
+  EXPECT_DOUBLE_EQ(bound_thm23_sqrt_n(0.0, 4, 100), 4.0 * 10.0);
+  EXPECT_DOUBLE_EQ(bound_thm23(0.0, 4, 100, mu),
+                   std::min(bound_thm23_sqrt_log(0.0, 4, 100, mu),
+                            bound_thm23_sqrt_n(0.0, 4, 100)));
+  EXPECT_EQ(bound_thm33_discrepancy(1, 8, 4), 3 * 8 + 16);
+  EXPECT_DOUBLE_EQ(lower_bound_thm41(4, 10), 40.0);
+  EXPECT_DOUBLE_EQ(lower_bound_thm42(6), 6.0);
+  EXPECT_DOUBLE_EQ(lower_bound_thm43(2, 32), 64.0);
+}
+
+TEST(Bounds, Thm23SqrtLogBeatsRswOnExpanders) {
+  // The paper's headline: for constant µ the √(log n) bound is
+  // asymptotically below the log n bound of [17].
+  for (NodeId n : {64, 256, 1024, 4096}) {
+    EXPECT_LT(bound_thm23_sqrt_log(1.0, 4, n, 0.3), bound_rsw(4, n, 0.3) * 2.0);
+  }
+  // Ratio grows with n:
+  const double r1 = bound_rsw(4, 256, 0.3) / bound_thm23_sqrt_log(1.0, 4, 256, 0.3);
+  const double r2 = bound_rsw(4, 65536, 0.3) / bound_thm23_sqrt_log(1.0, 4, 65536, 0.3);
+  EXPECT_GT(r2, r1);
+}
+
+TEST(Bounds, Thm33TimeDecreasesWithS) {
+  EXPECT_GT(bound_thm33_time(100, 8, 1, 1024, 0.1),
+            bound_thm33_time(100, 8, 8, 1024, 0.1));
+}
+
+TEST(Bounds, RejectBadArguments) {
+  EXPECT_THROW(bound_rsw(4, 100, 0.0), invariant_error);
+  EXPECT_THROW(bound_rsw(4, 1, 0.5), invariant_error);
+  EXPECT_THROW(bound_thm33_time(10, 4, 0, 100, 0.5), invariant_error);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,241 @@
+// Unit tests for graph construction, generators, and structural
+// properties (diameter, odd girth, bipartiteness).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "util/assertions.hpp"
+
+namespace dlb {
+namespace {
+
+// -------------------------------------------------------- construction --
+
+TEST(Graph, RejectsAsymmetricEdgeMultiset) {
+  // 0->1, 1->2, 2->0 directed triangle is not symmetric.
+  EXPECT_THROW(Graph(3, 1, {1, 2, 0}), invariant_error);
+}
+
+TEST(Graph, RejectsSelfEdges) {
+  EXPECT_THROW(Graph(2, 2, {0, 1, 0, 1}), invariant_error);
+}
+
+TEST(Graph, RejectsOutOfRangeNeighbors) {
+  EXPECT_THROW(Graph(2, 1, {1, 5}), invariant_error);
+}
+
+TEST(Graph, RejectsWrongAdjacencySize) {
+  EXPECT_THROW(Graph(3, 2, {1, 2, 0}), invariant_error);
+}
+
+TEST(Graph, ReversePortInvolutionOnTriangle) {
+  // Symmetric triangle, d = 2.
+  const Graph g(3, 2, {1, 2, 0, 2, 1, 0});
+  EXPECT_EQ(verify_regular_symmetric(g), 2);
+}
+
+TEST(Graph, ParallelEdgesPairedConsistently) {
+  // Two nodes joined by two parallel edges (d = 2 multigraph).
+  const Graph g(2, 2, {1, 1, 0, 0});
+  EXPECT_TRUE(g.has_parallel_edges());
+  EXPECT_EQ(verify_regular_symmetric(g), 2);
+}
+
+// ---------------------------------------------------------- generators --
+
+TEST(Generators, CycleStructure) {
+  const Graph g = make_cycle(7);
+  EXPECT_EQ(g.num_nodes(), 7);
+  EXPECT_EQ(g.degree(), 2);
+  EXPECT_EQ(g.neighbor(0, 0), 1);
+  EXPECT_EQ(g.neighbor(0, 1), 6);
+  EXPECT_EQ(verify_regular_symmetric(g), 2);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CycleTooSmallThrows) {
+  EXPECT_THROW(make_cycle(2), invariant_error);
+}
+
+TEST(Generators, Torus2dStructure) {
+  const Graph g = make_torus2d(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20);
+  EXPECT_EQ(g.degree(), 4);
+  EXPECT_EQ(verify_regular_symmetric(g), 4);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(g.has_parallel_edges());
+}
+
+TEST(Generators, Torus3dStructure) {
+  const Graph g = make_torus({3, 4, 5});
+  EXPECT_EQ(g.num_nodes(), 60);
+  EXPECT_EQ(g.degree(), 6);
+  EXPECT_EQ(verify_regular_symmetric(g), 6);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, HypercubeStructure) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_EQ(g.degree(), 4);
+  EXPECT_EQ(verify_regular_symmetric(g), 4);
+  EXPECT_TRUE(is_connected(g));
+  // Neighbors differ in exactly one bit.
+  for (NodeId u = 0; u < 16; ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      EXPECT_EQ(__builtin_popcount(static_cast<unsigned>(u ^ v)), 1);
+    }
+  }
+}
+
+TEST(Generators, CompleteStructure) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.degree(), 5);
+  EXPECT_EQ(verify_regular_symmetric(g), 5);
+  for (NodeId u = 0; u < 6; ++u) {
+    std::set<NodeId> nb(g.neighbors(u).begin(), g.neighbors(u).end());
+    EXPECT_EQ(nb.size(), 5u);
+    EXPECT_EQ(nb.count(u), 0u);
+  }
+}
+
+TEST(Generators, CirculantStructure) {
+  const Graph g = make_circulant(10, {1, 3});
+  EXPECT_EQ(g.degree(), 4);
+  EXPECT_EQ(verify_regular_symmetric(g), 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CirculantDiametralOffsetGivesSingleEdge) {
+  const Graph g = make_circulant(10, {1, 5});
+  EXPECT_EQ(g.degree(), 3);  // offset 5 == n/2 contributes one edge
+  EXPECT_EQ(verify_regular_symmetric(g), 3);
+}
+
+TEST(Generators, CirculantRejectsBadOffsets) {
+  EXPECT_THROW(make_circulant(10, {0}), invariant_error);
+  EXPECT_THROW(make_circulant(10, {6}), invariant_error);
+  EXPECT_THROW(make_circulant(10, {2, 2}), invariant_error);
+}
+
+TEST(Generators, CliqueCirculantHasClique) {
+  const Graph g = make_clique_circulant(32, 8);
+  EXPECT_EQ(g.degree(), 8);
+  EXPECT_EQ(verify_regular_symmetric(g), 8);
+  // First ⌊d/2⌋ = 4 nodes form a clique.
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u == v) continue;
+      const auto nb = g.neighbors(u);
+      EXPECT_NE(std::find(nb.begin(), nb.end(), v), nb.end())
+          << u << " not adjacent to " << v;
+    }
+  }
+}
+
+TEST(Generators, CliqueCirculantOddDegreeNeedsEvenN) {
+  EXPECT_NO_THROW(make_clique_circulant(32, 5));
+  EXPECT_THROW(make_clique_circulant(31, 5), invariant_error);
+}
+
+class RandomRegularTest
+    : public ::testing::TestWithParam<std::tuple<NodeId, int>> {};
+
+TEST_P(RandomRegularTest, ProducesSimpleRegularConnectedGraph) {
+  const auto [n, d] = GetParam();
+  const Graph g = make_random_regular(n, d, /*seed=*/99);
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_EQ(g.degree(), d);
+  EXPECT_EQ(verify_regular_symmetric(g), d);
+  EXPECT_FALSE(g.has_parallel_edges());
+  // No self-edges is enforced by the Graph constructor; also check
+  // distinct neighbors (simple graph).
+  for (NodeId u = 0; u < n; ++u) {
+    std::set<NodeId> nb(g.neighbors(u).begin(), g.neighbors(u).end());
+    EXPECT_EQ(nb.size(), static_cast<std::size_t>(d));
+  }
+  EXPECT_TRUE(is_connected(g));  // holds w.h.p.; seed fixed so it's stable
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RandomRegularTest,
+    ::testing::Values(std::make_tuple(16, 3), std::make_tuple(64, 4),
+                      std::make_tuple(128, 8), std::make_tuple(256, 16),
+                      std::make_tuple(100, 5)));
+
+TEST(Generators, RandomRegularDeterministicInSeed) {
+  const Graph a = make_random_regular(64, 6, 1234);
+  const Graph b = make_random_regular(64, 6, 1234);
+  for (NodeId u = 0; u < 64; ++u) {
+    const auto na = a.neighbors(u);
+    const auto nb = b.neighbors(u);
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(Generators, RandomRegularRejectsOddTotalDegree) {
+  EXPECT_THROW(make_random_regular(5, 3, 1), invariant_error);
+}
+
+// ---------------------------------------------------------- properties --
+
+TEST(Properties, BfsDistancesOnCycle) {
+  const Graph g = make_cycle(8);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[4], 4);
+  EXPECT_EQ(dist[7], 1);
+}
+
+TEST(Properties, DiameterOfKnownFamilies) {
+  EXPECT_EQ(diameter(make_cycle(9)), 4);
+  EXPECT_EQ(diameter(make_cycle(10)), 5);
+  EXPECT_EQ(diameter(make_hypercube(5)), 5);
+  EXPECT_EQ(diameter(make_torus2d(4, 4)), 4);
+  EXPECT_EQ(diameter(make_complete(7)), 1);
+}
+
+TEST(Properties, BipartitenessOfKnownFamilies) {
+  EXPECT_TRUE(is_bipartite(make_cycle(8)));
+  EXPECT_FALSE(is_bipartite(make_cycle(9)));
+  EXPECT_TRUE(is_bipartite(make_hypercube(4)));
+  EXPECT_FALSE(is_bipartite(make_complete(3)));
+}
+
+TEST(Properties, OddGirthOfKnownFamilies) {
+  EXPECT_FALSE(odd_girth(make_cycle(8)).has_value());
+  EXPECT_EQ(odd_girth(make_cycle(9)).value(), 9);
+  EXPECT_EQ(odd_girth_phi(make_cycle(9)).value(), 4);
+  EXPECT_EQ(odd_girth(make_complete(5)).value(), 3);
+  EXPECT_FALSE(odd_girth(make_hypercube(3)).has_value());
+}
+
+TEST(Properties, OddGirthOfCirculant) {
+  // circulant(12, {2}) is two disjoint 6-cycles — disconnected and even;
+  // circulant(12, {1, 2}) contains triangles (0-1-2-0 via offsets 1,1,2).
+  EXPECT_EQ(odd_girth(make_circulant(12, {1, 2})).value(), 3);
+}
+
+TEST(Properties, EccentricityMatchesDiameterOnVertexTransitive) {
+  const Graph g = make_cycle(11);
+  EXPECT_EQ(eccentricity(g, 0), 5);
+  EXPECT_EQ(eccentricity(g, 7), 5);
+}
+
+class DiameterParamTest : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(DiameterParamTest, CycleDiameterFormula) {
+  const NodeId n = GetParam();
+  EXPECT_EQ(diameter(make_cycle(n)), n / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cycles, DiameterParamTest,
+                         ::testing::Values<NodeId>(3, 4, 5, 8, 13, 20, 33));
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,158 @@
+// Tests for the non-regular extension: graph construction, the padded
+// balancing engine, and the claim that the regular theory carries over
+// with d replaced by the maximum degree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "irregular/iengine.hpp"
+#include "irregular/igraph.hpp"
+#include "markov/mixing.hpp"
+
+namespace dlb {
+namespace {
+
+// ----------------------------------------------------------- builders --
+
+TEST(IrregularGraphTest, CsrConstructionAndDegrees) {
+  // Path 0-1-2 plus edge 1-3: degrees 1,3,1,1.
+  const IrregularGraph g(4, {{0, 1}, {1, 2}, {1, 3}});
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_EQ(g.max_degree(), 3);
+  EXPECT_EQ(g.min_degree(), 1);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(IrregularGraphTest, RejectsBadEdges) {
+  EXPECT_THROW(IrregularGraph(3, {{0, 0}}), invariant_error);   // self
+  EXPECT_THROW(IrregularGraph(3, {{0, 5}}), invariant_error);   // range
+  EXPECT_THROW(IrregularGraph(3, {{0, 1}}), invariant_error);   // isolated 2
+}
+
+TEST(IrregularGraphTest, Grid2dDegrees) {
+  const IrregularGraph g = make_grid2d(4, 3);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.degree(0), 2);   // corner
+  EXPECT_EQ(g.degree(1), 3);   // edge
+  EXPECT_EQ(g.degree(5), 4);   // interior
+  EXPECT_EQ(g.max_degree(), 4);
+  EXPECT_EQ(g.min_degree(), 2);
+}
+
+TEST(IrregularGraphTest, WheelDegrees) {
+  const IrregularGraph g = make_wheel(9);
+  EXPECT_EQ(g.degree(0), 8);  // hub
+  for (NodeId r = 1; r < 9; ++r) EXPECT_EQ(g.degree(r), 3);
+}
+
+TEST(IrregularGraphTest, BarbellShape) {
+  const IrregularGraph g = make_barbell(4, 3);
+  EXPECT_EQ(g.num_nodes(), 11);
+  // Clique interiors have degree 3; the two bridge clique nodes 4.
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_EQ(g.degree(0), 4);  // clique-A node carrying the path
+  EXPECT_EQ(g.degree(4), 4);  // clique-B node carrying the path
+  EXPECT_EQ(g.degree(8), 2);  // path node
+}
+
+TEST(IrregularGraphTest, GnpConnectedAndSeedStable) {
+  const IrregularGraph a = make_gnp_connected(64, 6.0, 3);
+  const IrregularGraph b = make_gnp_connected(64, 6.0, 3);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_GE(a.min_degree(), 1);
+}
+
+// ------------------------------------------------------------- engine --
+
+TEST(IrregularEngineTest, DefaultPaddingIsTwiceMaxDegree) {
+  const IrregularGraph g = make_grid2d(3, 3);
+  IrregularEngine e(g, IrregularPolicy::kSendFloor, 0,
+                    LoadVector(9, 10));
+  EXPECT_EQ(e.uniform_d_plus(), 8);
+}
+
+TEST(IrregularEngineTest, RejectsTooSmallD) {
+  const IrregularGraph g = make_grid2d(3, 3);
+  EXPECT_THROW(IrregularEngine(g, IrregularPolicy::kSendFloor, 4,
+                               LoadVector(9, 10)),
+               invariant_error);
+}
+
+TEST(IrregularEngineTest, ConservesTokens) {
+  const IrregularGraph g = make_wheel(16);
+  LoadVector init(16, 0);
+  init[0] = 1600;
+  IrregularEngine e(g, IrregularPolicy::kRotorRouter, 0, init);
+  e.run(500);
+  EXPECT_EQ(total_load(e.loads()), 1600);
+}
+
+class IrregularBalanceTest
+    : public ::testing::TestWithParam<IrregularPolicy> {};
+
+TEST_P(IrregularBalanceTest, BalancesToUniformNotDegreeProportional) {
+  // The padded chain is doubly stochastic: the balanced state is uniform
+  // even though degrees differ by a factor ~n on the wheel.
+  const IrregularGraph g = make_wheel(21);
+  LoadVector init(21, 0);
+  init[0] = 210 * 20;  // everything on the hub
+  IrregularEngine e(g, GetParam(), 0, init);
+  e.run(20000);
+  const double avg = average_load(e.loads());
+  EXPECT_NEAR(avg, 200.0, 1e-9);
+  // Every node close to the average (within ~D).
+  for (Load x : e.loads()) {
+    EXPECT_NEAR(static_cast<double>(x), avg, 2.0 * e.uniform_d_plus());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, IrregularBalanceTest,
+                         ::testing::Values(IrregularPolicy::kSendFloor,
+                                           IrregularPolicy::kRotorRouter));
+
+TEST(IrregularEngineTest, GridBalancesWithinPaddedTheoryTime) {
+  const IrregularGraph g = make_grid2d(8, 8);
+  const double mu = irregular_spectral_gap(g, 0);
+  EXPECT_GT(mu, 0.0);
+  LoadVector init(64, 0);
+  init[0] = 6400;
+  IrregularEngine e(g, IrregularPolicy::kRotorRouter, 0, init);
+  const auto t_bal = balancing_time(64, 6400, mu);
+  e.run(t_bal);
+  // Regular theory with d -> max_degree: O(d√(log n/µ)) envelope.
+  EXPECT_LE(static_cast<double>(e.discrepancy()),
+            4.0 * g.max_degree() * std::sqrt(std::log(64.0) / mu));
+}
+
+TEST(IrregularEngineTest, BarbellHasTinyGapButStillBalances) {
+  const IrregularGraph g = make_barbell(6, 4);
+  const double mu = irregular_spectral_gap(g, 0);
+  // Bad conductance: the barbell's gap is far below the grid's.
+  EXPECT_LT(mu, irregular_spectral_gap(make_grid2d(4, 4), 0));
+  LoadVector init(static_cast<std::size_t>(g.num_nodes()), 0);
+  init[0] = 160 * g.num_nodes();
+  IrregularEngine e(g, IrregularPolicy::kRotorRouter, 0, init);
+  e.run(balancing_time(g.num_nodes(), total_load(init), mu));
+  EXPECT_LE(e.discrepancy(), 3 * g.max_degree());
+}
+
+TEST(IrregularSpectral, MatchesRegularFormulaOnRegularInstance) {
+  // A cycle fed through the irregular machinery must reproduce the
+  // regular analytic λ₂ (with D = 4 ⇔ d° = 2).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const NodeId n = 24;
+  for (NodeId u = 0; u < n; ++u) {
+    edges.emplace_back(std::min(u, (u + 1) % n), std::max(u, (u + 1) % n));
+  }
+  const IrregularGraph g(n, edges, "cycle-as-igraph");
+  const double mu = irregular_spectral_gap(g, 4);
+  const double expected =
+      1.0 - (2.0 + 2.0 * std::cos(2.0 * std::numbers::pi / n)) / 4.0;
+  EXPECT_NEAR(mu, expected, 1e-7);
+}
+
+}  // namespace
+}  // namespace dlb

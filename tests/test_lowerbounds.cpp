@@ -1,0 +1,324 @@
+// Tests for the Section-4 lower-bound constructions: each one must (a)
+// satisfy the structural conditions of its theorem (class membership,
+// legality of the adversary) and (b) actually exhibit the claimed stuck
+// discrepancy, forever.
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "balancers/rotor_router.hpp"
+#include "core/fairness.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "lowerbounds/rotor_parity.hpp"
+#include "lowerbounds/stateless_adversary.hpp"
+#include "lowerbounds/steady_state.hpp"
+
+namespace dlb {
+namespace {
+
+// ------------------------------------------------ Thm 4.1: steady state --
+
+class SteadyStateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteadyStateTest, LoadsAreFrozenAndDiscrepancyScalesWithDiamTimesD) {
+  // Graph family: cycles (diam = n/2, d = 2).
+  const NodeId n = GetParam();
+  const Graph g = make_cycle(n);
+  auto inst = make_steady_state_instance(g, 0);
+  const LoadVector initial = inst.initial;
+  const int diam = diameter(g);
+
+  SteadyStateBalancer balancer(std::move(inst));
+  Engine e(g, EngineConfig{.self_loops = 0}, balancer, initial);
+  FairnessAuditor auditor;
+  e.add_observer(auditor);
+  e.run(200);
+
+  // (a) frozen forever;
+  EXPECT_EQ(e.loads(), initial);
+  // (b) inside the [17] class: round-fair, floor condition holds;
+  EXPECT_TRUE(auditor.report().round_fair);
+  EXPECT_TRUE(auditor.report().floor_condition_ok);
+  // (c) discrepancy >= c·d·diam with c = 1/2: source has load ~0, the
+  // antipodal node ~d·(diam−1).
+  EXPECT_GE(static_cast<double>(e.discrepancy()),
+            0.5 * lower_bound_thm41(g.degree(), diam));
+}
+
+INSTANTIATE_TEST_SUITE_P(CycleSizes, SteadyStateTest,
+                         ::testing::Values(8, 16, 33, 64, 101));
+
+TEST(SteadyState, WorksOnTorusAndHypercube) {
+  for (const Graph& g : {make_torus2d(6, 6), make_hypercube(5)}) {
+    auto inst = make_steady_state_instance(g, 0);
+    const LoadVector initial = inst.initial;
+    const int diam = diameter(g);
+    SteadyStateBalancer balancer(std::move(inst));
+    Engine e(g, EngineConfig{.self_loops = 0}, balancer, initial);
+    e.run(100);
+    EXPECT_EQ(e.loads(), initial) << g.name();
+    EXPECT_GE(static_cast<double>(e.discrepancy()),
+              0.5 * lower_bound_thm41(g.degree(), diam))
+        << g.name();
+  }
+}
+
+TEST(SteadyState, SourceHasZeroLoad) {
+  const Graph g = make_cycle(12);
+  const auto inst = make_steady_state_instance(g, 3);
+  EXPECT_EQ(inst.initial[3], 0);  // b(source) = 0 -> all flows min(0,1)=0
+  EXPECT_EQ(inst.eccentricity, 6);
+}
+
+TEST(SteadyState, FlowsDifferByAtMostOnePerNode) {
+  const Graph g = make_torus2d(5, 7);
+  const auto inst = make_steady_state_instance(g, 0);
+  const int d = g.degree();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    Load lo = inst.flows[static_cast<std::size_t>(v) * d];
+    Load hi = lo;
+    for (int p = 1; p < d; ++p) {
+      const Load f = inst.flows[static_cast<std::size_t>(v) * d + p];
+      lo = std::min(lo, f);
+      hi = std::max(hi, f);
+    }
+    EXPECT_LE(hi - lo, 1);
+  }
+}
+
+TEST(SteadyState, BalancerDetectsDivergedLoads) {
+  const Graph g = make_cycle(8);
+  auto inst = make_steady_state_instance(g, 0);
+  LoadVector wrong = inst.initial;
+  wrong[1] += 1;
+  wrong[2] -= 1;
+  SteadyStateBalancer balancer(std::move(inst));
+  Engine e(g, EngineConfig{.self_loops = 0}, balancer, wrong);
+  EXPECT_THROW(e.step(), invariant_error);
+}
+
+// ------------------------------------------ Thm 4.2: stateless adversary --
+
+class StatelessAdversaryTest
+    : public ::testing::TestWithParam<std::tuple<NodeId, int>> {};
+
+TEST_P(StatelessAdversaryTest, LoadsInvariantAndDiscrepancyOmegaD) {
+  const auto [n, d] = GetParam();
+  const Graph g = make_clique_circulant(n, d);
+  const auto inst = make_clique_adversary_instance(g);
+  StatelessCliqueBalancer balancer(inst);
+  Engine e(g, EngineConfig{.self_loops = 0}, balancer, inst.initial);
+  e.run(300);
+  EXPECT_EQ(e.loads(), inst.initial);
+  EXPECT_EQ(e.discrepancy(), inst.clique_load);
+  // Ω(d): the constant is (⌊d/2⌋−1)/d >= 1/4 for d >= 4.
+  EXPECT_GE(static_cast<double>(e.discrepancy()),
+            0.25 * lower_bound_thm42(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, StatelessAdversaryTest,
+    ::testing::Values(std::make_tuple(32, 4), std::make_tuple(64, 8),
+                      std::make_tuple(64, 9), std::make_tuple(128, 16),
+                      std::make_tuple(256, 32)));
+
+TEST(StatelessAdversary, InitialLoadsMatchConstruction) {
+  const Graph g = make_clique_circulant(32, 8);
+  const auto inst = make_clique_adversary_instance(g);
+  EXPECT_EQ(inst.clique_size, 4);
+  EXPECT_EQ(inst.clique_load, 3);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(inst.initial[static_cast<std::size_t>(u)], u < 4 ? 3 : 0);
+  }
+}
+
+TEST(StatelessAdversary, RejectsGraphsWithoutClique) {
+  // A plain cycle has no ⌊d/2⌋-clique structure for d = 2 (clique size 1)
+  // and the builder requires at least a 2-clique.
+  const Graph g = make_cycle(8);
+  EXPECT_THROW(make_clique_adversary_instance(g), invariant_error);
+}
+
+TEST(StatelessAdversary, DecisionDependsOnlyOnLoad) {
+  // Stateless check: same load at the same node twice -> same decision.
+  const Graph g = make_clique_circulant(32, 8);
+  const auto inst = make_clique_adversary_instance(g);
+  StatelessCliqueBalancer balancer(inst);
+  balancer.reset(g, 0);
+  LoadVector f1(8), f2(8);
+  balancer.decide(2, 3, 0, f1);
+  balancer.decide(2, 3, 99, f2);
+  EXPECT_EQ(f1, f2);
+}
+
+// ---------------------------------------------- Thm 4.3: rotor parity --
+
+class RotorParityTest : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(RotorParityTest, PeriodTwoOrbitAndOmegaNDiscrepancy) {
+  const NodeId n = GetParam();
+  ASSERT_EQ(n % 2, 1) << "odd cycles only";
+  const Graph g = make_cycle(n);
+  const int phi = (n - 1) / 2;
+  const auto inst = make_rotor_parity_instance(g, 0, /*base_load=*/phi + 1);
+  EXPECT_EQ(inst.phi, phi);
+
+  RotorRouter rotor(0);
+  rotor.set_initial_rotors(inst.rotors);
+  rotor.set_port_order(inst.port_order);
+  Engine e(g, EngineConfig{.self_loops = 0}, rotor, inst.initial);
+  FairnessAuditor auditor;
+  e.add_observer(auditor);
+
+  const LoadVector x0 = e.loads();
+  e.step();
+  const LoadVector x1 = e.loads();
+  e.step();
+  // Period 2: the construction's alternating flows reproduce themselves.
+  EXPECT_EQ(e.loads(), x0);
+  e.run(40);  // 42 steps total: even count -> back to x0
+  EXPECT_EQ(e.loads(), x0);
+  EXPECT_NE(x1, x0);
+
+  // Discrepancy never drops below ~2·d·φ − O(1) = Ω(n).
+  EXPECT_GE(static_cast<double>(e.discrepancy()),
+            2.0 * lower_bound_thm43(g.degree(), phi) / g.degree() - 2.0);
+  EXPECT_GE(e.discrepancy(), 4 * phi - 2);
+
+  // And the run is still an honest rotor-router run: cumulatively 1-fair.
+  EXPECT_LE(auditor.report().observed_delta, 1);
+  EXPECT_TRUE(auditor.report().round_fair);
+}
+
+INSTANTIATE_TEST_SUITE_P(OddCycles, RotorParityTest,
+                         ::testing::Values<NodeId>(5, 9, 15, 33, 65, 129));
+
+TEST(RotorParity, SourceLoadAlternatesBetweenExtremes) {
+  const NodeId n = 17;
+  const Graph g = make_cycle(n);
+  const int phi = (n - 1) / 2;
+  const Load big_l = phi + 2;
+  const auto inst = make_rotor_parity_instance(g, 0, big_l);
+
+  // Paper: node u alternates between (L+φ)·d and (L−φ)·d.
+  EXPECT_EQ(inst.initial[0], 2 * (big_l + phi));
+
+  RotorRouter rotor(0);
+  rotor.set_initial_rotors(inst.rotors);
+  rotor.set_port_order(inst.port_order);
+  Engine e(g, EngineConfig{.self_loops = 0}, rotor, inst.initial);
+  e.step();
+  EXPECT_EQ(e.loads()[0], 2 * (big_l - phi));
+  e.step();
+  EXPECT_EQ(e.loads()[0], 2 * (big_l + phi));
+}
+
+TEST(RotorParity, AverageLoadIsBaseTimesDegree) {
+  const NodeId n = 9;
+  const Graph g = make_cycle(n);
+  const Load big_l = 10;
+  const auto inst = make_rotor_parity_instance(g, 0, big_l);
+  EXPECT_EQ(total_load(inst.initial), big_l * 2 * n);
+}
+
+TEST(RotorParity, RequiresNonBipartiteAndBigEnoughL) {
+  EXPECT_THROW(make_rotor_parity_instance(make_cycle(8), 0, 100),
+               invariant_error);  // bipartite
+  EXPECT_THROW(make_rotor_parity_instance(make_hypercube(3), 0, 100),
+               invariant_error);  // bipartite
+  const Graph g = make_cycle(9);
+  EXPECT_THROW(make_rotor_parity_instance(g, 0, 2), invariant_error);  // L < φ
+  EXPECT_NO_THROW(make_rotor_parity_instance(g, 0, 4));
+}
+
+TEST(RotorParity, OddCycleVertexFindsShortestOddCycle) {
+  EXPECT_THROW(odd_cycle_vertex(make_cycle(8)), invariant_error);
+  const NodeId v = odd_cycle_vertex(make_petersen());
+  EXPECT_GE(v, 0);
+  EXPECT_LT(v, 10);
+}
+
+class RotorParityGeneralTest : public ::testing::Test {
+ protected:
+  /// Runs the generalized Thm 4.3 construction and checks the period-2
+  /// orbit and the Ω(d·φ) discrepancy.
+  void check(const Graph& g, Load l_extra = 1) {
+    const NodeId source = odd_cycle_vertex(g);
+    const int phi = odd_girth_phi(g).value();
+    const auto inst =
+        make_rotor_parity_instance(g, source, /*base_load=*/phi + l_extra);
+    EXPECT_EQ(inst.phi, phi) << g.name();
+
+    RotorRouter rotor(0);
+    rotor.set_initial_rotors(inst.rotors);
+    rotor.set_port_order(inst.port_order);
+    Engine e(g, EngineConfig{.self_loops = 0}, rotor, inst.initial);
+    FairnessAuditor auditor;
+    e.add_observer(auditor);
+
+    const LoadVector x0 = e.loads();
+    e.step();
+    const LoadVector x1 = e.loads();
+    e.step();
+    EXPECT_EQ(e.loads(), x0) << g.name() << ": not period 2";
+    e.run(100);
+    EXPECT_EQ(e.loads(), x0) << g.name();
+    if (phi >= 1) {
+      EXPECT_NE(x1, x0) << g.name();
+    }
+
+    // Source swings (L±φ)·d, so discrepancy >= 2·d·φ − O(d).
+    EXPECT_GE(static_cast<double>(e.discrepancy()),
+              2.0 * lower_bound_thm43(g.degree(), phi) - g.degree())
+        << g.name();
+    EXPECT_TRUE(auditor.report().round_fair) << g.name();
+    EXPECT_LE(auditor.report().observed_delta, 1) << g.name();
+  }
+};
+
+TEST_F(RotorParityGeneralTest, PetersenGraph) { check(make_petersen()); }
+
+TEST_F(RotorParityGeneralTest, CompleteGraphs) {
+  check(make_complete(5));
+  check(make_complete(8));
+}
+
+TEST_F(RotorParityGeneralTest, OddCirculant) {
+  check(make_circulant(15, {1, 2}));  // contains triangles, d = 4
+}
+
+TEST_F(RotorParityGeneralTest, NonBipartiteTorus) {
+  check(make_torus({3, 3}));  // odd extents -> odd cycles, d = 4
+  check(make_torus({5, 4}));  // one odd dimension suffices
+}
+
+TEST_F(RotorParityGeneralTest, LargeBaseLoadAlsoWorks) {
+  check(make_petersen(), /*l_extra=*/50);
+}
+
+TEST(RotorParity, NonNegativeFlowsAndLoads) {
+  const Graph g = make_cycle(21);
+  const auto inst = make_rotor_parity_instance(g, 0, /*base_load=*/10);
+  for (Load f : inst.flows0) EXPECT_GE(f, 0);
+  for (Load x : inst.initial) EXPECT_GE(x, 0);
+}
+
+// ---------------------------- contrast: self-loops rescue the rotor walk --
+
+TEST(RotorParity, SelfLoopsBreakTheParityTrap) {
+  // The same odd cycle with d° = d self-loops balances fine: Thm 2.3
+  // applies and the discrepancy falls to O(d·√n) — far below Ω(n).
+  const NodeId n = 65;
+  const Graph g = make_cycle(n);
+  const int phi = (n - 1) / 2;
+  const auto inst = make_rotor_parity_instance(g, 0, phi + 1);
+
+  RotorRouter rotor(0);  // fresh rotors; d° = 2 gives d⁺ = 4 ports
+  Engine e(g, EngineConfig{.self_loops = 2}, rotor, inst.initial);
+  e.run(20000);
+  EXPECT_LT(e.discrepancy(), 4 * phi - 2);
+  EXPECT_LE(e.discrepancy(), 20);  // empirically ~O(d)
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,219 @@
+// Tests for the transition operator, dense Jacobi eigensolver, numeric
+// spectral gap, and analytic λ₂ formulas — cross-checked against each
+// other, since every experiment's time axis is derived from µ.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "markov/matrix.hpp"
+#include "markov/mixing.hpp"
+#include "markov/spectral.hpp"
+
+namespace dlb {
+namespace {
+
+// --------------------------------------------------- TransitionOperator --
+
+TEST(TransitionOperator, PreservesTotalMass) {
+  const Graph g = make_torus2d(4, 4);
+  const TransitionOperator op(g, 4);
+  std::vector<double> x(16, 0.0);
+  x[3] = 5.0;
+  x[7] = 2.5;
+  std::vector<double> y(16);
+  op.apply(x, y);
+  const double sx = std::accumulate(x.begin(), x.end(), 0.0);
+  const double sy = std::accumulate(y.begin(), y.end(), 0.0);
+  EXPECT_NEAR(sx, sy, 1e-12);
+}
+
+TEST(TransitionOperator, FixesUniformVector) {
+  const Graph g = make_hypercube(4);
+  const TransitionOperator op(g, 4);
+  std::vector<double> x(16, 3.25), y(16);
+  op.apply(x, y);
+  for (double v : y) EXPECT_NEAR(v, 3.25, 1e-12);
+}
+
+TEST(TransitionOperator, SingleStepSplitsByDegree) {
+  // Cycle of 3, d° = 2, d⁺ = 4: a unit mass keeps 2/4 and sends 1/4 to
+  // each neighbour.
+  const Graph g = make_cycle(3);
+  const TransitionOperator op(g, 2);
+  std::vector<double> x{1.0, 0.0, 0.0}, y(3);
+  op.apply(x, y);
+  EXPECT_NEAR(y[0], 0.5, 1e-12);
+  EXPECT_NEAR(y[1], 0.25, 1e-12);
+  EXPECT_NEAR(y[2], 0.25, 1e-12);
+}
+
+TEST(TransitionOperator, ApplyInPlaceMatchesApply) {
+  const Graph g = make_complete(5);
+  const TransitionOperator op(g, 4);
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> expected(5);
+  op.apply(x, expected);
+  op.apply_in_place(x);
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(x[i], expected[i], 1e-12);
+}
+
+// ------------------------------------------------------ DenseSymmetric --
+
+TEST(DenseSymmetric, RowsAreStochastic) {
+  const Graph g = make_torus2d(3, 3);
+  const auto m = DenseSymmetric::transition_matrix(g, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < m.size(); ++j) row += m.at(i, j);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(DenseSymmetric, JacobiRecoversCompleteGraphSpectrum) {
+  // K_4 with d° = 3: P = (3I + A)/6; spectrum {1, 2/6, 2/6, 2/6}.
+  const Graph g = make_complete(4);
+  const auto m = DenseSymmetric::transition_matrix(g, 3);
+  const auto eig = m.eigenvalues();
+  ASSERT_EQ(eig.size(), 4u);
+  EXPECT_NEAR(eig[0], 1.0, 1e-9);
+  for (int i = 1; i < 4; ++i) EXPECT_NEAR(eig[i], 2.0 / 6.0, 1e-9);
+}
+
+TEST(DenseSymmetric, JacobiMatchesAnalyticCycleSpectrum) {
+  const NodeId n = 12;
+  const int d_loops = 2;
+  const Graph g = make_cycle(n);
+  const auto eig = DenseSymmetric::transition_matrix(g, d_loops).eigenvalues();
+  // Eigenvalues are (d° + 2cos(2πk/n)) / d⁺ for k = 0..n-1.
+  std::vector<double> expected;
+  for (NodeId k = 0; k < n; ++k) {
+    expected.push_back((d_loops + 2.0 * std::cos(2.0 * M_PI * k / n)) /
+                       (2.0 + d_loops));
+  }
+  std::sort(expected.begin(), expected.end(), std::greater<>());
+  for (NodeId k = 0; k < n; ++k) EXPECT_NEAR(eig[k], expected[k], 1e-9);
+}
+
+TEST(DenseSymmetric, ApplyMatchesOperator) {
+  const Graph g = make_circulant(10, {1, 3});
+  const TransitionOperator op(g, 4);
+  const auto m = DenseSymmetric::transition_matrix(g, 4);
+  std::vector<double> x(10), y1(10), y2(10);
+  for (int i = 0; i < 10; ++i) x[i] = 0.37 * i - 1.5;
+  op.apply(x, y1);
+  m.apply(x, y2);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+// ------------------------------------------------------- spectral gap --
+
+struct GapCase {
+  const char* label;
+  Graph graph;
+  int d_loops;
+  double analytic_lambda2;
+};
+
+class SpectralGapTest : public ::testing::Test {};
+
+TEST(SpectralGap, MatchesAnalyticCycle) {
+  for (NodeId n : {5, 8, 16, 32}) {
+    for (int loops : {2, 3, 4}) {
+      const Graph g = make_cycle(n);
+      const auto res = spectral_gap(g, loops);
+      EXPECT_NEAR(res.lambda2, lambda2_cycle(n, loops), 1e-7)
+          << "cycle n=" << n << " d°=" << loops;
+    }
+  }
+}
+
+TEST(SpectralGap, MatchesAnalyticHypercube) {
+  for (int dim : {2, 3, 4, 5}) {
+    const Graph g = make_hypercube(dim);
+    const auto res = spectral_gap(g, dim);
+    EXPECT_NEAR(res.lambda2, lambda2_hypercube(dim, dim), 1e-8) << dim;
+  }
+}
+
+TEST(SpectralGap, MatchesAnalyticComplete) {
+  for (NodeId n : {4, 8, 16}) {
+    const Graph g = make_complete(n);
+    const auto res = spectral_gap(g, n - 1);
+    EXPECT_NEAR(res.lambda2, lambda2_complete(n, n - 1), 1e-8) << n;
+  }
+}
+
+TEST(SpectralGap, MatchesAnalyticTorus) {
+  const std::vector<NodeId> extents{4, 6};
+  const Graph g = make_torus(extents);
+  const auto res = spectral_gap(g, 4);
+  EXPECT_NEAR(res.lambda2, lambda2_torus(extents, 4), 1e-7);
+}
+
+TEST(SpectralGap, MatchesJacobiOnRandomRegular) {
+  const Graph g = make_random_regular(48, 4, 5);
+  const auto eig = DenseSymmetric::transition_matrix(g, 4).eigenvalues();
+  const auto res = spectral_gap(g, 4);
+  EXPECT_NEAR(res.lambda2, eig[1], 1e-6);
+}
+
+TEST(SpectralGap, SignedLambda2WithFewSelfLoops) {
+  // Odd cycle with d° = 0: eigenvalues cos(2πk/n) — the most negative one
+  // has larger magnitude than λ₂ on short odd cycles; the shifted power
+  // iteration must still return the *signed* second largest.
+  const NodeId n = 5;
+  const Graph g = make_cycle(n);
+  const auto res = spectral_gap(g, 0);
+  EXPECT_NEAR(res.lambda2, std::cos(2.0 * M_PI / n), 1e-8);
+}
+
+TEST(SpectralGap, GapIsOneMinusLambda2) {
+  const Graph g = make_hypercube(3);
+  const auto res = spectral_gap(g, 3);
+  EXPECT_NEAR(res.gap, 1.0 - res.lambda2, 1e-12);
+}
+
+// ------------------------------------------------------------- mixing --
+
+TEST(Mixing, BalancingTimeFormula) {
+  // T = ceil(c·log(nK)/µ).
+  EXPECT_EQ(balancing_time(100, 10, 0.5, 16.0),
+            static_cast<std::int64_t>(std::ceil(16.0 * std::log(1000.0) / 0.5)));
+}
+
+TEST(Mixing, BalancingTimeMonotoneInArguments) {
+  EXPECT_LE(balancing_time(64, 8, 0.5), balancing_time(64, 8, 0.25));
+  EXPECT_LE(balancing_time(64, 8, 0.5), balancing_time(64, 800, 0.5));
+  EXPECT_LE(balancing_time(64, 8, 0.5), balancing_time(4096, 8, 0.5));
+}
+
+TEST(Mixing, BalancingTimeRejectsBadGap) {
+  EXPECT_THROW(balancing_time(64, 8, 0.0), invariant_error);
+  EXPECT_THROW(balancing_time(64, 8, -1.0), invariant_error);
+}
+
+TEST(Mixing, MixingUnitFormula) {
+  EXPECT_EQ(mixing_unit(100, 0.25),
+            static_cast<std::int64_t>(std::ceil(6.0 * std::log(100.0) / 0.25)));
+}
+
+TEST(Mixing, EmpiricalContinuousTimeIsBelowFormulaT) {
+  // The formula T (c = 16) is a generous upper bound on the observed
+  // continuous balancing time for spread < 1.
+  const int dim = 6;
+  const Graph g = make_hypercube(dim);
+  const int loops = dim;
+  const double mu = 1.0 - lambda2_hypercube(dim, loops);
+  std::vector<double> init(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  init[0] = 64.0 * g.num_nodes();
+  const auto formula_t = balancing_time(g.num_nodes(), 64 * g.num_nodes(), mu);
+  const auto observed =
+      empirical_continuous_time(g, loops, init, 1.0, formula_t);
+  EXPECT_LT(observed, formula_t);
+  EXPECT_GT(observed, 0);
+}
+
+}  // namespace
+}  // namespace dlb

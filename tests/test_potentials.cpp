@@ -1,0 +1,126 @@
+// Tests for the Section-3 potential functions φ_t(c), φ'_t(c): value
+// arithmetic plus the Lemma 3.5 / 3.7 monotonicity, verified mechanically
+// on live runs of good s-balancers.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "analysis/potentials.hpp"
+#include "balancers/registry.hpp"
+#include "balancers/rotor_router_star.hpp"
+#include "balancers/send_round.hpp"
+#include "graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+// ---------------------------------------------------------- arithmetic --
+
+TEST(Potentials, PhiCountsTokensAboveLevel) {
+  const LoadVector x{10, 3, 8, 0};
+  // c = 1, d⁺ = 4 -> level 4: overflow = 6 + 0 + 4 + 0.
+  EXPECT_EQ(phi_potential(x, 1, 4), 10);
+  // c = 0 -> level 0: φ = total load.
+  EXPECT_EQ(phi_potential(x, 0, 4), 21);
+  // Level above max -> 0.
+  EXPECT_EQ(phi_potential(x, 3, 4), 0);
+}
+
+TEST(Potentials, PhiPrimeCountsGapsBelowLevel) {
+  const LoadVector x{10, 3, 8, 0};
+  // c = 1, d⁺ = 4, s = 2 -> level 6: gaps = 0 + 3 + 0 + 6.
+  EXPECT_EQ(phi_prime_potential(x, 1, 4, 2), 9);
+}
+
+TEST(Potentials, PhiPrimeAtZeroLevelIsZero) {
+  const LoadVector x{5, 1, 2};
+  EXPECT_EQ(phi_prime_potential(x, 0, 3, 0), 0);
+}
+
+TEST(Potentials, PhiIsNonIncreasingInC) {
+  const LoadVector x{17, 2, 9, 4, 0, 13};
+  for (Load c = 0; c < 5; ++c) {
+    EXPECT_GE(phi_potential(x, c, 4), phi_potential(x, c + 1, 4));
+  }
+}
+
+TEST(Potentials, PhiPrimeIsNonDecreasingInC) {
+  const LoadVector x{17, 2, 9, 4, 0, 13};
+  for (Load c = 0; c < 5; ++c) {
+    EXPECT_LE(phi_prime_potential(x, c, 4, 1),
+              phi_prime_potential(x, c + 1, 4, 1));
+  }
+}
+
+// -------------------------------------------- Lemma 3.5/3.7 monotonicity --
+
+class PotentialMonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<Algorithm, Load>> {};
+
+TEST_P(PotentialMonotonicityTest, GoodBalancerPotentialsNeverIncrease) {
+  const auto [algo, c] = GetParam();
+  const Graph g = make_torus2d(6, 6);
+  const int d = g.degree();
+  auto balancer = make_balancer(algo, 3);
+
+  // Good-balancer configurations: ROTOR-ROUTER* fixes d° = d; SEND([x/d⁺])
+  // is only a good s-balancer for d⁺ > 2d, so give it d° = 2d.
+  const int d_loops = algo == Algorithm::kSendRound ? 2 * d : d;
+  Engine e(g, EngineConfig{.self_loops = d_loops}, *balancer,
+           random_initial(g.num_nodes(), 120, 77));
+  PotentialMonitor monitor(c, /*s=*/1);
+  e.add_observer(monitor);
+  e.run(800);
+
+  EXPECT_TRUE(monitor.phi_monotone())
+      << algorithm_name(algo) << " φ(c=" << c << ") increased";
+  EXPECT_TRUE(monitor.phi_prime_monotone())
+      << algorithm_name(algo) << " φ'(c=" << c << ") increased";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GoodBalancers, PotentialMonotonicityTest,
+    ::testing::Combine(::testing::Values(Algorithm::kRotorRouterStar,
+                                         Algorithm::kSendRound),
+                       ::testing::Values<Load>(1, 3, 7, 15)));
+
+TEST(Potentials, PhiDropsToZeroAtSensibleLevels) {
+  // After a long run of a good balancer, loads concentrate near x̄ and
+  // φ(c) vanishes for levels safely above the Thm 3.3 threshold.
+  const Graph g = make_torus2d(6, 6);
+  const int d = g.degree();
+  RotorRouterStar b(9);
+  const Load avg = 60;
+  Engine e(g, EngineConfig{.self_loops = d}, b,
+           bimodal_initial(g.num_nodes(), 2 * avg));
+  e.run(6000);
+  const int d_plus = 2 * d;
+  // Threshold from the proof: c0·d⁺ >= x̄ + δd⁺ + 2d° + d⁺/2.
+  const Load c0 = (avg + d_plus + 2 * d + d_plus / 2) / d_plus + 1;
+  EXPECT_EQ(phi_potential(e.loads(), c0, d_plus), 0);
+}
+
+TEST(PotentialMonitor, DetectsIncreaseForAdversarialSequence) {
+  // Feed the monitor a fabricated increasing sequence through a fake
+  // engine step to confirm it actually detects violations.
+  const Graph g = make_cycle(3);
+
+  class Grower : public Balancer {
+   public:
+    std::string name() const override { return "test:grower"; }
+    void reset(const Graph&, int) override {}
+    void decide(NodeId u, Load load, Step, std::span<Load> flows) override {
+      std::fill(flows.begin(), flows.end(), 0);
+      if (u == 0 && load > 0) flows[0] = load;  // pile everything on node 1
+    }
+  } grower;
+
+  Engine e(g, EngineConfig{.self_loops = 0}, grower, LoadVector{6, 6, 0});
+  PotentialMonitor monitor(/*c=*/4, /*s=*/1);  // level 8 with d⁺ = 2
+  e.add_observer(monitor);
+  e.run(3);
+  // Node 1 accumulates 12 > 8: φ(4) rose above its initial value.
+  EXPECT_FALSE(monitor.phi_monotone());
+}
+
+}  // namespace
+}  // namespace dlb

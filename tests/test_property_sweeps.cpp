@@ -1,0 +1,203 @@
+// Property sweeps: the model-level invariants that must hold for *every*
+// (algorithm, graph, seed, d°) combination, run over a full matrix of
+// configurations. These are the "no algorithm, no graph, no seed can
+// break the model" guarantees:
+//   P1 conservation       — Σx is invariant (engine-checked + asserted)
+//   P2 non-negativity     — loads never go negative unless the algorithm
+//                           declares allows_negative()
+//   P3 remainder bound    — |r_t(u)| < d⁺ (Proposition A.2's premise)
+//   P4 floor condition    — Def. 2.1(i) for the cumulatively fair schemes
+//   P5 fairness constants — δ ∈ {0, 1} as per Observation 2.2, any seed
+//   P6 convergence        — discrepancy at 4T within a generous O(d·√n)
+//                           envelope for every deterministic scheme
+//   P7 stationarity       — a perfectly balanced state stays balanced
+//                           under every deterministic scheme
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "analysis/bounds.hpp"
+#include "analysis/experiment.hpp"
+#include "balancers/registry.hpp"
+#include "balancers/rotor_router.hpp"
+#include "core/fairness.hpp"
+#include "graph/generators.hpp"
+#include "markov/spectral.hpp"
+
+namespace dlb {
+namespace {
+
+struct GraphCase {
+  const char* label;
+  Graph (*make)();
+};
+
+Graph small_hypercube() { return make_hypercube(4); }
+Graph small_torus() { return make_torus2d(4, 5); }
+Graph small_cycle() { return make_cycle(11); }
+Graph small_random() { return make_random_regular(24, 4, 99); }
+Graph small_margulis() { return make_margulis(4); }
+Graph small_debruijn() { return make_debruijn(2, 4); }
+
+const GraphCase kGraphs[] = {
+    {"hypercube4", small_hypercube}, {"torus4x5", small_torus},
+    {"cycle11", small_cycle},        {"randreg24_4", small_random},
+    {"margulis4", small_margulis},   {"debruijn2_4", small_debruijn},
+};
+
+class SweepTest : public ::testing::TestWithParam<
+                      std::tuple<Algorithm, int, std::uint64_t>> {};
+
+TEST_P(SweepTest, ModelInvariantsAcrossGraphFamilies) {
+  const auto [algo, graph_idx, seed] = GetParam();
+  const GraphCase& gc = kGraphs[static_cast<std::size_t>(graph_idx)];
+  const Graph g = gc.make();
+  const int d = g.degree();
+  const int d_loops = d;  // valid for every algorithm
+
+  auto balancer = make_balancer(algo, seed);
+  const LoadVector initial =
+      random_initial(g.num_nodes(), 20 * d, seed * 7 + 1);
+  const Load total = total_load(initial);
+
+  Engine e(g, EngineConfig{.self_loops = d_loops}, *balancer, initial);
+  FairnessAuditor auditor;
+  e.add_observer(auditor);
+  e.run(300);
+
+  // P1: conservation.
+  EXPECT_EQ(total_load(e.loads()), total) << gc.label;
+
+  const auto& rep = auditor.report();
+  // P2: negativity only for self-declared schemes.
+  if (!balancer->allows_negative()) {
+    EXPECT_GE(e.min_load_seen(), 0) << gc.label;
+    EXPECT_FALSE(rep.negative_seen) << gc.label;
+  }
+  // P3: remainder bound (Prop. A.2 premise). Applies to the schemes that
+  // spread their load over the d⁺ ports each step; CONT-MIMIC and
+  // BOUNDED-ERROR instead retain everything not prescribed by their flow
+  // tracking, so their remainder is legitimately Θ(x).
+  if (algo != Algorithm::kContinuousMimic &&
+      algo != Algorithm::kBoundedError) {
+    EXPECT_LT(rep.max_remainder, d + d_loops) << gc.label;
+  }
+
+  // P4/P5: class constants per Observation 2.2, for any seed and graph.
+  switch (algo) {
+    case Algorithm::kSendFloor:
+    case Algorithm::kSendRound:
+      EXPECT_EQ(rep.observed_delta, 0) << gc.label;
+      EXPECT_TRUE(rep.floor_condition_ok) << gc.label;
+      break;
+    case Algorithm::kRotorRouter:
+    case Algorithm::kRotorRouterStar:
+      EXPECT_LE(rep.observed_delta, 1) << gc.label;
+      EXPECT_TRUE(rep.floor_condition_ok) << gc.label;
+      EXPECT_TRUE(rep.round_fair) << gc.label;
+      break;
+    case Algorithm::kBoundedError:
+      EXPECT_LE(rep.observed_delta, 1) << gc.label;  // |F−W| <= 1/2 per edge
+      break;
+    default:
+      break;  // baselines make no fairness promises
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SweepTest,
+    ::testing::Combine(::testing::ValuesIn(all_algorithms()),
+                       ::testing::Range(0, 6),
+                       ::testing::Values<std::uint64_t>(1, 2)),
+    [](const auto& info) {
+      std::string name = algorithm_name(std::get<0>(info.param)) + "_g" +
+                         std::to_string(std::get<1>(info.param)) + "_s" +
+                         std::to_string(std::get<2>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ------------------------------------------------------ P6 convergence --
+
+class ConvergenceSweep : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ConvergenceSweep, FourTBringsEveryDeterministicSchemeNearAverage) {
+  const Algorithm algo = GetParam();
+  const Graph g = make_torus2d(6, 6);
+  const int d = g.degree();
+  const double mu = 1.0 - lambda2_torus({6, 6}, d);
+  auto b = make_balancer(algo, 5);
+  ExperimentSpec spec;
+  spec.self_loops = d;
+  spec.time_multiplier = 4.0;
+  spec.run_continuous = false;
+  const auto r = run_experiment(
+      g, *b, point_mass_initial(g.num_nodes(), 77 * g.num_nodes()), mu, spec);
+  EXPECT_LE(static_cast<double>(r.final_discrepancy),
+            bound_thm23_sqrt_n(1.0, d, g.num_nodes()))
+      << algorithm_name(algo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deterministic, ConvergenceSweep,
+    ::testing::Values(Algorithm::kSendFloor, Algorithm::kSendRound,
+                      Algorithm::kRotorRouter, Algorithm::kRotorRouterStar,
+                      Algorithm::kContinuousMimic, Algorithm::kBoundedError,
+                      Algorithm::kFixedPriority));
+
+// ----------------------------------------------------- P7 stationarity --
+
+class StationarityTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(StationarityTest, PerfectlyBalancedStateStaysBalanced) {
+  // With x(u) = c·d⁺ for all u, every class rule sends exactly c per
+  // port and the state is a fixpoint (discrepancy stays 0).
+  const Algorithm algo = GetParam();
+  const Graph g = make_hypercube(4);
+  const int d = g.degree();
+  const Load level = 3 * (2 * d);  // 3·d⁺ tokens per node
+  auto b = make_balancer(algo, 9);
+  Engine e(g, EngineConfig{.self_loops = d}, *b,
+           LoadVector(static_cast<std::size_t>(g.num_nodes()), level));
+  e.run(50);
+  EXPECT_EQ(e.discrepancy(), 0) << algorithm_name(algo);
+  EXPECT_EQ(e.loads()[0], level) << algorithm_name(algo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deterministic, StationarityTest,
+    ::testing::Values(Algorithm::kSendFloor, Algorithm::kSendRound,
+                      Algorithm::kRotorRouter, Algorithm::kRotorRouterStar,
+                      Algorithm::kFixedPriority, Algorithm::kContinuousMimic,
+                      Algorithm::kBoundedError));
+
+// --------------------------------------- rotor-specific deep invariants --
+
+class RotorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RotorSeedSweep, CumulativeOneFairnessOnEveryFamilyAnySeed) {
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : kGraphs) {
+    const Graph g = gc.make();
+    RotorRouter b(seed);
+    Engine e(g, EngineConfig{.self_loops = g.degree()}, b,
+             random_initial(g.num_nodes(), 100, seed + 13));
+    FairnessAuditor auditor;
+    e.add_observer(auditor);
+    e.run(400);
+    EXPECT_LE(auditor.report().observed_delta, 1)
+        << gc.label << " seed=" << seed;
+    EXPECT_EQ(auditor.report().max_remainder, 0)
+        << gc.label << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RotorSeedSweep,
+                         ::testing::Values<std::uint64_t>(0, 3, 17, 255,
+                                                          104729));
+
+}  // namespace
+}  // namespace dlb
