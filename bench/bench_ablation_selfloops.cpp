@@ -5,45 +5,77 @@
 // between is resolved. We sweep d° ∈ {0, 1, 2, d, 2d} on an (even,
 // bipartite — worst case for periodicity) torus and an odd cycle and
 // report the discrepancy after the d°-adjusted time T.
+//
+// The d° axis is a sweep axis: each graph appears once per d° with the
+// µ of its aperiodic reference chain (the horizon depends on d°), and
+// the filter pairs every graph case with its own d°. One SweepRunner
+// invocation per graph covers the whole ablation in parallel.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "analysis/experiment.hpp"
-#include "balancers/rotor_router.hpp"
+#include "analysis/sweep.hpp"
+#include "balancers/registry.hpp"
 #include "bench_common.hpp"
 #include "markov/spectral.hpp"
+#include "util/assertions.hpp"
 
 namespace {
 
 using namespace dlb;
 
-void sweep(const Graph& g, double (*lambda)(int d_loops), Load k) {
-  const int d = g.degree();
-  std::printf("\n--- %s (d=%d, K=%lld) ---\n", g.name().c_str(), d,
-              static_cast<long long>(k));
+void sweep(std::shared_ptr<const Graph> g, double (*lambda)(int d_loops),
+           Load per_node) {
+  const int d = g->degree();
+  std::printf("\n--- %s (d=%d, K=%lld) ---\n", g->name().c_str(), d,
+              static_cast<long long>(per_node * g->num_nodes()));
   std::printf("%6s %10s %9s %10s\n", "d.o", "mu", "T", "disc@T");
   bench::rule(40);
-  // Point mass: all load on node 0. On a bipartite graph with d° = 0 the
-  // two colour classes can never equalize (the walk is periodic), which
-  // is exactly the failure mode the sweep should expose.
-  const LoadVector initial = point_mass_initial(g.num_nodes(), k);
+
   std::vector<int> loop_counts{0, 1, 2, d, 2 * d};
   loop_counts.erase(std::unique(loop_counts.begin(), loop_counts.end()),
                     loop_counts.end());
+
+  // One graph case per d°, each carrying the µ of the *aperiodic*
+  // reference chain for the horizon when d° = 0. The Graph object itself
+  // is shared read-only across all cases.
+  SweepMatrix matrix;
   for (int d_loops : loop_counts) {
-    // µ of the *aperiodic* reference chain for the horizon when d° = 0.
-    const double mu = 1.0 - lambda(std::max(1, d_loops));
-    RotorRouter b(3);
-    ExperimentSpec spec;
-    spec.self_loops = d_loops;
-    spec.run_continuous = false;
-    const auto r = run_experiment(g, b, initial, mu, spec);
-    std::printf("%6d %10.4g %9lld %10lld\n", d_loops, mu,
+    matrix.add_graph({g->name(), g, 1.0 - lambda(std::max(1, d_loops))});
+    matrix.add_self_loops(d_loops);
+  }
+  // Point mass: all load on node 0. On a bipartite graph with d° = 0 the
+  // two colour classes can never equalize (the walk is periodic), which
+  // is exactly the failure mode the sweep should expose.
+  matrix.add_balancer(Algorithm::kRotorRouter)
+      .add_shape(InitialShape::kPointMass)
+      .add_load_scale(per_node)
+      .add_seed(3);
+
+  const std::vector<Scenario> scenarios = bench::paired_scenarios(
+      matrix, [&loop_counts](const Scenario& s, const GraphCase&) {
+        // Scenario::self_loops is the post-clamp d°; the pairing works
+        // because ROTOR-ROUTER's clamp is the identity. The size check
+        // below fails loudly if a clamped scheme is ever swept here.
+        return s.self_loops == loop_counts[s.graph_index];
+      });
+  DLB_REQUIRE(scenarios.size() == loop_counts.size(),
+              "bench_ablation_selfloops: d° pairing lost scenarios "
+              "(balancer clamp interfered)");
+
+  SweepOptions options;
+  options.threads = 0;  // all cores
+  options.base.run_continuous = false;
+
+  for (const SweepRow& row : SweepRunner(options).run(matrix, scenarios)) {
+    const ExperimentResult& r = row.result;
+    std::printf("%6d %10.4g %9lld %10lld\n", row.self_loops, r.mu,
                 static_cast<long long>(r.t_balance),
                 static_cast<long long>(r.final_discrepancy));
     std::printf("CSV,ablation_selfloops,%s,%d,%.6g,%lld,%lld\n",
-                g.name().c_str(), d_loops, mu,
+                row.graph_name.c_str(), row.self_loops, r.mu,
                 static_cast<long long>(r.t_balance),
                 static_cast<long long>(r.final_discrepancy));
   }
@@ -57,14 +89,9 @@ double cycle_lambda(int d_loops) { return lambda2_cycle(128, d_loops); }
 int main() {
   std::printf("bench_ablation_selfloops: ROTOR-ROUTER discrepancy at T as a "
               "function of the self-loop count d°\n");
-  {
-    const Graph g = make_torus2d(16, 16);
-    sweep(g, torus_lambda, 100 * g.num_nodes());
-  }
-  {
-    const Graph g = make_cycle(128);
-    sweep(g, cycle_lambda, 100 * 128);
-  }
+  sweep(std::make_shared<const Graph>(make_torus2d(16, 16)), torus_lambda,
+        100);
+  sweep(std::make_shared<const Graph>(make_cycle(128)), cycle_lambda, 100);
   std::printf("\nexpected shape: d°=0 stalls on the bipartite torus and even "
               "cycle (the point mass can never equalize across the two "
               "colour classes), already d°=1 balances, and d° >= d gives the "

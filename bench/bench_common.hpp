@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "analysis/sweep.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "markov/spectral.hpp"
@@ -18,6 +20,24 @@ struct Instance {
   Graph graph;
   double mu;  ///< spectral gap of G⁺ (analytic when the family has one)
 };
+
+/// Adapts an Instance to a sweep-matrix graph axis entry.
+inline GraphCase as_case(std::string family, Instance inst) {
+  return {std::move(family),
+          std::make_shared<const Graph>(std::move(inst.graph)), inst.mu};
+}
+
+/// Filters a matrix's cross product down to the scenarios where
+/// `keep(scenario, graph_case)` holds — the pairing idiom for benches
+/// that tie an axis value (K = n, a per-case d°) to each graph case.
+template <typename Pred>
+std::vector<Scenario> paired_scenarios(const SweepMatrix& m, Pred keep) {
+  std::vector<Scenario> out;
+  for (const Scenario& s : m.scenarios()) {
+    if (keep(s, m.graphs()[s.graph_index])) out.push_back(s);
+  }
+  return out;
+}
 
 inline Instance cycle_instance(NodeId n, int d_loops) {
   Graph g = make_cycle(n);

@@ -9,18 +9,32 @@
 // report the *measured* minimum load), NC (no extra communication; all
 // implemented schemes are communication-free by construction).
 //
+// The whole table is one SweepRunner invocation: the 4 families × 9
+// algorithms land in a scenario matrix and fan out across a worker pool
+// (--threads=N, default all cores), instead of 36 sequential runs.
+// Aggregation is scenario-ordered, so the printed table is identical for
+// any thread count.
+//
 // Expected shape (the paper's claim): the cumulatively fair schemes
 // (SEND variants, ROTOR-ROUTER) land well below FIXED-PRIORITY (the
 // arbitrary-rounding member of the [17] class), and the good s-balancers
 // (ROTOR-ROUTER*, SEND(nearest)) reach O(d) given the longer Thm 3.3
 // horizon — exercised separately in bench_thm33_sbalancer.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <limits>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "analysis/bounds.hpp"
 #include "analysis/experiment.hpp"
+#include "analysis/sweep.hpp"
 #include "balancers/registry.hpp"
 #include "bench_common.hpp"
 
@@ -29,32 +43,33 @@ namespace {
 using namespace dlb;
 using bench::Instance;
 
-void run_family(const char* label, const Instance& inst, Load k) {
-  const Graph& g = inst.graph;
-  const int d = g.degree();
+/// K of the bimodal initial load, per family label.
+const std::map<std::string, Load>& family_load_scales() {
+  static const std::map<std::string, Load> k = {
+      {"hypercube", 1024},
+      {"random-regular", 1024},
+      {"torus", 256},
+      {"cycle", 128},
+  };
+  return k;
+}
 
-  std::printf("\n=== %s: %s, n=%d, d=%d, mu=%.3g, K=%lld ===\n", label,
-              g.name().c_str(), g.num_nodes(), d, inst.mu,
+void print_family(const GraphCase& gc, const std::vector<SweepRow>& rows) {
+  const Graph& g = *gc.graph;
+  const int d = g.degree();
+  const Load k = family_load_scales().at(gc.family);
+
+  std::printf("\n=== %s: %s, n=%d, d=%d, mu=%.3g, K=%lld ===\n",
+              gc.family.c_str(), g.name().c_str(), g.num_nodes(), d, gc.mu,
               static_cast<long long>(k));
   std::printf("%-16s %6s %8s %9s %9s %9s %10s %6s %6s %7s %8s\n", "algorithm",
               "d.o", "T", "disc@T/16", "disc@T/4", "disc@T", "cont@T", "delta",
               "rfair", "s_eff", "minload");
   bench::rule(112);
 
-  const LoadVector initial = bimodal_initial(g.num_nodes(), k);
-
-  for (Algorithm a : all_algorithms()) {
-    // Comparable configuration: d° = d for every algorithm (the paper's
-    // default assumption "at least d self-loops").
-    const int d_loops = d;
-    auto balancer = make_balancer(a, /*seed=*/12345);
-    ExperimentSpec spec;
-    spec.self_loops = d_loops;
-    spec.time_multiplier = 1.0;
-    spec.sample_fractions = {1.0 / 16.0, 0.25, 1.0};
-    const ExperimentResult r =
-        run_experiment(g, *balancer, initial, inst.mu, spec);
-
+  for (const SweepRow& row : rows) {
+    if (row.family != gc.family) continue;
+    const ExperimentResult& r = row.result;
     const auto& f = r.fairness;
     const std::string s_eff =
         f.observed_s == std::numeric_limits<std::int64_t>::max()
@@ -63,7 +78,7 @@ void run_family(const char* label, const Instance& inst, Load k) {
     const Load disc_16 = r.samples.size() > 0 ? r.samples[0].second : -1;
     const Load disc_4 = r.samples.size() > 1 ? r.samples[1].second : -1;
     std::printf("%-16s %6d %8lld %9lld %9lld %9lld %10.2f %6lld %6s %7s %8lld\n",
-                r.algorithm.c_str(), d_loops,
+                r.algorithm.c_str(), row.self_loops,
                 static_cast<long long>(r.t_balance),
                 static_cast<long long>(disc_16),
                 static_cast<long long>(disc_4),
@@ -72,47 +87,102 @@ void run_family(const char* label, const Instance& inst, Load k) {
                 static_cast<long long>(f.observed_delta),
                 f.round_fair ? "yes" : "no", s_eff.c_str(),
                 static_cast<long long>(r.min_load_seen));
-
-    std::printf("CSV,table1,%s,%s,%d,%d,%d,%.6g,%lld,%lld,%lld,%.2f,%lld,%d,%lld\n",
-                g.name().c_str(), r.algorithm.c_str(), g.num_nodes(), d,
-                d_loops, inst.mu, static_cast<long long>(k),
-                static_cast<long long>(r.t_balance),
-                static_cast<long long>(r.final_discrepancy),
-                r.continuous_final_discrepancy,
-                static_cast<long long>(f.observed_delta),
-                f.round_fair ? 1 : 0,
-                static_cast<long long>(r.min_load_seen));
   }
 
   std::printf("bounds: RSW(d log n/mu)=%.0f  Thm2.3(i) d*sqrt(log n/mu)=%.0f  "
               "Thm2.3(ii) d*sqrt(n)=%.0f  Thm3.3 (2d+4d.o)=%lld\n",
-              bound_rsw(d, g.num_nodes(), inst.mu),
-              bound_thm23_sqrt_log(1.0, d, g.num_nodes(), inst.mu),
+              bound_rsw(d, g.num_nodes(), gc.mu),
+              bound_thm23_sqrt_log(1.0, d, g.num_nodes(), gc.mu),
               bound_thm23_sqrt_n(1.0, d, g.num_nodes()),
               static_cast<long long>(bound_thm33_discrepancy(1, 2 * d, d)));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 0;  // 0 = all hardware threads
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      csv_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_table1 [--threads=N] [--csv=FILE]\n");
+      return 2;
+    }
+  }
+
   std::printf("bench_table1: empirical Table 1 — discrepancy after T per "
               "algorithm per graph family\n");
 
+  // The full Table-1 matrix: 4 graph families × all 9 algorithms, bimodal
+  // initial load, d° = d, one seed. The load-scale axis carries every
+  // family's K; the filter below keeps only each family's own K.
+  SweepMatrix matrix;
   {
-    const Instance inst = bench::hypercube_instance(10, 10);
-    run_family("expander-like (hypercube)", inst, /*k=*/1024);
+    Instance inst = bench::hypercube_instance(10, 10);
+    matrix.add_graph("hypercube", std::move(inst.graph), inst.mu);
   }
   {
-    const Instance inst = bench::random_regular_instance(1024, 8, 7, 8);
-    run_family("expander (random regular)", inst, /*k=*/1024);
+    Instance inst = bench::random_regular_instance(1024, 8, 7, 8);
+    matrix.add_graph("random-regular", std::move(inst.graph), inst.mu);
   }
   {
-    const Instance inst = bench::torus_instance(16, 16, 4);
-    run_family("torus", inst, /*k=*/256);
+    Instance inst = bench::torus_instance(16, 16, 4);
+    matrix.add_graph("torus", std::move(inst.graph), inst.mu);
   }
   {
-    const Instance inst = bench::cycle_instance(128, 2);
-    run_family("cycle", inst, /*k=*/128);
+    Instance inst = bench::cycle_instance(128, 2);
+    matrix.add_graph("cycle", std::move(inst.graph), inst.mu);
+  }
+  matrix.add_all_algorithms().add_shape(InitialShape::kBimodal);
+  std::set<Load> distinct_scales;
+  for (const auto& [family, k] : family_load_scales()) {
+    (void)family;
+    distinct_scales.insert(k);
+  }
+  for (Load k : distinct_scales) matrix.add_load_scale(k);
+  matrix.add_seed(12345);
+
+  const std::vector<Scenario> scenarios = bench::paired_scenarios(
+      matrix, [](const Scenario& s, const GraphCase& gc) {
+        return s.load_scale == family_load_scales().at(gc.family);
+      });
+
+  SweepOptions options;
+  options.threads = threads;
+  options.base.time_multiplier = 1.0;
+  options.base.sample_fractions = {1.0 / 16.0, 0.25, 1.0};
+
+  SweepRunner runner(options);
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<SweepRow> rows = runner.run(matrix, scenarios);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (const GraphCase& gc : matrix.graphs()) {
+    print_family(gc, rows);
+  }
+
+  std::printf("\nsweep: %zu scenarios, %d worker thread(s), %.2f s wall\n",
+              rows.size(), runner.effective_threads(scenarios.size()),
+              seconds);
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+      return 1;
+    }
+    SweepRunner::write_csv(rows, out);
+    std::printf("CSV written to %s (%zu rows)\n", csv_path.c_str(),
+                rows.size());
+  } else {
+    std::printf("\n");
+    SweepRunner::write_csv(rows, std::cout);
   }
   return 0;
 }

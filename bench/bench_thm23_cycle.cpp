@@ -6,14 +6,19 @@
 // the discrepancy against the d·√n overlay and the estimated growth
 // exponent of disc(n) (OLS in log-log space). Thm 2.3(ii) predicts an
 // exponent <= 0.5; the [17] bound corresponds to ~2 (d·log n/µ ~ n²·…).
+//
+// The whole size × scheme grid is one SweepRunner invocation; K = n is
+// paired with each cycle by filtering the load-scale axis.
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "analysis/bounds.hpp"
 #include "analysis/experiment.hpp"
+#include "analysis/sweep.hpp"
 #include "balancers/registry.hpp"
 #include "bench_common.hpp"
+#include "util/assertions.hpp"
 #include "util/stats.hpp"
 
 int main() {
@@ -24,37 +29,56 @@ int main() {
               "ROT@T/16", "SFL@T/16", "SNE@T/16", "d*sqrt(n)", "rsw_bound");
   bench::rule(84);
 
-  std::vector<double> log_n, log_disc;
-  for (NodeId n : {33, 65, 97, 129, 193}) {
-    const auto inst = bench::cycle_instance(n, 2);
-    const LoadVector initial = bimodal_initial(n, n);
+  const std::vector<NodeId> sizes = {33, 65, 97, 129, 193};
 
-    Load disc[3] = {0, 0, 0};
-    Step t_bal = 0;
-    const Algorithm algos[3] = {Algorithm::kRotorRouter,
-                                Algorithm::kSendFloor, Algorithm::kSendRound};
-    for (int i = 0; i < 3; ++i) {
-      auto b = make_balancer(algos[i], 5);
-      ExperimentSpec spec;
-      spec.self_loops = 2;
-      spec.run_continuous = false;
-      // Sample at T/16 = 1·log(nK)/µ — the point where the continuous
-      // process has just flattened and the discrete deviation shows.
-      spec.sample_fractions = {1.0 / 16.0};
-      const auto r = run_experiment(inst.graph, *b, initial, inst.mu, spec);
-      disc[i] = r.samples[0].second;
-      t_bal = r.t_balance;
-    }
+  SweepMatrix matrix;
+  for (NodeId n : sizes) {
+    matrix.add_graph(bench::as_case("cycle", bench::cycle_instance(n, 2)));
+    matrix.add_load_scale(n);  // K = n, paired via the filter below
+  }
+  matrix.add_balancer(Algorithm::kRotorRouter)
+      .add_balancer(Algorithm::kSendFloor)
+      .add_balancer(Algorithm::kSendRound)
+      .add_shape(InitialShape::kBimodal)
+      .add_self_loops(2)
+      .add_seed(5);
+
+  const std::vector<Scenario> scenarios = bench::paired_scenarios(
+      matrix, [](const Scenario& s, const GraphCase& gc) {
+        return s.load_scale == gc.graph->num_nodes();
+      });
+
+  SweepOptions options;
+  options.threads = 0;  // all cores
+  options.base.run_continuous = false;
+  // Sample at T/16 = 1·log(nK)/µ — the point where the continuous
+  // process has just flattened and the discrete deviation shows.
+  options.base.sample_fractions = {1.0 / 16.0};
+  const std::vector<SweepRow> rows = SweepRunner(options).run(matrix, scenarios);
+  // Row order: graphs outermost, balancers inner — 3 rows per size. The
+  // check fails loudly if an axis ever changes cardinality.
+  DLB_REQUIRE(rows.size() == sizes.size() * 3,
+              "bench_thm23_cycle: unexpected scenario count");
+
+  std::vector<double> log_n, log_disc;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const NodeId n = sizes[i];
+    const SweepRow* per_algo = &rows[i * 3];
+    const double mu = per_algo[0].result.mu;
+    const Step t_bal = per_algo[0].result.t_balance;
+    const Load disc[3] = {per_algo[0].result.samples[0].second,
+                          per_algo[1].result.samples[0].second,
+                          per_algo[2].result.samples[0].second};
 
     const double bnd = bound_thm23_sqrt_n(1.0, 2, n);
-    const double rsw = bound_rsw(2, n, inst.mu);
+    const double rsw = bound_rsw(2, n, mu);
     std::printf("%6d %10.3e %9lld %10lld %10lld %10lld %9.1f %11.0f\n", n,
-                inst.mu, static_cast<long long>(t_bal),
+                mu, static_cast<long long>(t_bal),
                 static_cast<long long>(disc[0]),
                 static_cast<long long>(disc[1]),
                 static_cast<long long>(disc[2]), bnd, rsw);
     std::printf("CSV,thm23ii,%d,2,%.6e,%lld,%lld,%lld,%lld,%.2f,%.2f\n", n,
-                inst.mu, static_cast<long long>(t_bal),
+                mu, static_cast<long long>(t_bal),
                 static_cast<long long>(disc[0]),
                 static_cast<long long>(disc[1]),
                 static_cast<long long>(disc[2]), bnd, rsw);

@@ -9,14 +9,19 @@
 // EXPERIMENTS.md): the measured/√(log n/µ)-bound ratio stays bounded as n
 // grows (the measured curve has the √log-shape), while the [17] curve
 // grows visibly faster.
+//
+// Each degree's size × scheme grid is one SweepRunner invocation; K = n
+// is paired with each graph by filtering the load-scale axis.
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "analysis/bounds.hpp"
 #include "analysis/experiment.hpp"
+#include "analysis/sweep.hpp"
 #include "balancers/registry.hpp"
 #include "bench_common.hpp"
+#include "util/assertions.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -30,37 +35,55 @@ void sweep_degree(int d) {
               "SNE@T", "bnd_sqrt", "bnd_rsw");
   dlb::bench::rule(118);
 
-  std::vector<double> log_ns, rotor_dev;
-  for (NodeId n : {256, 512, 1024, 2048, 4096}) {
-    const auto inst = bench::random_regular_instance(n, d, 1000 + n, d);
-    const Graph& g = inst.graph;
-    const LoadVector initial = bimodal_initial(n, n);
+  const std::vector<NodeId> sizes = {256, 512, 1024, 2048, 4096};
 
-    // disc at T/16 (= 1·log(nK)/µ, where the continuous process has just
-    // flattened and the *discrete deviation* is what remains) and at the
-    // full proof horizon T = 16·log(nK)/µ.
-    Load early[3] = {0, 0, 0};
-    Load late[3] = {0, 0, 0};
-    const Algorithm algos[3] = {Algorithm::kRotorRouter,
-                                Algorithm::kSendFloor, Algorithm::kSendRound};
-    Step t_bal = 0;
-    for (int i = 0; i < 3; ++i) {
-      auto b = make_balancer(algos[i], 5);
-      ExperimentSpec spec;
-      spec.self_loops = d;
-      spec.run_continuous = false;
-      spec.sample_fractions = {1.0 / 16.0, 1.0};
-      const auto r = run_experiment(g, *b, initial, inst.mu, spec);
-      early[i] = r.samples[0].second;
-      late[i] = r.final_discrepancy;
-      t_bal = r.t_balance;
+  SweepMatrix matrix;
+  for (NodeId n : sizes) {
+    matrix.add_graph(bench::as_case(
+        "expander", bench::random_regular_instance(n, d, 1000 + n, d)));
+    matrix.add_load_scale(n);
+  }
+  matrix.add_balancer(Algorithm::kRotorRouter)
+      .add_balancer(Algorithm::kSendFloor)
+      .add_balancer(Algorithm::kSendRound)
+      .add_shape(InitialShape::kBimodal)
+      .add_seed(5);
+
+  const std::vector<Scenario> scenarios = bench::paired_scenarios(
+      matrix, [](const Scenario& s, const GraphCase& gc) {
+        return s.load_scale == gc.graph->num_nodes();
+      });
+
+  SweepOptions options;
+  options.threads = 0;  // all cores
+  options.base.run_continuous = false;
+  // disc at T/16 (= 1·log(nK)/µ, where the continuous process has just
+  // flattened and the *discrete deviation* is what remains) and at the
+  // full proof horizon T = 16·log(nK)/µ.
+  options.base.sample_fractions = {1.0 / 16.0, 1.0};
+  const std::vector<SweepRow> rows = SweepRunner(options).run(matrix, scenarios);
+  // 3 schemes per size, graphs outermost; fail loudly if an axis ever
+  // changes cardinality.
+  DLB_REQUIRE(rows.size() == sizes.size() * 3,
+              "bench_thm23_expander: unexpected scenario count");
+
+  std::vector<double> log_ns, rotor_dev;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const NodeId n = sizes[i];
+    const SweepRow* per_algo = &rows[i * 3];
+    const double mu = per_algo[0].result.mu;
+    const Step t_bal = per_algo[0].result.t_balance;
+    Load early[3], late[3];
+    for (int a = 0; a < 3; ++a) {
+      early[a] = per_algo[a].result.samples[0].second;
+      late[a] = per_algo[a].result.final_discrepancy;
     }
 
-    const double bnd_sqrt = bound_thm23_sqrt_log(1.0, d, n, inst.mu);
-    const double bnd_rsw = bound_rsw(d, n, inst.mu);
+    const double bnd_sqrt = bound_thm23_sqrt_log(1.0, d, n, mu);
+    const double bnd_rsw = bound_rsw(d, n, mu);
     std::printf("%6d %8.4f %8lld | %9lld %9lld | %9lld %9lld | %9lld %9lld "
                 "| %9.1f %9.1f\n",
-                n, inst.mu, static_cast<long long>(t_bal),
+                n, mu, static_cast<long long>(t_bal),
                 static_cast<long long>(early[0]),
                 static_cast<long long>(late[0]),
                 static_cast<long long>(early[1]),
@@ -69,7 +92,7 @@ void sweep_degree(int d) {
                 static_cast<long long>(late[2]), bnd_sqrt, bnd_rsw);
     std::printf("CSV,thm23i,%d,%d,%.6f,%lld,%lld,%lld,%lld,%lld,%lld,%lld,"
                 "%.2f,%.2f\n",
-                n, d, inst.mu, static_cast<long long>(t_bal),
+                n, d, mu, static_cast<long long>(t_bal),
                 static_cast<long long>(early[0]),
                 static_cast<long long>(late[0]),
                 static_cast<long long>(early[1]),

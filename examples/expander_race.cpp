@@ -3,16 +3,17 @@
 // Scenario from the paper's introduction: a cluster of n processors in a
 // well-connected (expander) topology with a heavily skewed initial job
 // assignment. We race every implemented scheme from the same initial
-// load, printing the discrepancy trajectory and the audited fairness
-// class — a compact, runnable version of Table 1 on a single instance.
+// load — one SweepRunner invocation fans the nine runs across all cores
+// — printing the discrepancy trajectory and the audited fairness class:
+// a compact, runnable version of Table 1 on a single instance.
 //
 // Usage: expander_race [n] [d] [seed]
 #include <cstdio>
 #include <cstdlib>
-#include <limits>
 #include <string>
 
 #include "analysis/experiment.hpp"
+#include "analysis/sweep.hpp"
 #include "balancers/registry.hpp"
 #include "graph/generators.hpp"
 #include "markov/spectral.hpp"
@@ -23,25 +24,32 @@ int main(int argc, char** argv) {
   const int d = argc > 2 ? std::atoi(argv[2]) : 8;
   const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
 
-  const Graph g = make_random_regular(n, d, seed);
+  Graph g = make_random_regular(n, d, seed);
   const double mu = spectral_gap(g, d).gap;
-  const LoadVector initial = point_mass_initial(n, 100 * n);
+  const std::string graph_name = g.name();
 
   std::printf("expander race: %s, d°=d=%d, µ=%.4f, K=%lld tokens on node 0\n",
-              g.name().c_str(), d, mu,
-              static_cast<long long>(discrepancy(initial)));
+              graph_name.c_str(), d, mu,
+              static_cast<long long>(100) * n);
   std::printf("%-16s %10s %10s %10s %8s %7s %9s\n", "algorithm", "disc@T/4",
               "disc@T/2", "disc@T", "delta", "rfair", "min-load");
   for (int i = 0; i < 76; ++i) std::fputc('-', stdout);
   std::fputc('\n', stdout);
 
-  for (Algorithm a : all_algorithms()) {
-    auto balancer = make_balancer(a, seed + 1);
-    ExperimentSpec spec;
-    spec.self_loops = d;
-    spec.sample_fractions = {0.25, 0.5, 1.0};
-    spec.run_continuous = false;
-    const ExperimentResult r = run_experiment(g, *balancer, initial, mu, spec);
+  SweepMatrix matrix;
+  matrix.add_graph("expander", std::move(g), mu)
+      .add_all_algorithms()
+      .add_shape(InitialShape::kPointMass)
+      .add_load_scale(100)  // 100·n tokens on node 0
+      .add_seed(seed + 1);
+
+  SweepOptions options;
+  options.threads = 0;  // all cores
+  options.base.sample_fractions = {0.25, 0.5, 1.0};
+  options.base.run_continuous = false;
+
+  for (const SweepRow& row : SweepRunner(options).run(matrix)) {
+    const ExperimentResult& r = row.result;
     std::printf("%-16s %10lld %10lld %10lld %8lld %7s %9lld\n",
                 r.algorithm.c_str(),
                 static_cast<long long>(r.samples[0].second),

@@ -3,14 +3,16 @@
 // Scenario from the paper's related work: the same network can balance
 // through matchings (one partner per node per step) instead of full
 // diffusion, and then *constant* final discrepancy is possible. This
-// example runs the hypercube dimension circuit, an edge-colouring
-// circuit, and fresh random matchings side by side against the best
-// diffusive scheme, printing the discrepancy trajectory of each.
+// example sweeps the diffusive references (ROTOR-ROUTER* and
+// SEND(floor), run in parallel through the SweepRunner) and then runs
+// the hypercube dimension circuit, an edge-colouring circuit, and fresh
+// random matchings, printing the discrepancy trajectory of each.
+#include <cmath>
 #include <cstdio>
 
 #include "analysis/experiment.hpp"
-#include "balancers/rotor_router_star.hpp"
-#include "core/engine.hpp"
+#include "analysis/sweep.hpp"
+#include "balancers/registry.hpp"
 #include "dimexchange/de_engine.hpp"
 #include "graph/generators.hpp"
 #include "markov/mixing.hpp"
@@ -19,34 +21,56 @@
 int main() {
   using namespace dlb;
   const int dim = 9;
-  const Graph g = make_hypercube(dim);
-  const Load k = 100 * g.num_nodes();
-  const LoadVector initial = point_mass_initial(g.num_nodes(), k);
+  Graph g = make_hypercube(dim);
+  const NodeId n = g.num_nodes();
+  const Load per_node = 100;  // point-mass spike of 100·n tokens
+  const Load k = per_node * n;
+  const LoadVector initial = point_mass_initial(n, k);
   const double mu = 1.0 - lambda2_hypercube(dim, dim);
-  const Step horizon = 2 * balancing_time(g.num_nodes(), k, mu);
+  const Step horizon = 2 * balancing_time(n, k, mu);
 
   std::printf("matching_models: %s, K=%lld, horizon=%lld steps\n",
               g.name().c_str(), static_cast<long long>(k),
               static_cast<long long>(horizon));
   std::printf("%-28s", "t:");
-  const Step checkpoints[] = {horizon / 8, horizon / 4, horizon / 2, horizon};
+  // Rounded exactly as run_experiment rounds its sample fractions, so
+  // the sweep rows below land on the same steps as these labels.
+  const Step checkpoints[] = {std::llround(0.125 * static_cast<double>(horizon)),
+                              std::llround(0.25 * static_cast<double>(horizon)),
+                              std::llround(0.5 * static_cast<double>(horizon)),
+                              horizon};
   for (Step c : checkpoints) std::printf(" %10lld", static_cast<long long>(c));
   std::printf("\n");
 
-  // Diffusive reference: ROTOR-ROUTER* with d° = d.
+  // Diffusive references, fanned out as one sweep: the matrix crosses
+  // the hypercube with both reference algorithms and the same point-mass
+  // spike; samples at the four checkpoints give the trajectories.
   {
-    RotorRouterStar b(1);
-    Engine e(g, EngineConfig{.self_loops = dim}, b, initial);
-    std::printf("%-28s", "diffusive ROTOR-ROUTER*:");
-    Step done = 0;
-    for (Step c : checkpoints) {
-      e.run(c - done);
-      done = c;
-      std::printf(" %10lld", static_cast<long long>(e.discrepancy()));
+    SweepMatrix matrix;
+    matrix.add_graph("hypercube", std::move(g), mu)
+        .add_balancer(Algorithm::kRotorRouterStar)
+        .add_balancer(Algorithm::kSendFloor)
+        .add_shape(InitialShape::kPointMass)
+        .add_load_scale(per_node)
+        .add_seed(1);
+
+    SweepOptions options;
+    options.threads = 0;  // all cores
+    options.base.time_multiplier = 2.0;
+    options.base.sample_fractions = {0.125, 0.25, 0.5, 1.0};
+    options.base.run_continuous = false;
+
+    for (const SweepRow& row : SweepRunner(options).run(matrix)) {
+      std::printf("%-28s", ("diffusive " + row.balancer + ":").c_str());
+      for (const auto& [t, disc] : row.result.samples) {
+        (void)t;
+        std::printf(" %10lld", static_cast<long long>(disc));
+      }
+      std::printf("\n");
     }
-    std::printf("\n");
   }
 
+  const Graph g2 = make_hypercube(dim);  // the sweep consumed the first copy
   auto run_de = [&](const char* label, DimensionExchange de) {
     std::printf("%-28s", label);
     Step done = 0;
@@ -59,13 +83,13 @@ int main() {
   };
 
   run_de("circuit dimension-exchange:",
-         DimensionExchange(g, hypercube_dimension_circuit(dim),
+         DimensionExchange(g2, hypercube_dimension_circuit(dim),
                            DePolicy::kAverageDown, 1, initial));
   run_de("circuit edge-colouring:",
-         DimensionExchange(g, edge_coloring_circuit(g),
+         DimensionExchange(g2, edge_coloring_circuit(g2),
                            DePolicy::kAverageDown, 1, initial));
   run_de("random matchings:",
-         DimensionExchange(g, DePolicy::kRandomOrientation, 1, initial));
+         DimensionExchange(g2, DePolicy::kRandomOrientation, 1, initial));
 
   std::printf("\nreading guide: diffusive schemes flatten to O(d); the "
               "matching models keep halving pair differences and end at "

@@ -45,6 +45,7 @@ ExperimentResult run_experiment(const Graph& g, Balancer& balancer,
   r.n = g.num_nodes();
   r.d = g.degree();
   r.d_loops = spec.self_loops;
+  r.seed = spec.seed;
   r.mu = mu;
   r.initial_discrepancy = discrepancy(initial);
   r.t_balance =

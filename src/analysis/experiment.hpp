@@ -37,6 +37,11 @@ struct ExperimentSpec {
   /// Fractions of the horizon at which the discrepancy is sampled.
   std::vector<double> sample_fractions = {0.25, 0.5, 1.0};
   bool run_continuous = true;     ///< also run the continuous yardstick
+  /// RNG seed of the scenario that produced this run. run_experiment does
+  /// not draw randomness itself (the balancer and the initial load are
+  /// seeded by the caller); the seed is carried here so every result row
+  /// records the full recipe for reproducing it.
+  std::uint64_t seed = 0;
 };
 
 struct ExperimentResult {
@@ -45,6 +50,7 @@ struct ExperimentResult {
   NodeId n = 0;
   int d = 0;
   int d_loops = 0;
+  std::uint64_t seed = 0;  ///< echoed from ExperimentSpec::seed
   double mu = 0.0;
   Step horizon = 0;                          ///< total steps run
   Step t_balance = 0;                        ///< T = c·log(nK)/µ

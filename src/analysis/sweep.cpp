@@ -1,0 +1,325 @@
+#include "analysis/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "util/assertions.hpp"
+#include "util/csv.hpp"
+
+namespace dlb {
+
+std::string initial_shape_name(InitialShape s) {
+  switch (s) {
+    case InitialShape::kPointMass: return "point-mass";
+    case InitialShape::kBimodal: return "bimodal";
+    case InitialShape::kRandom: return "random";
+  }
+  DLB_REQUIRE(false, "initial_shape_name: unknown shape");
+  return {};
+}
+
+LoadVector make_initial(InitialShape s, NodeId n, Load k, std::uint64_t seed) {
+  switch (s) {
+    case InitialShape::kPointMass:
+      return point_mass_initial(n, k * static_cast<Load>(n));
+    case InitialShape::kBimodal: return bimodal_initial(n, k);
+    case InitialShape::kRandom: return random_initial(n, k, seed);
+  }
+  DLB_REQUIRE(false, "make_initial: unknown shape");
+  return {};
+}
+
+BalancerCase balancer_case(Algorithm a) {
+  BalancerCase c;
+  c.name = algorithm_name(a);
+  c.factory = balancer_factory(a);
+  c.adjust_self_loops = [a](int degree, int requested) {
+    if (requires_exact_d_loops(a)) return degree;
+    return std::max(requested, min_self_loops(a, degree));
+  };
+  return c;
+}
+
+BalancerCase balancer_case(const std::string& registered_name) {
+  BalancerCase c;
+  c.name = registered_name;
+  c.factory = find_balancer_factory(registered_name);
+  BalancerTraits traits = find_balancer_traits(registered_name);
+  c.adjust_self_loops = [traits](int degree, int requested) {
+    if (traits.exact_d_loops) return degree;
+    return std::max(requested, traits.min_loops(degree));
+  };
+  return c;
+}
+
+SweepMatrix& SweepMatrix::add_graph(std::string family, Graph g, double mu) {
+  DLB_REQUIRE(mu > 0.0, "SweepMatrix::add_graph: µ must be positive");
+  graphs_.push_back({std::move(family),
+                     std::make_shared<const Graph>(std::move(g)), mu});
+  return *this;
+}
+
+SweepMatrix& SweepMatrix::add_graph(GraphCase c) {
+  DLB_REQUIRE(c.graph != nullptr, "SweepMatrix::add_graph: null graph");
+  DLB_REQUIRE(c.mu > 0.0, "SweepMatrix::add_graph: µ must be positive");
+  graphs_.push_back(std::move(c));
+  return *this;
+}
+
+SweepMatrix& SweepMatrix::add_balancer(Algorithm a) {
+  return add_balancer(balancer_case(a));
+}
+
+SweepMatrix& SweepMatrix::add_balancer(BalancerCase c) {
+  DLB_REQUIRE(c.factory != nullptr, "SweepMatrix::add_balancer: null factory");
+  DLB_REQUIRE(c.adjust_self_loops != nullptr,
+              "SweepMatrix::add_balancer: null self-loop clamp");
+  balancers_.push_back(std::move(c));
+  return *this;
+}
+
+SweepMatrix& SweepMatrix::add_all_algorithms() {
+  for (Algorithm a : all_algorithms()) add_balancer(a);
+  return *this;
+}
+
+SweepMatrix& SweepMatrix::add_shape(InitialShape s) {
+  shapes_.push_back(s);
+  return *this;
+}
+
+SweepMatrix& SweepMatrix::add_load_scale(Load k) {
+  DLB_REQUIRE(k >= 0, "SweepMatrix::add_load_scale: negative scale");
+  load_scales_.push_back(k);
+  return *this;
+}
+
+SweepMatrix& SweepMatrix::add_self_loops(int d_loops) {
+  DLB_REQUIRE(d_loops >= 0 || d_loops == kLoopsMatchDegree,
+              "SweepMatrix::add_self_loops: bad d°");
+  if (self_loops_defaulted_) {
+    self_loops_.clear();
+    self_loops_defaulted_ = false;
+  }
+  self_loops_.push_back(d_loops);
+  return *this;
+}
+
+SweepMatrix& SweepMatrix::add_seed(std::uint64_t seed) {
+  if (seeds_defaulted_) {
+    seeds_.clear();
+    seeds_defaulted_ = false;
+  }
+  seeds_.push_back(seed);
+  return *this;
+}
+
+std::size_t SweepMatrix::size() const {
+  return graphs_.size() * balancers_.size() * shapes_.size() *
+         load_scales_.size() * self_loops_.size() * seeds_.size();
+}
+
+std::vector<Scenario> SweepMatrix::scenarios() const {
+  DLB_REQUIRE(!graphs_.empty(), "SweepMatrix: no graphs added");
+  DLB_REQUIRE(!balancers_.empty(), "SweepMatrix: no balancers added");
+  DLB_REQUIRE(!shapes_.empty(), "SweepMatrix: no initial shapes added");
+  DLB_REQUIRE(!load_scales_.empty(), "SweepMatrix: no load scales added");
+
+  std::vector<Scenario> out;
+  out.reserve(size());
+  std::size_t index = 0;
+  for (std::size_t gi = 0; gi < graphs_.size(); ++gi) {
+    const int degree = graphs_[gi].graph->degree();
+    for (std::size_t bi = 0; bi < balancers_.size(); ++bi) {
+      for (InitialShape shape : shapes_) {
+        for (Load k : load_scales_) {
+          for (int requested : self_loops_) {
+            const int base =
+                requested == kLoopsMatchDegree ? degree : requested;
+            const int effective =
+                balancers_[bi].adjust_self_loops(degree, base);
+            for (std::uint64_t seed : seeds_) {
+              Scenario s;
+              s.index = index++;
+              s.graph_index = gi;
+              s.balancer_index = bi;
+              s.shape = shape;
+              s.load_scale = k;
+              s.self_loops = effective;
+              s.seed = seed;
+              out.push_back(s);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {
+  DLB_REQUIRE(options_.threads >= 0, "SweepRunner: negative thread count");
+}
+
+int SweepRunner::effective_threads(std::size_t scenario_count) const {
+  int t = options_.threads;
+  if (t == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    t = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (scenario_count > 0 &&
+      static_cast<std::size_t>(t) > scenario_count) {
+    t = static_cast<int>(scenario_count);
+  }
+  return std::max(1, t);
+}
+
+std::vector<SweepRow> SweepRunner::run(const SweepMatrix& matrix) const {
+  return run(matrix, matrix.scenarios());
+}
+
+std::vector<SweepRow> SweepRunner::run(
+    const SweepMatrix& matrix, const std::vector<Scenario>& scenarios) const {
+  std::vector<SweepRow> rows(scenarios.size());
+  if (scenarios.empty()) return rows;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;  // guards first_error and the on_result callback
+  std::exception_ptr first_error;
+
+  auto worker = [&]() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= scenarios.size()) return;
+      const Scenario& s = scenarios[i];
+      try {
+        const GraphCase& gc = matrix.graphs()[s.graph_index];
+        const BalancerCase& bc = matrix.balancers()[s.balancer_index];
+        const Graph& g = *gc.graph;
+
+        // Per-scenario ownership: fresh balancer, fresh initial vector,
+        // fresh engine inside run_experiment. The graph is shared but
+        // immutable.
+        std::unique_ptr<Balancer> balancer = bc.factory(s.seed);
+        const LoadVector initial =
+            make_initial(s.shape, g.num_nodes(), s.load_scale, s.seed);
+
+        ExperimentSpec spec = options_.base;
+        spec.self_loops = s.self_loops;
+        spec.seed = s.seed;
+
+        SweepRow row;
+        row.scenario_index = s.index;
+        row.family = gc.family;
+        row.graph_name = g.name();
+        row.balancer = bc.name;
+        row.shape = s.shape;
+        row.load_scale = s.load_scale;
+        row.self_loops = s.self_loops;
+        row.seed = s.seed;
+        row.result = run_experiment(g, *balancer, initial, gc.mu, spec);
+        rows[i] = std::move(row);  // list position, not completion order
+
+        if (options_.on_result) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          options_.on_result(rows[i]);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const int n_threads = effective_threads(scenarios.size());
+  if (n_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(n_threads));
+    for (int t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  return rows;
+}
+
+namespace {
+
+/// Locale-independent, round-trip-exact double formatting so that CSV
+/// output is byte-identical across runs and thread counts.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string fmt_samples(const std::vector<std::pair<Step, Load>>& samples) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i) os << '|';
+    os << samples[i].first << ':' << samples[i].second;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void SweepRunner::write_csv(const std::vector<SweepRow>& rows,
+                            std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"scenario",   "family",      "graph",       "n",
+              "d",          "algorithm",   "shape",       "load_scale",
+              "self_loops", "seed",        "mu",          "t_balance",
+              "horizon",    "initial_disc", "final_disc", "balancedness",
+              "continuous_disc", "delta",  "round_fair",  "observed_s",
+              "min_load",   "max_remainder", "negative_seen", "samples"});
+  for (const SweepRow& row : rows) {
+    const ExperimentResult& r = row.result;
+    const FairnessReport& f = r.fairness;
+    csv.row({std::to_string(row.scenario_index),
+             row.family,
+             row.graph_name,
+             std::to_string(r.n),
+             std::to_string(r.d),
+             row.balancer,
+             initial_shape_name(row.shape),
+             std::to_string(row.load_scale),
+             std::to_string(row.self_loops),
+             std::to_string(row.seed),
+             fmt_double(r.mu),
+             std::to_string(r.t_balance),
+             std::to_string(r.horizon),
+             std::to_string(r.initial_discrepancy),
+             std::to_string(r.final_discrepancy),
+             fmt_double(r.final_balancedness),
+             fmt_double(r.continuous_final_discrepancy),
+             std::to_string(f.observed_delta),
+             f.round_fair ? "1" : "0",
+             std::to_string(f.observed_s),
+             std::to_string(r.min_load_seen),
+             std::to_string(f.max_remainder),
+             f.negative_seen ? "1" : "0",
+             fmt_samples(r.samples)});
+  }
+}
+
+std::string SweepRunner::csv_string(const std::vector<SweepRow>& rows) {
+  std::ostringstream os;
+  write_csv(rows, os);
+  return os.str();
+}
+
+}  // namespace dlb

@@ -1,0 +1,182 @@
+// SweepRunner: the scenario-matrix driver behind every bench.
+//
+// A sweep is the cross product of {graph × balancer × initial-load shape
+// × load scale × self-loop count × RNG seed}. SweepMatrix enumerates the
+// product in a fixed lexicographic order (graphs outermost, seeds
+// innermost); SweepRunner fans the independent run_experiment calls
+// across a std::thread worker pool and aggregates the results *by
+// scenario index*, never by completion order, so an 8-thread run is
+// byte-identical to a sequential one.
+//
+// Thread-safety model: graphs are immutable and shared read-only;
+// balancer and engine state is per-scenario (every worker constructs its
+// own balancer through a BalancerFactory from the registry); the only
+// shared mutable state is the pre-sized result vector, which workers
+// write at disjoint indices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "balancers/registry.hpp"
+#include "core/load_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// Initial-load shapes sweeps can quantify over (see experiment.hpp for
+/// the generators).
+enum class InitialShape {
+  kPointMass,  ///< all K·? tokens on node 0 — worst-case spike
+  kBimodal,    ///< half the nodes hold K, half 0 — the Table-1 default
+  kRandom,     ///< iid uniform in [0, K], drawn from the scenario seed
+};
+
+/// Stable display name ("point-mass", "bimodal", "random").
+std::string initial_shape_name(InitialShape s);
+
+/// Materializes the initial load vector of a scenario. For kPointMass the
+/// spike holds k·n tokens so the average load matches the other shapes'
+/// scale; the discrepancy K is k·n. kRandom draws from `seed`.
+LoadVector make_initial(InitialShape s, NodeId n, Load k, std::uint64_t seed);
+
+/// A graph axis entry: built once, shared read-only across all workers.
+struct GraphCase {
+  std::string family;                  ///< short label ("cycle", "torus", …)
+  std::shared_ptr<const Graph> graph;  ///< immutable, hence shareable
+  double mu;  ///< spectral gap of G⁺ for the d° the sweep uses
+};
+
+/// A balancer axis entry: a name plus a factory, so each scenario owns a
+/// fresh instance, and a clamp from requested d° to what the algorithm
+/// supports (e.g. ROTOR-ROUTER* pins d° = d).
+struct BalancerCase {
+  std::string name;
+  BalancerFactory factory;
+  std::function<int(int degree, int requested)> adjust_self_loops;
+};
+
+/// BalancerCase for a Table-1 algorithm, constraints from the registry.
+BalancerCase balancer_case(Algorithm a);
+
+/// BalancerCase for any registered name (see register_balancer).
+BalancerCase balancer_case(const std::string& registered_name);
+
+/// One fully resolved cell of the cross product. Axis entries are
+/// referenced by index into the owning SweepMatrix.
+struct Scenario {
+  std::size_t index = 0;       ///< position in the deterministic ordering
+  std::size_t graph_index = 0;
+  std::size_t balancer_index = 0;
+  InitialShape shape = InitialShape::kBimodal;
+  Load load_scale = 0;         ///< K of the initial shape
+  int self_loops = 0;          ///< effective d° after the balancer's clamp
+  std::uint64_t seed = 0;
+};
+
+/// Builder for the scenario cross product. Every axis needs at least one
+/// entry except self-loops and seeds, which default to {match-degree}
+/// and {0}. Axis order in the enumeration: graph ▸ balancer ▸ shape ▸
+/// load scale ▸ self-loops ▸ seed.
+class SweepMatrix {
+ public:
+  /// Sentinel for the self-loop axis: use d° = d of the scenario's graph.
+  static constexpr int kLoopsMatchDegree = -1;
+
+  SweepMatrix& add_graph(std::string family, Graph g, double mu);
+  SweepMatrix& add_graph(GraphCase c);
+  SweepMatrix& add_balancer(Algorithm a);
+  SweepMatrix& add_balancer(BalancerCase c);
+  /// Adds every algorithm of all_algorithms(), in Table-1 order.
+  SweepMatrix& add_all_algorithms();
+  SweepMatrix& add_shape(InitialShape s);
+  SweepMatrix& add_load_scale(Load k);
+  SweepMatrix& add_self_loops(int d_loops);  ///< or kLoopsMatchDegree
+  SweepMatrix& add_seed(std::uint64_t seed);
+
+  const std::vector<GraphCase>& graphs() const noexcept { return graphs_; }
+  const std::vector<BalancerCase>& balancers() const noexcept {
+    return balancers_;
+  }
+
+  /// Number of scenarios in the cross product.
+  std::size_t size() const;
+
+  /// Enumerates the cross product in the deterministic axis order, with
+  /// each scenario's d° already clamped by its balancer. Requires every
+  /// mandatory axis to be non-empty.
+  std::vector<Scenario> scenarios() const;
+
+ private:
+  std::vector<GraphCase> graphs_;
+  std::vector<BalancerCase> balancers_;
+  std::vector<InitialShape> shapes_;
+  std::vector<Load> load_scales_;
+  // The optional axes start with a default entry that the first explicit
+  // add_* call replaces.
+  std::vector<int> self_loops_ = {kLoopsMatchDegree};
+  bool self_loops_defaulted_ = true;
+  std::vector<std::uint64_t> seeds_ = {0};
+  bool seeds_defaulted_ = true;
+};
+
+/// One aggregated sweep row: the resolved scenario labels plus the full
+/// experiment result. Self-contained (no pointers into the matrix).
+struct SweepRow {
+  std::size_t scenario_index = 0;
+  std::string family;
+  std::string graph_name;
+  std::string balancer;
+  InitialShape shape = InitialShape::kBimodal;
+  Load load_scale = 0;
+  int self_loops = 0;
+  std::uint64_t seed = 0;
+  ExperimentResult result;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int threads = 1;
+  /// Template for every scenario's ExperimentSpec; self_loops and seed
+  /// are overwritten per scenario.
+  ExperimentSpec base;
+  /// Optional progress callback, invoked under a lock in *completion*
+  /// order (aggregation stays scenario-ordered regardless).
+  std::function<void(const SweepRow&)> on_result;
+};
+
+/// Runs a SweepMatrix across a worker pool; results come back ordered by
+/// scenario index and are identical for any thread count.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Executes every scenario; rethrows the first worker exception after
+  /// joining all threads.
+  std::vector<SweepRow> run(const SweepMatrix& matrix) const;
+
+  /// Executes an explicit scenario list (e.g. a filtered subset of
+  /// matrix.scenarios(), as bench_table1 does to pair each graph family
+  /// with its own K). Rows come back in list order.
+  std::vector<SweepRow> run(const SweepMatrix& matrix,
+                            const std::vector<Scenario>& scenarios) const;
+
+  /// Effective worker count for `scenario_count` scenarios.
+  int effective_threads(std::size_t scenario_count) const;
+
+  /// Writes the rows as CSV (header + one line per row) via util/csv.
+  static void write_csv(const std::vector<SweepRow>& rows, std::ostream& out);
+
+  /// CSV as a string — what the determinism tests compare byte-for-byte.
+  static std::string csv_string(const std::vector<SweepRow>& rows);
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace dlb

@@ -1,5 +1,8 @@
 #include "balancers/registry.hpp"
 
+#include <mutex>
+#include <utility>
+
 #include "balancers/bounded_error.hpp"
 #include "balancers/continuous_mimic.hpp"
 #include "balancers/fixed_priority.hpp"
@@ -68,6 +71,95 @@ int min_self_loops(Algorithm a, int degree) {
 
 bool requires_exact_d_loops(Algorithm a) {
   return a == Algorithm::kRotorRouterStar;
+}
+
+BalancerFactory balancer_factory(Algorithm a) {
+  return [a](std::uint64_t seed) { return make_balancer(a, seed); };
+}
+
+namespace {
+
+struct RegistryEntry {
+  std::string name;
+  BalancerFactory factory;
+  BalancerTraits traits;
+};
+
+/// Name-keyed runtime registry. Held in a function-local static so that
+/// pre-registration of the Table-1 algorithms happens on first use
+/// regardless of static-init order.
+struct Registry {
+  std::mutex mutex;
+  std::vector<RegistryEntry> entries;  // registration order
+
+  Registry() {
+    for (Algorithm a : all_algorithms()) {
+      BalancerTraits traits;
+      traits.min_loops = [a](int degree) { return min_self_loops(a, degree); };
+      traits.exact_d_loops = requires_exact_d_loops(a);
+      entries.push_back(
+          {algorithm_name(a), balancer_factory(a), std::move(traits)});
+    }
+  }
+
+  RegistryEntry* find_locked(const std::string& name) {
+    for (auto& e : entries) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  }
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+void register_balancer(const std::string& name, BalancerFactory factory,
+                       BalancerTraits traits) {
+  DLB_REQUIRE(!name.empty(), "register_balancer: empty name");
+  DLB_REQUIRE(factory != nullptr, "register_balancer: null factory");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (RegistryEntry* existing = r.find_locked(name)) {
+    existing->factory = std::move(factory);
+    existing->traits = std::move(traits);
+    return;
+  }
+  r.entries.push_back({name, std::move(factory), std::move(traits)});
+}
+
+bool balancer_registered(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.find_locked(name) != nullptr;
+}
+
+std::vector<std::string> registered_balancer_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.entries.size());
+  for (const auto& e : r.entries) names.push_back(e.name);
+  return names;
+}
+
+BalancerFactory find_balancer_factory(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  RegistryEntry* e = r.find_locked(name);
+  DLB_REQUIRE(e != nullptr, "find_balancer_factory: unknown balancer " + name);
+  return e->factory;
+}
+
+BalancerTraits find_balancer_traits(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  RegistryEntry* e = r.find_locked(name);
+  DLB_REQUIRE(e != nullptr, "find_balancer_traits: unknown balancer " + name);
+  return e->traits;
 }
 
 }  // namespace dlb

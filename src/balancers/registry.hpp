@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,5 +42,41 @@ int min_self_loops(Algorithm a, int degree);
 
 /// True if the algorithm requires exactly d° == d (ROTOR-ROUTER*).
 bool requires_exact_d_loops(Algorithm a);
+
+/// Constructs a fresh balancer instance for a given seed. Sweep workers
+/// call the factory once per scenario so every run owns its balancer
+/// state — nothing mutable is shared across threads.
+using BalancerFactory =
+    std::function<std::unique_ptr<Balancer>(std::uint64_t seed)>;
+
+/// Factory for a Table-1 algorithm (wraps make_balancer).
+BalancerFactory balancer_factory(Algorithm a);
+
+/// Self-loop requirements of a named balancer, as data: `min_loops` maps
+/// the graph degree to the smallest supported d°; `exact_d_loops` pins
+/// d° == d (ROTOR-ROUTER*).
+struct BalancerTraits {
+  std::function<int(int degree)> min_loops = [](int) { return 0; };
+  bool exact_d_loops = false;
+};
+
+/// Registers a balancer under a stable name so sweeps and CLIs can refer
+/// to it without extending the Algorithm enum. Registering an existing
+/// name replaces the entry. Thread-safe; register before sweeping.
+void register_balancer(const std::string& name, BalancerFactory factory,
+                       BalancerTraits traits = {});
+
+/// True if `name` resolves (Table-1 names are pre-registered).
+bool balancer_registered(const std::string& name);
+
+/// All registered names, Table-1 algorithms first, then custom ones in
+/// registration order.
+std::vector<std::string> registered_balancer_names();
+
+/// Looks up a registered factory; throws invariant_error if unknown.
+BalancerFactory find_balancer_factory(const std::string& name);
+
+/// Looks up the registered traits; throws invariant_error if unknown.
+BalancerTraits find_balancer_traits(const std::string& name);
 
 }  // namespace dlb

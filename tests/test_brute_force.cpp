@@ -9,12 +9,16 @@
 #include <map>
 #include <vector>
 
+#include "analysis/bounds.hpp"
+#include "analysis/deviation.hpp"
 #include "analysis/experiment.hpp"
 #include "analysis/potentials.hpp"
 #include "balancers/registry.hpp"
 #include "balancers/rotor_router.hpp"
 #include "core/flow_tracker.hpp"
 #include "graph/generators.hpp"
+#include "markov/mixing.hpp"
+#include "markov/spectral.hpp"
 #include "util/intmath.hpp"
 
 namespace dlb {
@@ -166,6 +170,81 @@ TEST(BruteForce, RotorDealMatchesTokenByTokenSimulation) {
       EXPECT_EQ(flows, expected) << "start=" << start << " x=" << x;
       EXPECT_EQ(b.rotor(0), static_cast<int>((start + x) % d_plus));
     }
+  }
+}
+
+// ----------------------------------- continuous-yardstick differential --
+
+/// The tier-1 differential gate: ROTOR-ROUTER and SEND(floor) against the
+/// continuous process on small cycles and tori. At T = 16·log(nK)/µ the
+/// yardstick is essentially flat, so the discrete discrepancy *is* the
+/// deviation ‖x_T − y_T‖∞ the theorems bound. Both schemes are
+/// cumulatively δ-fair (δ = 1 resp. 0) and run with d° = d, so Theorem
+/// 2.3 applies: disc(T) = O((δ+1)·d·min{√(log n/µ), √n}); the weaker
+/// RSW guarantee O(d·log n/µ) must hold a fortiori.
+TEST(ContinuousYardstick, RotorRouterAndSendFloorMeetThm23OnSmallGraphs) {
+  struct GraphUnderTest {
+    Graph g;
+    double mu;
+  };
+  std::vector<GraphUnderTest> graphs;
+  graphs.push_back({make_cycle(16), 1.0 - lambda2_cycle(16, 2)});
+  graphs.push_back({make_cycle(25), 1.0 - lambda2_cycle(25, 2)});
+  graphs.push_back({make_torus2d(4, 4), 1.0 - lambda2_torus({4, 4}, 4)});
+  graphs.push_back({make_torus2d(3, 5), 1.0 - lambda2_torus({3, 5}, 4)});
+
+  const struct {
+    Algorithm algorithm;
+    double delta;  // the scheme's cumulative fairness class
+  } schemes[] = {{Algorithm::kRotorRouter, 1.0},
+                 {Algorithm::kSendFloor, 0.0}};
+
+  for (const GraphUnderTest& gut : graphs) {
+    for (const auto& scheme : schemes) {
+      auto balancer = make_balancer(scheme.algorithm, /*seed=*/3);
+      ExperimentSpec spec;
+      spec.self_loops = gut.g.degree();  // d⁺ = 2d, as Thm 2.3 assumes
+      const ExperimentResult r = run_experiment(
+          gut.g, *balancer, bimodal_initial(gut.g.num_nodes(), 64), gut.mu,
+          spec);
+
+      // The yardstick must be flat at T — that is what makes the
+      // discrete discrepancy comparable to the deviation bound at all.
+      EXPECT_LT(r.continuous_final_discrepancy, 1.0)
+          << gut.g.name() << " / " << r.algorithm;
+
+      const double thm23 = bound_thm23(scheme.delta, r.d, r.n, gut.mu);
+      const double rsw = bound_rsw(r.d, r.n, gut.mu);
+      EXPECT_LE(static_cast<double>(r.final_discrepancy), thm23)
+          << gut.g.name() << " / " << r.algorithm << " (Thm 2.3, δ="
+          << scheme.delta << ")";
+      EXPECT_LE(static_cast<double>(r.final_discrepancy), rsw)
+          << gut.g.name() << " / " << r.algorithm << " (RSW)";
+
+      // Both schemes conserve load and never go negative.
+      EXPECT_GE(r.min_load_seen, 0) << gut.g.name() << " / " << r.algorithm;
+      EXPECT_LE(static_cast<double>(r.fairness.observed_delta), scheme.delta)
+          << gut.g.name() << " / " << r.algorithm;
+    }
+  }
+}
+
+/// Lock-step differential: the per-step sup-norm deviation between the
+/// discrete run and the continuous process stays within the RSW envelope
+/// over the whole horizon, not just at T.
+TEST(ContinuousYardstick, PerStepDeviationStaysWithinRswEnvelope) {
+  const Graph g = make_torus2d(4, 4);
+  const double mu = 1.0 - lambda2_torus({4, 4}, 4);
+  const LoadVector initial = bimodal_initial(g.num_nodes(), 64);
+
+  for (Algorithm a : {Algorithm::kRotorRouter, Algorithm::kSendFloor}) {
+    auto balancer = make_balancer(a, /*seed=*/3);
+    Engine e(g, EngineConfig{.self_loops = g.degree()}, *balancer, initial);
+    DeviationTracker tracker(g, g.degree(), initial);
+    e.add_observer(tracker);
+    e.run(balancing_time(g.num_nodes(), 64, mu));
+    EXPECT_LE(tracker.max_seen(), bound_rsw(g.degree(), g.num_nodes(), mu))
+        << algorithm_name(a);
   }
 }
 

@@ -1,0 +1,236 @@
+// Tests for the SweepRunner subsystem: scenario-matrix coverage, the
+// self-loop clamp, registry-backed balancer cases, and — the load-bearing
+// property — bit-identical aggregation across worker-pool sizes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+#include "balancers/registry.hpp"
+#include "balancers/send_floor.hpp"
+#include "graph/generators.hpp"
+#include "markov/spectral.hpp"
+
+namespace dlb {
+namespace {
+
+SweepMatrix small_matrix() {
+  SweepMatrix m;
+  m.add_graph("cycle", make_cycle(24), 1.0 - lambda2_cycle(24, 2));
+  m.add_graph("torus", make_torus2d(4, 4), 1.0 - lambda2_torus({4, 4}, 4));
+  m.add_balancer(Algorithm::kRotorRouter);
+  m.add_balancer(Algorithm::kRandomizedExtra);  // exercises seeded RNG state
+  m.add_balancer(Algorithm::kSendFloor);
+  m.add_shape(InitialShape::kBimodal);
+  m.add_shape(InitialShape::kRandom);
+  m.add_load_scale(64);
+  m.add_seed(1);
+  m.add_seed(2);
+  return m;
+}
+
+SweepOptions fast_options(int threads) {
+  SweepOptions o;
+  o.threads = threads;
+  o.base.time_multiplier = 0.25;  // keep runtimes test-sized
+  o.base.run_continuous = false;
+  return o;
+}
+
+// ------------------------------------------------------ initial shapes --
+
+TEST(InitialShape, NamesAreStable) {
+  EXPECT_EQ(initial_shape_name(InitialShape::kPointMass), "point-mass");
+  EXPECT_EQ(initial_shape_name(InitialShape::kBimodal), "bimodal");
+  EXPECT_EQ(initial_shape_name(InitialShape::kRandom), "random");
+}
+
+TEST(InitialShape, MakeInitialMatchesGenerators) {
+  EXPECT_EQ(make_initial(InitialShape::kPointMass, 8, 10, 0),
+            point_mass_initial(8, 80));
+  EXPECT_EQ(make_initial(InitialShape::kBimodal, 8, 10, 0),
+            bimodal_initial(8, 10));
+  EXPECT_EQ(make_initial(InitialShape::kRandom, 8, 10, 42),
+            random_initial(8, 10, 42));
+  // The random shape is a pure function of (n, k, seed).
+  EXPECT_EQ(make_initial(InitialShape::kRandom, 8, 10, 42),
+            make_initial(InitialShape::kRandom, 8, 10, 42));
+}
+
+// ------------------------------------------------------ matrix coverage --
+
+TEST(SweepMatrix, SizeIsTheCrossProduct) {
+  const SweepMatrix m = small_matrix();
+  EXPECT_EQ(m.size(), 2u * 3u * 2u * 1u * 1u * 2u);
+  EXPECT_EQ(m.scenarios().size(), m.size());
+}
+
+TEST(SweepMatrix, EnumeratesEveryCombinationExactlyOnce) {
+  const SweepMatrix m = small_matrix();
+  using Key = std::tuple<std::size_t, std::size_t, InitialShape, Load,
+                         std::uint64_t>;
+  std::set<Key> seen;
+  std::size_t expected_index = 0;
+  for (const Scenario& s : m.scenarios()) {
+    EXPECT_EQ(s.index, expected_index++);  // deterministic ordering
+    EXPECT_TRUE(seen.emplace(s.graph_index, s.balancer_index, s.shape,
+                             s.load_scale, s.seed)
+                    .second)
+        << "duplicate scenario at index " << s.index;
+  }
+  EXPECT_EQ(seen.size(), m.size());
+}
+
+TEST(SweepMatrix, DefaultLoopAndSeedAxesAreReplacedByExplicitEntries) {
+  SweepMatrix m;
+  m.add_graph("cycle", make_cycle(8), 1.0 - lambda2_cycle(8, 2));
+  m.add_balancer(Algorithm::kSendFloor);
+  m.add_shape(InitialShape::kBimodal);
+  m.add_load_scale(8);
+  ASSERT_EQ(m.size(), 1u);  // defaults: d° = d, seed = 0
+  EXPECT_EQ(m.scenarios()[0].self_loops, 2);
+  EXPECT_EQ(m.scenarios()[0].seed, 0u);
+
+  m.add_seed(7).add_seed(8);
+  ASSERT_EQ(m.size(), 2u);  // the default seed 0 is gone
+  EXPECT_EQ(m.scenarios()[0].seed, 7u);
+  EXPECT_EQ(m.scenarios()[1].seed, 8u);
+}
+
+TEST(SweepMatrix, SelfLoopClampFollowsTheRegistryConstraints) {
+  SweepMatrix m;
+  m.add_graph("cycle", make_cycle(8), 1.0 - lambda2_cycle(8, 2));
+  m.add_balancer(Algorithm::kSendFloor);        // no constraint
+  m.add_balancer(Algorithm::kSendRound);        // wants d° >= d
+  m.add_balancer(Algorithm::kRotorRouterStar);  // pins d° = d
+  m.add_shape(InitialShape::kBimodal);
+  m.add_load_scale(8);
+  m.add_self_loops(0);
+  m.add_self_loops(5);
+
+  std::vector<int> effective;
+  for (const Scenario& s : m.scenarios()) effective.push_back(s.self_loops);
+  // Order: balancer outer, self-loop entry inner; degree d = 2.
+  EXPECT_EQ(effective, (std::vector<int>{0, 5,    // SEND(floor): as requested
+                                         2, 5,    // SEND(nearest): >= d
+                                         2, 2})); // ROTOR-ROUTER*: exactly d
+}
+
+// ------------------------------------------------------------ registry --
+
+TEST(Registry, TableOneAlgorithmsArePreRegistered) {
+  const std::vector<std::string> names = registered_balancer_names();
+  for (Algorithm a : all_algorithms()) {
+    EXPECT_TRUE(balancer_registered(algorithm_name(a)));
+    auto balancer = find_balancer_factory(algorithm_name(a))(1);
+    ASSERT_NE(balancer, nullptr);
+    EXPECT_EQ(balancer->name(), algorithm_name(a));
+  }
+  EXPECT_GE(names.size(), all_algorithms().size());
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(find_balancer_factory("NO-SUCH-SCHEME"), invariant_error);
+  EXPECT_THROW(find_balancer_traits("NO-SUCH-SCHEME"), invariant_error);
+  EXPECT_THROW(balancer_case("NO-SUCH-SCHEME"), invariant_error);
+  EXPECT_FALSE(balancer_registered("NO-SUCH-SCHEME"));
+}
+
+TEST(Registry, CustomBalancerIsSweepable) {
+  register_balancer("TEST-SEND-FLOOR",
+                    [](std::uint64_t) { return std::make_unique<SendFloor>(); });
+  ASSERT_TRUE(balancer_registered("TEST-SEND-FLOOR"));
+
+  SweepMatrix m;
+  m.add_graph("cycle", make_cycle(12), 1.0 - lambda2_cycle(12, 2));
+  m.add_balancer(balancer_case("TEST-SEND-FLOOR"));
+  m.add_shape(InitialShape::kBimodal);
+  m.add_load_scale(12);
+
+  const auto rows = SweepRunner(fast_options(1)).run(m);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].balancer, "TEST-SEND-FLOOR");
+  EXPECT_EQ(rows[0].result.algorithm, "SEND(floor)");
+}
+
+// ---------------------------------------------------------- determinism --
+
+TEST(SweepRunner, EightThreadsMatchSequentialByteForByte) {
+  const SweepMatrix m = small_matrix();
+  const auto sequential = SweepRunner(fast_options(1)).run(m);
+  const auto parallel = SweepRunner(fast_options(8)).run(m);
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  EXPECT_EQ(SweepRunner::csv_string(sequential),
+            SweepRunner::csv_string(parallel));
+}
+
+TEST(SweepRunner, RepeatedRunsAreIdentical) {
+  const SweepMatrix m = small_matrix();
+  const SweepRunner runner(fast_options(4));
+  EXPECT_EQ(SweepRunner::csv_string(runner.run(m)),
+            SweepRunner::csv_string(runner.run(m)));
+}
+
+TEST(SweepRunner, RowsComeBackInScenarioOrder) {
+  const SweepMatrix m = small_matrix();
+  const auto rows = SweepRunner(fast_options(8)).run(m);
+  ASSERT_EQ(rows.size(), m.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].scenario_index, i);
+    EXPECT_EQ(rows[i].seed, rows[i].result.seed);  // seed echoed through
+  }
+}
+
+TEST(SweepRunner, SubsetRunPreservesListOrder) {
+  const SweepMatrix m = small_matrix();
+  std::vector<Scenario> subset;
+  for (const Scenario& s : m.scenarios()) {
+    if (s.index % 3 == 0) subset.push_back(s);
+  }
+  const auto rows = SweepRunner(fast_options(8)).run(m, subset);
+  ASSERT_EQ(rows.size(), subset.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].scenario_index, subset[i].index);
+  }
+}
+
+TEST(SweepRunner, OnResultSeesEveryScenario) {
+  const SweepMatrix m = small_matrix();
+  SweepOptions options = fast_options(8);
+  std::atomic<int> calls{0};
+  options.on_result = [&](const SweepRow&) { ++calls; };
+  const auto rows = SweepRunner(options).run(m);
+  EXPECT_EQ(static_cast<std::size_t>(calls.load()), rows.size());
+}
+
+TEST(SweepRunner, WorkerExceptionsPropagate) {
+  SweepMatrix m;
+  m.add_graph("cycle", make_cycle(8), 1.0 - lambda2_cycle(8, 2));
+  BalancerCase broken;
+  broken.name = "BROKEN";
+  broken.factory = [](std::uint64_t) -> std::unique_ptr<Balancer> {
+    throw invariant_error("factory exploded");
+  };
+  broken.adjust_self_loops = [](int, int requested) { return requested; };
+  m.add_balancer(broken);
+  m.add_shape(InitialShape::kBimodal);
+  m.add_load_scale(8);
+  EXPECT_THROW(SweepRunner(fast_options(4)).run(m), invariant_error);
+}
+
+TEST(SweepRunner, CsvHasHeaderAndOneLinePerScenario) {
+  const SweepMatrix m = small_matrix();
+  const auto rows = SweepRunner(fast_options(8)).run(m);
+  const std::string csv = SweepRunner::csv_string(rows);
+  std::size_t lines = 0;
+  for (char c : csv) lines += (c == '\n');
+  EXPECT_EQ(lines, rows.size() + 1);
+  EXPECT_EQ(csv.rfind("scenario,family,graph,", 0), 0u);
+}
+
+}  // namespace
+}  // namespace dlb
