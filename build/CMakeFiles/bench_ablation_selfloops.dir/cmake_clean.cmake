@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_selfloops.dir/bench/bench_ablation_selfloops.cpp.o"
+  "CMakeFiles/bench_ablation_selfloops.dir/bench/bench_ablation_selfloops.cpp.o.d"
+  "bench_ablation_selfloops"
+  "bench_ablation_selfloops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_selfloops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dimexchange.dir/bench/bench_dimexchange.cpp.o"
+  "CMakeFiles/bench_dimexchange.dir/bench/bench_dimexchange.cpp.o.d"
+  "bench_dimexchange"
+  "bench_dimexchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dimexchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

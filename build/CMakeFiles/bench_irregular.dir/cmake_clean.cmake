@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_irregular.dir/bench/bench_irregular.cpp.o"
+  "CMakeFiles/bench_irregular.dir/bench/bench_irregular.cpp.o.d"
+  "bench_irregular"
+  "bench_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lb_thm42.dir/bench/bench_lb_thm42.cpp.o"
+  "CMakeFiles/bench_lb_thm42.dir/bench/bench_lb_thm42.cpp.o.d"
+  "bench_lb_thm42"
+  "bench_lb_thm42.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_thm42.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lb_thm42.
+# This may be replaced when dependencies are built.

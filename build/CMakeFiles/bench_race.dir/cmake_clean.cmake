@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_race.dir/bench/bench_race.cpp.o"
+  "CMakeFiles/bench_race.dir/bench/bench_race.cpp.o.d"
+  "bench_race"
+  "bench_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm23_cycle.dir/bench/bench_thm23_cycle.cpp.o"
+  "CMakeFiles/bench_thm23_cycle.dir/bench/bench_thm23_cycle.cpp.o.d"
+  "bench_thm23_cycle"
+  "bench_thm23_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm23_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm23_expander.dir/bench/bench_thm23_expander.cpp.o"
+  "CMakeFiles/bench_thm23_expander.dir/bench/bench_thm23_expander.cpp.o.d"
+  "bench_thm23_expander"
+  "bench_thm23_expander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm23_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

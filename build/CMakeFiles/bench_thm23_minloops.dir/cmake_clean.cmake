@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm23_minloops.dir/bench/bench_thm23_minloops.cpp.o"
+  "CMakeFiles/bench_thm23_minloops.dir/bench/bench_thm23_minloops.cpp.o.d"
+  "bench_thm23_minloops"
+  "bench_thm23_minloops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm23_minloops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm33_sbalancer.dir/bench/bench_thm33_sbalancer.cpp.o"
+  "CMakeFiles/bench_thm33_sbalancer.dir/bench/bench_thm33_sbalancer.cpp.o.d"
+  "bench_thm33_sbalancer"
+  "bench_thm33_sbalancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm33_sbalancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

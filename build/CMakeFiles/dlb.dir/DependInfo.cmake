@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bounds.cpp" "CMakeFiles/dlb.dir/src/analysis/bounds.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/analysis/bounds.cpp.o.d"
+  "/root/repo/src/analysis/deviation.cpp" "CMakeFiles/dlb.dir/src/analysis/deviation.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/analysis/deviation.cpp.o.d"
+  "/root/repo/src/analysis/experiment.cpp" "CMakeFiles/dlb.dir/src/analysis/experiment.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/analysis/experiment.cpp.o.d"
+  "/root/repo/src/analysis/potentials.cpp" "CMakeFiles/dlb.dir/src/analysis/potentials.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/analysis/potentials.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "CMakeFiles/dlb.dir/src/analysis/sweep.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/analysis/sweep.cpp.o.d"
+  "/root/repo/src/balancers/bounded_error.cpp" "CMakeFiles/dlb.dir/src/balancers/bounded_error.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/balancers/bounded_error.cpp.o.d"
+  "/root/repo/src/balancers/continuous.cpp" "CMakeFiles/dlb.dir/src/balancers/continuous.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/balancers/continuous.cpp.o.d"
+  "/root/repo/src/balancers/continuous_mimic.cpp" "CMakeFiles/dlb.dir/src/balancers/continuous_mimic.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/balancers/continuous_mimic.cpp.o.d"
+  "/root/repo/src/balancers/fixed_priority.cpp" "CMakeFiles/dlb.dir/src/balancers/fixed_priority.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/balancers/fixed_priority.cpp.o.d"
+  "/root/repo/src/balancers/randomized_extra.cpp" "CMakeFiles/dlb.dir/src/balancers/randomized_extra.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/balancers/randomized_extra.cpp.o.d"
+  "/root/repo/src/balancers/randomized_rounding.cpp" "CMakeFiles/dlb.dir/src/balancers/randomized_rounding.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/balancers/randomized_rounding.cpp.o.d"
+  "/root/repo/src/balancers/registry.cpp" "CMakeFiles/dlb.dir/src/balancers/registry.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/balancers/registry.cpp.o.d"
+  "/root/repo/src/balancers/rotor_router.cpp" "CMakeFiles/dlb.dir/src/balancers/rotor_router.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/balancers/rotor_router.cpp.o.d"
+  "/root/repo/src/balancers/rotor_router_star.cpp" "CMakeFiles/dlb.dir/src/balancers/rotor_router_star.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/balancers/rotor_router_star.cpp.o.d"
+  "/root/repo/src/balancers/send_floor.cpp" "CMakeFiles/dlb.dir/src/balancers/send_floor.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/balancers/send_floor.cpp.o.d"
+  "/root/repo/src/balancers/send_round.cpp" "CMakeFiles/dlb.dir/src/balancers/send_round.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/balancers/send_round.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "CMakeFiles/dlb.dir/src/core/engine.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/core/engine.cpp.o.d"
+  "/root/repo/src/core/fairness.cpp" "CMakeFiles/dlb.dir/src/core/fairness.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/core/fairness.cpp.o.d"
+  "/root/repo/src/core/flow_tracker.cpp" "CMakeFiles/dlb.dir/src/core/flow_tracker.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/core/flow_tracker.cpp.o.d"
+  "/root/repo/src/dimexchange/de_engine.cpp" "CMakeFiles/dlb.dir/src/dimexchange/de_engine.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/dimexchange/de_engine.cpp.o.d"
+  "/root/repo/src/dimexchange/matching.cpp" "CMakeFiles/dlb.dir/src/dimexchange/matching.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/dimexchange/matching.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "CMakeFiles/dlb.dir/src/graph/generators.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "CMakeFiles/dlb.dir/src/graph/graph.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "CMakeFiles/dlb.dir/src/graph/properties.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/graph/properties.cpp.o.d"
+  "/root/repo/src/irregular/hetero.cpp" "CMakeFiles/dlb.dir/src/irregular/hetero.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/irregular/hetero.cpp.o.d"
+  "/root/repo/src/irregular/iengine.cpp" "CMakeFiles/dlb.dir/src/irregular/iengine.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/irregular/iengine.cpp.o.d"
+  "/root/repo/src/irregular/igraph.cpp" "CMakeFiles/dlb.dir/src/irregular/igraph.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/irregular/igraph.cpp.o.d"
+  "/root/repo/src/lowerbounds/rotor_parity.cpp" "CMakeFiles/dlb.dir/src/lowerbounds/rotor_parity.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/lowerbounds/rotor_parity.cpp.o.d"
+  "/root/repo/src/lowerbounds/stateless_adversary.cpp" "CMakeFiles/dlb.dir/src/lowerbounds/stateless_adversary.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/lowerbounds/stateless_adversary.cpp.o.d"
+  "/root/repo/src/lowerbounds/steady_state.cpp" "CMakeFiles/dlb.dir/src/lowerbounds/steady_state.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/lowerbounds/steady_state.cpp.o.d"
+  "/root/repo/src/markov/matrix.cpp" "CMakeFiles/dlb.dir/src/markov/matrix.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/markov/matrix.cpp.o.d"
+  "/root/repo/src/markov/mixing.cpp" "CMakeFiles/dlb.dir/src/markov/mixing.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/markov/mixing.cpp.o.d"
+  "/root/repo/src/markov/spectral.cpp" "CMakeFiles/dlb.dir/src/markov/spectral.cpp.o" "gcc" "CMakeFiles/dlb.dir/src/markov/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for dlb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_sim.dir/examples/dlb_sim.cpp.o"
+  "CMakeFiles/dlb_sim.dir/examples/dlb_sim.cpp.o.d"
+  "dlb_sim"
+  "dlb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_spectral.dir/examples/dlb_spectral.cpp.o"
+  "CMakeFiles/dlb_spectral.dir/examples/dlb_spectral.cpp.o.d"
+  "dlb_spectral"
+  "dlb_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expander_race.dir/examples/expander_race.cpp.o"
+  "CMakeFiles/expander_race.dir/examples/expander_race.cpp.o.d"
+  "expander_race"
+  "expander_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expander_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

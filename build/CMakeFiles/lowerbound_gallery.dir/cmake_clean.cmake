@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowerbound_gallery.dir/examples/lowerbound_gallery.cpp.o"
+  "CMakeFiles/lowerbound_gallery.dir/examples/lowerbound_gallery.cpp.o.d"
+  "lowerbound_gallery"
+  "lowerbound_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowerbound_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_models.dir/examples/matching_models.cpp.o"
+  "CMakeFiles/matching_models.dir/examples/matching_models.cpp.o.d"
+  "matching_models"
+  "matching_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balancers.dir/tests/test_balancers.cpp.o"
+  "CMakeFiles/test_balancers.dir/tests/test_balancers.cpp.o.d"
+  "test_balancers"
+  "test_balancers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balancers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

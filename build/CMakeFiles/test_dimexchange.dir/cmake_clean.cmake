@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dimexchange.dir/tests/test_dimexchange.cpp.o"
+  "CMakeFiles/test_dimexchange.dir/tests/test_dimexchange.cpp.o.d"
+  "test_dimexchange"
+  "test_dimexchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dimexchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero.dir/tests/test_hetero.cpp.o"
+  "CMakeFiles/test_hetero.dir/tests/test_hetero.cpp.o.d"
+  "test_hetero"
+  "test_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irregular.dir/tests/test_irregular.cpp.o"
+  "CMakeFiles/test_irregular.dir/tests/test_irregular.cpp.o.d"
+  "test_irregular"
+  "test_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowerbounds.dir/tests/test_lowerbounds.cpp.o"
+  "CMakeFiles/test_lowerbounds.dir/tests/test_lowerbounds.cpp.o.d"
+  "test_lowerbounds"
+  "test_lowerbounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowerbounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_potentials.dir/tests/test_potentials.cpp.o"
+  "CMakeFiles/test_potentials.dir/tests/test_potentials.cpp.o.d"
+  "test_potentials"
+  "test_potentials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_potentials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torus_balancing.dir/examples/torus_balancing.cpp.o"
+  "CMakeFiles/torus_balancing.dir/examples/torus_balancing.cpp.o.d"
+  "torus_balancing"
+  "torus_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torus_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
