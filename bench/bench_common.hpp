@@ -1,8 +1,13 @@
 // Shared helpers for the bench binaries: named graph instances with
-// analytic spectral gaps where available, and table printing.
+// analytic spectral gaps where available, the common --threads/--csv
+// CLI surface of the sweep-based benches, and table printing.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -14,6 +19,51 @@
 #include "markov/spectral.hpp"
 
 namespace dlb::bench {
+
+/// The CLI surface every sweep-based bench shares (bench_table1 set the
+/// convention): `--threads=N` (0 = all hardware threads) and
+/// `--csv=FILE`.
+struct SweepCli {
+  int threads = 0;
+  std::string csv_path;
+};
+
+/// Parses argv; on an unknown flag prints usage for `program` and calls
+/// std::exit(2) (the benches' established bad-flag contract).
+inline SweepCli parse_sweep_cli(int argc, char** argv, const char* program) {
+  SweepCli cli;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      cli.threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      cli.csv_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads=N] [--csv=FILE]\n", program);
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+/// Writes the sweep CSV to `--csv=FILE` when given (exit code 1 if the
+/// path cannot be opened), else to stdout. Returns the process exit code.
+inline int emit_sweep_csv(const std::vector<SweepRow>& rows,
+                          const SweepCli& cli, bool stdout_fallback = true) {
+  if (!cli.csv_path.empty()) {
+    std::ofstream out(cli.csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", cli.csv_path.c_str());
+      return 1;
+    }
+    SweepRunner::write_csv(rows, out);
+    std::printf("CSV written to %s (%zu rows)\n", cli.csv_path.c_str(),
+                rows.size());
+  } else if (stdout_fallback) {
+    std::printf("\n");
+    SweepRunner::write_csv(rows, std::cout);
+  }
+  return 0;
+}
 
 /// A graph plus the spectral gap of its balancing graph for a given d°.
 struct Instance {

@@ -8,9 +8,21 @@
 // exchange on the same graphs and the same initial loads, reporting the
 // final discrepancy of each — the diffusive ones land at Θ(d), the
 // matching ones at O(1).
+//
+// The diffusive half is one SweepRunner invocation (3 graphs × 3
+// algorithms, point-mass initial, horizon 4T, observer-free so it rides
+// the lazy engine path); the matching half drives DimensionExchange
+// directly — it is not a Balancer, so it lives outside the sweep matrix.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/experiment.hpp"
+#include "analysis/sweep.hpp"
 #include "balancers/registry.hpp"
 #include "bench_common.hpp"
 #include "dimexchange/de_engine.hpp"
@@ -20,31 +32,18 @@ namespace {
 
 using namespace dlb;
 
-void compare(const bench::Instance& inst, Load k) {
-  const Graph& g = inst.graph;
-  const int d = g.degree();
+constexpr Load kLoadPerNode = 100;  // point mass holds 100n tokens
+constexpr std::uint64_t kSeed = 17;
+
+void matching_rows(const GraphCase& gc) {
+  const Graph& g = *gc.graph;
+  const Load k = kLoadPerNode * g.num_nodes();
+  const Step horizon =
+      4 * balancing_time(g.num_nodes(), k, gc.mu);
   const LoadVector initial = point_mass_initial(g.num_nodes(), k);
-  const Step t_bal = balancing_time(g.num_nodes(), k, inst.mu);
-  const Step horizon = 4 * t_bal;
-
-  std::printf("\n--- %s (d=%d, K=%lld, horizon=%lld) ---\n", g.name().c_str(),
-              d, static_cast<long long>(k), static_cast<long long>(horizon));
-
-  for (Algorithm a : {Algorithm::kRotorRouter, Algorithm::kRotorRouterStar,
-                      Algorithm::kSendFloor}) {
-    auto b = make_balancer(a, 17);
-    Engine e(g, EngineConfig{.self_loops = d}, *b, initial);
-    e.run(horizon);
-    std::printf("  diffusive  %-16s disc = %lld\n",
-                algorithm_name(a).c_str(),
-                static_cast<long long>(e.discrepancy()));
-    std::printf("CSV,dimexchange,%s,diffusive,%s,%lld\n", g.name().c_str(),
-                algorithm_name(a).c_str(),
-                static_cast<long long>(e.discrepancy()));
-  }
   {
     DimensionExchange de(g, edge_coloring_circuit(g), DePolicy::kAverageDown,
-                         17, initial);
+                         kSeed, initial);
     de.run(horizon);
     std::printf("  matching   %-16s disc = %lld\n", "CIRCUIT(avg-down)",
                 static_cast<long long>(de.discrepancy()));
@@ -52,7 +51,7 @@ void compare(const bench::Instance& inst, Load k) {
                 g.name().c_str(), static_cast<long long>(de.discrepancy()));
   }
   {
-    DimensionExchange de(g, DePolicy::kRandomOrientation, 17, initial);
+    DimensionExchange de(g, DePolicy::kRandomOrientation, kSeed, initial);
     de.run(horizon);
     std::printf("  matching   %-16s disc = %lld\n", "RANDOM(rand-orient)",
                 static_cast<long long>(de.discrepancy()));
@@ -63,14 +62,58 @@ void compare(const bench::Instance& inst, Load k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::SweepCli cli =
+      bench::parse_sweep_cli(argc, argv, "bench_dimexchange");
+
   std::printf("bench_dimexchange: diffusive vs dimension-exchange final "
               "discrepancy (same graph, same K, same horizon)\n");
-  compare(bench::hypercube_instance(8, 8), 100 * 256);
-  compare(bench::random_regular_instance(256, 16, 3, 16), 100 * 256);
-  compare(bench::torus_instance(12, 12, 4), 100 * 144);
+
+  SweepMatrix matrix;
+  matrix.add_graph(bench::as_case("hypercube", bench::hypercube_instance(8, 8)));
+  matrix.add_graph(bench::as_case(
+      "random-regular", bench::random_regular_instance(256, 16, 3, 16)));
+  matrix.add_graph(bench::as_case("torus", bench::torus_instance(12, 12, 4)));
+  matrix.add_balancer(Algorithm::kRotorRouter)
+      .add_balancer(Algorithm::kRotorRouterStar)
+      .add_balancer(Algorithm::kSendFloor)
+      .add_shape(InitialShape::kPointMass)
+      .add_load_scale(kLoadPerNode)
+      .add_seed(kSeed);
+  // d° defaults to match-degree, as the diffusive theorems want.
+
+  SweepOptions options;
+  options.threads = cli.threads;
+  options.base.time_multiplier = 4.0;  // horizon = 4T, as in the seed bench
+  options.base.run_continuous = false;
+  options.base.audit_fairness = false;  // observer-free: lazy engine path
+  options.base.sample_fractions = {1.0};
+  SweepRunner runner(options);
+  const std::vector<SweepRow> rows = runner.run(matrix);
+
+  for (const GraphCase& gc : matrix.graphs()) {
+    const Graph& g = *gc.graph;
+    std::printf("\n--- %s (d=%d, K=%lld, horizon=%lld) ---\n",
+                g.name().c_str(), g.degree(),
+                static_cast<long long>(kLoadPerNode * g.num_nodes()),
+                static_cast<long long>(
+                    4 * balancing_time(g.num_nodes(),
+                                       kLoadPerNode * g.num_nodes(), gc.mu)));
+    for (const SweepRow& row : rows) {
+      if (row.family != gc.family) continue;
+      std::printf("  diffusive  %-16s disc = %lld\n", row.balancer.c_str(),
+                  static_cast<long long>(row.result.final_discrepancy));
+      std::printf("CSV,dimexchange,%s,diffusive,%s,%lld\n", g.name().c_str(),
+                  row.balancer.c_str(),
+                  static_cast<long long>(row.result.final_discrepancy));
+    }
+    matching_rows(gc);
+  }
   std::printf("\nexpected shape: diffusive schemes land at Θ(d) (cf. "
               "Thm 4.2's stateless floor), matching-model runs land at "
               "O(1) — the related-work separation the paper cites.\n");
-  return 0;
+
+  // Diffusive rows only; the matching-model results stay on stdout (the
+  // CSV,dimexchange lines above), so no stdout CSV fallback here.
+  return bench::emit_sweep_csv(rows, cli, /*stdout_fallback=*/false);
 }

@@ -1,0 +1,152 @@
+// E13 — Round-kernel hot path: steps/sec of the lazy/batched engine vs
+// the per-node materializing path, per {n, d, balancer}.
+//
+// The refactor's whole point is simulation throughput at the paper's
+// scales (T = c·log(nK)/µ steps over millions of nodes), so this bench is
+// the tracked artifact for it. Every balancer is measured twice on the
+// same graph and initial load:
+//   * `pernode` — a no-op StepObserver is attached, forcing the
+//     materializing path: one virtual Balancer::decide per node per step,
+//     a zero-filled n×(d+d°) flow matrix, conservation audited every
+//     step. This is the pre-refactor engine, kept alive as the golden
+//     reference (tests/test_golden_equivalence.cpp proves the two paths
+//     are trajectory-identical).
+//   * `lazy` — no observer: one decide_all call per step scatters tokens
+//     straight into the next-load accumulator, no flow buffer exists,
+//     conservation audited every 64 steps.
+// items_per_second == engine steps per second; the lazy/pernode ratio per
+// balancer is the speedup the acceptance gate tracks (>= 3x for
+// SEND(floor) and ROTOR-ROUTER on the 2^20-node cycle).
+//
+// CI runs this with --benchmark_min_time=0.1 as a smoke step so that a
+// kernel regression (or an accidental re-materialization) breaks the
+// build loudly rather than silently slowing every sweep.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "analysis/experiment.hpp"
+#include "balancers/registry.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace dlb;
+
+/// Forces the materializing per-node path without doing any work.
+class NoopObserver : public StepObserver {
+ public:
+  void on_step(Step, const Graph&, int, std::span<const Load>,
+               std::span<const Load>, std::span<const Load>) override {}
+};
+
+enum class Path { kLazy, kPerNode };
+
+void run_steps(benchmark::State& state, const Graph& g, Algorithm algo,
+               Path path) {
+  auto balancer = balancer_factory(algo)(/*seed=*/42);
+  EngineConfig config;
+  config.self_loops = g.degree();  // d° = d, the theorems' regime
+  config.check_conservation = true;
+  config.conservation_interval = path == Path::kLazy ? 64 : 1;
+  Engine e(g, config, *balancer, random_initial(g.num_nodes(), 1000, 7));
+  NoopObserver observer;
+  if (path == Path::kPerNode) e.add_observer(observer);
+
+  for (auto _ : state) {
+    e.step();
+    benchmark::DoNotOptimize(e.loads().data());
+  }
+  state.SetItemsProcessed(state.iterations());  // items/sec == steps/sec
+  state.counters["nodes"] = static_cast<double>(g.num_nodes());
+  state.counters["node_steps_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(g.num_nodes()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(algorithm_name(algo) +
+                 (path == Path::kLazy ? "/lazy" : "/pernode"));
+}
+
+const Graph& cycle_1m() {
+  static const Graph g = make_cycle(1 << 20);
+  return g;
+}
+
+const Graph& torus_512() {
+  static const Graph g = make_torus2d(512, 512);
+  return g;
+}
+
+const Graph& cycle_256k() {
+  static const Graph g = make_cycle(1 << 18);
+  return g;
+}
+
+// --------------------------- n = 2^20 cycle (d = 2), the acceptance pair --
+void BM_Cycle1M_SendFloor_Lazy(benchmark::State& s) {
+  run_steps(s, cycle_1m(), Algorithm::kSendFloor, Path::kLazy);
+}
+void BM_Cycle1M_SendFloor_PerNode(benchmark::State& s) {
+  run_steps(s, cycle_1m(), Algorithm::kSendFloor, Path::kPerNode);
+}
+void BM_Cycle1M_RotorRouter_Lazy(benchmark::State& s) {
+  run_steps(s, cycle_1m(), Algorithm::kRotorRouter, Path::kLazy);
+}
+void BM_Cycle1M_RotorRouter_PerNode(benchmark::State& s) {
+  run_steps(s, cycle_1m(), Algorithm::kRotorRouter, Path::kPerNode);
+}
+void BM_Cycle1M_RotorRouterStar_Lazy(benchmark::State& s) {
+  run_steps(s, cycle_1m(), Algorithm::kRotorRouterStar, Path::kLazy);
+}
+void BM_Cycle1M_RotorRouterStar_PerNode(benchmark::State& s) {
+  run_steps(s, cycle_1m(), Algorithm::kRotorRouterStar, Path::kPerNode);
+}
+
+// ------------------------------- n = 2^18 cycle, the double-heavy kernels --
+void BM_Cycle256k_BoundedError_Lazy(benchmark::State& s) {
+  run_steps(s, cycle_256k(), Algorithm::kBoundedError, Path::kLazy);
+}
+void BM_Cycle256k_BoundedError_PerNode(benchmark::State& s) {
+  run_steps(s, cycle_256k(), Algorithm::kBoundedError, Path::kPerNode);
+}
+void BM_Cycle256k_ContinuousMimic_Lazy(benchmark::State& s) {
+  run_steps(s, cycle_256k(), Algorithm::kContinuousMimic, Path::kLazy);
+}
+void BM_Cycle256k_ContinuousMimic_PerNode(benchmark::State& s) {
+  run_steps(s, cycle_256k(), Algorithm::kContinuousMimic, Path::kPerNode);
+}
+
+// ------------------------------------------ n = 2^18 torus (d = 4) slice --
+void BM_Torus512_SendFloor_Lazy(benchmark::State& s) {
+  run_steps(s, torus_512(), Algorithm::kSendFloor, Path::kLazy);
+}
+void BM_Torus512_SendFloor_PerNode(benchmark::State& s) {
+  run_steps(s, torus_512(), Algorithm::kSendFloor, Path::kPerNode);
+}
+void BM_Torus512_RotorRouter_Lazy(benchmark::State& s) {
+  run_steps(s, torus_512(), Algorithm::kRotorRouter, Path::kLazy);
+}
+void BM_Torus512_RotorRouter_PerNode(benchmark::State& s) {
+  run_steps(s, torus_512(), Algorithm::kRotorRouter, Path::kPerNode);
+}
+
+BENCHMARK(BM_Cycle1M_SendFloor_Lazy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cycle1M_SendFloor_PerNode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cycle1M_RotorRouter_Lazy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cycle1M_RotorRouter_PerNode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cycle1M_RotorRouterStar_Lazy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cycle1M_RotorRouterStar_PerNode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cycle256k_BoundedError_Lazy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cycle256k_BoundedError_PerNode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cycle256k_ContinuousMimic_Lazy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cycle256k_ContinuousMimic_PerNode)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Torus512_SendFloor_Lazy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Torus512_SendFloor_PerNode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Torus512_RotorRouter_Lazy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Torus512_RotorRouter_PerNode)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -100,19 +100,8 @@ void print_family(const GraphCase& gc, const std::vector<SweepRow>& rows) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int threads = 0;  // 0 = all hardware threads
-  std::string csv_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
-    } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
-      csv_path = argv[i] + 6;
-    } else {
-      std::fprintf(stderr,
-                   "usage: bench_table1 [--threads=N] [--csv=FILE]\n");
-      return 2;
-    }
-  }
+  const bench::SweepCli cli =
+      bench::parse_sweep_cli(argc, argv, "bench_table1");
 
   std::printf("bench_table1: empirical Table 1 — discrepancy after T per "
               "algorithm per graph family\n");
@@ -152,7 +141,7 @@ int main(int argc, char** argv) {
       });
 
   SweepOptions options;
-  options.threads = threads;
+  options.threads = cli.threads;
   options.base.time_multiplier = 1.0;
   options.base.sample_fractions = {1.0 / 16.0, 0.25, 1.0};
 
@@ -171,18 +160,5 @@ int main(int argc, char** argv) {
               rows.size(), runner.effective_threads(scenarios.size()),
               seconds);
 
-  if (!csv_path.empty()) {
-    std::ofstream out(csv_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
-      return 1;
-    }
-    SweepRunner::write_csv(rows, out);
-    std::printf("CSV written to %s (%zu rows)\n", csv_path.c_str(),
-                rows.size());
-  } else {
-    std::printf("\n");
-    SweepRunner::write_csv(rows, std::cout);
-  }
-  return 0;
+  return bench::emit_sweep_csv(rows, cli);
 }

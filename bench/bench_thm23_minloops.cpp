@@ -7,61 +7,106 @@
 // Workload: 2-D tori with d° ∈ {0, 1, 2, d}; ROTOR-ROUTER and SEND(floor)
 // at time T (computed with the d°-specific µ; for d° = 0 the even torus
 // is periodic, we use the d°=1 T as the horizon there).
+//
+// The whole sweep is one SweepRunner invocation: the torus enters the
+// matrix once per d° (each with its own µ, since T depends on it), the
+// self-loop axis carries {0, 1, 2, d}, and paired_scenarios keeps only
+// each graph case's own d°. Runs are observer-free (no fairness audit),
+// so they ride the engine's lazy non-materializing path.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "analysis/bounds.hpp"
-#include "analysis/experiment.hpp"
+#include "analysis/sweep.hpp"
 #include "balancers/registry.hpp"
 #include "bench_common.hpp"
 
-int main() {
-  using namespace dlb;
+namespace {
+
+using namespace dlb;
+
+const std::vector<int>& loop_counts() {
+  static const std::vector<int> counts = {0, 1, 2, 4};
+  return counts;
+}
+
+std::string family_of(int d_loops) {
+  return "torus-d" + std::to_string(d_loops);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::SweepCli cli =
+      bench::parse_sweep_cli(argc, argv, "bench_thm23_minloops");
+
   std::printf("bench_thm23_minloops: Thm 2.3(iii) — self-loop count vs "
               "discrepancy at T on a 16x16 torus (d = 4, K = 100n)\n");
+
+  const NodeId w = 16, h = 16;
+  const int d = 4;
+
+  // One graph case per d° (the µ — and hence T — depends on d°). For
+  // d° = 0 the even torus transition matrix has eigenvalue −1 (periodic
+  // walk); use the d° = 1 time scale as a fair horizon there.
+  SweepMatrix matrix;
+  std::map<std::string, int> family_loops;
+  for (int d_loops : loop_counts()) {
+    const double mu = 1.0 - lambda2_torus({w, h}, std::max(d_loops, 1));
+    matrix.add_graph(family_of(d_loops), make_torus2d(w, h), mu);
+    family_loops[family_of(d_loops)] = d_loops;
+  }
+  matrix.add_balancer(Algorithm::kRotorRouter)
+      .add_balancer(Algorithm::kSendFloor)
+      .add_shape(InitialShape::kPointMass)  // parity-imbalanced spike
+      .add_load_scale(100);                 // point mass holds 100n tokens
+  for (int d_loops : loop_counts()) matrix.add_self_loops(d_loops);
+  matrix.add_seed(5);
+
+  // Keep only each graph case's own d°.
+  const std::vector<Scenario> scenarios = bench::paired_scenarios(
+      matrix, [&](const Scenario& s, const GraphCase& gc) {
+        return s.self_loops == family_loops.at(gc.family);
+      });
+
+  SweepOptions options;
+  options.threads = cli.threads;
+  options.base.run_continuous = false;
+  options.base.audit_fairness = false;  // observer-free: lazy engine path
+  SweepRunner runner(options);
+  const std::vector<SweepRow> rows = runner.run(matrix, scenarios);
+
   std::printf("%6s %10s %9s %12s %12s %14s %14s\n", "d.o", "mu", "T", "ROTOR",
               "SEND(fl)", "Thm23(iii)", "Thm23(i)");
   bench::rule(84);
-
-  const NodeId w = 16, h = 16;
-  const Graph g = make_torus2d(w, h);
-  const int d = g.degree();
-  // Point mass: parity-imbalanced, so the d° = 0 periodic walk genuinely
-  // cannot balance it (the even/odd colour classes never equalize).
-  const LoadVector initial = point_mass_initial(g.num_nodes(),
-                                                100 * g.num_nodes());
-
-  for (int d_loops : {0, 1, 2, 4}) {
-    // For d° = 0 the even torus transition matrix has eigenvalue −1
-    // (periodic walk): 1 − λ₂ is still positive, but mixing fails; use
-    // the d° = 1 time scale as a fair horizon.
-    const double mu = 1.0 - lambda2_torus({w, h}, std::max(d_loops, 1));
+  for (const GraphCase& gc : matrix.graphs()) {
+    const int d_loops = family_loops.at(gc.family);
     Load disc[2] = {0, 0};
     Step t_bal = 0;
-    const Algorithm algos[2] = {Algorithm::kRotorRouter,
-                                Algorithm::kSendFloor};
-    for (int i = 0; i < 2; ++i) {
-      auto b = make_balancer(algos[i], 5);
-      ExperimentSpec spec;
-      spec.self_loops = d_loops;
-      spec.run_continuous = false;
-      const auto r = run_experiment(g, *b, initial, mu, spec);
-      disc[i] = r.final_discrepancy;
-      t_bal = r.t_balance;
+    for (const SweepRow& row : rows) {
+      if (row.family != gc.family) continue;
+      const int slot = row.balancer == "ROTOR-ROUTER" ? 0 : 1;
+      disc[slot] = row.result.final_discrepancy;
+      t_bal = row.result.t_balance;
     }
-    const double b3 = d_loops >= 1 ? bound_thm23_general(1.0, d, g.num_nodes(), mu)
-                                   : -1.0;
-    const double b1 = d_loops >= d ? bound_thm23_sqrt_log(1.0, d, g.num_nodes(), mu)
-                                   : -1.0;
-    std::printf("%6d %10.4f %9lld %12lld %12lld %14.1f %14.1f\n", d_loops, mu,
-                static_cast<long long>(t_bal),
+    const NodeId n = w * h;
+    const double b3 =
+        d_loops >= 1 ? bound_thm23_general(1.0, d, n, gc.mu) : -1.0;
+    const double b1 =
+        d_loops >= d ? bound_thm23_sqrt_log(1.0, d, n, gc.mu) : -1.0;
+    std::printf("%6d %10.4f %9lld %12lld %12lld %14.1f %14.1f\n", d_loops,
+                gc.mu, static_cast<long long>(t_bal),
                 static_cast<long long>(disc[0]),
                 static_cast<long long>(disc[1]), b3, b1);
-    std::printf("CSV,thm23iii,%d,%d,%.6f,%lld,%lld,%lld\n", g.num_nodes(),
-                d_loops, mu, static_cast<long long>(t_bal),
-                static_cast<long long>(disc[0]),
-                static_cast<long long>(disc[1]));
   }
   std::printf("expected shape: d°=0 stalls (periodic walk); d° >= 1 balances "
               "with the (iii) guarantee; d° = d enjoys the (i) bound.\n");
-  return 0;
+
+  return bench::emit_sweep_csv(rows, cli);
 }

@@ -37,6 +37,13 @@ struct ExperimentSpec {
   /// Fractions of the horizon at which the discrepancy is sampled.
   std::vector<double> sample_fractions = {0.25, 0.5, 1.0};
   bool run_continuous = true;     ///< also run the continuous yardstick
+  /// Attach the fairness auditor. Auditing needs the full flow matrix, so
+  /// turning it off routes the run through the engine's lazy
+  /// non-materializing path (the result's `fairness` field is then the
+  /// default-constructed report and must not be interpreted).
+  bool audit_fairness = true;
+  bool check_conservation = true; ///< audit Σx during the run
+  int conservation_interval = 1;  ///< audit every k-th step (1 = every step)
   /// RNG seed of the scenario that produced this run. run_experiment does
   /// not draw randomness itself (the balancer and the initial load are
   /// seeded by the caller); the seed is carried here so every result row
@@ -58,6 +65,10 @@ struct ExperimentResult {
   std::vector<std::pair<Step, Load>> samples;  ///< (t, discrepancy)
   Load final_discrepancy = 0;
   double final_balancedness = 0.0;
+  /// False when the run skipped the fairness auditor (lazy path); the
+  /// `fairness` field is then default-constructed and must not be read —
+  /// CSV writers blank the fairness columns instead of emitting it.
+  bool fairness_audited = true;
   FairnessReport fairness;
   Load min_load_seen = 0;
   double continuous_final_discrepancy = 0.0;  ///< NaN if not run

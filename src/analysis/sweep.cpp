@@ -289,6 +289,10 @@ void SweepRunner::write_csv(const std::vector<SweepRow>& rows,
   for (const SweepRow& row : rows) {
     const ExperimentResult& r = row.result;
     const FairnessReport& f = r.fairness;
+    // Unaudited runs (lazy path, no auditor attached) have no fairness
+    // data; blank those columns rather than emitting the default report
+    // as if it had been measured.
+    const bool audited = r.fairness_audited;
     csv.row({std::to_string(row.scenario_index),
              row.family,
              row.graph_name,
@@ -306,12 +310,12 @@ void SweepRunner::write_csv(const std::vector<SweepRow>& rows,
              std::to_string(r.final_discrepancy),
              fmt_double(r.final_balancedness),
              fmt_double(r.continuous_final_discrepancy),
-             std::to_string(f.observed_delta),
-             f.round_fair ? "1" : "0",
-             std::to_string(f.observed_s),
+             audited ? std::to_string(f.observed_delta) : std::string(),
+             audited ? (f.round_fair ? "1" : "0") : "",
+             audited ? std::to_string(f.observed_s) : std::string(),
              std::to_string(r.min_load_seen),
-             std::to_string(f.max_remainder),
-             f.negative_seen ? "1" : "0",
+             audited ? std::to_string(f.max_remainder) : std::string(),
+             audited ? (f.negative_seen ? "1" : "0") : "",
              fmt_samples(r.samples)});
   }
 }

@@ -29,6 +29,34 @@ void BoundedError::decide(NodeId u, Load load, Step /*t*/,
   for (int p = d_; p < d_plus_; ++p) flows[static_cast<std::size_t>(p)] = 0;
 }
 
+void BoundedError::decide_all(std::span<const Load> loads, Step t,
+                              FlowSink& sink) {
+  if (sink.materialized()) {
+    Balancer::decide_all(loads, t, sink);
+    return;
+  }
+  const Graph& g = sink.graph();
+  const NodeId n = g.num_nodes();
+  Load* next = sink.next();
+  for (NodeId u = 0; u < n; ++u) {
+    const Load x = loads[static_cast<std::size_t>(u)];
+    const double share = static_cast<double>(x) / d_plus_;
+    const NodeId* nb = g.neighbors(u).data();
+    Load sent = 0;
+    for (int p = 0; p < d_; ++p) {
+      double& c = carry_[static_cast<std::size_t>(u) * d_ +
+                         static_cast<std::size_t>(p)];
+      const double desired = share + c;
+      const auto f = static_cast<Load>(std::llround(desired));
+      c = desired - static_cast<double>(f);
+      next[static_cast<std::size_t>(nb[p])] += f;
+      sent += f;
+    }
+    // Self-loop ports send nothing; the rest (possibly negative) stays.
+    next[static_cast<std::size_t>(u)] += x - sent;
+  }
+}
+
 double BoundedError::max_abs_carry() const {
   double worst = 0.0;
   for (double c : carry_) worst = std::max(worst, std::abs(c));

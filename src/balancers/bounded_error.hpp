@@ -26,6 +26,12 @@ class BoundedError : public Balancer {
   std::string name() const override { return "BOUNDED-ERROR"; }
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
+
+  /// Lazy kernel: rounds each directed edge's share+carry and scatters it
+  /// directly; the carry update is bitwise-identical to decide()'s.
+  void decide_all(std::span<const Load> loads, Step t,
+                  FlowSink& sink) override;
+
   bool allows_negative() const override { return true; }
 
   /// Largest |carry| currently stored (tests assert <= 1/2).

@@ -68,4 +68,45 @@ void ContinuousMimic::decide(NodeId u, Load load, Step t,
   for (int p = d_; p < d_plus_; ++p) flows[static_cast<std::size_t>(p)] = 0;
 }
 
+void ContinuousMimic::decide_all(std::span<const Load> loads, Step t,
+                                 FlowSink& sink) {
+  if (sink.materialized()) {
+    Balancer::decide_all(loads, t, sink);
+    return;
+  }
+  if (t > current_step_) {
+    if (initialized_) advance_continuous();
+    current_step_ = t;
+  }
+  if (!initialized_) {
+    for (NodeId u = 0; u < g_->num_nodes(); ++u) {
+      y_[static_cast<std::size_t>(u)] =
+          static_cast<double>(loads[static_cast<std::size_t>(u)]);
+    }
+    seen_ = g_->num_nodes();
+    initialized_ = true;
+  }
+
+  const Graph& g = sink.graph();
+  Load* next = sink.next();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const Load x = loads[static_cast<std::size_t>(u)];
+    const double per_edge = y_[static_cast<std::size_t>(u)] / d_plus_;
+    const NodeId* nb = g.neighbors(u).data();
+    Load sent = 0;
+    for (int p = 0; p < d_; ++p) {
+      const std::size_t e = static_cast<std::size_t>(u) * d_ +
+                            static_cast<std::size_t>(p);
+      w_cum_[e] += per_edge;
+      const Load target = static_cast<Load>(std::llround(w_cum_[e]));
+      const Load f = target - f_cum_[e];
+      f_cum_[e] = target;
+      next[static_cast<std::size_t>(nb[p])] += f;
+      sent += f;
+    }
+    // Self-loops carry nothing; the (possibly negative) rest stays local.
+    next[static_cast<std::size_t>(u)] += x - sent;
+  }
+}
+
 }  // namespace dlb

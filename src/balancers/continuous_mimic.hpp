@@ -33,6 +33,12 @@ class ContinuousMimic : public Balancer {
   /// the engine's initial vector, which it sees one node at a time).
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
 
+  /// Lazy kernel: advances the internal continuous process once, then
+  /// scatters the rounded cumulative-flow deltas edge by edge — same
+  /// state evolution as n decide() calls, without a flow matrix.
+  void decide_all(std::span<const Load> loads, Step t,
+                  FlowSink& sink) override;
+
   bool allows_negative() const override { return true; }
 
  private:

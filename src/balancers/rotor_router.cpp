@@ -13,6 +13,7 @@ void RotorRouter::reset(const Graph& graph, int d_loops) {
   const auto n = static_cast<std::size_t>(graph.num_nodes());
   d_plus_ = graph.degree() + d_loops;
   DLB_REQUIRE(d_plus_ >= 1, "RotorRouter: needs at least one port");
+  div_ = NonNegDiv(d_plus_);
 
   port_order_.resize(n * static_cast<std::size_t>(d_plus_));
   rotor_.assign(n, 0);
@@ -56,6 +57,24 @@ void RotorRouter::reset(const Graph& graph, int d_loops) {
       rotor_[u] = prescribed_rotors_[u];
     }
   }
+
+  // Resolve every cyclic position to the node an extra token lands on
+  // (doubled per node so the kernel's rotor walk never wraps).
+  const int d = graph.degree();
+  extra_targets_.resize(n * 2 * static_cast<std::size_t>(d_plus_));
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::int32_t* row =
+        port_order_.data() + u * static_cast<std::size_t>(d_plus_);
+    NodeId* tgt = extra_targets_.data() + u * 2 * static_cast<std::size_t>(d_plus_);
+    for (int pos = 0; pos < d_plus_; ++pos) {
+      const std::int32_t port = row[pos];
+      const NodeId dest =
+          port < d ? graph.neighbor(static_cast<NodeId>(u), port)
+                   : static_cast<NodeId>(u);
+      tgt[pos] = dest;
+      tgt[d_plus_ + pos] = dest;
+    }
+  }
 }
 
 void RotorRouter::set_initial_rotors(std::vector<int> rotors) {
@@ -92,6 +111,44 @@ void RotorRouter::decide(NodeId u, Load load, Step /*t*/,
     ++flows[static_cast<std::size_t>(order[pos])];
   }
   rotor = static_cast<int>((rotor + r) % d_plus_);
+}
+
+void RotorRouter::decide_all(std::span<const Load> loads, Step t,
+                             FlowSink& sink) {
+  if (sink.materialized()) {
+    Balancer::decide_all(loads, t, sink);
+    return;
+  }
+  const Graph& g = sink.graph();
+  const NodeId n = g.num_nodes();
+  const int d = g.degree();
+  Load* next = sink.next();
+  for (NodeId u = 0; u < n; ++u) {
+    const Load x = loads[static_cast<std::size_t>(u)];
+    DLB_REQUIRE(x >= 0, "RotorRouter cannot handle negative load");
+    const Load q = div_.quot(x);
+    const int r = static_cast<int>(x - q * d_plus_);
+    const NodeId* nb = g.neighbors(u).data();
+    const NodeId* targets = extra_targets_.data() +
+                            static_cast<std::size_t>(u) * 2 * d_plus_;
+    int& rotor = rotor_[static_cast<std::size_t>(u)];
+
+    for (int p = 0; p < d; ++p) {
+      next[static_cast<std::size_t>(nb[p])] += q;
+    }
+    // Every extra token lands on a precomputed target (neighbour or u
+    // itself for self-loop positions). Fixed trip count of d⁺−1 with a
+    // masked increment: r < d⁺ is data-dependent, so a `k < r` loop bound
+    // would mispredict on nearly every node.
+    for (int k = 0; k < d_plus_ - 1; ++k) {
+      next[static_cast<std::size_t>(targets[rotor + k])] +=
+          static_cast<Load>(k < r);
+    }
+    rotor = rotor + r < d_plus_ ? rotor + r : rotor + r - d_plus_;
+    // Self-loop base shares stay local; the r extras are all accounted
+    // for by the targets walk above.
+    next[static_cast<std::size_t>(u)] += x - q * d - r;
+  }
 }
 
 }  // namespace dlb

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/balancer.hpp"
+#include "util/intmath.hpp"
 
 namespace dlb {
 
@@ -31,6 +32,12 @@ class RotorRouter : public Balancer {
   std::string name() const override { return "ROTOR-ROUTER"; }
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
+
+  /// Lazy kernel: the floor share goes to every neighbour directly and
+  /// only the x mod d⁺ extra tokens walk the rotor permutation — the flow
+  /// row is never materialized.
+  void decide_all(std::span<const Load> loads, Step t,
+                  FlowSink& sink) override;
 
   /// Prescribes initial rotor positions (applied at the next reset; must
   /// then match the graph size). Positions index the *cyclic order*, i.e.
@@ -50,8 +57,15 @@ class RotorRouter : public Balancer {
  private:
   std::uint64_t seed_;
   int d_plus_ = 0;
+  NonNegDiv div_;  // ⌊x/d⁺⌋ via shift when d⁺ is a power of two
   std::vector<int> rotor_;                // per node, in [0, d⁺)
   std::vector<std::int32_t> port_order_;  // n * d⁺ permutation table
+  /// Kernel companion of port_order_: entry [u*2d⁺ + pos] is the node an
+  /// extra token dealt at cyclic position `pos` lands on — the neighbour
+  /// behind the port, or u itself for self-loop ports. Stored twice per
+  /// node (positions [0, 2d⁺)) so the rotor walk never wraps, making the
+  /// extras loop branch-free.
+  std::vector<NodeId> extra_targets_;
   std::vector<int> prescribed_rotors_;
   std::vector<std::int32_t> prescribed_order_;
 };

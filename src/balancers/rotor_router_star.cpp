@@ -12,12 +12,29 @@ void RotorRouterStar::reset(const Graph& graph, int d_loops) {
   d_ = graph.degree();
   rotor_ports_ = 2 * d_ - 1;
   DLB_REQUIRE(rotor_ports_ >= 1, "ROTOR-ROUTER* needs d >= 1");
+  div_ = NonNegDiv(2 * d_);
   rotor_.assign(static_cast<std::size_t>(graph.num_nodes()), 0);
   if (seed_ != 0) {
     Rng rng(seed_);
     for (auto& r : rotor_) {
       r = static_cast<int>(rng.uniform_u64(
           static_cast<std::uint64_t>(rotor_ports_)));
+    }
+  }
+
+  // Resolve every rotor position to the node an extra token lands on
+  // (doubled per node so the kernel's rotor walk never wraps).
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  extra_targets_.resize(n * 2 * static_cast<std::size_t>(rotor_ports_));
+  for (std::size_t u = 0; u < n; ++u) {
+    NodeId* tgt =
+        extra_targets_.data() + u * 2 * static_cast<std::size_t>(rotor_ports_);
+    for (int pos = 0; pos < rotor_ports_; ++pos) {
+      const NodeId dest =
+          pos < d_ ? graph.neighbor(static_cast<NodeId>(u), pos)
+                   : static_cast<NodeId>(u);
+      tgt[pos] = dest;
+      tgt[rotor_ports_ + pos] = dest;
     }
   }
 }
@@ -45,6 +62,48 @@ void RotorRouterStar::decide(NodeId u, Load load, Step /*t*/,
     ++flows[static_cast<std::size_t>((rotor + k) % rotor_ports_)];
   }
   rotor = static_cast<int>((rotor + extras) % rotor_ports_);
+}
+
+void RotorRouterStar::decide_all(std::span<const Load> loads, Step t,
+                                 FlowSink& sink) {
+  if (sink.materialized()) {
+    Balancer::decide_all(loads, t, sink);
+    return;
+  }
+  const Graph& g = sink.graph();
+  const NodeId n = g.num_nodes();
+  const int d = d_;
+  const int d_plus = 2 * d_;
+  Load* next = sink.next();
+  for (NodeId u = 0; u < n; ++u) {
+    const Load x = loads[static_cast<std::size_t>(u)];
+    DLB_REQUIRE(x >= 0, "ROTOR-ROUTER* cannot handle negative load");
+    const Load q = div_.quot(x);
+    const int r = static_cast<int>(x - q * d_plus);
+    const NodeId* nb = g.neighbors(u).data();
+    const NodeId* targets = extra_targets_.data() +
+                            static_cast<std::size_t>(u) * 2 * rotor_ports_;
+    int& rotor = rotor_[static_cast<std::size_t>(u)];
+
+    // Ports [0, d) are real edges; [d, 2d−1) ordinary self-loops and
+    // 2d−1 the special one — all self-loops resolve to "keep local".
+    for (int p = 0; p < d; ++p) {
+      next[static_cast<std::size_t>(nb[p])] += q;
+    }
+    // The special self-loop's q + (r > 0) ceiling share stays local, as
+    // do the ordinary self-loop base shares; the r−1 rotor extras land on
+    // precomputed targets (branch-free, wrap-free walk).
+    const int extras = r > 0 ? r - 1 : 0;
+    // Fixed trip count of 2d−2 with a masked increment — a data-dependent
+    // `k < extras` bound would mispredict on nearly every node.
+    for (int k = 0; k < rotor_ports_ - 1; ++k) {
+      next[static_cast<std::size_t>(targets[rotor + k])] +=
+          static_cast<Load>(k < extras);
+    }
+    rotor = rotor + extras < rotor_ports_ ? rotor + extras
+                                          : rotor + extras - rotor_ports_;
+    next[static_cast<std::size_t>(u)] += x - q * d - extras;
+  }
 }
 
 }  // namespace dlb

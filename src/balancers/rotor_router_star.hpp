@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/balancer.hpp"
+#include "util/intmath.hpp"
 
 namespace dlb {
 
@@ -30,11 +31,23 @@ class RotorRouterStar : public Balancer {
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
 
+  /// Lazy kernel: the special self-loop's ⌈x/d⁺⌉ and the ordinary
+  /// self-loop shares stay local implicitly; only real-edge tokens are
+  /// scattered. No flow row is materialized.
+  void decide_all(std::span<const Load> loads, Step t,
+                  FlowSink& sink) override;
+
  private:
   std::uint64_t seed_;
   int d_ = 0;
   int rotor_ports_ = 0;  // 2d − 1
+  NonNegDiv div_;        // ⌊x/2d⌋ via shift when 2d is a power of two
   std::vector<int> rotor_;
+  /// Kernel companion: entry [u*2(2d−1) + pos] is the node an extra token
+  /// dealt at rotor position `pos` lands on (the neighbour for pos < d, u
+  /// itself for the ordinary self-loop positions), stored twice per node
+  /// so the rotor walk never wraps.
+  std::vector<NodeId> extra_targets_;
 };
 
 }  // namespace dlb

@@ -10,6 +10,7 @@ namespace dlb {
 void SendFloor::reset(const Graph& graph, int d_loops) {
   DLB_REQUIRE(d_loops >= 0, "SendFloor: negative self-loop count");
   d_plus_ = graph.degree() + d_loops;
+  div_ = NonNegDiv(d_plus_);
 }
 
 void SendFloor::decide(NodeId /*u*/, Load load, Step /*t*/,
@@ -18,6 +19,29 @@ void SendFloor::decide(NodeId /*u*/, Load load, Step /*t*/,
   const Load share = floor_div(load, d_plus_);
   std::fill(flows.begin(), flows.end(), share);
   // Excess e(u) = load − d⁺·share stays as the remainder.
+}
+
+void SendFloor::decide_all(std::span<const Load> loads, Step t,
+                           FlowSink& sink) {
+  if (sink.materialized()) {
+    Balancer::decide_all(loads, t, sink);
+    return;
+  }
+  const Graph& g = sink.graph();
+  const NodeId n = g.num_nodes();
+  const int d = g.degree();
+  Load* next = sink.next();
+  for (NodeId u = 0; u < n; ++u) {
+    const Load x = loads[static_cast<std::size_t>(u)];
+    DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
+    const Load q = div_.quot(x);
+    const NodeId* nb = g.neighbors(u).data();
+    for (int p = 0; p < d; ++p) {
+      next[static_cast<std::size_t>(nb[p])] += q;
+    }
+    // d° self-loop shares plus the excess stay local.
+    next[static_cast<std::size_t>(u)] += x - q * d;
+  }
 }
 
 }  // namespace dlb

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/balancer.hpp"
+#include "util/intmath.hpp"
 
 namespace dlb {
 
@@ -18,8 +19,14 @@ class SendFloor : public Balancer {
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
 
+  /// Lazy kernel: every neighbour gets ⌊x/d⁺⌋, the node keeps the rest
+  /// (self-loop shares + excess) — no flow row ever exists.
+  void decide_all(std::span<const Load> loads, Step t,
+                  FlowSink& sink) override;
+
  private:
   int d_plus_ = 0;
+  NonNegDiv div_;  // ⌊x/d⁺⌋ via shift when d⁺ is a power of two
 };
 
 }  // namespace dlb

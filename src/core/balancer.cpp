@@ -1,0 +1,54 @@
+#include "core/balancer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+void Balancer::decide_all(std::span<const Load> loads, Step t,
+                          FlowSink& sink) {
+  const Graph& g = sink.graph();
+  const NodeId n = g.num_nodes();
+  const int d = g.degree();
+  const int d_plus = sink.ports();
+  const bool negatives_ok = allows_negative();
+  Load* next = sink.next();
+
+  // Lazy mode reuses one scratch row; materialized mode writes straight
+  // into the pre-zeroed flow matrix.
+  std::vector<Load> scratch;
+  if (!sink.materialized()) {
+    scratch.assign(static_cast<std::size_t>(d_plus), 0);
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    std::span<Load> row =
+        sink.materialized() ? sink.row(u) : std::span<Load>(scratch);
+    if (!sink.materialized()) std::fill(row.begin(), row.end(), 0);
+
+    const Load x = loads[static_cast<std::size_t>(u)];
+    decide(u, x, t, row);
+
+    Load sent = 0;
+    for (int p = 0; p < d_plus; ++p) {
+      DLB_ASSERT(negatives_ok || row[static_cast<std::size_t>(p)] >= 0,
+                 "balancer produced a negative flow");
+      sent += row[static_cast<std::size_t>(p)];
+    }
+    const Load remainder = x - sent;
+    DLB_REQUIRE(negatives_ok || remainder >= 0,
+                "balancer sent more tokens than available");
+
+    Load kept = remainder;
+    for (int p = d; p < d_plus; ++p) kept += row[static_cast<std::size_t>(p)];
+    next[static_cast<std::size_t>(u)] += kept;
+    for (int p = 0; p < d; ++p) {
+      next[static_cast<std::size_t>(g.neighbor(u, p))] +=
+          row[static_cast<std::size_t>(p)];
+    }
+  }
+}
+
+}  // namespace dlb

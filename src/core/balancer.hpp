@@ -1,4 +1,4 @@
-// The Balancer interface: one synchronous send decision per node per step.
+// The Balancer interface: send decisions over a node's d + d° ports.
 //
 // Design note (mirrors the paper's model, Section 1.3): a balancer decides,
 // for node u with load x_t(u), how many tokens go over each of the d
@@ -8,6 +8,18 @@
 // accounting; class membership (cumulative fairness, round-fairness,
 // s-self-preference) is *observed* by auditors rather than trusted, so a
 // buggy balancer fails tests instead of silently producing wrong science.
+//
+// Two decision entry points exist:
+//   decide()     — one node, one step: fills the node's flow row. Every
+//                  balancer must implement it; it is the semantic ground
+//                  truth and the path observers/auditors always see.
+//   decide_all() — one *round*: decides every node of the step in a single
+//                  virtual call through a FlowSink. The default
+//                  implementation loops over decide(), so third-party
+//                  balancers inherit correct batched behavior for free; the
+//                  hot schemes override it with tight kernels that scatter
+//                  tokens straight into the next-load accumulator without
+//                  materializing a flow matrix.
 #pragma once
 
 #include <span>
@@ -18,7 +30,51 @@
 
 namespace dlb {
 
-/// Per-node, per-step send policy.
+/// Where a round's decisions land. Created by the engine once per step.
+///
+/// Two modes:
+///   * materialized — `flows()` is a zeroed n×(d+d°) matrix (layout
+///     [u*(d+d°) + port]); kernels must fill every node's row *and*
+///     scatter the resulting token movement into `next()`. This mode is
+///     active whenever a StepObserver needs the full flow matrix.
+///   * lazy — `flows()` is null; kernels only scatter into `next()`,
+///     paying nothing for flow bookkeeping. This is the hot path.
+///
+/// `next()` is the next-load accumulator (size n, zeroed): a kernel adds
+/// each token's destination — `next[v] += f` for tokens sent over an edge
+/// (u→v), `next[u] += kept` for self-loop tokens and the remainder.
+class FlowSink {
+ public:
+  FlowSink(const Graph& g, int d_loops, Load* next, Load* flows)
+      : g_(&g), d_loops_(d_loops), d_plus_(g.degree() + d_loops),
+        next_(next), flows_(flows) {}
+
+  const Graph& graph() const noexcept { return *g_; }
+  int self_loops() const noexcept { return d_loops_; }
+  /// d⁺ = d + d°, the width of a flow row.
+  int ports() const noexcept { return d_plus_; }
+
+  /// True when the engine needs the full flow matrix this step.
+  bool materialized() const noexcept { return flows_ != nullptr; }
+
+  /// Node u's flow row (size d⁺, pre-zeroed). Materialized mode only.
+  std::span<Load> row(NodeId u) noexcept {
+    return {flows_ + static_cast<std::size_t>(u) * d_plus_,
+            static_cast<std::size_t>(d_plus_)};
+  }
+
+  /// Raw next-load accumulator (size n, pre-zeroed).
+  Load* next() noexcept { return next_; }
+
+ private:
+  const Graph* g_;
+  int d_loops_;
+  int d_plus_;
+  Load* next_;
+  Load* flows_;  // nullptr in lazy mode
+};
+
+/// Per-node (decide) and per-round (decide_all) send policy.
 ///
 /// Implementations may keep internal per-node state (rotor positions);
 /// stateless algorithms (SEND variants) must depend only on the load.
@@ -40,9 +96,24 @@ class Balancer {
   /// allows_negative() is true.
   virtual void decide(NodeId u, Load load, Step t, std::span<Load> flows) = 0;
 
+  /// Decides the whole round at once. The default implementation calls
+  /// decide() for every node in ascending order, enforcing the oversend /
+  /// negative-flow contract exactly as the classic engine did, and works
+  /// in both sink modes. Overrides must be *observationally identical* to
+  /// the default (same loads trajectory, same internal state evolution) —
+  /// the golden-equivalence test asserts this for every registered
+  /// balancer — and may skip flow materialization only when
+  /// `sink.materialized()` is false.
+  virtual void decide_all(std::span<const Load> loads, Step t, FlowSink& sink);
+
   /// True for schemes (e.g. randomized rounding of [18]) that may send
   /// more than the available load, creating negative loads.
   virtual bool allows_negative() const { return false; }
+
+  /// True if the balancer itself needs the materialized flow matrix every
+  /// step (none of the built-in schemes do); the engine then never takes
+  /// the lazy path for it.
+  virtual bool wants_flow_matrix() const { return false; }
 };
 
 }  // namespace dlb

@@ -8,17 +8,14 @@ namespace dlb {
 
 Engine::Engine(const Graph& g, EngineConfig config, Balancer& balancer,
                LoadVector initial)
-    : g_(&g), config_(config), balancer_(&balancer),
-      loads_(std::move(initial)) {
+    : g_(&g), config_(config), balancer_(&balancer) {
   DLB_REQUIRE(config_.self_loops >= 0, "self_loops must be non-negative");
-  DLB_REQUIRE(loads_.size() == static_cast<std::size_t>(g.num_nodes()),
+  DLB_REQUIRE(initial.size() == static_cast<std::size_t>(g.num_nodes()),
               "initial load vector has wrong size");
+  adopt_loads(std::move(initial),
+              ConservationPolicy{config_.check_conservation,
+                                 config_.conservation_interval});
   next_.assign(loads_.size(), 0);
-  flows_.assign(loads_.size() *
-                    static_cast<std::size_t>(g.degree() + config_.self_loops),
-                0);
-  total_ = total_load(loads_);
-  min_load_seen_ = min_load(loads_);
   balancer_->reset(g, config_.self_loops);
 }
 
@@ -26,70 +23,29 @@ void Engine::add_observer(StepObserver& observer) {
   observers_.push_back(&observer);
 }
 
-void Engine::step() {
-  const NodeId n = g_->num_nodes();
-  const int d = g_->degree();
-  const int d_plus = d + config_.self_loops;
-  const bool negatives_ok = balancer_->allows_negative();
-
-  std::fill(flows_.begin(), flows_.end(), 0);
+void Engine::do_step() {
   std::fill(next_.begin(), next_.end(), 0);
 
-  // Phase 1: collect decisions and keep self-loop tokens + remainder local.
-  for (NodeId u = 0; u < n; ++u) {
-    const Load x = loads_[static_cast<std::size_t>(u)];
-    const std::span<Load> row{
-        flows_.data() + static_cast<std::size_t>(u) * d_plus,
-        static_cast<std::size_t>(d_plus)};
-    balancer_->decide(u, x, t_, row);
-
-    Load sent = 0;
-    for (int p = 0; p < d_plus; ++p) {
-      DLB_ASSERT(negatives_ok || row[static_cast<std::size_t>(p)] >= 0,
-                 "balancer produced a negative flow");
-      sent += row[static_cast<std::size_t>(p)];
+  const bool materialize =
+      !observers_.empty() || balancer_->wants_flow_matrix();
+  if (materialize) {
+    const std::size_t flow_size =
+        loads_.size() * static_cast<std::size_t>(balancing_degree());
+    if (flows_.size() != flow_size) {
+      flows_.assign(flow_size, 0);
+    } else {
+      std::fill(flows_.begin(), flows_.end(), 0);
     }
-    const Load remainder = x - sent;
-    DLB_REQUIRE(negatives_ok || remainder >= 0,
-                "balancer sent more tokens than available");
-
-    Load kept = remainder;
-    for (int p = d; p < d_plus; ++p) kept += row[static_cast<std::size_t>(p)];
-    next_[static_cast<std::size_t>(u)] += kept;
-  }
-
-  // Phase 2: deliver original-edge flows.
-  for (NodeId u = 0; u < n; ++u) {
-    const Load* row = flows_.data() + static_cast<std::size_t>(u) * d_plus;
-    for (int p = 0; p < d; ++p) {
-      next_[static_cast<std::size_t>(g_->neighbor(u, p))] += row[p];
+    FlowSink sink(*g_, config_.self_loops, next_.data(), flows_.data());
+    balancer_->decide_all(loads_, time(), sink);
+    for (StepObserver* o : observers_) {
+      o->on_step(time() + 1, *g_, config_.self_loops, loads_, flows_, next_);
     }
-  }
-
-  ++t_;
-  if (config_.check_conservation) {
-    DLB_REQUIRE(total_load(next_) == total_,
-                "token conservation violated by engine step");
-  }
-  for (StepObserver* o : observers_) {
-    o->on_step(t_, *g_, config_.self_loops, loads_, flows_, next_);
+  } else {
+    FlowSink sink(*g_, config_.self_loops, next_.data(), nullptr);
+    balancer_->decide_all(loads_, time(), sink);
   }
   loads_.swap(next_);
-  min_load_seen_ = std::min(min_load_seen_, min_load(loads_));
-}
-
-void Engine::run(Step steps) {
-  DLB_REQUIRE(steps >= 0, "run: negative step count");
-  for (Step i = 0; i < steps; ++i) step();
-}
-
-Step Engine::run_until_discrepancy(Load target, Step max_steps) {
-  DLB_REQUIRE(max_steps >= 0, "run_until_discrepancy: negative cap");
-  for (Step i = 0; i < max_steps; ++i) {
-    if (discrepancy() <= target) return i;
-    step();
-  }
-  return max_steps;
 }
 
 }  // namespace dlb

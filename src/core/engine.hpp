@@ -1,10 +1,14 @@
 // Synchronous discrete diffusion engine.
 //
-// Each step: every node asks its Balancer for a send decision over its
-// d + d° ports, the engine moves tokens along original edges, returns
-// self-loop tokens and the remainder to the node, and notifies observers
-// with the full flow matrix of the step. Token conservation is checked
-// every step (the paper's model conserves total load exactly).
+// Each step the balancer decides the whole round through decide_all()
+// (one virtual call; the default implementation falls back to one
+// Balancer::decide per node). Flow handling is *lazy*: the n×(d+d°) flow
+// matrix is only allocated and filled when a StepObserver is attached (or
+// the balancer requests materialization via wants_flow_matrix()) — an
+// observer-free run never touches a flow buffer and hot balancers scatter
+// tokens straight into the next-load accumulator. Token conservation is
+// audited every EngineConfig::conservation_interval steps (the paper's
+// model conserves total load exactly).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 
 #include "core/balancer.hpp"
 #include "core/load_vector.hpp"
+#include "core/round_engine.hpp"
 #include "graph/graph.hpp"
 
 namespace dlb {
@@ -22,7 +27,8 @@ namespace dlb {
 /// `flows` is laid out as [u * (d + d°) + port]; ports [0, d) are original
 /// edges, [d, d + d°) self-loops. `pre` and `post` are the load vectors
 /// before and after the step; `t` is the 1-based index of the completed
-/// step (after the first step, t == 1).
+/// step (after the first step, t == 1). Attaching an observer forces the
+/// engine onto the materializing per-node path.
 class StepObserver {
  public:
   virtual ~StepObserver() = default;
@@ -33,28 +39,20 @@ class StepObserver {
 
 struct EngineConfig {
   int self_loops = 0;             ///< d°, the number of self-loops per node
-  bool check_conservation = true; ///< verify Σx invariant every step
+  bool check_conservation = true; ///< verify Σx invariant (gated below)
+  int conservation_interval = 1;  ///< audit every k-th step (1 = every step)
 };
 
 /// Drives one balancer over one graph; owns loads and flow buffers.
-class Engine {
+class Engine : public RoundEngineBase {
  public:
   /// `initial` must have g.num_nodes() entries. The balancer is reset.
   Engine(const Graph& g, EngineConfig config, Balancer& balancer,
          LoadVector initial);
 
-  /// Registers an observer (not owned); call before stepping.
+  /// Registers an observer (not owned); call before stepping. The first
+  /// observer switches the engine onto the materializing flow path.
   void add_observer(StepObserver& observer);
-
-  /// Executes one synchronous round.
-  void step();
-
-  /// Executes `steps` rounds.
-  void run(Step steps);
-
-  /// Runs until discrepancy() <= target or max_steps elapse; returns the
-  /// number of *additional* steps taken.
-  Step run_until_discrepancy(Load target, Step max_steps);
 
   const Graph& graph() const noexcept { return *g_; }
   int self_loops() const noexcept { return config_.self_loops; }
@@ -62,27 +60,21 @@ class Engine {
     return g_->degree() + config_.self_loops;
   }
 
-  const LoadVector& loads() const noexcept { return loads_; }
-  Step time() const noexcept { return t_; }
-  Load total() const noexcept { return total_; }
-  Load discrepancy() const { return ::dlb::discrepancy(loads_); }
-  double average() const { return average_load(loads_); }
+  /// True once the flow matrix has been allocated (i.e. some step ran on
+  /// the materializing path). Observer-free runs keep this false — the
+  /// lazy path never touches a flow buffer.
+  bool flows_materialized() const noexcept { return !flows_.empty(); }
 
-  /// Minimum load ever observed on any node (negative iff the balancer
-  /// drove some node negative, cf. the NL column of Table 1).
-  Load min_load_seen() const noexcept { return min_load_seen_; }
+ protected:
+  void do_step() override;
 
  private:
   const Graph* g_;
   EngineConfig config_;
   Balancer* balancer_;
-  LoadVector loads_;
   LoadVector next_;
-  LoadVector flows_;  // scratch: n * (d + d°) per step
+  LoadVector flows_;  // n * (d + d°); allocated on first materialized step
   std::vector<StepObserver*> observers_;
-  Step t_ = 0;
-  Load total_ = 0;
-  Load min_load_seen_ = 0;
 };
 
 }  // namespace dlb

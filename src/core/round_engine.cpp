@@ -1,0 +1,67 @@
+#include "core/round_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+void RoundEngineBase::adopt_loads(LoadVector initial,
+                                  ConservationPolicy audit) {
+  DLB_REQUIRE(!initial.empty(), "round engine: empty load vector");
+  DLB_REQUIRE(audit.interval >= 1, "round engine: audit interval must be >= 1");
+  loads_ = std::move(initial);
+  audit_ = audit;
+  total_ = total_load(loads_);
+  const auto [lo, hi] = std::minmax_element(loads_.begin(), loads_.end());
+  min_load_ = *lo;
+  max_load_ = *hi;
+  min_load_seen_ = min_load_;
+}
+
+void RoundEngineBase::refresh_stats(bool audit_total) {
+  Load lo = loads_[0];
+  Load hi = loads_[0];
+  if (audit_total) {
+    Load sum = 0;
+    for (Load v : loads_) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    DLB_REQUIRE(sum == total_, "token conservation violated by engine step");
+  } else {
+    for (Load v : loads_) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  min_load_ = lo;
+  max_load_ = hi;
+  min_load_seen_ = std::min(min_load_seen_, lo);
+}
+
+void RoundEngineBase::step() {
+  do_step();
+  ++t_;
+  const bool audit =
+      audit_.enabled && (audit_.interval == 1 || t_ % audit_.interval == 0);
+  refresh_stats(audit);
+}
+
+void RoundEngineBase::run(Step steps) {
+  DLB_REQUIRE(steps >= 0, "run: negative step count");
+  for (Step i = 0; i < steps; ++i) step();
+}
+
+Step RoundEngineBase::run_until_discrepancy(Load target, Step max_steps) {
+  DLB_REQUIRE(max_steps >= 0, "run_until_discrepancy: negative cap");
+  for (Step i = 0; i < max_steps; ++i) {
+    if (discrepancy() <= target) return i;
+    step();
+  }
+  return max_steps;
+}
+
+}  // namespace dlb

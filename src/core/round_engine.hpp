@@ -1,0 +1,94 @@
+// RoundEngineBase: the stepping substrate shared by every synchronous
+// round engine in the library (the diffusive Engine, the irregular-graph
+// IrregularEngine, and the matching-model DimensionExchange).
+//
+// The base owns everything the three engines used to copy-paste:
+//   * the load vector, the step counter, and the conserved total;
+//   * the run()/run_until_discrepancy() driver loops;
+//   * the token-conservation audit, gated to every k-th step so that the
+//     O(n) re-sum does not tax hot kernels (k = 1 preserves the classic
+//     every-step behavior);
+//   * a fused post-step statistics pass that computes min and max load in
+//     one sweep, so discrepancy(), min_load_seen(), and the
+//     run_until_discrepancy() stop test never re-scan the load vector.
+//
+// Subclasses implement do_step(), which must advance loads_ by exactly one
+// synchronous round (and may fan out to observers before publishing the
+// new loads); the base then increments time and refreshes the audit and
+// the cached statistics.
+#pragma once
+
+#include <cstdint>
+
+#include "core/load_vector.hpp"
+
+namespace dlb {
+
+/// Conservation-audit policy of a round engine.
+struct ConservationPolicy {
+  bool enabled = true;  ///< verify Σx == total after (gated) steps
+  int interval = 1;     ///< audit every `interval`-th step (>= 1)
+
+  /// Amortized audit for engines whose pre-refactor check was a
+  /// debug-only assert: still always on, but the O(n) re-sum lands on one
+  /// step in 64, which is noise next to the O(n·d) step work.
+  static ConservationPolicy gated() { return {true, 64}; }
+};
+
+class RoundEngineBase {
+ public:
+  virtual ~RoundEngineBase() = default;
+
+  RoundEngineBase(const RoundEngineBase&) = delete;
+  RoundEngineBase& operator=(const RoundEngineBase&) = delete;
+
+  /// Executes one synchronous round plus shared bookkeeping.
+  void step();
+
+  /// Executes `steps` rounds.
+  void run(Step steps);
+
+  /// Runs until discrepancy() <= target or max_steps elapse; returns the
+  /// number of *additional* steps taken.
+  Step run_until_discrepancy(Load target, Step max_steps);
+
+  const LoadVector& loads() const noexcept { return loads_; }
+  Step time() const noexcept { return t_; }
+  Load total() const noexcept { return total_; }
+
+  /// max − min of the current loads; O(1) from the fused step statistics.
+  Load discrepancy() const noexcept { return max_load_ - min_load_; }
+  double average() const {
+    return static_cast<double>(total_) / static_cast<double>(loads_.size());
+  }
+
+  /// Minimum load ever observed on any node (negative iff the balancer
+  /// drove some node negative, cf. the NL column of Table 1).
+  Load min_load_seen() const noexcept { return min_load_seen_; }
+
+ protected:
+  RoundEngineBase() = default;
+
+  /// Installs the initial load vector (must be non-empty) and the audit
+  /// policy; computes the conserved total and primes the cached stats.
+  void adopt_loads(LoadVector initial, ConservationPolicy audit);
+
+  /// Advances loads_ by one round. Runs with the *pre-increment* time();
+  /// implementations that notify observers label the step time() + 1.
+  virtual void do_step() = 0;
+
+  LoadVector loads_;
+
+ private:
+  /// One fused pass over loads_: min/max always, Σx when auditing.
+  void refresh_stats(bool audit_total);
+
+  Step t_ = 0;
+  Load total_ = 0;
+  Load min_load_ = 0;
+  Load max_load_ = 0;
+  Load min_load_seen_ = 0;
+  ConservationPolicy audit_;
+};
+
+}  // namespace dlb

@@ -12,22 +12,21 @@ DimensionExchange::DimensionExchange(const Graph& g,
                                      DePolicy policy, std::uint64_t seed,
                                      LoadVector initial)
     : g_(&g), circuit_(std::move(circuit)), policy_(policy),
-      schedule_(DeSchedule::kCircuit), rng_(seed),
-      loads_(std::move(initial)) {
+      schedule_(DeSchedule::kCircuit), rng_(seed) {
   DLB_REQUIRE(!circuit_.empty(), "balancing circuit must be non-empty");
-  DLB_REQUIRE(loads_.size() == static_cast<std::size_t>(g.num_nodes()),
+  DLB_REQUIRE(initial.size() == static_cast<std::size_t>(g.num_nodes()),
               "initial load vector has wrong size");
   for (const Matching& m : circuit_) validate_matching(g, m);
-  total_ = total_load(loads_);
+  adopt_loads(std::move(initial), ConservationPolicy::gated());
 }
 
 DimensionExchange::DimensionExchange(const Graph& g, DePolicy policy,
                                      std::uint64_t seed, LoadVector initial)
     : g_(&g), policy_(policy), schedule_(DeSchedule::kRandomMatching),
-      rng_(seed), loads_(std::move(initial)) {
-  DLB_REQUIRE(loads_.size() == static_cast<std::size_t>(g.num_nodes()),
+      rng_(seed) {
+  DLB_REQUIRE(initial.size() == static_cast<std::size_t>(g.num_nodes()),
               "initial load vector has wrong size");
-  total_ = total_load(loads_);
+  adopt_loads(std::move(initial), ConservationPolicy::gated());
 }
 
 void DimensionExchange::apply_matching(const Matching& m) {
@@ -66,30 +65,13 @@ void DimensionExchange::apply_matching(const Matching& m) {
   }
 }
 
-void DimensionExchange::step() {
+void DimensionExchange::do_step() {
   if (schedule_ == DeSchedule::kCircuit) {
     apply_matching(circuit_[static_cast<std::size_t>(
-        t_ % static_cast<Step>(circuit_.size()))]);
+        time() % static_cast<Step>(circuit_.size()))]);
   } else {
     apply_matching(random_matching(*g_, rng_));
   }
-  ++t_;
-  DLB_ASSERT(total_load(loads_) == total_,
-             "dimension exchange lost or created tokens");
-}
-
-void DimensionExchange::run(Step steps) {
-  DLB_REQUIRE(steps >= 0, "run: negative step count");
-  for (Step i = 0; i < steps; ++i) step();
-}
-
-Step DimensionExchange::run_until_discrepancy(Load target, Step max_steps) {
-  DLB_REQUIRE(max_steps >= 0, "run_until_discrepancy: negative cap");
-  for (Step i = 0; i < max_steps; ++i) {
-    if (discrepancy() <= target) return i;
-    step();
-  }
-  return max_steps;
 }
 
 }  // namespace dlb

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/load_vector.hpp"
+#include "core/round_engine.hpp"
 #include "dimexchange/matching.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
@@ -34,8 +35,9 @@ enum class DeSchedule {
   kRandomMatching,  ///< fresh random matching per step
 };
 
-/// Synchronous dimension-exchange simulator.
-class DimensionExchange {
+/// Synchronous dimension-exchange simulator (stepping substrate — run
+/// loops, conservation audit, cached stats — from RoundEngineBase).
+class DimensionExchange : public RoundEngineBase {
  public:
   /// Circuit mode: cycles through `circuit` (must be non-empty, each a
   /// valid matching of g).
@@ -46,17 +48,10 @@ class DimensionExchange {
   DimensionExchange(const Graph& g, DePolicy policy, std::uint64_t seed,
                     LoadVector initial);
 
-  void step();
-  void run(Step steps);
-
-  /// Runs until discrepancy() <= target or cap; returns steps taken.
-  Step run_until_discrepancy(Load target, Step max_steps);
-
-  const LoadVector& loads() const noexcept { return loads_; }
-  Step time() const noexcept { return t_; }
-  Load discrepancy() const { return ::dlb::discrepancy(loads_); }
-  Load total() const noexcept { return total_; }
   DeSchedule schedule() const noexcept { return schedule_; }
+
+ protected:
+  void do_step() override;
 
  private:
   void apply_matching(const Matching& m);
@@ -66,9 +61,6 @@ class DimensionExchange {
   DePolicy policy_;
   DeSchedule schedule_;
   Rng rng_;
-  LoadVector loads_;
-  Step t_ = 0;
-  Load total_ = 0;
 };
 
 }  // namespace dlb

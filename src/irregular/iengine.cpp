@@ -12,18 +12,17 @@ IrregularEngine::IrregularEngine(const IrregularGraph& g,
                                  IrregularPolicy policy, int uniform_d_plus,
                                  LoadVector initial)
     : g_(&g), policy_(policy),
-      d_plus_(uniform_d_plus == 0 ? 2 * g.max_degree() : uniform_d_plus),
-      loads_(std::move(initial)) {
+      d_plus_(uniform_d_plus == 0 ? 2 * g.max_degree() : uniform_d_plus) {
   DLB_REQUIRE(d_plus_ > g.max_degree(),
               "uniform D must exceed the maximum degree");
-  DLB_REQUIRE(loads_.size() == static_cast<std::size_t>(g.num_nodes()),
+  DLB_REQUIRE(initial.size() == static_cast<std::size_t>(g.num_nodes()),
               "initial load vector has wrong size");
+  adopt_loads(std::move(initial), ConservationPolicy::gated());
   next_.assign(loads_.size(), 0);
   rotor_.assign(loads_.size(), 0);
-  total_ = total_load(loads_);
 }
 
-void IrregularEngine::step() {
+void IrregularEngine::do_step() {
   std::fill(next_.begin(), next_.end(), 0);
   for (NodeId u = 0; u < g_->num_nodes(); ++u) {
     const Load x = loads_[static_cast<std::size_t>(u)];
@@ -63,22 +62,6 @@ void IrregularEngine::step() {
     next_[static_cast<std::size_t>(u)] += x - sent;
   }
   loads_.swap(next_);
-  ++t_;
-  DLB_ASSERT(total_load(loads_) == total_, "irregular engine lost tokens");
-}
-
-void IrregularEngine::run(Step steps) {
-  DLB_REQUIRE(steps >= 0, "run: negative step count");
-  for (Step i = 0; i < steps; ++i) step();
-}
-
-Step IrregularEngine::run_until_discrepancy(Load target, Step max_steps) {
-  DLB_REQUIRE(max_steps >= 0, "run_until_discrepancy: negative cap");
-  for (Step i = 0; i < max_steps; ++i) {
-    if (discrepancy() <= target) return i;
-    step();
-  }
-  return max_steps;
 }
 
 double irregular_spectral_gap(const IrregularGraph& g, int uniform_d_plus,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/load_vector.hpp"
+#include "core/round_engine.hpp"
 #include "irregular/igraph.hpp"
 
 namespace dlb {
@@ -23,9 +24,11 @@ enum class IrregularPolicy {
   kRotorRouter,  ///< rotor over the D padded ports
 };
 
-/// Synchronous engine for irregular graphs (self-contained: the padding
-/// makes flows per node ragged, so the regular Engine is not reused).
-class IrregularEngine {
+/// Synchronous engine for irregular graphs (the padding makes flows per
+/// node ragged, so the regular Engine kernels are not reused; the
+/// stepping substrate — run loops, conservation audit, cached stats —
+/// comes from RoundEngineBase).
+class IrregularEngine : public RoundEngineBase {
  public:
   /// `uniform_d_plus` = D; 0 selects the default 2·max_degree. Must be
   /// strictly greater than max_degree (every node needs >= 1 self-loop
@@ -33,25 +36,17 @@ class IrregularEngine {
   IrregularEngine(const IrregularGraph& g, IrregularPolicy policy,
                   int uniform_d_plus, LoadVector initial);
 
-  void step();
-  void run(Step steps);
-  Step run_until_discrepancy(Load target, Step max_steps);
-
-  const LoadVector& loads() const noexcept { return loads_; }
-  Step time() const noexcept { return t_; }
-  Load discrepancy() const { return ::dlb::discrepancy(loads_); }
-  Load total() const noexcept { return total_; }
   int uniform_d_plus() const noexcept { return d_plus_; }
+
+ protected:
+  void do_step() override;
 
  private:
   const IrregularGraph* g_;
   IrregularPolicy policy_;
   int d_plus_;
-  LoadVector loads_;
   LoadVector next_;
   std::vector<int> rotor_;  // rotor position in [0, D) per node
-  Step t_ = 0;
-  Load total_ = 0;
 };
 
 /// Spectral gap of the padded chain P(u,v) = 1/D per edge,

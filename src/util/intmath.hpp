@@ -40,4 +40,38 @@ constexpr std::int64_t round_nearest_div(std::int64_t a, std::int64_t b) {
   return floor_div(2 * a + b, 2 * b);
 }
 
+/// Quotient/remainder against a fixed positive divisor, for non-negative
+/// dividends (the hot kernels' x >= 0 regime, where floor and truncating
+/// division agree). Power-of-two divisors — the common d⁺ = 2d of the
+/// theorems on cycles, tori, and hypercubes — reduce to shift/mask, which
+/// is what makes the batched kernels cheap: a hardware 64-bit division
+/// per node per step would otherwise dominate the whole round.
+class NonNegDiv {
+ public:
+  NonNegDiv() = default;
+  explicit NonNegDiv(std::int64_t divisor) : d_(divisor), shift_(-1) {
+    DLB_REQUIRE(divisor > 0, "NonNegDiv: divisor must be positive");
+    if ((divisor & (divisor - 1)) == 0) {
+      shift_ = 0;
+      while ((std::int64_t{1} << shift_) < divisor) ++shift_;
+    }
+  }
+
+  std::int64_t divisor() const noexcept { return d_; }
+
+  /// ⌊x / divisor⌋ for x >= 0.
+  std::int64_t quot(std::int64_t x) const noexcept {
+    return shift_ >= 0 ? (x >> shift_) : (x / d_);
+  }
+
+  /// x mod divisor for x >= 0.
+  std::int64_t rem(std::int64_t x) const noexcept {
+    return shift_ >= 0 ? (x & (d_ - 1)) : (x % d_);
+  }
+
+ private:
+  std::int64_t d_ = 1;
+  int shift_ = 0;  // -1 when the divisor is not a power of two
+};
+
 }  // namespace dlb

@@ -180,6 +180,50 @@ TEST(Engine, MinLoadSeenTracksInitialMinimum) {
   EXPECT_GE(e.min_load_seen(), 0);  // SendFloor never goes negative
 }
 
+TEST(Engine, ObserverFreeRunNeverTouchesFlowBuffer) {
+  const Graph g = make_torus2d(4, 4);
+  SendFloor b;
+  Engine e(g, EngineConfig{.self_loops = 4}, b, point_mass(g, 999));
+  e.run(25);
+  // Lazy path: the n×(d+d°) flow buffer is never even allocated.
+  EXPECT_FALSE(e.flows_materialized());
+  // Attaching an observer flips the engine onto the materializing path.
+  RecordingObserver obs;
+  e.add_observer(obs);
+  e.step();
+  EXPECT_TRUE(e.flows_materialized());
+  ASSERT_EQ(obs.records.size(), 1u);
+  EXPECT_EQ(obs.records[0].flows.size(), 16u * 8u);  // n * (d + d°)
+}
+
+TEST(Engine, GatedConservationAuditFiresOnTheAuditStep) {
+  // Loses one token per step via a buggy batched kernel; the audit is
+  // gated to every 4th step, so steps 1–3 pass and step 4 throws.
+  class LeakyKernel : public Balancer {
+   public:
+    std::string name() const override { return "test:leaky"; }
+    void reset(const Graph&, int) override {}
+    void decide(NodeId, Load, Step, std::span<Load> flows) override {
+      std::fill(flows.begin(), flows.end(), 0);
+    }
+    void decide_all(std::span<const Load> loads, Step,
+                    FlowSink& sink) override {
+      Load* next = sink.next();
+      for (std::size_t u = 0; u < loads.size(); ++u) next[u] += loads[u];
+      --next[0];  // the leak
+    }
+  } b;
+
+  const Graph g = make_cycle(6);
+  Engine e(g,
+           EngineConfig{.self_loops = 1,
+                        .check_conservation = true,
+                        .conservation_interval = 4},
+           b, LoadVector{9, 9, 9, 9, 9, 9});
+  EXPECT_NO_THROW(e.run(3));
+  EXPECT_THROW(e.step(), invariant_error);
+}
+
 TEST(Engine, TimeStartsAtZero) {
   const Graph g = make_cycle(3);
   SendFloor b;

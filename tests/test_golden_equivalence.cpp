@@ -1,0 +1,96 @@
+// Golden-equivalence gate for the round-kernel refactor: for EVERY
+// balancer in the registry, the lazy/batched engine path (no observer, so
+// decide_all kernels scatter straight into the next-load accumulator)
+// must produce load trajectories identical — step by step — to the
+// per-node materializing path (observer attached, flows filled through
+// Balancer::decide, the pre-refactor engine semantics).
+//
+// Any decide_all override that drifts from its decide() ground truth by
+// even one token on one node in one step fails here.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "balancers/registry.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+constexpr Step kSteps = 220;  // > 200, several full rotor revolutions
+
+/// Forces the materializing path without recording anything.
+class NoopObserver : public StepObserver {
+ public:
+  void on_step(Step, const Graph&, int, std::span<const Load>,
+               std::span<const Load>, std::span<const Load>) override {}
+};
+
+struct GoldenGraph {
+  const char* label;
+  Graph graph;
+};
+
+std::vector<GoldenGraph> golden_graphs() {
+  std::vector<GoldenGraph> out;
+  out.push_back({"cycle", make_cycle(48)});
+  out.push_back({"torus", make_torus2d(8, 6)});
+  out.push_back({"expander", make_margulis(5)});
+  return out;
+}
+
+TEST(GoldenEquivalence, LazyPathMatchesMaterializedForEveryBalancer) {
+  const auto graphs = golden_graphs();
+  for (const std::string& name : registered_balancer_names()) {
+    const BalancerFactory factory = find_balancer_factory(name);
+    const BalancerTraits traits = find_balancer_traits(name);
+    for (const GoldenGraph& gg : graphs) {
+      const Graph& g = gg.graph;
+      const int d = g.degree();
+      // d° axis: the kernels' keep-local arithmetic depends on d°, so the
+      // theorems' d° = d regime alone would not guard the d° < d runs
+      // (bench_thm23_minloops ships those on the lazy path). Candidates
+      // incompatible with the balancer's traits are skipped (ROTOR-
+      // ROUTER* pins d° == d, SEND(nearest) needs d° >= d).
+      for (int d_loops : {0, 1, d}) {
+        if (traits.exact_d_loops && d_loops != d) continue;
+        if (d_loops < traits.min_loops(d)) continue;
+        const std::uint64_t seed = 7;
+        const LoadVector initial =
+            random_initial(g.num_nodes(), 500, /*seed=*/99);
+
+        std::unique_ptr<Balancer> lazy_b = factory(seed);
+        std::unique_ptr<Balancer> gold_b = factory(seed);
+        const EngineConfig config{.self_loops = d_loops};
+        Engine lazy(g, config, *lazy_b, initial);
+        Engine gold(g, config, *gold_b, initial);
+        NoopObserver force_materialize;
+        gold.add_observer(force_materialize);
+
+        const auto where = [&] {
+          return name + " on " + gg.label + " with d_loops=" +
+                 std::to_string(d_loops);
+        };
+        for (Step t = 0; t < kSteps; ++t) {
+          lazy.step();
+          gold.step();
+          ASSERT_EQ(lazy.loads(), gold.loads())
+              << where() << " diverged at step " << t + 1;
+        }
+        EXPECT_EQ(lazy.min_load_seen(), gold.min_load_seen()) << where();
+        EXPECT_EQ(lazy.discrepancy(), gold.discrepancy()) << where();
+        // The lazy engine must have stayed lazy and the golden engine
+        // materialized.
+        EXPECT_FALSE(lazy.flows_materialized()) << where();
+        EXPECT_TRUE(gold.flows_materialized()) << where();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlb

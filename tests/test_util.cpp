@@ -126,6 +126,29 @@ TEST(IntMath, RoundNearestTiesUp) {
   EXPECT_EQ(round_nearest_div(-7, 4), -2); // -1.75 -> -2
 }
 
+TEST(IntMath, NonNegDivMatchesHardwareDivision) {
+  // Power-of-two divisors take the shift/mask fast path, the others the
+  // hardware division path; both must agree with plain '/' and '%' for
+  // every non-negative dividend.
+  for (std::int64_t d : {1, 2, 4, 8, 16, 1024, 3, 5, 7, 12, 100}) {
+    const NonNegDiv div(d);
+    EXPECT_EQ(div.divisor(), d);
+    for (std::int64_t x :
+         {std::int64_t{0}, std::int64_t{1}, std::int64_t{6}, std::int64_t{7},
+          std::int64_t{8}, std::int64_t{1000}, std::int64_t{12345678},
+          std::int64_t{1} << 62}) {
+      EXPECT_EQ(div.quot(x), x / d) << "x=" << x << " d=" << d;
+      EXPECT_EQ(div.rem(x), x % d) << "x=" << x << " d=" << d;
+      EXPECT_EQ(div.quot(x) * d + div.rem(x), x) << "x=" << x << " d=" << d;
+    }
+  }
+}
+
+TEST(IntMath, NonNegDivRejectsNonPositiveDivisor) {
+  EXPECT_THROW(NonNegDiv(0), invariant_error);
+  EXPECT_THROW(NonNegDiv(-4), invariant_error);
+}
+
 class IntMathPropertyTest : public ::testing::TestWithParam<std::int64_t> {};
 
 TEST_P(IntMathPropertyTest, FloorCeilRelation) {
