@@ -29,6 +29,7 @@
 #include "balancers/registry.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -44,13 +45,14 @@ class NoopObserver : public StepObserver {
 enum class Path { kLazy, kPerNode };
 
 void run_steps(benchmark::State& state, const Graph& g, Algorithm algo,
-               Path path) {
+               Path path, bool deferred_stats = false) {
   auto balancer = balancer_factory(algo)(/*seed=*/42);
   EngineConfig config;
   config.self_loops = g.degree();  // d° = d, the theorems' regime
   config.check_conservation = true;
   config.conservation_interval = path == Path::kLazy ? 64 : 1;
   Engine e(g, config, *balancer, random_initial(g.num_nodes(), 1000, 7));
+  e.set_deferred_stats(deferred_stats);
   NoopObserver observer;
   if (path == Path::kPerNode) e.add_observer(observer);
 
@@ -90,6 +92,12 @@ void BM_Cycle1M_SendFloor_Lazy(benchmark::State& s) {
 void BM_Cycle1M_SendFloor_PerNode(benchmark::State& s) {
   run_steps(s, cycle_1m(), Algorithm::kSendFloor, Path::kPerNode);
 }
+void BM_Cycle1M_SendFloor_LazyDeferredStats(benchmark::State& s) {
+  // Pure run(T) mode: no fused min/max pass per step; observables are
+  // recomputed on demand (the ROADMAP stats-headroom item).
+  run_steps(s, cycle_1m(), Algorithm::kSendFloor, Path::kLazy,
+            /*deferred_stats=*/true);
+}
 void BM_Cycle1M_RotorRouter_Lazy(benchmark::State& s) {
   run_steps(s, cycle_1m(), Algorithm::kRotorRouter, Path::kLazy);
 }
@@ -117,6 +125,43 @@ void BM_Cycle256k_ContinuousMimic_PerNode(benchmark::State& s) {
   run_steps(s, cycle_256k(), Algorithm::kContinuousMimic, Path::kPerNode);
 }
 
+// -------------------------- intra-round parallel thread-scaling series --
+// step_parallel() on the decide/apply pipeline; Arg is the pool size
+// (Arg 1 = the serial scatter baseline the speedup is measured against).
+// The speedup curve per PR is the acceptance artifact: >= 1.5x steps/sec
+// at 4 threads on a >= 4-core host (flat on a 1-CPU container).
+void run_steps_parallel(benchmark::State& state, const Graph& g,
+                        Algorithm algo) {
+  const int threads = static_cast<int>(state.range(0));
+  auto balancer = balancer_factory(algo)(/*seed=*/42);
+  EngineConfig config;
+  config.self_loops = g.degree();  // d° = d, the theorems' regime
+  config.check_conservation = true;
+  config.conservation_interval = 64;
+  Engine e(g, config, *balancer, random_initial(g.num_nodes(), 1000, 7));
+  ThreadPool pool(threads);
+  if (threads > 1) e.set_thread_pool(&pool);
+
+  for (auto _ : state) {
+    e.step_parallel();
+    benchmark::DoNotOptimize(e.loads().data());
+  }
+  state.SetItemsProcessed(state.iterations());  // items/sec == steps/sec
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["nodes"] = static_cast<double>(g.num_nodes());
+  state.SetLabel(algorithm_name(algo) + "/parallel");
+}
+
+void BM_StepParallel_SendFloor(benchmark::State& s) {
+  run_steps_parallel(s, cycle_1m(), Algorithm::kSendFloor);
+}
+void BM_StepParallel_RotorRouter(benchmark::State& s) {
+  run_steps_parallel(s, cycle_1m(), Algorithm::kRotorRouter);
+}
+void BM_StepParallel_Torus_SendFloor(benchmark::State& s) {
+  run_steps_parallel(s, torus_512(), Algorithm::kSendFloor);
+}
+
 // ------------------------------------------ n = 2^18 torus (d = 4) slice --
 void BM_Torus512_SendFloor_Lazy(benchmark::State& s) {
   run_steps(s, torus_512(), Algorithm::kSendFloor, Path::kLazy);
@@ -132,6 +177,8 @@ void BM_Torus512_RotorRouter_PerNode(benchmark::State& s) {
 }
 
 BENCHMARK(BM_Cycle1M_SendFloor_Lazy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cycle1M_SendFloor_LazyDeferredStats)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Cycle1M_SendFloor_PerNode)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Cycle1M_RotorRouter_Lazy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Cycle1M_RotorRouter_PerNode)->Unit(benchmark::kMillisecond);
@@ -146,6 +193,12 @@ BENCHMARK(BM_Torus512_SendFloor_Lazy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Torus512_SendFloor_PerNode)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Torus512_RotorRouter_Lazy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Torus512_RotorRouter_PerNode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepParallel_SendFloor)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepParallel_RotorRouter)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepParallel_Torus_SendFloor)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

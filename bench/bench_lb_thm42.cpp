@@ -5,49 +5,103 @@
 // swept. The adversarial port labeling keeps every clique node's load at
 // ℓ = ⌊d/2⌋−1 forever; we verify invariance over a long run and report
 // disc/d, which must stay ≈ 1/2 for all n and d.
+//
+// One SweepRunner invocation: each (n, d) circulant is a graph family,
+// the single balancer case rebuilds the clique adversary from the graph
+// at reset, and a custom ShapeCase derives the invariant initial loads —
+// --threads/--csv as in bench_table1.
 #include <cstdio>
+#include <memory>
+#include <utility>
 
 #include "analysis/bounds.hpp"
+#include "analysis/sweep.hpp"
 #include "bench_common.hpp"
-#include "core/engine.hpp"
-#include "graph/generators.hpp"
 #include "lowerbounds/stateless_adversary.hpp"
 
 namespace {
 
 using namespace dlb;
 
-void run_instance(NodeId n, int d) {
-  const Graph g = make_clique_circulant(n, d);
-  const auto inst = make_clique_adversary_instance(g);
-  StatelessCliqueBalancer balancer(inst);
-  Engine e(g, EngineConfig{.self_loops = 0}, balancer, inst.initial);
-  e.run(2000);
-  const bool invariant = e.loads() == inst.initial;
-  const double ratio =
-      static_cast<double>(e.discrepancy()) / lower_bound_thm42(d);
-  std::printf("%8d %5d %8d %8lld %10lld %8.3f %9s\n", n, d,
-              inst.clique_size, static_cast<long long>(inst.clique_load),
-              static_cast<long long>(e.discrepancy()), ratio,
-              invariant ? "yes" : "NO!");
-  std::printf("CSV,thm42,%d,%d,%lld,%lld,%.3f,%d\n", n, d,
-              static_cast<long long>(inst.clique_load),
-              static_cast<long long>(e.discrepancy()), ratio, invariant);
-}
+constexpr Step kHorizon = 2000;
+
+/// Rebuilds the Thm 4.2 adversary for whatever clique circulant it is
+/// reset on, so one BalancerCase serves every (n, d) family.
+class StatelessAdversaryAuto : public Balancer {
+ public:
+  std::string name() const override { return "STATELESS-ADV(Thm4.2)"; }
+  void reset(const Graph& graph, int d_loops) override {
+    inner_ = std::make_unique<StatelessCliqueBalancer>(
+        make_clique_adversary_instance(graph));
+    inner_->reset(graph, d_loops);
+  }
+  void decide(NodeId u, Load load, Step t, std::span<Load> flows) override {
+    inner_->decide(u, load, t, flows);
+  }
+  bool parallel_decide_safe() const override { return true; }
+
+ private:
+  std::unique_ptr<StatelessCliqueBalancer> inner_;
+};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::SweepCli cli =
+      bench::parse_sweep_cli(argc, argv, "bench_lb_thm42");
+
   std::printf("bench_lb_thm42: Thm 4.2 — stateless algorithms stuck at "
               "Omega(d) (clique-circulant adversary)\n");
+
+  SweepMatrix matrix;
+  const auto add = [&matrix](NodeId n, int d) {
+    Graph g = make_clique_circulant(n, d);
+    std::string family = g.name();
+    matrix.add_graph(std::move(family), std::move(g), /*mu=*/1.0);
+  };
+  for (int d : {4, 8, 16, 32, 64}) add(256, d);
+  for (NodeId n : {64, 128, 512, 1024}) add(n, 16);
+
+  BalancerCase adversary;
+  adversary.name = "STATELESS-ADV(Thm4.2)";
+  adversary.factory = [](std::uint64_t) {
+    return std::make_unique<StatelessAdversaryAuto>();
+  };
+  adversary.adjust_self_loops = [](int, int) { return 0; };  // d° = 0
+  matrix.add_balancer(std::move(adversary));
+  matrix.add_shape(ShapeCase{
+      "clique-adversary",
+      [](const Graph& g, Load, std::uint64_t) {
+        return make_clique_adversary_instance(g).initial;
+      }});
+  matrix.add_load_scale(0);  // the shape ignores K
+  matrix.add_self_loops(0);
+
+  SweepOptions options;
+  options.threads = cli.threads;
+  options.base.fixed_horizon = kHorizon;
+  options.base.run_continuous = false;
+  options.base.audit_fairness = false;  // observer-free: lazy engine path
+  options.base.record_final_loads = true;  // the invariance check
+  options.base.sample_fractions = {1.0};
+  const std::vector<SweepRow> rows = SweepRunner(options).run(matrix);
+
   std::printf("%8s %5s %8s %8s %10s %8s %9s\n", "n", "d", "|C|", "ell",
               "disc", "disc/d", "invariant");
-  dlb::bench::rule(64);
-
-  for (int d : {4, 8, 16, 32, 64}) run_instance(256, d);
-  for (NodeId n : {64, 128, 512, 1024}) run_instance(n, 16);
-
+  bench::rule(64);
+  for (const SweepRow& row : rows) {
+    const Graph& g = *matrix.graphs()[row.graph_index].graph;
+    const auto inst = make_clique_adversary_instance(g);
+    const bool invariant = row.result.final_loads == inst.initial;
+    const double ratio = static_cast<double>(row.result.final_discrepancy) /
+                         lower_bound_thm42(g.degree());
+    std::printf("%8d %5d %8d %8lld %10lld %8.3f %9s\n", g.num_nodes(),
+                g.degree(), inst.clique_size,
+                static_cast<long long>(inst.clique_load),
+                static_cast<long long>(row.result.final_discrepancy), ratio,
+                invariant ? "yes" : "NO!");
+  }
   std::printf("expected shape: disc/d ≈ 1/2 independent of n and of the "
               "(arbitrarily long) runtime.\n");
-  return 0;
+  return bench::emit_sweep_csv(rows, cli);
 }

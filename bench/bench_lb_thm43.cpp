@@ -6,94 +6,198 @@
 // Workload: odd cycles, L = φ+1. Columns: discrepancy of the trapped
 // run (after an even number of steps), the d·φ(G) lower-bound overlay,
 // their ratio, period-2 verification, and the discrepancy of the *same*
-// initial instance run with d° = d self-loops for the same step budget.
+// initial instance run with self-loops for the same step budget. A
+// second sweep covers the theorem's full generality on non-bipartite
+// d-regular graphs.
+//
+// Both parts are SweepRunner invocations (--threads/--csv as in
+// bench_table1): the trapped balancer rebuilds the Thm 4.3 instance from
+// the graph at reset, a custom ShapeCase derives the matching initial
+// loads, and the per-scenario adjust_spec hook pairs the rescue runs'
+// Θ(n²) mixing horizon with their graph.
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/bounds.hpp"
+#include "analysis/sweep.hpp"
 #include "balancers/rotor_router.hpp"
 #include "bench_common.hpp"
-#include "core/engine.hpp"
-#include "graph/generators.hpp"
 #include "graph/properties.hpp"
 #include "lowerbounds/rotor_parity.hpp"
 
-int main() {
-  using namespace dlb;
+namespace {
+
+using namespace dlb;
+
+constexpr Step kTrappedHorizon = 2000;  // even, so period-2 returns to x0
+
+RotorParityInstance instance_for(const Graph& g) {
+  return make_rotor_parity_instance(g, odd_cycle_vertex(g),
+                                    odd_girth_phi(g).value() + 1);
+}
+
+/// ROTOR-ROUTER with the Thm 4.3 adversarial port order and rotor
+/// positions, rebuilt from the graph at reset.
+class TrappedRotor : public RotorRouter {
+ public:
+  TrappedRotor() : RotorRouter(0) {}
+  std::string name() const override { return "ROTOR-ROUTER(trapped)"; }
+  void reset(const Graph& graph, int d_loops) override {
+    auto inst = instance_for(graph);
+    set_initial_rotors(std::move(inst.rotors));
+    set_port_order(std::move(inst.port_order));
+    RotorRouter::reset(graph, d_loops);
+  }
+};
+
+ShapeCase rotor_parity_shape() {
+  return {"rotor-parity", [](const Graph& g, Load, std::uint64_t) {
+            return instance_for(g).initial;
+          }};
+}
+
+BalancerCase trapped_case() {
+  BalancerCase c;
+  c.name = "ROTOR-ROUTER(trapped)";
+  c.factory = [](std::uint64_t) { return std::make_unique<TrappedRotor>(); };
+  c.adjust_self_loops = [](int, int requested) { return requested; };
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::SweepCli cli =
+      bench::parse_sweep_cli(argc, argv, "bench_lb_thm43");
+
   std::printf("bench_lb_thm43: Thm 4.3 — rotor walk without self-loops on "
               "odd cycles: Omega(n) forever\n");
+
+  // Part 1: odd cycles. Two balancer cases — the trapped rotor at d° = 0
+  // and a plain rescue rotor at d° = 2 — paired with their d° axis entry;
+  // rescue runs only where the Θ(n²) mixing budget is affordable.
+  SweepMatrix cycles;
+  for (NodeId n : {17, 33, 65, 129, 257, 513}) {
+    Graph g = make_cycle(n);
+    std::string family = g.name();
+    cycles.add_graph(std::move(family), std::move(g), /*mu=*/1.0);
+  }
+  cycles.add_balancer(trapped_case());
+  cycles.add_balancer(Algorithm::kRotorRouter);  // the rescue run
+  cycles.add_shape(rotor_parity_shape());
+  cycles.add_load_scale(0);  // the shape ignores K
+  cycles.add_self_loops(0);
+  cycles.add_self_loops(2);
+
+  const std::vector<Scenario> scenarios = bench::paired_scenarios(
+      cycles, [&](const Scenario& s, const GraphCase& gc) {
+        const bool trapped = s.balancer_index == 0;
+        if (trapped) return s.self_loops_requested == 0;
+        return s.self_loops_requested == 2 &&
+               gc.graph->num_nodes() <= 129;  // affordable rescue budget
+      });
+
+  SweepOptions options;
+  options.threads = cli.threads;
+  options.base.run_continuous = false;
+  options.base.audit_fairness = false;  // observer-free: lazy engine path
+  options.base.record_final_loads = true;  // the period-2 check
+  options.base.sample_fractions = {1.0};
+  options.adjust_spec = [&cycles](const Scenario& s, ExperimentSpec& spec) {
+    if (s.balancer_index == 0) {
+      spec.fixed_horizon = kTrappedHorizon;
+    } else {
+      // Rescue: the cycle mixes in Θ(n²) steps.
+      const Step n = cycles.graphs()[s.graph_index].graph->num_nodes();
+      spec.fixed_horizon = 20 * n * n;
+    }
+  };
+  const std::vector<SweepRow> rows = SweepRunner(options).run(cycles, scenarios);
+
   std::printf("%6s %5s %9s %9s %7s %8s %14s\n", "n", "phi", "disc",
               "d*phi", "ratio", "period2", "with-selfloops");
   bench::rule(66);
-
-  for (NodeId n : {17, 33, 65, 129, 257, 513}) {
-    const Graph g = make_cycle(n);
-    const int phi = (n - 1) / 2;
-    const auto inst = make_rotor_parity_instance(g, 0, /*base_load=*/phi + 1);
-
-    RotorRouter trapped(0);
-    trapped.set_initial_rotors(inst.rotors);
-    trapped.set_port_order(inst.port_order);
-    Engine e(g, EngineConfig{.self_loops = 0}, trapped, inst.initial);
-    const LoadVector x0 = e.loads();
-    const Step steps = 2000;
-    e.run(steps);
-    const bool period2 = e.loads() == x0;
-    const Load disc = e.discrepancy();
-
-    // Rescue run: same initial loads, d° = d; the cycle mixes in Θ(n²)
-    // steps, so only run it where that budget is affordable.
+  for (const GraphCase& gc : cycles.graphs()) {
+    const Graph& g = *gc.graph;
+    const int phi = (g.num_nodes() - 1) / 2;
+    Load disc = 0;
+    bool period2 = false;
     long long rescued_disc = -1;
-    if (n <= 129) {
-      RotorRouter rescued(0);
-      Engine e2(g, EngineConfig{.self_loops = 2}, rescued, inst.initial);
-      e2.run(20 * static_cast<Step>(n) * n);
-      rescued_disc = e2.discrepancy();
+    for (const SweepRow& row : rows) {
+      if (row.family != gc.family) continue;
+      if (row.balancer == "ROTOR-ROUTER(trapped)") {
+        disc = row.result.final_discrepancy;
+        period2 = row.result.final_loads == instance_for(g).initial;
+      } else {
+        rescued_disc = row.result.final_discrepancy;
+      }
     }
-
     const double ratio =
         static_cast<double>(disc) / lower_bound_thm43(g.degree(), phi);
-    std::printf("%6d %5d %9lld %9.0f %7.3f %8s %14lld\n", n, phi,
+    std::printf("%6d %5d %9lld %9.0f %7.3f %8s %14lld\n", g.num_nodes(), phi,
                 static_cast<long long>(disc),
                 lower_bound_thm43(g.degree(), phi), ratio,
                 period2 ? "yes" : "NO!", rescued_disc);
-    std::printf("CSV,thm43,%d,%d,%lld,%.3f,%d,%lld\n", n, phi,
-                static_cast<long long>(disc), ratio, period2, rescued_disc);
   }
   std::printf("expected shape: ratio ≈ 2 at every n (disc = 4φ−1); period-2 "
               "always; the self-loop runs collapse to O(d).\n");
 
   // Part 2: the theorem's full generality — arbitrary non-bipartite
   // d-regular graphs, discrepancy Ω(d·φ(G)).
+  SweepMatrix generals;
+  const auto add_general = [&generals](Graph g) {
+    std::string family = g.name();
+    generals.add_graph(std::move(family), std::move(g), /*mu=*/1.0);
+  };
+  add_general(make_petersen());
+  add_general(make_complete(9));
+  add_general(make_circulant(21, {1, 2}));
+  add_general(make_torus({5, 5}));
+  add_general(make_torus({3, 3, 3}));
+  generals.add_balancer(trapped_case());
+  generals.add_shape(rotor_parity_shape());
+  generals.add_load_scale(0);
+  generals.add_self_loops(0);
+
+  SweepOptions general_options;
+  general_options.threads = cli.threads;
+  general_options.base.fixed_horizon = kTrappedHorizon;
+  general_options.base.run_continuous = false;
+  general_options.base.audit_fairness = false;
+  general_options.base.record_final_loads = true;
+  general_options.base.sample_fractions = {1.0};
+  std::vector<SweepRow> general_rows =
+      SweepRunner(general_options).run(generals);
+
   std::printf("\n-- general non-bipartite graphs --\n");
   std::printf("%-20s %4s %5s %9s %9s %7s %8s\n", "graph", "d", "phi", "disc",
               "d*phi", "ratio", "period2");
   bench::rule(68);
-  const Graph generals[] = {make_petersen(), make_complete(9),
-                            make_circulant(21, {1, 2}), make_torus({5, 5}),
-                            make_torus({3, 3, 3})};
-  for (const Graph& g : generals) {
-    const NodeId source = odd_cycle_vertex(g);
+  for (const SweepRow& row : general_rows) {
+    const Graph& g = *generals.graphs()[row.graph_index].graph;
     const int phi = odd_girth_phi(g).value();
-    const auto inst = make_rotor_parity_instance(g, source, phi + 1);
-    RotorRouter trapped(0);
-    trapped.set_initial_rotors(inst.rotors);
-    trapped.set_port_order(inst.port_order);
-    Engine e(g, EngineConfig{.self_loops = 0}, trapped, inst.initial);
-    const LoadVector x0 = e.loads();
-    e.run(2000);
-    const bool period2 = e.loads() == x0;
-    const double ratio = static_cast<double>(e.discrepancy()) /
+    const bool period2 = row.result.final_loads == instance_for(g).initial;
+    const double ratio = static_cast<double>(row.result.final_discrepancy) /
                          lower_bound_thm43(g.degree(), phi);
     std::printf("%-20s %4d %5d %9lld %9.0f %7.3f %8s\n", g.name().c_str(),
-                g.degree(), phi, static_cast<long long>(e.discrepancy()),
+                g.degree(), phi,
+                static_cast<long long>(row.result.final_discrepancy),
                 lower_bound_thm43(g.degree(), phi), ratio,
                 period2 ? "yes" : "NO!");
-    std::printf("CSV,thm43gen,%s,%d,%d,%lld,%.3f,%d\n", g.name().c_str(),
-                g.degree(), phi, static_cast<long long>(e.discrepancy()),
-                ratio, period2);
   }
   std::printf("expected shape: period-2 on every family; ratio >= 1 — the "
               "frozen discrepancy is at least d*phi(G), the Thm 4.3 claim "
               "in its full generality.\n");
-  return 0;
+
+  // One CSV: the cycle rows followed by the general rows, reindexed so
+  // scenario indices stay unique.
+  std::vector<SweepRow> all = rows;
+  for (SweepRow row : general_rows) {
+    row.scenario_index += cycles.size();
+    all.push_back(std::move(row));
+  }
+  return bench::emit_sweep_csv(all, cli);
 }

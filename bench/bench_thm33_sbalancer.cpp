@@ -7,14 +7,23 @@
 // (guaranteed s = ⌈(d⁺−2d)/2⌉ grows along the sweep) plus ROTOR-ROUTER*
 // (s = 1, d⁺ = 2d), and measure the time until the discrepancy first
 // drops to the Thm 3.3 level, comparing against the (d/s)·log²n/µ shape.
+//
+// One SweepRunner invocation: each (algorithm, d°) configuration is one
+// scenario — the torus enters the matrix once per d° (µ, and hence T,
+// depends on d°), paired_scenarios keeps each family's own
+// (balancer, d°) pair, and adjust_spec wires the per-configuration reach
+// target/cap (the run_until_discrepancy protocol now lives inside
+// run_experiment). --threads/--csv as in bench_table1.
+#include <algorithm>
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "analysis/bounds.hpp"
-#include "analysis/experiment.hpp"
-#include "balancers/rotor_router_star.hpp"
-#include "balancers/send_round.hpp"
+#include "analysis/sweep.hpp"
+#include "balancers/registry.hpp"
 #include "bench_common.hpp"
-#include "core/fairness.hpp"
 #include "markov/mixing.hpp"
 
 namespace {
@@ -23,80 +32,105 @@ using namespace dlb;
 
 struct Config {
   const char* label;
-  bool star;    // ROTOR-ROUTER* instead of SEND(nearest)
-  int d_loops;  // d° (ignored for star: fixed to d)
+  Algorithm algo;  // kRotorRouterStar or kSendRound
+  int d_loops;     // d° (ROTOR-ROUTER* pins d° = d)
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::SweepCli cli =
+      bench::parse_sweep_cli(argc, argv, "bench_thm33_sbalancer");
+
   std::printf("bench_thm33_sbalancer: Thm 3.3 — time for good s-balancers "
               "to reach the O(d) discrepancy level\n");
 
   const NodeId w = 12, h = 12;
-  const Graph g = make_torus2d(w, h);
-  const int d = g.degree();
-  const Load k = 10 * g.num_nodes();
-  const LoadVector initial = bimodal_initial(g.num_nodes(), k);
+  const int d = 4;
+  const Load k = 10 * static_cast<Load>(w) * h;
 
-  std::printf("graph=%s d=%d K=%lld\n", g.name().c_str(), d,
-              static_cast<long long>(k));
+  const Config configs[] = {
+      {"ROTOR-ROUTER* (s=1)", Algorithm::kRotorRouterStar, d},
+      {"SEND(nearest) 2d+2", Algorithm::kSendRound, d + 2},
+      {"SEND(nearest) 3d", Algorithm::kSendRound, 2 * d},
+      {"SEND(nearest) 4d", Algorithm::kSendRound, 3 * d},
+  };
+
+  // One graph case per configuration (its µ depends on the d°), the two
+  // algorithms on the balancer axis, and every configured d° on the
+  // self-loop axis; the pairing below selects each family's own cell.
+  // family_config maps a family label to its index, which is valid into
+  // both `configs` and matrix.graphs() (inserted in the same order).
+  SweepMatrix matrix;
+  std::map<std::string, std::size_t> family_config;
+  for (const Config& cfg : configs) {
+    const double mu = 1.0 - lambda2_torus({w, h}, cfg.d_loops);
+    family_config[cfg.label] = matrix.graphs().size();
+    matrix.add_graph(cfg.label, make_torus2d(w, h), mu);
+  }
+  matrix.add_balancer(Algorithm::kRotorRouterStar);
+  matrix.add_balancer(Algorithm::kSendRound);
+  matrix.add_shape(InitialShape::kBimodal);
+  matrix.add_load_scale(k);  // bimodal: half the nodes hold K = k
+  matrix.add_self_loops(d);
+  matrix.add_self_loops(d + 2);
+  matrix.add_self_loops(2 * d);
+  matrix.add_self_loops(3 * d);
+  matrix.add_seed(7);  // seeds ROTOR-ROUTER*'s rotor shuffle, as the seed bench
+
+  const std::vector<Scenario> scenarios = bench::paired_scenarios(
+      matrix, [&](const Scenario& s, const GraphCase& gc) {
+        const Config& cfg = configs[family_config.at(gc.family)];
+        const std::string& balancer_name =
+            matrix.balancers()[s.balancer_index].name;
+        return balancer_name == algorithm_name(cfg.algo) &&
+               s.self_loops_requested == cfg.d_loops;
+      });
+
+  SweepOptions options;
+  options.threads = cli.threads;
+  options.base.time_multiplier = 4.0;  // the post-reach equilibrium budget
+  options.base.run_continuous = false;
+  options.base.audit_fairness = true;  // the class-membership sanity check
+  options.base.sample_fractions = {1.0};
+  options.adjust_spec = [&](const Scenario& s, ExperimentSpec& spec) {
+    const GraphCase& gc = matrix.graphs()[s.graph_index];
+    const Config& cfg = configs[family_config.at(gc.family)];
+    const bool star = cfg.algo == Algorithm::kRotorRouterStar;
+    const int d_plus = d + cfg.d_loops;
+    spec.reach_target =
+        bound_thm33_discrepancy(star ? 1 : 0, d_plus, cfg.d_loops);
+    spec.reach_cap =
+        50 * balancing_time(gc.graph->num_nodes(), k, gc.mu);
+  };
+  const std::vector<SweepRow> rows = SweepRunner(options).run(matrix, scenarios);
+
+  std::printf("graph=%s d=%d K=%lld\n", matrix.graphs()[0].graph->name().c_str(),
+              d, static_cast<long long>(k));
   std::printf("%-22s %5s %5s %7s %9s %10s %10s %12s %14s\n", "algorithm",
               "d.o", "s", "target", "T", "t_reach", "disc_eq", "t_reach/T",
               "bound_t33(s)");
-  dlb::bench::rule(102);
-
-  const Config configs[] = {
-      {"ROTOR-ROUTER* (s=1)", true, d},
-      {"SEND(nearest) 2d+2", false, d + 2},
-      {"SEND(nearest) 3d", false, 2 * d},
-      {"SEND(nearest) 4d", false, 3 * d},
-  };
-
-  for (const Config& cfg : configs) {
-    const int d_loops = cfg.d_loops;
-    const int d_plus = d + d_loops;
-    const double mu = 1.0 - lambda2_torus({w, h}, d_loops);
-    const Step t_bal = balancing_time(g.num_nodes(), k, mu);
-
-    RotorRouterStar star(7);
-    SendRound send;
-    Balancer& balancer = cfg.star ? static_cast<Balancer&>(star)
-                                  : static_cast<Balancer&>(send);
-
-    const int s = cfg.star ? 1 : std::max(1, (d_plus - 2 * d + 1) / 2);
-    const Load target = bound_thm33_discrepancy(cfg.star ? 1 : 0, d_plus,
-                                                d_loops);
-
-    Engine e(g, EngineConfig{.self_loops = d_loops}, balancer, initial);
-    FairnessAuditor auditor;
-    e.add_observer(auditor);
-    const Step cap = 50 * t_bal;
-    const Step t_reach = e.run_until_discrepancy(target, cap);
-    // Equilibrium level: run well past the target and report where the
-    // process settles. Stateless schemes freeze at Θ(d⁺) (they cannot
-    // beat the Thm 4.2 stateless lower bound); the stateful rotor keeps
-    // churning and typically lands lower.
-    e.run(4 * t_bal);
-    const Load disc_eq = e.discrepancy();
-
-    const double bound =
-        bound_thm33_time(k, d, s, g.num_nodes(), mu);
+  bench::rule(102);
+  for (const SweepRow& row : rows) {
+    const std::size_t ci = family_config.at(row.family);
+    const Config& cfg = configs[ci];
+    const GraphCase& gc = matrix.graphs()[ci];
+    const bool star = cfg.algo == Algorithm::kRotorRouterStar;
+    const int d_plus = d + cfg.d_loops;
+    const int s = star ? 1 : std::max(1, (d_plus - 2 * d + 1) / 2);
+    const Load target =
+        bound_thm33_discrepancy(star ? 1 : 0, d_plus, cfg.d_loops);
+    const Step t_bal = balancing_time(gc.graph->num_nodes(), k, gc.mu);
+    const double bound = bound_thm33_time(k, d, s, gc.graph->num_nodes(), gc.mu);
     std::printf("%-22s %5d %5d %7lld %9lld %10lld %10lld %12.2f %14.0f\n",
-                cfg.label, d_loops, s, static_cast<long long>(target),
+                cfg.label, cfg.d_loops, s, static_cast<long long>(target),
                 static_cast<long long>(t_bal),
-                static_cast<long long>(t_reach),
-                static_cast<long long>(disc_eq),
-                static_cast<double>(t_reach) / static_cast<double>(t_bal),
+                static_cast<long long>(row.result.t_reach),
+                static_cast<long long>(row.result.final_discrepancy),
+                static_cast<double>(row.result.t_reach) /
+                    static_cast<double>(t_bal),
                 bound);
-    std::printf("CSV,thm33,%s,%d,%d,%lld,%lld,%lld,%lld,%.1f\n", cfg.label,
-                d_loops, s, static_cast<long long>(target),
-                static_cast<long long>(t_bal),
-                static_cast<long long>(t_reach),
-                static_cast<long long>(disc_eq), bound);
-
-    // Class-membership sanity printed once per run.
-    const auto& rep = auditor.report();
+    const auto& rep = row.result.fairness;
     if (!rep.round_fair || rep.observed_delta > 1) {
       std::printf("  WARNING: run was not a good balancer (delta=%lld, "
                   "round_fair=%d)\n",
@@ -108,5 +142,5 @@ int main() {
               "(d/s)·log²n/µ budget, and disc_eq stays at or below the "
               "target — O(d) sustained, the paper's Thm 3.3 claim. "
               "(Stateless rows settle at Θ(d⁺), consistent with Thm 4.2.)\n");
-  return 0;
+  return bench::emit_sweep_csv(rows, cli);
 }

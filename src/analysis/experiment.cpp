@@ -50,9 +50,13 @@ ExperimentResult run_experiment(const Graph& g, Balancer& balancer,
   r.initial_discrepancy = discrepancy(initial);
   r.t_balance =
       balancing_time(g.num_nodes(), r.initial_discrepancy, mu, spec.balancing_c);
-  r.horizon = std::max<Step>(
-      1, static_cast<Step>(std::ceil(spec.time_multiplier *
-                                     static_cast<double>(r.t_balance))));
+  r.horizon =
+      spec.fixed_horizon > 0
+          ? spec.fixed_horizon
+          : std::max<Step>(
+                1, static_cast<Step>(std::ceil(
+                       spec.time_multiplier *
+                       static_cast<double>(r.t_balance))));
 
   Engine engine(
       g,
@@ -60,11 +64,16 @@ ExperimentResult run_experiment(const Graph& g, Balancer& balancer,
                    .check_conservation = spec.check_conservation,
                    .conservation_interval = spec.conservation_interval},
       balancer, initial);
+  engine.set_thread_pool(spec.pool);
   r.algorithm = balancer.name();
   // The auditor needs the flow matrix of every step; without it the run
   // stays on the engine's lazy non-materializing path.
   FairnessAuditor auditor;
   if (spec.audit_fairness) engine.add_observer(auditor);
+
+  if (spec.reach_target >= 0) {
+    r.t_reach = engine.run_until_discrepancy(spec.reach_target, spec.reach_cap);
+  }
 
   // Sample times: sorted unique step indices inside the horizon.
   std::vector<Step> sample_at;
@@ -79,7 +88,7 @@ ExperimentResult run_experiment(const Graph& g, Balancer& balancer,
 
   std::size_t next_sample = 0;
   for (Step t = 1; t <= r.horizon; ++t) {
-    engine.step();
+    engine.step_parallel();  // serial without a pool, parallel with one
     if (next_sample < sample_at.size() && t == sample_at[next_sample]) {
       r.samples.emplace_back(t, engine.discrepancy());
       ++next_sample;
@@ -91,6 +100,7 @@ ExperimentResult run_experiment(const Graph& g, Balancer& balancer,
   r.fairness_audited = spec.audit_fairness;
   if (spec.audit_fairness) r.fairness = auditor.report();
   r.min_load_seen = engine.min_load_seen();
+  if (spec.record_final_loads) r.final_loads = engine.loads();
 
   if (spec.run_continuous) {
     ContinuousDiffusion cont(g, spec.self_loops, initial);

@@ -30,10 +30,15 @@ LoadVector bimodal_initial(NodeId n, Load k);
 /// Independent uniform loads in [0, max_per_node] (expected K ≈ max).
 LoadVector random_initial(NodeId n, Load max_per_node, std::uint64_t seed);
 
+class ThreadPool;
+
 struct ExperimentSpec {
   int self_loops = 0;             ///< d° of the run
   double time_multiplier = 1.0;   ///< horizon = multiplier × T
   double balancing_c = 16.0;      ///< the c in T = c·log(nK)/µ
+  /// When > 0, the horizon is this exact step count instead of
+  /// multiplier × T (the lower-bound benches run fixed-length orbits).
+  Step fixed_horizon = 0;
   /// Fractions of the horizon at which the discrepancy is sampled.
   std::vector<double> sample_fractions = {0.25, 0.5, 1.0};
   bool run_continuous = true;     ///< also run the continuous yardstick
@@ -44,6 +49,19 @@ struct ExperimentSpec {
   bool audit_fairness = true;
   bool check_conservation = true; ///< audit Σx during the run
   int conservation_interval = 1;  ///< audit every k-th step (1 = every step)
+  /// When >= 0: before the sampled horizon, run until the discrepancy
+  /// first drops to this target (capped at reach_cap steps) and record
+  /// the step count in ExperimentResult::t_reach — the Thm 3.3
+  /// "time to reach the O(d) level" protocol.
+  Load reach_target = -1;
+  Step reach_cap = 0;             ///< step cap of the reach phase
+  /// Copy the final load vector into ExperimentResult::final_loads (the
+  /// lower-bound benches verify frozen / period-2 orbits with it).
+  bool record_final_loads = false;
+  /// Intra-round worker pool (not owned; may be null). With a pool the
+  /// engine runs its parallel decide/apply pipeline — byte-identical
+  /// results, used by SweepRunner's inner nesting mode.
+  ThreadPool* pool = nullptr;
   /// RNG seed of the scenario that produced this run. run_experiment does
   /// not draw randomness itself (the balancer and the initial load are
   /// seeded by the caller); the seed is carried here so every result row
@@ -72,6 +90,11 @@ struct ExperimentResult {
   FairnessReport fairness;
   Load min_load_seen = 0;
   double continuous_final_discrepancy = 0.0;  ///< NaN if not run
+  /// Steps of the reach phase (-1 when spec.reach_target was off; equal
+  /// to spec.reach_cap when the target was never reached).
+  Step t_reach = -1;
+  /// Final load vector; only filled when spec.record_final_loads.
+  LoadVector final_loads;
 };
 
 /// Runs one experiment. `mu` is the spectral gap of the balancing graph

@@ -12,6 +12,7 @@
 
 #include "util/assertions.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dlb {
 
@@ -34,6 +35,13 @@ LoadVector make_initial(InitialShape s, NodeId n, Load k, std::uint64_t seed) {
   }
   DLB_REQUIRE(false, "make_initial: unknown shape");
   return {};
+}
+
+ShapeCase shape_case(InitialShape s) {
+  return {initial_shape_name(s),
+          [s](const Graph& g, Load k, std::uint64_t seed) {
+            return make_initial(s, g.num_nodes(), k, seed);
+          }};
 }
 
 BalancerCase balancer_case(Algorithm a) {
@@ -91,7 +99,13 @@ SweepMatrix& SweepMatrix::add_all_algorithms() {
 }
 
 SweepMatrix& SweepMatrix::add_shape(InitialShape s) {
-  shapes_.push_back(s);
+  return add_shape(shape_case(s));
+}
+
+SweepMatrix& SweepMatrix::add_shape(ShapeCase c) {
+  DLB_REQUIRE(c.make != nullptr, "SweepMatrix::add_shape: null generator");
+  DLB_REQUIRE(!c.name.empty(), "SweepMatrix::add_shape: empty name");
+  shapes_.push_back(std::move(c));
   return *this;
 }
 
@@ -138,7 +152,7 @@ std::vector<Scenario> SweepMatrix::scenarios() const {
   for (std::size_t gi = 0; gi < graphs_.size(); ++gi) {
     const int degree = graphs_[gi].graph->degree();
     for (std::size_t bi = 0; bi < balancers_.size(); ++bi) {
-      for (InitialShape shape : shapes_) {
+      for (std::size_t si = 0; si < shapes_.size(); ++si) {
         for (Load k : load_scales_) {
           for (int requested : self_loops_) {
             const int base =
@@ -150,9 +164,10 @@ std::vector<Scenario> SweepMatrix::scenarios() const {
               s.index = index++;
               s.graph_index = gi;
               s.balancer_index = bi;
-              s.shape = shape;
+              s.shape_index = si;
               s.load_scale = k;
               s.self_loops = effective;
+              s.self_loops_requested = base;
               s.seed = seed;
               out.push_back(s);
             }
@@ -185,10 +200,76 @@ std::vector<SweepRow> SweepRunner::run(const SweepMatrix& matrix) const {
   return run(matrix, matrix.scenarios());
 }
 
+SweepRow SweepRunner::run_one(const SweepMatrix& matrix, const Scenario& s,
+                              ThreadPool* pool) const {
+  const GraphCase& gc = matrix.graphs()[s.graph_index];
+  const BalancerCase& bc = matrix.balancers()[s.balancer_index];
+  const ShapeCase& sc = matrix.shapes()[s.shape_index];
+  const Graph& g = *gc.graph;
+
+  // Per-scenario ownership: fresh balancer, fresh initial vector, fresh
+  // engine inside run_experiment. The graph is shared but immutable.
+  std::unique_ptr<Balancer> balancer = bc.factory(s.seed);
+  const LoadVector initial = sc.make(g, s.load_scale, s.seed);
+
+  ExperimentSpec spec = options_.base;
+  spec.self_loops = s.self_loops;
+  spec.seed = s.seed;
+  if (options_.adjust_spec) options_.adjust_spec(s, spec);
+  spec.pool = pool;
+
+  SweepRow row;
+  row.scenario_index = s.index;
+  row.graph_index = s.graph_index;
+  row.family = gc.family;
+  row.graph_name = g.name();
+  row.balancer = bc.name;
+  row.shape = sc.name;
+  row.load_scale = s.load_scale;
+  row.self_loops = s.self_loops;
+  row.seed = s.seed;
+  row.result = run_experiment(g, *balancer, initial, gc.mu, spec);
+  return row;
+}
+
 std::vector<SweepRow> SweepRunner::run(
     const SweepMatrix& matrix, const std::vector<Scenario>& scenarios) const {
   std::vector<SweepRow> rows(scenarios.size());
   if (scenarios.empty()) return rows;
+
+  int raw_threads = options_.threads;
+  if (raw_threads == 0) raw_threads = ThreadPool::hardware_parallelism();
+  // kAuto flips to inner nesting only when outer mode would idle threads
+  // AND the scenarios are big enough that a round's work amortizes the
+  // two pool rendezvous per step — on tiny graphs the serial scatter
+  // path beats a round-parallel engine no matter the core count.
+  constexpr NodeId kAutoInnerMinNodes = 1 << 15;
+  const auto big_enough_for_inner = [&] {
+    for (const Scenario& s : scenarios) {
+      if (matrix.graphs()[s.graph_index].graph->num_nodes() >=
+          kAutoInnerMinNodes) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const bool inner =
+      options_.nesting == SweepNesting::kInner ||
+      (options_.nesting == SweepNesting::kAuto && raw_threads > 1 &&
+       scenarios.size() < static_cast<std::size_t>(raw_threads) &&
+       big_enough_for_inner());
+
+  if (inner) {
+    // Few huge scenarios: run them sequentially, each round-parallel on
+    // one shared pool. Determinism holds because the engines' parallel
+    // pipeline is itself thread-count-invariant.
+    ThreadPool pool(raw_threads);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      rows[i] = run_one(matrix, scenarios[i], &pool);
+      if (options_.on_result) options_.on_result(rows[i]);
+    }
+    return rows;
+  }
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
@@ -200,35 +281,9 @@ std::vector<SweepRow> SweepRunner::run(
       if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= scenarios.size()) return;
-      const Scenario& s = scenarios[i];
       try {
-        const GraphCase& gc = matrix.graphs()[s.graph_index];
-        const BalancerCase& bc = matrix.balancers()[s.balancer_index];
-        const Graph& g = *gc.graph;
-
-        // Per-scenario ownership: fresh balancer, fresh initial vector,
-        // fresh engine inside run_experiment. The graph is shared but
-        // immutable.
-        std::unique_ptr<Balancer> balancer = bc.factory(s.seed);
-        const LoadVector initial =
-            make_initial(s.shape, g.num_nodes(), s.load_scale, s.seed);
-
-        ExperimentSpec spec = options_.base;
-        spec.self_loops = s.self_loops;
-        spec.seed = s.seed;
-
-        SweepRow row;
-        row.scenario_index = s.index;
-        row.family = gc.family;
-        row.graph_name = g.name();
-        row.balancer = bc.name;
-        row.shape = s.shape;
-        row.load_scale = s.load_scale;
-        row.self_loops = s.self_loops;
-        row.seed = s.seed;
-        row.result = run_experiment(g, *balancer, initial, gc.mu, spec);
-        rows[i] = std::move(row);  // list position, not completion order
-
+        rows[i] = run_one(matrix, scenarios[i], nullptr);
+        // List position, not completion order.
         if (options_.on_result) {
           std::lock_guard<std::mutex> lock(error_mutex);
           options_.on_result(rows[i]);
@@ -283,7 +338,8 @@ void SweepRunner::write_csv(const std::vector<SweepRow>& rows,
   csv.header({"scenario",   "family",      "graph",       "n",
               "d",          "algorithm",   "shape",       "load_scale",
               "self_loops", "seed",        "mu",          "t_balance",
-              "horizon",    "initial_disc", "final_disc", "balancedness",
+              "horizon",    "t_reach",     "initial_disc", "final_disc",
+              "balancedness",
               "continuous_disc", "delta",  "round_fair",  "observed_s",
               "min_load",   "max_remainder", "negative_seen", "samples"});
   for (const SweepRow& row : rows) {
@@ -299,13 +355,15 @@ void SweepRunner::write_csv(const std::vector<SweepRow>& rows,
              std::to_string(r.n),
              std::to_string(r.d),
              row.balancer,
-             initial_shape_name(row.shape),
+             row.shape,
              std::to_string(row.load_scale),
              std::to_string(row.self_loops),
              std::to_string(row.seed),
              fmt_double(r.mu),
              std::to_string(r.t_balance),
              std::to_string(r.horizon),
+             // Blank unless the run had a reach phase (spec.reach_target).
+             r.t_reach >= 0 ? std::to_string(r.t_reach) : std::string(),
              std::to_string(r.initial_discrepancy),
              std::to_string(r.final_discrepancy),
              fmt_double(r.final_balancedness),

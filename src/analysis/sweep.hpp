@@ -8,6 +8,14 @@
 // scenario index*, never by completion order, so an 8-thread run is
 // byte-identical to a sequential one.
 //
+// Nesting policy: with many scenarios the worker pool parallelizes
+// *across* scenarios (outer mode — each run serial). With fewer
+// scenarios than threads (a handful of huge-n runs), outer mode would
+// idle most cores, so the runner flips to inner mode: scenarios run
+// sequentially and each engine runs its intra-round parallel
+// decide/apply pipeline on a shared ThreadPool. Both modes produce
+// byte-identical rows (kAuto picks per sweep; kOuter/kInner force one).
+//
 // Thread-safety model: graphs are immutable and shared read-only;
 // balancer and engine state is per-scenario (every worker constructs its
 // own balancer through a BalancerFactory from the registry); the only
@@ -45,6 +53,19 @@ std::string initial_shape_name(InitialShape s);
 /// scale; the discrepancy K is k·n. kRandom draws from `seed`.
 LoadVector make_initial(InitialShape s, NodeId n, Load k, std::uint64_t seed);
 
+/// A shape axis entry: a stable display name plus a generator. Besides
+/// the InitialShape enum shapes, sweeps can quantify over arbitrary
+/// constructions (the lower-bound benches derive their frozen instances
+/// from the scenario's graph). The generator must be a pure function of
+/// (graph, k, seed) — workers call it concurrently.
+struct ShapeCase {
+  std::string name;
+  std::function<LoadVector(const Graph& g, Load k, std::uint64_t seed)> make;
+};
+
+/// ShapeCase for an InitialShape enum value.
+ShapeCase shape_case(InitialShape s);
+
 /// A graph axis entry: built once, shared read-only across all workers.
 struct GraphCase {
   std::string family;                  ///< short label ("cycle", "torus", …)
@@ -73,9 +94,13 @@ struct Scenario {
   std::size_t index = 0;       ///< position in the deterministic ordering
   std::size_t graph_index = 0;
   std::size_t balancer_index = 0;
-  InitialShape shape = InitialShape::kBimodal;
+  std::size_t shape_index = 0;
   Load load_scale = 0;         ///< K of the initial shape
   int self_loops = 0;          ///< effective d° after the balancer's clamp
+  /// The axis value before the balancer's clamp (kLoopsMatchDegree
+  /// already resolved to the graph's degree) — what benches pairing a d°
+  /// entry with a graph/balancer case should filter on.
+  int self_loops_requested = 0;
   std::uint64_t seed = 0;
 };
 
@@ -95,6 +120,7 @@ class SweepMatrix {
   /// Adds every algorithm of all_algorithms(), in Table-1 order.
   SweepMatrix& add_all_algorithms();
   SweepMatrix& add_shape(InitialShape s);
+  SweepMatrix& add_shape(ShapeCase c);  ///< custom initial-load generator
   SweepMatrix& add_load_scale(Load k);
   SweepMatrix& add_self_loops(int d_loops);  ///< or kLoopsMatchDegree
   SweepMatrix& add_seed(std::uint64_t seed);
@@ -103,6 +129,7 @@ class SweepMatrix {
   const std::vector<BalancerCase>& balancers() const noexcept {
     return balancers_;
   }
+  const std::vector<ShapeCase>& shapes() const noexcept { return shapes_; }
 
   /// Number of scenarios in the cross product.
   std::size_t size() const;
@@ -115,7 +142,7 @@ class SweepMatrix {
  private:
   std::vector<GraphCase> graphs_;
   std::vector<BalancerCase> balancers_;
-  std::vector<InitialShape> shapes_;
+  std::vector<ShapeCase> shapes_;
   std::vector<Load> load_scales_;
   // The optional axes start with a default entry that the first explicit
   // add_* call replaces.
@@ -129,29 +156,54 @@ class SweepMatrix {
 /// experiment result. Self-contained (no pointers into the matrix).
 struct SweepRow {
   std::size_t scenario_index = 0;
+  /// Index into the matrix's graphs() axis — what report loops should
+  /// use to look a row's graph back up (scenario_index only equals it in
+  /// single-axis sweeps).
+  std::size_t graph_index = 0;
   std::string family;
   std::string graph_name;
   std::string balancer;
-  InitialShape shape = InitialShape::kBimodal;
+  std::string shape;  ///< the ShapeCase display name
   Load load_scale = 0;
   int self_loops = 0;
   std::uint64_t seed = 0;
   ExperimentResult result;
 };
 
+/// How SweepRunner nests the two levels of parallelism.
+enum class SweepNesting {
+  /// Outer when scenarios >= threads; inner when threads would idle AND
+  /// some scenario graph has >= 2^15 nodes (below that, the per-step
+  /// pool rendezvous costs more than round-parallelism recovers, so the
+  /// few-small-scenarios case stays serial).
+  kAuto,
+  kOuter,  ///< always parallelize across scenarios (each run serial)
+  kInner,  ///< scenarios sequential, each run intra-round parallel
+};
+
 struct SweepOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   int threads = 1;
+  /// Outer scenario-parallelism vs inner round-parallelism (see the file
+  /// comment); both are byte-deterministic.
+  SweepNesting nesting = SweepNesting::kAuto;
   /// Template for every scenario's ExperimentSpec; self_loops and seed
   /// are overwritten per scenario.
   ExperimentSpec base;
+  /// Per-scenario spec hook, applied after the self_loops/seed overwrite
+  /// — benches use it to pair horizons or reach targets with a scenario.
+  /// Must be pure (workers call it concurrently).
+  std::function<void(const Scenario&, ExperimentSpec&)> adjust_spec;
   /// Optional progress callback, invoked under a lock in *completion*
   /// order (aggregation stays scenario-ordered regardless).
   std::function<void(const SweepRow&)> on_result;
 };
 
+class ThreadPool;
+
 /// Runs a SweepMatrix across a worker pool; results come back ordered by
-/// scenario index and are identical for any thread count.
+/// scenario index and are identical for any thread count (and for either
+/// nesting mode).
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions options = {});
@@ -176,6 +228,9 @@ class SweepRunner {
   static std::string csv_string(const std::vector<SweepRow>& rows);
 
  private:
+  SweepRow run_one(const SweepMatrix& matrix, const Scenario& s,
+                   ThreadPool* pool) const;
+
   SweepOptions options_;
 };
 

@@ -29,16 +29,31 @@ void BoundedError::decide(NodeId u, Load load, Step /*t*/,
   for (int p = d_; p < d_plus_; ++p) flows[static_cast<std::size_t>(p)] = 0;
 }
 
-void BoundedError::decide_all(std::span<const Load> loads, Step t,
-                              FlowSink& sink) {
-  if (sink.materialized()) {
-    Balancer::decide_all(loads, t, sink);
+void BoundedError::decide_range(NodeId first, NodeId last,
+                                std::span<const Load> loads, Step /*t*/,
+                                FlowSink& sink) {
+  const Graph& g = sink.graph();
+  if (sink.row_mode()) {
+    const int d_plus = sink.ports();
+    for (NodeId u = first; u < last; ++u) {
+      const double share =
+          static_cast<double>(loads[static_cast<std::size_t>(u)]) / d_plus_;
+      std::span<Load> row = sink.row(u);
+      for (int p = 0; p < d_; ++p) {
+        double& c = carry_[static_cast<std::size_t>(u) * d_ +
+                           static_cast<std::size_t>(p)];
+        const double desired = share + c;
+        const auto f = static_cast<Load>(std::llround(desired));
+        c = desired - static_cast<double>(f);
+        row[static_cast<std::size_t>(p)] = f;
+      }
+      // Self-loops send nothing; everything unsent is the remainder.
+      for (int p = d_; p < d_plus; ++p) row[static_cast<std::size_t>(p)] = 0;
+    }
     return;
   }
-  const Graph& g = sink.graph();
-  const NodeId n = g.num_nodes();
-  Load* next = sink.next();
-  for (NodeId u = 0; u < n; ++u) {
+  const auto next = sink.scatter();
+  for (NodeId u = first; u < last; ++u) {
     const Load x = loads[static_cast<std::size_t>(u)];
     const double share = static_cast<double>(x) / d_plus_;
     const NodeId* nb = g.neighbors(u).data();
@@ -49,11 +64,11 @@ void BoundedError::decide_all(std::span<const Load> loads, Step t,
       const double desired = share + c;
       const auto f = static_cast<Load>(std::llround(desired));
       c = desired - static_cast<double>(f);
-      next[static_cast<std::size_t>(nb[p])] += f;
+      next.add(static_cast<std::size_t>(nb[p]), f);
       sent += f;
     }
     // Self-loop ports send nothing; the rest (possibly negative) stays.
-    next[static_cast<std::size_t>(u)] += x - sent;
+    next.add(static_cast<std::size_t>(u), x - sent);
   }
 }
 

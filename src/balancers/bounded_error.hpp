@@ -27,10 +27,13 @@ class BoundedError : public Balancer {
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
 
-  /// Lazy kernel: rounds each directed edge's share+carry and scatters it
-  /// directly; the carry update is bitwise-identical to decide()'s.
-  void decide_all(std::span<const Load> loads, Step t,
-                  FlowSink& sink) override;
+  /// Scatter kernel: rounds each directed edge's share+carry and scatters
+  /// it directly; the carry update is bitwise-identical to decide()'s.
+  /// Row kernel: the same rounding written into the per-node record.
+  void decide_range(NodeId first, NodeId last, std::span<const Load> loads,
+                    Step t, FlowSink& sink) override;
+
+  bool parallel_decide_safe() const override { return true; }  // per-edge carries
 
   bool allows_negative() const override { return true; }
 

@@ -68,12 +68,8 @@ void ContinuousMimic::decide(NodeId u, Load load, Step t,
   for (int p = d_; p < d_plus_; ++p) flows[static_cast<std::size_t>(p)] = 0;
 }
 
-void ContinuousMimic::decide_all(std::span<const Load> loads, Step t,
-                                 FlowSink& sink) {
-  if (sink.materialized()) {
-    Balancer::decide_all(loads, t, sink);
-    return;
-  }
+void ContinuousMimic::prepare_round(std::span<const Load> loads, Step t,
+                                    FlowSink& /*sink*/) {
   if (t > current_step_) {
     if (initialized_) advance_continuous();
     current_step_ = t;
@@ -86,10 +82,31 @@ void ContinuousMimic::decide_all(std::span<const Load> loads, Step t,
     seen_ = g_->num_nodes();
     initialized_ = true;
   }
+}
 
+void ContinuousMimic::decide_range(NodeId first, NodeId last,
+                                   std::span<const Load> loads, Step /*t*/,
+                                   FlowSink& sink) {
   const Graph& g = sink.graph();
-  Load* next = sink.next();
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+  if (sink.row_mode()) {
+    const int d_plus = sink.ports();
+    for (NodeId u = first; u < last; ++u) {
+      const double per_edge = y_[static_cast<std::size_t>(u)] / d_plus_;
+      std::span<Load> row = sink.row(u);
+      for (int p = 0; p < d_; ++p) {
+        const std::size_t e = static_cast<std::size_t>(u) * d_ +
+                              static_cast<std::size_t>(p);
+        w_cum_[e] += per_edge;
+        const Load target = static_cast<Load>(std::llround(w_cum_[e]));
+        row[static_cast<std::size_t>(p)] = target - f_cum_[e];
+        f_cum_[e] = target;
+      }
+      for (int p = d_; p < d_plus; ++p) row[static_cast<std::size_t>(p)] = 0;
+    }
+    return;
+  }
+  const auto next = sink.scatter();
+  for (NodeId u = first; u < last; ++u) {
     const Load x = loads[static_cast<std::size_t>(u)];
     const double per_edge = y_[static_cast<std::size_t>(u)] / d_plus_;
     const NodeId* nb = g.neighbors(u).data();
@@ -101,11 +118,11 @@ void ContinuousMimic::decide_all(std::span<const Load> loads, Step t,
       const Load target = static_cast<Load>(std::llround(w_cum_[e]));
       const Load f = target - f_cum_[e];
       f_cum_[e] = target;
-      next[static_cast<std::size_t>(nb[p])] += f;
+      next.add(static_cast<std::size_t>(nb[p]), f);
       sent += f;
     }
     // Self-loops carry nothing; the (possibly negative) rest stays local.
-    next[static_cast<std::size_t>(u)] += x - sent;
+    next.add(static_cast<std::size_t>(u), x - sent);
   }
 }
 

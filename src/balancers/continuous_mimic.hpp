@@ -33,13 +33,23 @@ class ContinuousMimic : public Balancer {
   /// the engine's initial vector, which it sees one node at a time).
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
 
-  /// Lazy kernel: advances the internal continuous process once, then
-  /// scatters the rounded cumulative-flow deltas edge by edge — same
-  /// state evolution as n decide() calls, without a flow matrix.
-  void decide_all(std::span<const Load> loads, Step t,
-                  FlowSink& sink) override;
+  /// Advances the internal continuous process once per round (and
+  /// captures the step-0 snapshot) — the shared state that keeps
+  /// decide_range below free of cross-node writes.
+  void prepare_round(std::span<const Load> loads, Step t,
+                     FlowSink& sink) override;
+
+  /// Kernel: the rounded cumulative-flow deltas, scattered edge by edge
+  /// (scatter mode) or written into the per-node records (row mode) —
+  /// same state evolution as n decide() calls, without a flow matrix.
+  void decide_range(NodeId first, NodeId last, std::span<const Load> loads,
+                    Step t, FlowSink& sink) override;
 
   bool allows_negative() const override { return true; }
+
+  /// Per-edge cumulative-flow state only (the continuous trajectory is
+  /// advanced serially in prepare_round), so ranges may run concurrently.
+  bool parallel_decide_safe() const override { return true; }
 
  private:
   void advance_continuous();

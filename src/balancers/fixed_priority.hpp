@@ -12,6 +12,7 @@
 #pragma once
 
 #include "core/balancer.hpp"
+#include "util/intmath.hpp"
 
 namespace dlb {
 
@@ -21,8 +22,17 @@ class FixedPriority : public Balancer {
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
 
+  /// Scatter kernel: q per neighbour plus one extra on the first
+  /// min(e(u), d) edges; self-loop extras and the remainder stay local.
+  /// Row kernel: fill q, bump the first e(u) ports.
+  void decide_range(NodeId first, NodeId last, std::span<const Load> loads,
+                    Step t, FlowSink& sink) override;
+
+  bool parallel_decide_safe() const override { return true; }  // stateless
+
  private:
   int d_plus_ = 0;
+  NonNegDiv div_;  // ⌊x/d⁺⌋ via shift when d⁺ is a power of two
 };
 
 }  // namespace dlb

@@ -59,9 +59,12 @@ void RotorRouter::reset(const Graph& graph, int d_loops) {
   }
 
   // Resolve every cyclic position to the node an extra token lands on
-  // (doubled per node so the kernel's rotor walk never wraps).
+  // (doubled per node so the kernel's rotor walk never wraps). The
+  // row-kernel companion table (port_order2x_) is built lazily in
+  // prepare_round — scatter-only runs never pay for it.
   const int d = graph.degree();
   extra_targets_.resize(n * 2 * static_cast<std::size_t>(d_plus_));
+  port_order2x_.clear();
   for (std::size_t u = 0; u < n; ++u) {
     const std::int32_t* row =
         port_order_.data() + u * static_cast<std::size_t>(d_plus_);
@@ -73,6 +76,26 @@ void RotorRouter::reset(const Graph& graph, int d_loops) {
                    : static_cast<NodeId>(u);
       tgt[pos] = dest;
       tgt[d_plus_ + pos] = dest;
+    }
+  }
+}
+
+void RotorRouter::prepare_round(std::span<const Load> /*loads*/, Step /*t*/,
+                                FlowSink& sink) {
+  // The doubled port permutation exists only for row-mode rounds; build
+  // it here (prepare_round is always serial) on first need so the
+  // scatter hot path never allocates it.
+  if (!sink.row_mode() || !port_order2x_.empty()) return;
+  const std::size_t n = rotor_.size();
+  port_order2x_.resize(n * 2 * static_cast<std::size_t>(d_plus_));
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::int32_t* row =
+        port_order_.data() + u * static_cast<std::size_t>(d_plus_);
+    std::int32_t* ports =
+        port_order2x_.data() + u * 2 * static_cast<std::size_t>(d_plus_);
+    for (int pos = 0; pos < d_plus_; ++pos) {
+      ports[pos] = row[pos];
+      ports[d_plus_ + pos] = row[pos];
     }
   }
 }
@@ -113,17 +136,34 @@ void RotorRouter::decide(NodeId u, Load load, Step /*t*/,
   rotor = static_cast<int>((rotor + r) % d_plus_);
 }
 
-void RotorRouter::decide_all(std::span<const Load> loads, Step t,
-                             FlowSink& sink) {
-  if (sink.materialized()) {
-    Balancer::decide_all(loads, t, sink);
+void RotorRouter::decide_range(NodeId first, NodeId last,
+                               std::span<const Load> loads, Step /*t*/,
+                               FlowSink& sink) {
+  const Graph& g = sink.graph();
+  const int d = g.degree();
+  if (sink.row_mode()) {
+    for (NodeId u = first; u < last; ++u) {
+      const Load x = loads[static_cast<std::size_t>(u)];
+      DLB_REQUIRE(x >= 0, "RotorRouter cannot handle negative load");
+      const Load q = div_.quot(x);
+      const int r = static_cast<int>(x - q * d_plus_);
+      const std::int32_t* ports = port_order2x_.data() +
+                                  static_cast<std::size_t>(u) * 2 * d_plus_;
+      int& rotor = rotor_[static_cast<std::size_t>(u)];
+      std::span<Load> row = sink.row(u);
+      std::fill(row.begin(), row.end(), q);
+      // Wrap-free, fixed-trip extras walk over the doubled permutation
+      // (same masked-increment trick as the scatter kernel below).
+      for (int k = 0; k < d_plus_ - 1; ++k) {
+        row[static_cast<std::size_t>(ports[rotor + k])] +=
+            static_cast<Load>(k < r);
+      }
+      rotor = rotor + r < d_plus_ ? rotor + r : rotor + r - d_plus_;
+    }
     return;
   }
-  const Graph& g = sink.graph();
-  const NodeId n = g.num_nodes();
-  const int d = g.degree();
-  Load* next = sink.next();
-  for (NodeId u = 0; u < n; ++u) {
+  const auto next = sink.scatter();
+  for (NodeId u = first; u < last; ++u) {
     const Load x = loads[static_cast<std::size_t>(u)];
     DLB_REQUIRE(x >= 0, "RotorRouter cannot handle negative load");
     const Load q = div_.quot(x);
@@ -134,20 +174,20 @@ void RotorRouter::decide_all(std::span<const Load> loads, Step t,
     int& rotor = rotor_[static_cast<std::size_t>(u)];
 
     for (int p = 0; p < d; ++p) {
-      next[static_cast<std::size_t>(nb[p])] += q;
+      next.add(static_cast<std::size_t>(nb[p]), q);
     }
     // Every extra token lands on a precomputed target (neighbour or u
     // itself for self-loop positions). Fixed trip count of d⁺−1 with a
     // masked increment: r < d⁺ is data-dependent, so a `k < r` loop bound
     // would mispredict on nearly every node.
     for (int k = 0; k < d_plus_ - 1; ++k) {
-      next[static_cast<std::size_t>(targets[rotor + k])] +=
-          static_cast<Load>(k < r);
+      next.add(static_cast<std::size_t>(targets[rotor + k]),
+               static_cast<Load>(k < r));
     }
     rotor = rotor + r < d_plus_ ? rotor + r : rotor + r - d_plus_;
     // Self-loop base shares stay local; the r extras are all accounted
     // for by the targets walk above.
-    next[static_cast<std::size_t>(u)] += x - q * d - r;
+    next.add(static_cast<std::size_t>(u), x - q * d - r);
   }
 }
 

@@ -33,11 +33,19 @@ class RotorRouter : public Balancer {
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
 
-  /// Lazy kernel: the floor share goes to every neighbour directly and
+  /// Builds the row-kernel port table on the first row-mode round (the
+  /// scatter hot path never allocates it).
+  void prepare_round(std::span<const Load> loads, Step t,
+                     FlowSink& sink) override;
+
+  /// Scatter kernel: the floor share goes to every neighbour directly and
   /// only the x mod d⁺ extra tokens walk the rotor permutation — the flow
-  /// row is never materialized.
-  void decide_all(std::span<const Load> loads, Step t,
-                  FlowSink& sink) override;
+  /// row is never materialized. Row kernel: fill q, walk the extras over
+  /// the doubled port permutation, both branch-free.
+  void decide_range(NodeId first, NodeId last, std::span<const Load> loads,
+                    Step t, FlowSink& sink) override;
+
+  bool parallel_decide_safe() const override { return true; }  // per-node rotors
 
   /// Prescribes initial rotor positions (applied at the next reset; must
   /// then match the graph size). Positions index the *cyclic order*, i.e.
@@ -66,6 +74,9 @@ class RotorRouter : public Balancer {
   /// node (positions [0, 2d⁺)) so the rotor walk never wraps, making the
   /// extras loop branch-free.
   std::vector<NodeId> extra_targets_;
+  /// port_order_ doubled per node the same way, for the row kernel's
+  /// wrap-free extras walk over *ports*.
+  std::vector<std::int32_t> port_order2x_;
   std::vector<int> prescribed_rotors_;
   std::vector<std::int32_t> prescribed_order_;
 };

@@ -64,18 +64,37 @@ void RotorRouterStar::decide(NodeId u, Load load, Step /*t*/,
   rotor = static_cast<int>((rotor + extras) % rotor_ports_);
 }
 
-void RotorRouterStar::decide_all(std::span<const Load> loads, Step t,
-                                 FlowSink& sink) {
-  if (sink.materialized()) {
-    Balancer::decide_all(loads, t, sink);
-    return;
-  }
+void RotorRouterStar::decide_range(NodeId first, NodeId last,
+                                   std::span<const Load> loads, Step /*t*/,
+                                   FlowSink& sink) {
   const Graph& g = sink.graph();
-  const NodeId n = g.num_nodes();
   const int d = d_;
   const int d_plus = 2 * d_;
-  Load* next = sink.next();
-  for (NodeId u = 0; u < n; ++u) {
+  if (sink.row_mode()) {
+    for (NodeId u = first; u < last; ++u) {
+      const Load x = loads[static_cast<std::size_t>(u)];
+      DLB_REQUIRE(x >= 0, "ROTOR-ROUTER* cannot handle negative load");
+      const Load q = div_.quot(x);
+      const int r = static_cast<int>(x - q * d_plus);
+      int& rotor = rotor_[static_cast<std::size_t>(u)];
+      std::span<Load> row = sink.row(u);
+      std::fill(row.begin(), row.end(), q);
+      row[static_cast<std::size_t>(d_plus - 1)] += r > 0 ? 1 : 0;  // special
+      const int extras = r > 0 ? r - 1 : 0;
+      // Rotor positions are ports directly (no permutation here); the
+      // conditional subtract keeps the walk wrap- and division-free.
+      for (int k = 0; k < rotor_ports_ - 1; ++k) {
+        int pos = rotor + k;
+        pos -= pos >= rotor_ports_ ? rotor_ports_ : 0;
+        row[static_cast<std::size_t>(pos)] += static_cast<Load>(k < extras);
+      }
+      rotor = rotor + extras < rotor_ports_ ? rotor + extras
+                                            : rotor + extras - rotor_ports_;
+    }
+    return;
+  }
+  const auto next = sink.scatter();
+  for (NodeId u = first; u < last; ++u) {
     const Load x = loads[static_cast<std::size_t>(u)];
     DLB_REQUIRE(x >= 0, "ROTOR-ROUTER* cannot handle negative load");
     const Load q = div_.quot(x);
@@ -88,7 +107,7 @@ void RotorRouterStar::decide_all(std::span<const Load> loads, Step t,
     // Ports [0, d) are real edges; [d, 2d−1) ordinary self-loops and
     // 2d−1 the special one — all self-loops resolve to "keep local".
     for (int p = 0; p < d; ++p) {
-      next[static_cast<std::size_t>(nb[p])] += q;
+      next.add(static_cast<std::size_t>(nb[p]), q);
     }
     // The special self-loop's q + (r > 0) ceiling share stays local, as
     // do the ordinary self-loop base shares; the r−1 rotor extras land on
@@ -97,12 +116,12 @@ void RotorRouterStar::decide_all(std::span<const Load> loads, Step t,
     // Fixed trip count of 2d−2 with a masked increment — a data-dependent
     // `k < extras` bound would mispredict on nearly every node.
     for (int k = 0; k < rotor_ports_ - 1; ++k) {
-      next[static_cast<std::size_t>(targets[rotor + k])] +=
-          static_cast<Load>(k < extras);
+      next.add(static_cast<std::size_t>(targets[rotor + k]),
+               static_cast<Load>(k < extras));
     }
     rotor = rotor + extras < rotor_ports_ ? rotor + extras
                                           : rotor + extras - rotor_ports_;
-    next[static_cast<std::size_t>(u)] += x - q * d - extras;
+    next.add(static_cast<std::size_t>(u), x - q * d - extras);
   }
 }
 

@@ -31,11 +31,14 @@ class RotorRouterStar : public Balancer {
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
 
-  /// Lazy kernel: the special self-loop's ⌈x/d⁺⌉ and the ordinary
+  /// Scatter kernel: the special self-loop's ⌈x/d⁺⌉ and the ordinary
   /// self-loop shares stay local implicitly; only real-edge tokens are
-  /// scattered. No flow row is materialized.
-  void decide_all(std::span<const Load> loads, Step t,
-                  FlowSink& sink) override;
+  /// scattered — no flow row is materialized. Row kernel: fill q, stamp
+  /// the special port's ceiling, walk the rotor extras wrap-free.
+  void decide_range(NodeId first, NodeId last, std::span<const Load> loads,
+                    Step t, FlowSink& sink) override;
+
+  bool parallel_decide_safe() const override { return true; }  // per-node rotors
 
  private:
   std::uint64_t seed_;

@@ -21,26 +21,31 @@ void SendFloor::decide(NodeId /*u*/, Load load, Step /*t*/,
   // Excess e(u) = load − d⁺·share stays as the remainder.
 }
 
-void SendFloor::decide_all(std::span<const Load> loads, Step t,
-                           FlowSink& sink) {
-  if (sink.materialized()) {
-    Balancer::decide_all(loads, t, sink);
+void SendFloor::decide_range(NodeId first, NodeId last,
+                             std::span<const Load> loads, Step /*t*/,
+                             FlowSink& sink) {
+  const Graph& g = sink.graph();
+  const int d = g.degree();
+  if (sink.row_mode()) {
+    for (NodeId u = first; u < last; ++u) {
+      const Load x = loads[static_cast<std::size_t>(u)];
+      DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
+      std::span<Load> row = sink.row(u);
+      std::fill(row.begin(), row.end(), div_.quot(x));
+    }
     return;
   }
-  const Graph& g = sink.graph();
-  const NodeId n = g.num_nodes();
-  const int d = g.degree();
-  Load* next = sink.next();
-  for (NodeId u = 0; u < n; ++u) {
+  const auto next = sink.scatter();
+  for (NodeId u = first; u < last; ++u) {
     const Load x = loads[static_cast<std::size_t>(u)];
     DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
     const Load q = div_.quot(x);
     const NodeId* nb = g.neighbors(u).data();
     for (int p = 0; p < d; ++p) {
-      next[static_cast<std::size_t>(nb[p])] += q;
+      next.add(static_cast<std::size_t>(nb[p]), q);
     }
     // d° self-loop shares plus the excess stay local.
-    next[static_cast<std::size_t>(u)] += x - q * d;
+    next.add(static_cast<std::size_t>(u), x - q * d);
   }
 }
 

@@ -19,10 +19,13 @@ class SendFloor : public Balancer {
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
 
-  /// Lazy kernel: every neighbour gets ⌊x/d⁺⌋, the node keeps the rest
-  /// (self-loop shares + excess) — no flow row ever exists.
-  void decide_all(std::span<const Load> loads, Step t,
-                  FlowSink& sink) override;
+  /// Scatter kernel: every neighbour gets ⌊x/d⁺⌋, the node keeps the rest
+  /// (self-loop shares + excess) — no flow row ever exists. Row kernel:
+  /// every port slot is ⌊x/d⁺⌋, one fill per node.
+  void decide_range(NodeId first, NodeId last, std::span<const Load> loads,
+                    Step t, FlowSink& sink) override;
+
+  bool parallel_decide_safe() const override { return true; }  // stateless
 
  private:
   int d_plus_ = 0;

@@ -15,6 +15,8 @@ void SendRound::reset(const Graph& graph, int d_loops) {
   d_loops_ = d_loops;
   d_plus_ = d_ + d_loops;
   guaranteed_s_ = d_plus_ > 2 * d_ ? (d_plus_ - 2 * d_ + 1) / 2 : 0;
+  div_ = NonNegDiv(d_plus_);
+  div_twice_ = NonNegDiv(2 * d_plus_);
 }
 
 void SendRound::decide(NodeId /*u*/, Load load, Step /*t*/,
@@ -43,6 +45,44 @@ void SendRound::decide(NodeId /*u*/, Load load, Step /*t*/,
   }
   for (int k = 0; k < d_loops_; ++k) {
     flows[static_cast<std::size_t>(d_ + k)] = q + (k < extras ? 1 : 0);
+  }
+}
+
+void SendRound::decide_range(NodeId first, NodeId last,
+                             std::span<const Load> loads, Step /*t*/,
+                             FlowSink& sink) {
+  const Graph& g = sink.graph();
+  const int d = d_;
+  if (sink.row_mode()) {
+    for (NodeId u = first; u < last; ++u) {
+      const Load x = loads[static_cast<std::size_t>(u)];
+      DLB_REQUIRE(x >= 0, "SendRound cannot handle negative load");
+      const Load q = div_.quot(x);
+      const Load r = x - q * d_plus_;
+      const Load nearest = div_twice_.quot(2 * x + d_plus_);
+      std::span<Load> row = sink.row(u);
+      for (int p = 0; p < d; ++p) row[static_cast<std::size_t>(p)] = nearest;
+      // Same ceiling-first self-loop split as decide().
+      const Load extras =
+          nearest == q ? std::min<Load>(r, d_loops_) : r - d;
+      for (int k = 0; k < d_loops_; ++k) {
+        row[static_cast<std::size_t>(d + k)] = q + (k < extras ? 1 : 0);
+      }
+    }
+    return;
+  }
+  const auto next = sink.scatter();
+  for (NodeId u = first; u < last; ++u) {
+    const Load x = loads[static_cast<std::size_t>(u)];
+    DLB_REQUIRE(x >= 0, "SendRound cannot handle negative load");
+    const Load nearest = div_twice_.quot(2 * x + d_plus_);
+    const NodeId* nb = g.neighbors(u).data();
+    for (int p = 0; p < d; ++p) {
+      next.add(static_cast<std::size_t>(nb[p]), nearest);
+    }
+    // Self-loop shares and the remainder stay local — their split across
+    // self-loop ports never moves a token.
+    next.add(static_cast<std::size_t>(u), x - nearest * d);
   }
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "core/balancer.hpp"
+#include "util/intmath.hpp"
 
 namespace dlb {
 
@@ -20,6 +21,15 @@ class SendRound : public Balancer {
   std::string name() const override { return "SEND(nearest)"; }
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
+
+  /// Scatter kernel: every neighbour gets [x/d⁺] and everything else
+  /// (self-loop shares + remainder) stays local in one add — the
+  /// self-loop ceiling split only redistributes tokens that never leave
+  /// the node. Row kernel: replays decide()'s exact port assignment.
+  void decide_range(NodeId first, NodeId last, std::span<const Load> loads,
+                    Step t, FlowSink& sink) override;
+
+  bool parallel_decide_safe() const override { return true; }  // stateless
 
   /// Worst-case guaranteed self-preference of this implementation for the
   /// configured d and d°: ⌈(d⁺−2d)/2⌉ when d⁺ > 2d, else 0.
@@ -30,6 +40,8 @@ class SendRound : public Balancer {
   int d_loops_ = 0;
   int d_plus_ = 0;
   int guaranteed_s_ = 0;
+  NonNegDiv div_;       // ⌊x/d⁺⌋, shift/mask for power-of-two d⁺
+  NonNegDiv div_twice_; // ⌊·/2d⁺⌋, for [x/d⁺] = ⌊(2x+d⁺)/2d⁺⌋
 };
 
 }  // namespace dlb

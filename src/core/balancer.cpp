@@ -1,32 +1,38 @@
 #include "core/balancer.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "util/assertions.hpp"
 
 namespace dlb {
 
-void Balancer::decide_all(std::span<const Load> loads, Step t,
-                          FlowSink& sink) {
+void Balancer::prepare_round(std::span<const Load> /*loads*/, Step /*t*/,
+                             FlowSink& /*sink*/) {}
+
+void Balancer::decide_range(NodeId first, NodeId last,
+                            std::span<const Load> loads, Step t,
+                            FlowSink& sink) {
   const Graph& g = sink.graph();
-  const NodeId n = g.num_nodes();
   const int d = g.degree();
   const int d_plus = sink.ports();
   const bool negatives_ok = allows_negative();
-  Load* next = sink.next();
+  const bool rows = sink.row_mode();
 
-  // Lazy mode reuses one scratch row; materialized mode writes straight
-  // into the pre-zeroed flow matrix.
+  // Scatter mode reuses one scratch row and a hoisted accumulator view
+  // (kept out of the loop so its pointers stay in registers); row mode
+  // writes straight into the per-node records.
   std::vector<Load> scratch;
-  if (!sink.materialized()) {
+  std::optional<EpochAccumulator::Scatter> next;
+  if (!rows) {
     scratch.assign(static_cast<std::size_t>(d_plus), 0);
+    next.emplace(sink.scatter());
   }
 
-  for (NodeId u = 0; u < n; ++u) {
-    std::span<Load> row =
-        sink.materialized() ? sink.row(u) : std::span<Load>(scratch);
-    if (!sink.materialized()) std::fill(row.begin(), row.end(), 0);
+  for (NodeId u = first; u < last; ++u) {
+    std::span<Load> row = rows ? sink.row(u) : std::span<Load>(scratch);
+    std::fill(row.begin(), row.end(), 0);
 
     const Load x = loads[static_cast<std::size_t>(u)];
     decide(u, x, t, row);
@@ -40,15 +46,22 @@ void Balancer::decide_all(std::span<const Load> loads, Step t,
     const Load remainder = x - sent;
     DLB_REQUIRE(negatives_ok || remainder >= 0,
                 "balancer sent more tokens than available");
+    if (rows) continue;  // the engine's apply phase pulls from the rows
 
     Load kept = remainder;
     for (int p = d; p < d_plus; ++p) kept += row[static_cast<std::size_t>(p)];
-    next[static_cast<std::size_t>(u)] += kept;
+    next->add(static_cast<std::size_t>(u), kept);
     for (int p = 0; p < d; ++p) {
-      next[static_cast<std::size_t>(g.neighbor(u, p))] +=
-          row[static_cast<std::size_t>(p)];
+      next->add(static_cast<std::size_t>(g.neighbor(u, p)),
+                row[static_cast<std::size_t>(p)]);
     }
   }
+}
+
+void Balancer::decide_all(std::span<const Load> loads, Step t,
+                          FlowSink& sink) {
+  prepare_round(loads, t, sink);
+  decide_range(0, sink.graph().num_nodes(), loads, t, sink);
 }
 
 }  // namespace dlb

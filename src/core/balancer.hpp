@@ -9,22 +9,31 @@
 // s-self-preference) is *observed* by auditors rather than trusted, so a
 // buggy balancer fails tests instead of silently producing wrong science.
 //
-// Two decision entry points exist:
-//   decide()     — one node, one step: fills the node's flow row. Every
-//                  balancer must implement it; it is the semantic ground
-//                  truth and the path observers/auditors always see.
-//   decide_all() — one *round*: decides every node of the step in a single
-//                  virtual call through a FlowSink. The default
-//                  implementation loops over decide(), so third-party
-//                  balancers inherit correct batched behavior for free; the
-//                  hot schemes override it with tight kernels that scatter
-//                  tokens straight into the next-load accumulator without
-//                  materializing a flow matrix.
+// Decision entry points, from ground truth to hot path:
+//   decide()        — one node, one step: fills the node's flow row. Every
+//                     balancer must implement it; it is the semantic ground
+//                     truth and what observers/auditors ultimately see.
+//   decide_range()  — one contiguous node range of a round, through a
+//                     FlowSink. The default loops over decide(), enforcing
+//                     the oversend / negative-flow contract, so third-party
+//                     balancers inherit correct batched behavior for free;
+//                     the hot schemes override it with tight kernels.
+//                     Ranges are the unit of intra-round parallelism: when
+//                     parallel_decide_safe() is true the engine may run
+//                     disjoint ranges of the same round concurrently.
+//   prepare_round() — once-per-round hook, always called serially before
+//                     any decide_range of the round (balancers with shared
+//                     per-round state — e.g. CONT-MIMIC's continuous
+//                     trajectory — advance it here, keeping decide_range
+//                     free of cross-node writes).
+//   decide_all()    — convenience: prepare_round + decide_range over all
+//                     nodes; what the serial engine step calls.
 #pragma once
 
 #include <span>
 #include <string>
 
+#include "core/epoch_accumulator.hpp"
 #include "core/load_vector.hpp"
 #include "graph/graph.hpp"
 
@@ -33,48 +42,69 @@ namespace dlb {
 /// Where a round's decisions land. Created by the engine once per step.
 ///
 /// Two modes:
-///   * materialized — `flows()` is a zeroed n×(d+d°) matrix (layout
-///     [u*(d+d°) + port]); kernels must fill every node's row *and*
-///     scatter the resulting token movement into `next()`. This mode is
-///     active whenever a StepObserver needs the full flow matrix.
-///   * lazy — `flows()` is null; kernels only scatter into `next()`,
-///     paying nothing for flow bookkeeping. This is the hot path.
-///
-/// `next()` is the next-load accumulator (size n, zeroed): a kernel adds
-/// each token's destination — `next[v] += f` for tokens sent over an edge
-/// (u→v), `next[u] += kept` for self-loop tokens and the remainder.
+///   * row mode — row(u) is node u's per-port record (size d⁺, layout
+///     [u*(d+d°) + port]). Kernels fill every node's row and do nothing
+///     else; the engine derives the load movement itself by *pulling*
+///     each node's incoming flow through rev_port (the apply phase).
+///     Because a kernel writes only the rows of its own node range and
+///     the apply phase writes only its own range's next loads, row mode
+///     has no shared writes — it is the engine's parallel mode, and also
+///     serves every StepObserver (the records are exactly the step's
+///     flow matrix).
+///   * scatter mode — no rows exist; kernels push token movements
+///     straight into the epoch-stamped next-load accumulator via add():
+///     add(v, f) for tokens sent over an edge (u→v), add(u, kept) for
+///     self-loop tokens and the remainder. This is the serial hot path —
+///     no per-node record is ever written.
 class FlowSink {
  public:
-  FlowSink(const Graph& g, int d_loops, Load* next, Load* flows)
+  /// Row mode. `rows` must hold n×(d+d°) entries; rows need not be
+  /// pre-zeroed (kernels overwrite every entry of the rows they decide).
+  FlowSink(const Graph& g, int d_loops, Load* rows)
       : g_(&g), d_loops_(d_loops), d_plus_(g.degree() + d_loops),
-        next_(next), flows_(flows) {}
+        rows_(rows), acc_(nullptr) {}
+
+  /// Scatter mode. `acc` must be sized to n with begin_round() called.
+  FlowSink(const Graph& g, int d_loops, EpochAccumulator* acc)
+      : g_(&g), d_loops_(d_loops), d_plus_(g.degree() + d_loops),
+        rows_(nullptr), acc_(acc) {}
 
   const Graph& graph() const noexcept { return *g_; }
   int self_loops() const noexcept { return d_loops_; }
   /// d⁺ = d + d°, the width of a flow row.
   int ports() const noexcept { return d_plus_; }
 
-  /// True when the engine needs the full flow matrix this step.
-  bool materialized() const noexcept { return flows_ != nullptr; }
+  /// True when kernels must fill per-node rows (row mode); false when
+  /// they must scatter through add() (scatter mode).
+  bool row_mode() const noexcept { return rows_ != nullptr; }
 
-  /// Node u's flow row (size d⁺, pre-zeroed). Materialized mode only.
-  std::span<Load> row(NodeId u) noexcept {
-    return {flows_ + static_cast<std::size_t>(u) * d_plus_,
+  /// Node u's per-port record (size d⁺). Row mode only.
+  std::span<Load> row(NodeId u) const noexcept {
+    return {rows_ + static_cast<std::size_t>(u) * d_plus_,
             static_cast<std::size_t>(d_plus_)};
   }
 
-  /// Raw next-load accumulator (size n, pre-zeroed).
-  Load* next() noexcept { return next_; }
+  /// next[v] += f. Scatter mode only. Convenience for cold call sites —
+  /// hot kernels hoist a scatter() view out of their node loop so the
+  /// accumulator pointers stay in registers.
+  void add(NodeId v, Load f) const noexcept {
+    scatter().add(static_cast<std::size_t>(v), f);
+  }
+
+  /// Register-resident accumulator view. Scatter mode only.
+  EpochAccumulator::Scatter scatter() const noexcept {
+    return EpochAccumulator::Scatter(*acc_);
+  }
 
  private:
   const Graph* g_;
   int d_loops_;
   int d_plus_;
-  Load* next_;
-  Load* flows_;  // nullptr in lazy mode
+  Load* rows_;             // nullptr in scatter mode
+  EpochAccumulator* acc_;  // nullptr in row mode
 };
 
-/// Per-node (decide) and per-round (decide_all) send policy.
+/// Per-node (decide) and per-range (decide_range) send policy.
 ///
 /// Implementations may keep internal per-node state (rotor positions);
 /// stateless algorithms (SEND variants) must depend only on the load.
@@ -96,23 +126,49 @@ class Balancer {
   /// allows_negative() is true.
   virtual void decide(NodeId u, Load load, Step t, std::span<Load> flows) = 0;
 
-  /// Decides the whole round at once. The default implementation calls
-  /// decide() for every node in ascending order, enforcing the oversend /
-  /// negative-flow contract exactly as the classic engine did, and works
-  /// in both sink modes. Overrides must be *observationally identical* to
-  /// the default (same loads trajectory, same internal state evolution) —
-  /// the golden-equivalence test asserts this for every registered
-  /// balancer — and may skip flow materialization only when
-  /// `sink.materialized()` is false.
-  virtual void decide_all(std::span<const Load> loads, Step t, FlowSink& sink);
+  /// Once-per-round hook, called serially before any decide_range of the
+  /// round. Balancers whose rounds share state beyond per-node slots
+  /// advance it here so that decide_range stays free of cross-node
+  /// writes. Default: no-op.
+  virtual void prepare_round(std::span<const Load> loads, Step t,
+                             FlowSink& sink);
+
+  /// Decides nodes [first, last) of the round. The default implementation
+  /// calls decide() for every node in ascending order, enforcing the
+  /// oversend / negative-flow contract exactly as the classic engine did,
+  /// and works in both sink modes. Overrides must be *observationally
+  /// identical* to the default (same loads trajectory, same internal
+  /// state evolution) — the golden-equivalence test asserts this for
+  /// every registered balancer.
+  virtual void decide_range(NodeId first, NodeId last,
+                            std::span<const Load> loads, Step t,
+                            FlowSink& sink);
+
+  /// One whole round: prepare_round() then decide_range() over all
+  /// nodes. Declared final so balancers written against the pre-split
+  /// API (which overrode decide_all as their kernel entry point) fail to
+  /// compile instead of silently losing their kernel — override
+  /// decide_range/prepare_round instead.
+  virtual void decide_all(std::span<const Load> loads, Step t,
+                          FlowSink& sink) final;
+
+  /// True when decide_range over disjoint ranges may run concurrently —
+  /// i.e. a node's decision touches only that node's own state (rotor
+  /// slots, per-edge carries) plus read-only data. Balancers drawing from
+  /// one sequential RNG stream (RAND-EXTRA, RAND-ROUND) must leave this
+  /// false; the parallel engine then decides serially (in ascending node
+  /// order, so the RNG stream matches the serial path) and parallelizes
+  /// only the apply phase. Default: false — safe for any third-party
+  /// balancer.
+  virtual bool parallel_decide_safe() const { return false; }
 
   /// True for schemes (e.g. randomized rounding of [18]) that may send
   /// more than the available load, creating negative loads.
   virtual bool allows_negative() const { return false; }
 
-  /// True if the balancer itself needs the materialized flow matrix every
+  /// True if the balancer itself needs the full per-port records every
   /// step (none of the built-in schemes do); the engine then never takes
-  /// the lazy path for it.
+  /// the scatter path for it.
   virtual bool wants_flow_matrix() const { return false; }
 };
 

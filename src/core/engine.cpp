@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assertions.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dlb {
 
@@ -16,6 +17,7 @@ Engine::Engine(const Graph& g, EngineConfig config, Balancer& balancer,
               ConservationPolicy{config_.check_conservation,
                                  config_.conservation_interval});
   next_.assign(loads_.size(), 0);
+  acc_.reset(loads_.size());
   balancer_->reset(g, config_.self_loops);
 }
 
@@ -23,29 +25,89 @@ void Engine::add_observer(StepObserver& observer) {
   observers_.push_back(&observer);
 }
 
-void Engine::do_step() {
-  std::fill(next_.begin(), next_.end(), 0);
+void Engine::ensure_rows() {
+  const std::size_t size =
+      loads_.size() * static_cast<std::size_t>(balancing_degree());
+  if (flows_.size() != size) flows_.assign(size, 0);
+}
 
-  const bool materialize =
-      !observers_.empty() || balancer_->wants_flow_matrix();
-  if (materialize) {
-    const std::size_t flow_size =
-        loads_.size() * static_cast<std::size_t>(balancing_degree());
-    if (flows_.size() != flow_size) {
-      flows_.assign(flow_size, 0);
-    } else {
-      std::fill(flows_.begin(), flows_.end(), 0);
+void Engine::apply_rows(NodeId first, NodeId last, Load* next) const {
+  const int d = g_->degree();
+  const int d_plus = balancing_degree();
+  const Load* rows = flows_.data();
+  const bool negatives_ok = balancer_->allows_negative();
+  for (NodeId v = first; v < last; ++v) {
+    const Load* own = rows + static_cast<std::size_t>(v) * d_plus;
+    // kept(v) = x(v) − Σ edge flows out of v: the remainder plus every
+    // self-loop share, without reading the self-loop slots.
+    Load acc = loads_[static_cast<std::size_t>(v)];
+    for (int p = 0; p < d; ++p) acc -= own[p];
+    // The oversend contract on the movement that matters: edge flows
+    // beyond the available load would go unnoticed here otherwise — the
+    // pull phase conserves totals even for a buggy kernel, so the
+    // conservation audit cannot catch it.
+    DLB_REQUIRE(negatives_ok || acc >= 0,
+                "balancer sent more tokens than available");
+#ifndef NDEBUG
+    // Debug builds also audit the self-loop slots (they never move
+    // tokens, but observers consume them as the flow matrix): the full
+    // row must not assign more than the available load either.
+    if (!negatives_ok) {
+      Load self_assigned = 0;
+      for (int p = d; p < d_plus; ++p) self_assigned += own[p];
+      DLB_ASSERT(self_assigned >= 0 && self_assigned <= acc,
+                 "row kernel over-assigned self-loop ports");
     }
-    FlowSink sink(*g_, config_.self_loops, next_.data(), flows_.data());
-    balancer_->decide_all(loads_, time(), sink);
-    for (StepObserver* o : observers_) {
-      o->on_step(time() + 1, *g_, config_.self_loops, loads_, flows_, next_);
+#endif
+    for (int p = 0; p < d; ++p) {
+      acc += rows[static_cast<std::size_t>(g_->neighbor(v, p)) * d_plus +
+                  g_->rev_port(v, p)];
     }
+    next[static_cast<std::size_t>(v)] = acc;
+  }
+}
+
+void Engine::step_rows(ThreadPool* pool) {
+  ensure_rows();
+  const NodeId n = g_->num_nodes();
+  FlowSink sink(*g_, config_.self_loops, flows_.data());
+  balancer_->prepare_round(loads_, time(), sink);
+  if (pool != nullptr && balancer_->parallel_decide_safe()) {
+    pool->for_ranges(n, [&](std::int64_t first, std::int64_t last) {
+      balancer_->decide_range(static_cast<NodeId>(first),
+                              static_cast<NodeId>(last), loads_, time(), sink);
+    });
   } else {
-    FlowSink sink(*g_, config_.self_loops, next_.data(), nullptr);
-    balancer_->decide_all(loads_, time(), sink);
+    // Serial decide in ascending node order: balancers with a sequential
+    // RNG stream consume it exactly as the serial path does.
+    balancer_->decide_range(0, n, loads_, time(), sink);
+  }
+  if (pool != nullptr) {
+    pool->for_ranges(n, [&](std::int64_t first, std::int64_t last) {
+      apply_rows(static_cast<NodeId>(first), static_cast<NodeId>(last),
+                 next_.data());
+    });
+  } else {
+    apply_rows(0, n, next_.data());
+  }
+  for (StepObserver* o : observers_) {
+    o->on_step(time() + 1, *g_, config_.self_loops, loads_, flows_, next_);
   }
   loads_.swap(next_);
 }
+
+void Engine::do_step() {
+  if (!observers_.empty() || balancer_->wants_flow_matrix()) {
+    step_rows(nullptr);
+    return;
+  }
+  acc_.begin_round();
+  FlowSink sink(*g_, config_.self_loops, &acc_);
+  balancer_->decide_all(loads_, time(), sink);
+  acc_.finalize();
+  loads_.swap(acc_.values());
+}
+
+void Engine::do_step_parallel(ThreadPool& pool) { step_rows(&pool); }
 
 }  // namespace dlb

@@ -1,14 +1,17 @@
-// Synchronous discrete diffusion engine.
+// Synchronous discrete diffusion engine with a two-phase decide/apply
+// round pipeline.
 //
-// Each step the balancer decides the whole round through decide_all()
-// (one virtual call; the default implementation falls back to one
-// Balancer::decide per node). Flow handling is *lazy*: the n×(d+d°) flow
-// matrix is only allocated and filled when a StepObserver is attached (or
-// the balancer requests materialization via wants_flow_matrix()) — an
-// observer-free run never touches a flow buffer and hot balancers scatter
-// tokens straight into the next-load accumulator. Token conservation is
-// audited every EngineConfig::conservation_interval steps (the paper's
-// model conserves total load exactly).
+// Serial observer-free steps take the *scatter* path: one decide_all call
+// pushes token movements straight into the epoch-stamped next-load
+// accumulator — no per-node record, no per-step zero-fill. Rounds that
+// need per-node records (an attached StepObserver, a balancer with
+// wants_flow_matrix(), or intra-round parallelism via a ThreadPool) take
+// the *row* path instead: phase 1 fills each node's per-port record
+// (decide), phase 2 pulls every node's incoming flow through rev_port and
+// commits its next load (apply). Neither phase has shared writes, so a
+// parallel round is byte-identical to a serial one at any thread count.
+// Token conservation is audited every EngineConfig::conservation_interval
+// steps (the paper's model conserves total load exactly).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "core/balancer.hpp"
+#include "core/epoch_accumulator.hpp"
 #include "core/load_vector.hpp"
 #include "core/round_engine.hpp"
 #include "graph/graph.hpp"
@@ -28,7 +32,7 @@ namespace dlb {
 /// edges, [d, d + d°) self-loops. `pre` and `post` are the load vectors
 /// before and after the step; `t` is the 1-based index of the completed
 /// step (after the first step, t == 1). Attaching an observer forces the
-/// engine onto the materializing per-node path.
+/// engine onto the row (per-node record) path.
 class StepObserver {
  public:
   virtual ~StepObserver() = default;
@@ -51,7 +55,7 @@ class Engine : public RoundEngineBase {
          LoadVector initial);
 
   /// Registers an observer (not owned); call before stepping. The first
-  /// observer switches the engine onto the materializing flow path.
+  /// observer switches the engine onto the row path.
   void add_observer(StepObserver& observer);
 
   const Graph& graph() const noexcept { return *g_; }
@@ -60,20 +64,32 @@ class Engine : public RoundEngineBase {
     return g_->degree() + config_.self_loops;
   }
 
-  /// True once the flow matrix has been allocated (i.e. some step ran on
-  /// the materializing path). Observer-free runs keep this false — the
-  /// lazy path never touches a flow buffer.
+  /// True once the per-node record matrix has been allocated (i.e. some
+  /// step ran on the row path — an observer, wants_flow_matrix(), or a
+  /// parallel round). Serial observer-free runs keep this false — the
+  /// scatter path never touches a row buffer.
   bool flows_materialized() const noexcept { return !flows_.empty(); }
 
  protected:
   void do_step() override;
+  void do_step_parallel(ThreadPool& pool) override;
 
  private:
+  /// Ensures the n×d⁺ record matrix exists (contents need no zeroing:
+  /// kernels overwrite every entry of the rows they decide).
+  void ensure_rows();
+  /// Apply phase over nodes [first, last): next(v) = kept(v) + incoming
+  /// flow pulled from the neighbours' records through rev_port.
+  void apply_rows(NodeId first, NodeId last, Load* next) const;
+  /// One row-path round; `pool` may be null (serial decide + apply).
+  void step_rows(ThreadPool* pool);
+
   const Graph* g_;
   EngineConfig config_;
   Balancer* balancer_;
-  LoadVector next_;
-  LoadVector flows_;  // n * (d + d°); allocated on first materialized step
+  LoadVector next_;        // row-path apply target
+  LoadVector flows_;       // n * (d + d°) records; allocated on first row step
+  EpochAccumulator acc_;   // scatter-path accumulator
   std::vector<StepObserver*> observers_;
 };
 

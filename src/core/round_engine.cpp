@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/assertions.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dlb {
 
@@ -18,9 +19,10 @@ void RoundEngineBase::adopt_loads(LoadVector initial,
   min_load_ = *lo;
   max_load_ = *hi;
   min_load_seen_ = min_load_;
+  stats_dirty_ = false;
 }
 
-void RoundEngineBase::refresh_stats(bool audit_total) {
+void RoundEngineBase::refresh_stats(bool audit_total) const {
   Load lo = loads_[0];
   Load hi = loads_[0];
   if (audit_total) {
@@ -40,26 +42,48 @@ void RoundEngineBase::refresh_stats(bool audit_total) {
   min_load_ = lo;
   max_load_ = hi;
   min_load_seen_ = std::min(min_load_seen_, lo);
+  stats_dirty_ = false;
+}
+
+void RoundEngineBase::do_step_parallel(ThreadPool& /*pool*/) { do_step(); }
+
+void RoundEngineBase::after_step() {
+  ++t_;
+  const bool audit =
+      audit_.enabled && (audit_.interval == 1 || t_ % audit_.interval == 0);
+  if (audit) {
+    refresh_stats(true);
+  } else if (deferred_stats_) {
+    stats_dirty_ = true;
+  } else {
+    refresh_stats(false);
+  }
 }
 
 void RoundEngineBase::step() {
   do_step();
-  ++t_;
-  const bool audit =
-      audit_.enabled && (audit_.interval == 1 || t_ % audit_.interval == 0);
-  refresh_stats(audit);
+  after_step();
+}
+
+void RoundEngineBase::step_parallel() {
+  if (pool_ != nullptr && pool_->parallelism() > 1) {
+    do_step_parallel(*pool_);
+  } else {
+    do_step();
+  }
+  after_step();
 }
 
 void RoundEngineBase::run(Step steps) {
   DLB_REQUIRE(steps >= 0, "run: negative step count");
-  for (Step i = 0; i < steps; ++i) step();
+  for (Step i = 0; i < steps; ++i) step_parallel();
 }
 
 Step RoundEngineBase::run_until_discrepancy(Load target, Step max_steps) {
   DLB_REQUIRE(max_steps >= 0, "run_until_discrepancy: negative cap");
   for (Step i = 0; i < max_steps; ++i) {
     if (discrepancy() <= target) return i;
-    step();
+    step_parallel();
   }
   return max_steps;
 }

@@ -10,12 +10,21 @@
 //     every-step behavior);
 //   * a fused post-step statistics pass that computes min and max load in
 //     one sweep, so discrepancy(), min_load_seen(), and the
-//     run_until_discrepancy() stop test never re-scan the load vector.
+//     run_until_discrepancy() stop test never re-scan the load vector —
+//     and, for pure run(T) workloads, can be deferred entirely
+//     (set_deferred_stats) so steps pay nothing and observables are
+//     recomputed on demand;
+//   * the intra-round parallel dispatch: set_thread_pool() attaches a
+//     ThreadPool, step_parallel() (and the run loops, once a pool is
+//     attached) routes through the subclass's do_step_parallel(). The
+//     decide/apply engines guarantee a parallel round is byte-identical
+//     to a serial one at any thread count.
 //
 // Subclasses implement do_step(), which must advance loads_ by exactly one
 // synchronous round (and may fan out to observers before publishing the
 // new loads); the base then increments time and refreshes the audit and
-// the cached statistics.
+// the cached statistics. Engines with a contention-free two-phase round
+// additionally override do_step_parallel().
 #pragma once
 
 #include <cstdint>
@@ -23,6 +32,8 @@
 #include "core/load_vector.hpp"
 
 namespace dlb {
+
+class ThreadPool;
 
 /// Conservation-audit policy of a round engine.
 struct ConservationPolicy {
@@ -42,29 +53,57 @@ class RoundEngineBase {
   RoundEngineBase(const RoundEngineBase&) = delete;
   RoundEngineBase& operator=(const RoundEngineBase&) = delete;
 
-  /// Executes one synchronous round plus shared bookkeeping.
+  /// Attaches a worker pool (not owned; must outlive the engine's runs).
+  /// Once attached, step_parallel() and the run loops execute rounds
+  /// through the engine's parallel two-phase pipeline; results are
+  /// identical to the serial path at any pool size. Pass nullptr to
+  /// detach.
+  void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+  ThreadPool* thread_pool() const noexcept { return pool_; }
+
+  /// Executes one synchronous round (serial path) plus shared bookkeeping.
   void step();
 
-  /// Executes `steps` rounds.
+  /// Executes one round through the parallel pipeline when a pool with
+  /// parallelism > 1 is attached; identical results to step().
+  void step_parallel();
+
+  /// Executes `steps` rounds (parallel rounds once a pool is attached).
   void run(Step steps);
 
   /// Runs until discrepancy() <= target or max_steps elapse; returns the
   /// number of *additional* steps taken.
   Step run_until_discrepancy(Load target, Step max_steps);
 
+  /// When deferred, the fused per-step min/max pass is skipped and
+  /// discrepancy()/min_load_seen() recompute on demand (and on gated
+  /// conservation audits). min_load_seen() then reflects only the steps
+  /// at which statistics were actually refreshed — pure run(T) workloads
+  /// that only read the final state trade that fidelity for one less
+  /// O(n) pass per step.
+  void set_deferred_stats(bool deferred) noexcept { deferred_stats_ = deferred; }
+
   const LoadVector& loads() const noexcept { return loads_; }
   Step time() const noexcept { return t_; }
   Load total() const noexcept { return total_; }
 
-  /// max − min of the current loads; O(1) from the fused step statistics.
-  Load discrepancy() const noexcept { return max_load_ - min_load_; }
+  /// max − min of the current loads; O(1) from the fused step statistics
+  /// (recomputed on demand in deferred-stats mode).
+  Load discrepancy() const noexcept {
+    refresh_if_dirty();
+    return max_load_ - min_load_;
+  }
   double average() const {
     return static_cast<double>(total_) / static_cast<double>(loads_.size());
   }
 
   /// Minimum load ever observed on any node (negative iff the balancer
-  /// drove some node negative, cf. the NL column of Table 1).
-  Load min_load_seen() const noexcept { return min_load_seen_; }
+  /// drove some node negative, cf. the NL column of Table 1). In
+  /// deferred-stats mode, only refreshed steps contribute.
+  Load min_load_seen() const noexcept {
+    refresh_if_dirty();
+    return min_load_seen_;
+  }
 
  protected:
   RoundEngineBase() = default;
@@ -77,18 +116,31 @@ class RoundEngineBase {
   /// implementations that notify observers label the step time() + 1.
   virtual void do_step() = 0;
 
+  /// Advances loads_ by one round using `pool` for intra-round
+  /// parallelism; must produce exactly the loads do_step() would.
+  /// Default: falls back to the serial round.
+  virtual void do_step_parallel(ThreadPool& pool);
+
   LoadVector loads_;
 
  private:
   /// One fused pass over loads_: min/max always, Σx when auditing.
-  void refresh_stats(bool audit_total);
+  void refresh_stats(bool audit_total) const;
+  void refresh_if_dirty() const {
+    if (stats_dirty_) refresh_stats(false);
+  }
+  /// Post-round bookkeeping shared by step() and step_parallel().
+  void after_step();
 
   Step t_ = 0;
   Load total_ = 0;
-  Load min_load_ = 0;
-  Load max_load_ = 0;
-  Load min_load_seen_ = 0;
+  mutable Load min_load_ = 0;
+  mutable Load max_load_ = 0;
+  mutable Load min_load_seen_ = 0;
+  mutable bool stats_dirty_ = false;
+  bool deferred_stats_ = false;
   ConservationPolicy audit_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace dlb

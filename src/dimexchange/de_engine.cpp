@@ -4,6 +4,7 @@
 
 #include "util/assertions.hpp"
 #include "util/intmath.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dlb {
 
@@ -29,8 +30,11 @@ DimensionExchange::DimensionExchange(const Graph& g, DePolicy policy,
   adopt_loads(std::move(initial), ConservationPolicy::gated());
 }
 
-void DimensionExchange::apply_matching(const Matching& m) {
-  for (const auto& [u, v] : m) {
+void DimensionExchange::apply_pairs(const Matching& m, std::size_t first,
+                                    std::size_t last,
+                                    const std::uint8_t* odd_up) {
+  for (std::size_t i = first; i < last; ++i) {
+    const auto& [u, v] = m[i];
     Load& xu = loads_[static_cast<std::size_t>(u)];
     Load& xv = loads_[static_cast<std::size_t>(v)];
     const Load sum = xu + xv;
@@ -40,38 +44,57 @@ void DimensionExchange::apply_matching(const Matching& m) {
       xu = xv = lo;
       continue;
     }
-    switch (policy_) {
-      case DePolicy::kAverageDown:
-        // Deterministic: the previously richer node keeps the odd token
-        // (ties cannot happen here since sum is odd).
-        if (xu >= xv) {
-          xu = hi;
-          xv = lo;
-        } else {
-          xu = lo;
-          xv = hi;
-        }
-        break;
-      case DePolicy::kRandomOrientation:
-        if (rng_.bernoulli(0.5)) {
-          xu = hi;
-          xv = lo;
-        } else {
-          xu = lo;
-          xv = hi;
-        }
-        break;
-    }
+    // kAverageDown: the previously richer node keeps the odd token (ties
+    // cannot happen since the sum is odd). kRandomOrientation: the
+    // pre-drawn coin decides.
+    const bool u_gets_hi =
+        odd_up == nullptr ? xu >= xv : odd_up[i] != 0;
+    xu = u_gets_hi ? hi : lo;
+    xv = u_gets_hi ? lo : hi;
   }
 }
 
-void DimensionExchange::do_step() {
+const Matching& DimensionExchange::round_matching(Matching& scratch) {
   if (schedule_ == DeSchedule::kCircuit) {
-    apply_matching(circuit_[static_cast<std::size_t>(
-        time() % static_cast<Step>(circuit_.size()))]);
-  } else {
-    apply_matching(random_matching(*g_, rng_));
+    return circuit_[static_cast<std::size_t>(
+        time() % static_cast<Step>(circuit_.size()))];
   }
+  scratch = random_matching(*g_, rng_);
+  return scratch;
+}
+
+const std::uint8_t* DimensionExchange::draw_coins(const Matching& m) {
+  if (policy_ != DePolicy::kRandomOrientation) return nullptr;
+  // Decide phase: consume the RNG serially in matching order (coins are
+  // drawn only for odd-sum pairs, one per odd pair — the stream order is
+  // therefore identical however the apply phase is chunked); pairs are
+  // disjoint, so reading both loads here is race-free.
+  coin_.assign(m.size(), 0);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const auto& [u, v] = m[i];
+    const Load sum = loads_[static_cast<std::size_t>(u)] +
+                     loads_[static_cast<std::size_t>(v)];
+    if (sum % 2 != 0) coin_[i] = rng_.bernoulli(0.5) ? 1 : 0;
+  }
+  return coin_.data();
+}
+
+void DimensionExchange::do_step() {
+  Matching scratch;
+  const Matching& m = round_matching(scratch);
+  apply_pairs(m, 0, m.size(), draw_coins(m));
+}
+
+void DimensionExchange::do_step_parallel(ThreadPool& pool) {
+  Matching scratch;
+  const Matching& m = round_matching(scratch);
+  const std::uint8_t* coins = draw_coins(m);
+  // Apply phase: matched pairs are disjoint — range-parallel is safe.
+  pool.for_ranges(static_cast<std::int64_t>(m.size()),
+                  [&](std::int64_t first, std::int64_t last) {
+                    apply_pairs(m, static_cast<std::size_t>(first),
+                                static_cast<std::size_t>(last), coins);
+                  });
 }
 
 }  // namespace dlb

@@ -36,7 +36,15 @@ enum class DeSchedule {
 };
 
 /// Synchronous dimension-exchange simulator (stepping substrate — run
-/// loops, conservation audit, cached stats — from RoundEngineBase).
+/// loops, conservation audit, cached stats, thread-pool dispatch — from
+/// RoundEngineBase).
+///
+/// Parallel rounds split decide from apply: matched pairs are disjoint,
+/// so balancing them range-parallel has no shared writes. The only
+/// sequential state is the RNG — matching generation and the
+/// random-orientation coin flips are drawn serially (in matching order,
+/// exactly as the serial step consumes the stream) before the parallel
+/// apply, so trajectories are identical at any thread count.
 class DimensionExchange : public RoundEngineBase {
  public:
   /// Circuit mode: cycles through `circuit` (must be non-empty, each a
@@ -52,15 +60,27 @@ class DimensionExchange : public RoundEngineBase {
 
  protected:
   void do_step() override;
+  void do_step_parallel(ThreadPool& pool) override;
 
  private:
-  void apply_matching(const Matching& m);
+  /// Balances pairs [first, last) of `m`. `odd_up` is non-null exactly
+  /// for kRandomOrientation and holds the pre-drawn coin per pair (only
+  /// read when the pair's sum is odd).
+  void apply_pairs(const Matching& m, std::size_t first, std::size_t last,
+                   const std::uint8_t* odd_up);
+  /// Pre-draws the round's orientation coins into coin_ (serially, in
+  /// matching order); returns nullptr for kAverageDown. Shared by the
+  /// serial and parallel rounds so the balancing logic exists once.
+  const std::uint8_t* draw_coins(const Matching& m);
+  /// The round's matching (circuit entry or a fresh random matching).
+  const Matching& round_matching(Matching& scratch);
 
   const Graph* g_;
   std::vector<Matching> circuit_;
   DePolicy policy_;
   DeSchedule schedule_;
   Rng rng_;
+  std::vector<std::uint8_t> coin_;  // per-pair pre-drawn orientation
 };
 
 }  // namespace dlb

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
 
 #include "util/assertions.hpp"
 #include "util/intmath.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dlb {
 
@@ -61,6 +63,115 @@ void IrregularEngine::do_step() {
     DLB_REQUIRE(sent <= x, "irregular engine: oversent");
     next_[static_cast<std::size_t>(u)] += x - sent;
   }
+  loads_.swap(next_);
+}
+
+void IrregularEngine::build_partner_slots() {
+  const NodeId n = g_->num_nodes();
+  slot_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    slot_offsets_[static_cast<std::size_t>(u) + 1] =
+        slot_offsets_[static_cast<std::size_t>(u)] + g_->degree(u);
+  }
+  const std::int64_t total = slot_offsets_[static_cast<std::size_t>(n)];
+  out_.assign(static_cast<std::size_t>(total), 0);
+  partner_.assign(static_cast<std::size_t>(total), -1);
+
+  // Sort every directed slot by its undirected edge (lo, hi); within a
+  // group the hi→lo slots come first, then the lo→hi slots, each in slot
+  // order, and the k-th of one half pairs with the k-th of the other —
+  // a deterministic pairing that also handles parallel edges.
+  struct Slot {
+    NodeId lo, hi;
+    bool from_lo;
+    std::int64_t slot;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(total));
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nb = g_->neighbors(u);
+    const std::int64_t base = slot_offsets_[static_cast<std::size_t>(u)];
+    for (int p = 0; p < g_->degree(u); ++p) {
+      const NodeId v = nb[static_cast<std::size_t>(p)];
+      slots.push_back({std::min(u, v), std::max(u, v), u < v, base + p});
+    }
+  }
+  std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+    return std::tie(a.lo, a.hi, a.from_lo, a.slot) <
+           std::tie(b.lo, b.hi, b.from_lo, b.slot);
+  });
+  std::size_t i = 0;
+  while (i < slots.size()) {
+    std::size_t j = i;
+    while (j < slots.size() && slots[j].lo == slots[i].lo &&
+           slots[j].hi == slots[i].hi) {
+      ++j;
+    }
+    const std::size_t m = (j - i) / 2;
+    DLB_REQUIRE((j - i) % 2 == 0 && !slots[i].from_lo &&
+                    (m == 0 || slots[i + m].from_lo),
+                "irregular engine: asymmetric edge multiset");
+    for (std::size_t k = 0; k < m; ++k) {
+      partner_[static_cast<std::size_t>(slots[i + k].slot)] =
+          slots[i + m + k].slot;
+      partner_[static_cast<std::size_t>(slots[i + m + k].slot)] =
+          slots[i + k].slot;
+    }
+    i = j;
+  }
+}
+
+void IrregularEngine::decide_slots(NodeId first, NodeId last) {
+  for (NodeId u = first; u < last; ++u) {
+    const Load x = loads_[static_cast<std::size_t>(u)];
+    DLB_REQUIRE(x >= 0, "irregular engine: negative load");
+    const int deg = g_->degree(u);
+    const Load q = floor_div(x, d_plus_);
+    const Load r = x - q * d_plus_;
+    Load* out = out_.data() + slot_offsets_[static_cast<std::size_t>(u)];
+
+    Load sent = 0;
+    switch (policy_) {
+      case IrregularPolicy::kSendFloor:
+        for (int p = 0; p < deg; ++p) out[p] = q;
+        sent = q * deg;
+        break;
+      case IrregularPolicy::kRotorRouter: {
+        int& rotor = rotor_[static_cast<std::size_t>(u)];
+        for (int p = 0; p < deg; ++p) {
+          const int dist = (p - rotor + d_plus_) % d_plus_;
+          const Load f = q + (dist < r ? 1 : 0);
+          out[p] = f;
+          sent += f;
+        }
+        rotor = static_cast<int>((rotor + r) % d_plus_);
+        break;
+      }
+    }
+    DLB_REQUIRE(sent <= x, "irregular engine: oversent");
+    next_[static_cast<std::size_t>(u)] = x - sent;  // kept-local amount
+  }
+}
+
+void IrregularEngine::do_step_parallel(ThreadPool& pool) {
+  if (partner_.empty()) build_partner_slots();
+  const NodeId n = g_->num_nodes();
+  pool.for_ranges(n, [&](std::int64_t first, std::int64_t last) {
+    decide_slots(static_cast<NodeId>(first), static_cast<NodeId>(last));
+  });
+  pool.for_ranges(n, [&](std::int64_t first, std::int64_t last) {
+    for (NodeId v = static_cast<NodeId>(first);
+         v < static_cast<NodeId>(last); ++v) {
+      Load acc = next_[static_cast<std::size_t>(v)];
+      const std::int64_t lo = slot_offsets_[static_cast<std::size_t>(v)];
+      const std::int64_t hi = slot_offsets_[static_cast<std::size_t>(v) + 1];
+      for (std::int64_t j = lo; j < hi; ++j) {
+        acc += out_[static_cast<std::size_t>(
+            partner_[static_cast<std::size_t>(j)])];
+      }
+      next_[static_cast<std::size_t>(v)] = acc;
+    }
+  });
   loads_.swap(next_);
 }
 

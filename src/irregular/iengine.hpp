@@ -26,8 +26,15 @@ enum class IrregularPolicy {
 
 /// Synchronous engine for irregular graphs (the padding makes flows per
 /// node ragged, so the regular Engine kernels are not reused; the
-/// stepping substrate — run loops, conservation audit, cached stats —
-/// comes from RoundEngineBase).
+/// stepping substrate — run loops, conservation audit, cached stats,
+/// thread-pool dispatch — comes from RoundEngineBase).
+///
+/// Parallel rounds use the decide/apply split over the CSR edge slots:
+/// phase 1 writes each node's per-slot out-flows and its kept amount
+/// (only its own slots), phase 2 pulls every node's incoming flow through
+/// the precomputed partner-slot index — no shared writes, so results are
+/// identical at any thread count (both policies keep only per-node rotor
+/// state).
 class IrregularEngine : public RoundEngineBase {
  public:
   /// `uniform_d_plus` = D; 0 selects the default 2·max_degree. Must be
@@ -40,13 +47,25 @@ class IrregularEngine : public RoundEngineBase {
 
  protected:
   void do_step() override;
+  void do_step_parallel(ThreadPool& pool) override;
 
  private:
+  /// Pairs every directed CSR slot (u→v) with its reverse slot (v→u);
+  /// parallel edges are paired by occurrence order.
+  void build_partner_slots();
+  /// Phase 1 over nodes [first, last): fills out_[slot] for every real
+  /// edge slot of the node and next_[u] = kept.
+  void decide_slots(NodeId first, NodeId last);
+
   const IrregularGraph* g_;
   IrregularPolicy policy_;
   int d_plus_;
   LoadVector next_;
   std::vector<int> rotor_;  // rotor position in [0, D) per node
+  // Parallel-round state, built lazily on the first parallel step.
+  std::vector<std::int64_t> partner_;  // per directed slot
+  LoadVector out_;                     // per directed slot out-flow
+  std::vector<std::int64_t> slot_offsets_;  // CSR offsets copy (n+1)
 };
 
 /// Spectral gap of the padded chain P(u,v) = 1/D per edge,

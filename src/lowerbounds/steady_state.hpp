@@ -42,6 +42,9 @@ class SteadyStateBalancer : public Balancer {
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
 
+  /// Pure per-node table lookup — ranges may decide concurrently.
+  bool parallel_decide_safe() const override { return true; }
+
   const SteadyStateInstance& instance() const noexcept { return instance_; }
 
  private:

@@ -1,0 +1,119 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+int ThreadPool::hardware_parallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads)
+    : parallelism_(threads == 0 ? hardware_parallelism() : threads) {
+  DLB_REQUIRE(threads >= 0, "ThreadPool: negative thread count");
+  workers_.reserve(static_cast<std::size_t>(parallelism_ - 1));
+  for (int i = 0; i + 1 < parallelism_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain_chunks() {
+  // Every claim re-reads the job state under the mutex, so a worker that
+  // straddles a job boundary either sees "no chunks left" and goes back
+  // to sleep or claims a chunk of the *new* job with the new job's
+  // geometry — never a mix. A job has at most parallelism() chunks, so
+  // the lock traffic is negligible next to the chunk bodies.
+  for (;;) {
+    const std::function<void(std::int64_t, std::int64_t)>* body;
+    std::int64_t total;
+    int chunks;
+    int c;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (body_ == nullptr || next_chunk_ >= chunks_) return;
+      c = next_chunk_++;
+      body = body_;
+      total = total_;
+      chunks = chunks_;
+    }
+    // `*body` stays alive while this chunk runs: for_ranges cannot
+    // return (and the caller cannot destroy the function) before
+    // pending_chunks_ — which includes this chunk — reaches zero.
+    const std::int64_t base = total / chunks;
+    const std::int64_t extra = total % chunks;
+    const std::int64_t first = c * base + std::min<std::int64_t>(c, extra);
+    const std::int64_t last = first + base + (c < extra ? 1 : 0);
+    try {
+      (*body)(first, last);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_chunks_ == 0) job_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] {
+        return stop_ || (body_ != nullptr && next_chunk_ < chunks_);
+      });
+      if (stop_) return;
+    }
+    drain_chunks();
+  }
+}
+
+void ThreadPool::for_ranges(
+    std::int64_t total,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  DLB_REQUIRE(total >= 0, "ThreadPool::for_ranges: negative range");
+  if (total == 0) return;
+  const int chunks =
+      static_cast<int>(std::min<std::int64_t>(parallelism_, total));
+  if (chunks <= 1 || workers_.empty()) {
+    body(0, total);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DLB_REQUIRE(body_ == nullptr,
+                "ThreadPool::for_ranges: re-entrant call on the same pool");
+    body_ = &body;
+    total_ = total;
+    chunks_ = chunks;
+    pending_chunks_ = chunks;
+    first_error_ = nullptr;
+    next_chunk_ = 0;
+  }
+  work_ready_.notify_all();
+  drain_chunks();  // the calling thread is one of the workers
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_done_.wait(lock, [this] { return pending_chunks_ == 0; });
+    body_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace dlb

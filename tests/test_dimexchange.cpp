@@ -10,6 +10,7 @@
 #include "dimexchange/matching.hpp"
 #include "graph/generators.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dlb {
 namespace {
@@ -131,6 +132,41 @@ TEST(DimensionExchange, RandomMatchingReachesConstantDiscrepancy) {
                        point_mass_initial(128, 12800));
   de.run(3000);
   EXPECT_LE(de.discrepancy(), 3);
+}
+
+TEST(DimensionExchange, SerialMatchesIntraRoundParallel) {
+  // Both policies and both schedules: the parallel pair-apply (and the
+  // serially pre-drawn orientation coins) must reproduce the serial
+  // trajectory exactly at any thread count.
+  const Graph g = make_hypercube(5);
+  const LoadVector initial = random_initial(32, 500, 3);
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    for (DePolicy policy :
+         {DePolicy::kAverageDown, DePolicy::kRandomOrientation}) {
+      DimensionExchange serial(g, hypercube_dimension_circuit(5), policy, 11,
+                               initial);
+      DimensionExchange parallel(g, hypercube_dimension_circuit(5), policy,
+                                 11, initial);
+      parallel.set_thread_pool(&pool);
+      for (int t = 0; t < 120; ++t) {
+        serial.step();
+        parallel.step_parallel();
+        ASSERT_EQ(serial.loads(), parallel.loads())
+            << "policy " << static_cast<int>(policy) << " step " << t;
+      }
+      DimensionExchange serial_rm(g, policy, 17, initial);
+      DimensionExchange parallel_rm(g, policy, 17, initial);
+      parallel_rm.set_thread_pool(&pool);
+      for (int t = 0; t < 120; ++t) {
+        serial_rm.step();
+        parallel_rm.step_parallel();
+        ASSERT_EQ(serial_rm.loads(), parallel_rm.loads())
+            << "random-matching policy " << static_cast<int>(policy)
+            << " step " << t;
+      }
+    }
+  }
 }
 
 TEST(DimensionExchange, CircuitModeOnTorusViaEdgeColoring) {

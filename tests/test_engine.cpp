@@ -6,6 +6,7 @@
 
 #include "balancers/send_floor.hpp"
 #include "core/engine.hpp"
+#include "core/epoch_accumulator.hpp"
 #include "core/load_vector.hpp"
 #include "graph/generators.hpp"
 #include "util/assertions.hpp"
@@ -133,6 +134,36 @@ TEST(Engine, ThrowsWhenBalancerOversends) {
   EXPECT_THROW(e.step(), invariant_error);
 }
 
+TEST(Engine, RowPathAlsoRejectsOversendingKernels) {
+  // A kernel writing rows directly (bypassing the default decide loop's
+  // audit) must still trip the apply phase's oversend guard — the pull
+  // phase conserves totals even for a buggy kernel, so without this
+  // check negative loads would appear silently.
+  class OversendingRowKernel : public Balancer {
+   public:
+    std::string name() const override { return "test:row-oversend"; }
+    void reset(const Graph&, int) override {}
+    void decide(NodeId, Load, Step, std::span<Load> flows) override {
+      std::fill(flows.begin(), flows.end(), 0);
+    }
+    void decide_range(NodeId first, NodeId last, std::span<const Load> loads,
+                      Step, FlowSink& sink) override {
+      ASSERT_TRUE(sink.row_mode());
+      for (NodeId u = first; u < last; ++u) {
+        std::span<Load> row = sink.row(u);
+        std::fill(row.begin(), row.end(),
+                  loads[static_cast<std::size_t>(u)] + 1);  // oversend
+      }
+    }
+  } b;
+
+  const Graph g = make_cycle(4);
+  Engine e(g, EngineConfig{.self_loops = 1}, b, LoadVector{2, 2, 2, 2});
+  RecordingObserver obs;
+  e.add_observer(obs);  // force the row path
+  EXPECT_THROW(e.step(), invariant_error);
+}
+
 TEST(Engine, ObserverSeesConsistentSnapshots) {
   const Graph g = make_cycle(4);
   SendFloor b;
@@ -206,11 +237,13 @@ TEST(Engine, GatedConservationAuditFiresOnTheAuditStep) {
     void decide(NodeId, Load, Step, std::span<Load> flows) override {
       std::fill(flows.begin(), flows.end(), 0);
     }
-    void decide_all(std::span<const Load> loads, Step,
-                    FlowSink& sink) override {
-      Load* next = sink.next();
-      for (std::size_t u = 0; u < loads.size(); ++u) next[u] += loads[u];
-      --next[0];  // the leak
+    void decide_range(NodeId first, NodeId last, std::span<const Load> loads,
+                      Step, FlowSink& sink) override {
+      ASSERT_FALSE(sink.row_mode());  // observer-free: scatter path
+      for (NodeId u = first; u < last; ++u) {
+        sink.add(u, loads[static_cast<std::size_t>(u)]);
+      }
+      sink.add(0, -1);  // the leak
     }
   } b;
 
@@ -222,6 +255,77 @@ TEST(Engine, GatedConservationAuditFiresOnTheAuditStep) {
            b, LoadVector{9, 9, 9, 9, 9, 9});
   EXPECT_NO_THROW(e.run(3));
   EXPECT_THROW(e.step(), invariant_error);
+}
+
+TEST(Engine, DeferredStatsMatchOnDemand) {
+  const Graph g = make_torus2d(6, 6);
+  SendFloor a, b;
+  const LoadVector initial = point_mass(g, 3600);
+  const EngineConfig config{.self_loops = 4,
+                            .check_conservation = true,
+                            .conservation_interval = 64};
+  Engine eager(g, config, a, initial);
+  Engine deferred(g, config, b, initial);
+  deferred.set_deferred_stats(true);
+  for (int t = 0; t < 30; ++t) {
+    eager.step();
+    deferred.step();
+    // Recomputed-on-demand observables equal the fused per-step pass.
+    EXPECT_EQ(eager.discrepancy(), deferred.discrepancy());
+    EXPECT_EQ(eager.loads(), deferred.loads());
+  }
+  // min_load_seen is refreshed at every query above, so it agrees too.
+  EXPECT_EQ(eager.min_load_seen(), deferred.min_load_seen());
+}
+
+// ---------------------------------------------------- epoch accumulator --
+
+TEST(EpochAccumulator, AccumulatesWithinARound) {
+  EpochAccumulator acc;
+  acc.reset(4);
+  acc.begin_round();
+  acc.add(0, 5);
+  acc.add(0, 2);
+  acc.add(2, -3);
+  EXPECT_EQ(acc.value(0), 7);
+  EXPECT_EQ(acc.value(1), 0);  // untouched slot reads as zero
+  EXPECT_EQ(acc.value(2), -3);
+  acc.finalize();
+  EXPECT_EQ(acc.values(), (LoadVector{7, 0, -3, 0}));
+}
+
+TEST(EpochAccumulator, StaleEpochSlotsNeverLeakIntoNextLoads) {
+  EpochAccumulator acc;
+  acc.reset(3);
+  acc.begin_round();
+  acc.add(0, 42);
+  acc.add(1, 7);
+  acc.add(2, 9);
+  acc.finalize();
+
+  // Next round: slot 0 and 2 untouched. Their round-1 values (42, 9) are
+  // stale and must read as zero and finalize to zero.
+  acc.begin_round();
+  acc.add(1, 1);
+  EXPECT_EQ(acc.value(0), 0);
+  EXPECT_EQ(acc.value(2), 0);
+  // The first add of the new round overwrites, not accumulates.
+  acc.add(0, 5);
+  EXPECT_EQ(acc.value(0), 5);
+  acc.finalize();
+  EXPECT_EQ(acc.values(), (LoadVector{5, 1, 0}));
+}
+
+TEST(EpochAccumulator, FinalizeIsIdempotentAndResetRestoresZero) {
+  EpochAccumulator acc;
+  acc.reset(2);
+  acc.begin_round();
+  acc.add(0, 3);
+  acc.finalize();
+  acc.finalize();
+  EXPECT_EQ(acc.values(), (LoadVector{3, 0}));
+  acc.reset(2);
+  EXPECT_EQ(acc.values(), (LoadVector{0, 0}));
 }
 
 TEST(Engine, TimeStartsAtZero) {

@@ -1,11 +1,17 @@
-// Golden-equivalence gate for the round-kernel refactor: for EVERY
-// balancer in the registry, the lazy/batched engine path (no observer, so
-// decide_all kernels scatter straight into the next-load accumulator)
-// must produce load trajectories identical — step by step — to the
-// per-node materializing path (observer attached, flows filled through
-// Balancer::decide, the pre-refactor engine semantics).
+// Golden-equivalence gates for the round-kernel refactor:
 //
-// Any decide_all override that drifts from its decide() ground truth by
+//  1. For EVERY balancer in the registry, the lazy/batched engine path
+//     (no observer, so decide_range kernels scatter straight into the
+//     epoch-stamped next-load accumulator) must produce load trajectories
+//     identical — step by step — to the per-node row path (observer
+//     attached, records filled through Balancer::decide, the engine's
+//     golden reference semantics).
+//  2. The intra-round parallel decide/apply pipeline must produce
+//     trajectories identical to the serial path for every registry
+//     balancer at thread counts {1, 2, 8} — the determinism claim of the
+//     two-phase split (no shared writes in either phase).
+//
+// Any decide_range override that drifts from its decide() ground truth by
 // even one token on one node in one step fails here.
 #include <gtest/gtest.h>
 
@@ -17,6 +23,7 @@
 #include "balancers/registry.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dlb {
 namespace {
@@ -89,6 +96,162 @@ TEST(GoldenEquivalence, LazyPathMatchesMaterializedForEveryBalancer) {
         EXPECT_TRUE(gold.flows_materialized()) << where();
       }
     }
+  }
+}
+
+/// Forces the pre-kernel ground-truth path: delegates decide()/state to
+/// an inner balancer but inherits the *default* prepare_round and
+/// decide_range, so every round is decided through one decide() call per
+/// node with the full oversend audit — the semantics every kernel
+/// override must reproduce exactly.
+class DefaultPathOnly : public Balancer {
+ public:
+  explicit DefaultPathOnly(std::unique_ptr<Balancer> inner)
+      : inner_(std::move(inner)) {}
+  std::string name() const override { return inner_->name(); }
+  void reset(const Graph& g, int d_loops) override {
+    inner_->reset(g, d_loops);
+  }
+  void decide(NodeId u, Load load, Step t, std::span<Load> flows) override {
+    inner_->decide(u, load, t, flows);
+  }
+  bool allows_negative() const override { return inner_->allows_negative(); }
+
+ private:
+  std::unique_ptr<Balancer> inner_;
+};
+
+TEST(GoldenEquivalence, KernelsMatchTheDecideGroundTruth) {
+  // Both engine paths now run hand-written kernels, so row ≡ scatter
+  // alone would not catch a formula bug present in both. This gate pins
+  // them to the decide() ground truth: trajectories AND full flow
+  // matrices (self-loop slots included) must match the default
+  // decide()-per-node path for every registry balancer.
+  class Recorder : public StepObserver {
+   public:
+    std::vector<LoadVector> flows;
+    void on_step(Step, const Graph&, int, std::span<const Load>,
+                 std::span<const Load> f, std::span<const Load>) override {
+      flows.emplace_back(f.begin(), f.end());
+    }
+  };
+  const auto graphs = golden_graphs();
+  for (const std::string& name : registered_balancer_names()) {
+    const BalancerFactory factory = find_balancer_factory(name);
+    const BalancerTraits traits = find_balancer_traits(name);
+    for (const GoldenGraph& gg : graphs) {
+      const Graph& g = gg.graph;
+      const int d = g.degree();
+      for (int d_loops : {0, d}) {
+        if (traits.exact_d_loops && d_loops != d) continue;
+        if (d_loops < traits.min_loops(d)) continue;
+        const std::uint64_t seed = 7;
+        const LoadVector initial =
+            random_initial(g.num_nodes(), 500, /*seed=*/99);
+
+        std::unique_ptr<Balancer> kernel_b = factory(seed);
+        DefaultPathOnly truth_b(factory(seed));
+        const EngineConfig config{.self_loops = d_loops};
+        Engine kernel(g, config, *kernel_b, initial);
+        Engine truth(g, config, truth_b, initial);
+        Recorder kernel_rec, truth_rec;
+        kernel.add_observer(kernel_rec);  // row kernels
+        truth.add_observer(truth_rec);    // decide() per node
+
+        const auto where = [&] {
+          return name + " on " + gg.label + " with d_loops=" +
+                 std::to_string(d_loops);
+        };
+        for (Step t = 0; t < 60; ++t) {
+          kernel.step();
+          truth.step();
+          ASSERT_EQ(kernel.loads(), truth.loads())
+              << where() << " diverged from decide() at step " << t + 1;
+        }
+        EXPECT_EQ(kernel_rec.flows, truth_rec.flows)
+            << where() << ": row kernel wrote a different flow matrix than "
+            << "decide()";
+      }
+    }
+  }
+}
+
+TEST(GoldenEquivalence, SerialMatchesIntraRoundParallelForEveryBalancer) {
+  constexpr Step kParallelSteps = 60;  // several rotor revolutions
+  const auto graphs = golden_graphs();
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (const std::string& name : registered_balancer_names()) {
+      const BalancerFactory factory = find_balancer_factory(name);
+      const BalancerTraits traits = find_balancer_traits(name);
+      for (const GoldenGraph& gg : graphs) {
+        const Graph& g = gg.graph;
+        const int d = g.degree();
+        for (int d_loops : {0, d}) {
+          if (traits.exact_d_loops && d_loops != d) continue;
+          if (d_loops < traits.min_loops(d)) continue;
+          const std::uint64_t seed = 7;
+          const LoadVector initial =
+              random_initial(g.num_nodes(), 500, /*seed=*/99);
+
+          std::unique_ptr<Balancer> serial_b = factory(seed);
+          std::unique_ptr<Balancer> par_b = factory(seed);
+          const EngineConfig config{.self_loops = d_loops};
+          Engine serial(g, config, *serial_b, initial);
+          Engine parallel(g, config, *par_b, initial);
+          parallel.set_thread_pool(&pool);
+
+          const auto where = [&] {
+            return name + " on " + gg.label + " with d_loops=" +
+                   std::to_string(d_loops) + " threads=" +
+                   std::to_string(threads);
+          };
+          for (Step t = 0; t < kParallelSteps; ++t) {
+            serial.step();
+            parallel.step_parallel();
+            ASSERT_EQ(serial.loads(), parallel.loads())
+                << where() << " diverged at step " << t + 1;
+          }
+          EXPECT_EQ(serial.min_load_seen(), parallel.min_load_seen())
+              << where();
+          EXPECT_EQ(serial.discrepancy(), parallel.discrepancy()) << where();
+        }
+      }
+    }
+  }
+}
+
+TEST(GoldenEquivalence, ParallelRoundsFeedObserversTheSameFlowMatrix) {
+  // The row path serves observers in parallel rounds too: records and
+  // post-loads must match the serial materialized step exactly.
+  class Recorder : public StepObserver {
+   public:
+    std::vector<LoadVector> flows, posts;
+    void on_step(Step, const Graph&, int, std::span<const Load>,
+                 std::span<const Load> f, std::span<const Load> p) override {
+      flows.emplace_back(f.begin(), f.end());
+      posts.emplace_back(p.begin(), p.end());
+    }
+  };
+  const Graph g = make_torus2d(8, 6);
+  const LoadVector initial = random_initial(g.num_nodes(), 300, 4);
+  ThreadPool pool(4);
+  for (Algorithm a : {Algorithm::kRotorRouter, Algorithm::kSendFloor}) {
+    auto serial_b = make_balancer(a, 3);
+    auto par_b = make_balancer(a, 3);
+    const EngineConfig config{.self_loops = g.degree()};
+    Engine serial(g, config, *serial_b, initial);
+    Engine parallel(g, config, *par_b, initial);
+    Recorder serial_rec, par_rec;
+    serial.add_observer(serial_rec);
+    parallel.add_observer(par_rec);
+    parallel.set_thread_pool(&pool);
+    for (Step t = 0; t < 40; ++t) {
+      serial.step();
+      parallel.step_parallel();
+    }
+    EXPECT_EQ(serial_rec.flows, par_rec.flows) << algorithm_name(a);
+    EXPECT_EQ(serial_rec.posts, par_rec.posts) << algorithm_name(a);
   }
 }
 

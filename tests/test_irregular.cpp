@@ -9,6 +9,7 @@
 #include "irregular/iengine.hpp"
 #include "irregular/igraph.hpp"
 #include "markov/mixing.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dlb {
 namespace {
@@ -88,6 +89,34 @@ TEST(IrregularEngineTest, ConservesTokens) {
   IrregularEngine e(g, IrregularPolicy::kRotorRouter, 0, init);
   e.run(500);
   EXPECT_EQ(total_load(e.loads()), 1600);
+}
+
+TEST(IrregularEngineTest, SerialMatchesIntraRoundParallel) {
+  // The CSR partner-slot pull must reproduce the serial scatter exactly
+  // at any thread count, on every heterogeneous family (including the
+  // gnp instance, whose adjacency order is arbitrary).
+  for (const IrregularGraph& g :
+       {make_grid2d(6, 6), make_wheel(24), make_barbell(5, 3),
+        make_gnp_connected(48, 5.0, 7)}) {
+    LoadVector init(static_cast<std::size_t>(g.num_nodes()), 0);
+    init[0] = 100 * g.num_nodes();
+    for (int threads : {2, 8}) {
+      ThreadPool pool(threads);
+      for (IrregularPolicy policy :
+           {IrregularPolicy::kSendFloor, IrregularPolicy::kRotorRouter}) {
+        IrregularEngine serial(g, policy, 0, init);
+        IrregularEngine parallel(g, policy, 0, init);
+        parallel.set_thread_pool(&pool);
+        for (int t = 0; t < 80; ++t) {
+          serial.step();
+          parallel.step_parallel();
+          ASSERT_EQ(serial.loads(), parallel.loads())
+              << g.name() << " policy " << static_cast<int>(policy)
+              << " threads " << threads << " step " << t;
+        }
+      }
+    }
+  }
 }
 
 class IrregularBalanceTest

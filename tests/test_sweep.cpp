@@ -70,13 +70,13 @@ TEST(SweepMatrix, SizeIsTheCrossProduct) {
 
 TEST(SweepMatrix, EnumeratesEveryCombinationExactlyOnce) {
   const SweepMatrix m = small_matrix();
-  using Key = std::tuple<std::size_t, std::size_t, InitialShape, Load,
+  using Key = std::tuple<std::size_t, std::size_t, std::size_t, Load,
                          std::uint64_t>;
   std::set<Key> seen;
   std::size_t expected_index = 0;
   for (const Scenario& s : m.scenarios()) {
     EXPECT_EQ(s.index, expected_index++);  // deterministic ordering
-    EXPECT_TRUE(seen.emplace(s.graph_index, s.balancer_index, s.shape,
+    EXPECT_TRUE(seen.emplace(s.graph_index, s.balancer_index, s.shape_index,
                              s.load_scale, s.seed)
                     .second)
         << "duplicate scenario at index " << s.index;
@@ -166,6 +166,71 @@ TEST(SweepRunner, EightThreadsMatchSequentialByteForByte) {
   ASSERT_EQ(sequential.size(), parallel.size());
   EXPECT_EQ(SweepRunner::csv_string(sequential),
             SweepRunner::csv_string(parallel));
+}
+
+TEST(SweepRunner, InnerNestingMatchesOuterByteForByte) {
+  const SweepMatrix m = small_matrix();
+  SweepOptions outer = fast_options(4);
+  outer.nesting = SweepNesting::kOuter;
+  SweepOptions inner = fast_options(4);
+  inner.nesting = SweepNesting::kInner;  // round-parallel engines
+  EXPECT_EQ(SweepRunner::csv_string(SweepRunner(outer).run(m)),
+            SweepRunner::csv_string(SweepRunner(inner).run(m)));
+}
+
+TEST(SweepRunner, AutoNestingStaysDeterministicWithFewScenarios) {
+  // 1 scenario, 8 threads: whatever kAuto picks (it stays outer/serial
+  // for this tiny graph — inner needs >= 2^15 nodes to amortize the
+  // per-step pool rendezvous), the rows must match a serial run.
+  SweepMatrix m;
+  m.add_graph("cycle", make_cycle(24), 1.0 - lambda2_cycle(24, 2));
+  m.add_balancer(Algorithm::kRotorRouter);
+  m.add_shape(InitialShape::kBimodal);
+  m.add_load_scale(64);
+  const auto serial = SweepRunner(fast_options(1)).run(m);
+  const auto auto8 = SweepRunner(fast_options(8)).run(m);
+  EXPECT_EQ(SweepRunner::csv_string(serial), SweepRunner::csv_string(auto8));
+}
+
+TEST(SweepMatrix, CustomShapeCaseDrivesTheInitialLoads) {
+  SweepMatrix m;
+  m.add_graph("cycle", make_cycle(8), 1.0 - lambda2_cycle(8, 2));
+  m.add_balancer(Algorithm::kSendFloor);
+  m.add_shape(ShapeCase{"two-spikes", [](const Graph& g, Load k,
+                                         std::uint64_t) {
+                LoadVector x(static_cast<std::size_t>(g.num_nodes()), 0);
+                x.front() = k;
+                x.back() = k;
+                return x;
+              }});
+  m.add_load_scale(40);
+  SweepOptions o = fast_options(1);
+  o.base.record_final_loads = true;
+  const auto rows = SweepRunner(o).run(m);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].shape, "two-spikes");
+  EXPECT_EQ(rows[0].result.initial_discrepancy, 40);
+  EXPECT_EQ(total_load(rows[0].result.final_loads), 80);
+  // The shape name flows into the CSV verbatim.
+  EXPECT_NE(SweepRunner::csv_string(rows).find("two-spikes"),
+            std::string::npos);
+}
+
+TEST(SweepRunner, AdjustSpecPairsPerScenarioParameters) {
+  SweepMatrix m;
+  m.add_graph("cycle", make_cycle(12), 1.0 - lambda2_cycle(12, 2));
+  m.add_balancer(Algorithm::kSendFloor);
+  m.add_shape(InitialShape::kBimodal);
+  m.add_load_scale(24);
+  m.add_seed(1).add_seed(2);
+  SweepOptions o = fast_options(2);
+  o.adjust_spec = [](const Scenario& s, ExperimentSpec& spec) {
+    spec.fixed_horizon = s.seed == 1 ? 3 : 5;  // per-scenario horizon
+  };
+  const auto rows = SweepRunner(o).run(m);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].result.horizon, 3);
+  EXPECT_EQ(rows[1].result.horizon, 5);
 }
 
 TEST(SweepRunner, RepeatedRunsAreIdentical) {
