@@ -1,0 +1,87 @@
+// Churn demo: one balancer, one graph, live token arrivals/departures.
+//
+// Shows the src/dynamics subsystem end to end: a Poisson workload churns
+// the loads between rounds while SEND(floor) balances them; we print the
+// discrepancy trajectory, the injected/consumed ledger (whose identity
+// Σx == Σx₀ + injected − consumed the engine audits every round), and
+// the steady-state summary. A second pass runs the adversarial injector
+// — churn aimed at the current maximum-load node — to show how much
+// harder targeted demand is than uniform demand.
+#include <cstdio>
+#include <memory>
+
+#include "balancers/send_floor.hpp"
+#include "core/engine.hpp"
+#include "dynamics/steady_stats.hpp"
+#include "dynamics/workload.hpp"
+#include "graph/generators.hpp"
+
+using namespace dlb;
+
+namespace {
+
+void run_under(const char* label, WorkloadProcess& workload,
+               Load initial_per_node) {
+  const Graph g = make_torus2d(16, 16);
+  SendFloor balancer;
+  Engine engine(g, EngineConfig{.self_loops = g.degree()}, balancer,
+                LoadVector(static_cast<std::size_t>(g.num_nodes()),
+                           initial_per_node));
+  workload.reset(g.num_nodes(), /*seed=*/42);
+  engine.set_workload(&workload);
+
+  SteadyStateTracker tracker(SteadyOptions{.window = 100, .warmup = 200});
+
+  std::printf("\n--- %s: %s on %s ---\n", label, workload.name().c_str(),
+              g.name().c_str());
+  std::printf("%8s %8s %10s %10s %10s\n", "round", "disc", "total",
+              "injected", "consumed");
+  constexpr Step kRounds = 1000;
+  for (Step t = 1; t <= kRounds; ++t) {
+    engine.step();
+    tracker.observe(t, engine.discrepancy());
+    if (t % 200 == 0) {
+      std::printf("%8lld %8lld %10lld %10lld %10lld\n",
+                  static_cast<long long>(t),
+                  static_cast<long long>(engine.discrepancy()),
+                  static_cast<long long>(engine.total()),
+                  static_cast<long long>(engine.injected_total()),
+                  static_cast<long long>(engine.consumed_total()));
+    }
+  }
+
+  const SteadySummary s = tracker.summary();
+  std::printf("steady window: mean=%.2f max=%lld p99=%lld, steady since %s\n",
+              s.window_mean, static_cast<long long>(s.window_max),
+              static_cast<long long>(s.window_p99),
+              s.t_steady >= 0 ? std::to_string(s.t_steady).c_str() : "never");
+  std::printf("conservation: %lld == %lld + %lld - %lld (audited every "
+              "round)\n",
+              static_cast<long long>(engine.total()),
+              static_cast<long long>(engine.base_total()),
+              static_cast<long long>(engine.injected_total()),
+              static_cast<long long>(engine.consumed_total()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("churn_demo: online token injection/consumption on a 16x16 "
+              "torus under SEND(floor)\n");
+
+  // Empty start: every token ever balanced arrives through the workload.
+  PoissonWorkload uniform(PoissonWorkload::Params{.arrival_rate = 0.5,
+                                                  .departure_rate = 0.5});
+  run_under("uniform churn", uniform, /*initial_per_node=*/0);
+
+  // Balanced start, so the steady band measures the adversary's ongoing
+  // disturbance rather than an initial fill-up transient.
+  AdversarialInjector adversary(AdversarialInjector::Params{
+      .amount = 16, .period = 1, .drain_min = false});
+  run_under("adversarial churn", adversary, /*initial_per_node=*/8);
+
+  std::printf("\nTakeaway: uniform churn settles into a tight steady band; "
+              "the max-load-seeking adversary pins the steady discrepancy "
+              "several times higher at the same injection volume.\n");
+  return 0;
+}

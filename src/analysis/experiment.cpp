@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "balancers/continuous.hpp"
+#include "dynamics/workload.hpp"
 #include "markov/mixing.hpp"
 #include "util/assertions.hpp"
 #include "util/rng.hpp"
@@ -65,6 +66,12 @@ ExperimentResult run_experiment(const Graph& g, Balancer& balancer,
                    .conservation_interval = spec.conservation_interval},
       balancer, initial);
   engine.set_thread_pool(spec.pool);
+  if (spec.workload != nullptr) {
+    spec.workload->reset(g.num_nodes(), spec.seed);
+    engine.set_workload(spec.workload);
+    r.dynamic = true;
+    r.workload = spec.workload->name();
+  }
   r.algorithm = balancer.name();
   // The auditor needs the flow matrix of every step; without it the run
   // stays on the engine's lazy non-materializing path.
@@ -86,13 +93,27 @@ ExperimentResult run_experiment(const Graph& g, Balancer& balancer,
   sample_at.erase(std::unique(sample_at.begin(), sample_at.end()),
                   sample_at.end());
 
+  SteadyStateTracker tracker(spec.steady);
   std::size_t next_sample = 0;
   for (Step t = 1; t <= r.horizon; ++t) {
     engine.step_parallel();  // serial without a pool, parallel with one
+    if (tracker.active()) tracker.observe(t, engine.discrepancy());
     if (next_sample < sample_at.size() && t == sample_at[next_sample]) {
       r.samples.emplace_back(t, engine.discrepancy());
       ++next_sample;
     }
+  }
+
+  r.injected_total = engine.injected_total();
+  r.consumed_total = engine.consumed_total();
+  if (tracker.active()) r.steady = tracker.summary();
+  if (spec.check_conservation) {
+    // The engine audits Σx == total every conservation_interval steps;
+    // this is the end-to-end restatement against the *initial* vector —
+    // the dynamic conservation identity of the workload subsystem.
+    DLB_REQUIRE(total_load(engine.loads()) ==
+                    total_load(initial) + r.injected_total - r.consumed_total,
+                "dynamic conservation identity violated");
   }
 
   r.final_discrepancy = engine.discrepancy();
@@ -102,7 +123,9 @@ ExperimentResult run_experiment(const Graph& g, Balancer& balancer,
   r.min_load_seen = engine.min_load_seen();
   if (spec.record_final_loads) r.final_loads = engine.loads();
 
-  if (spec.run_continuous) {
+  // The continuous yardstick has no injection model, so dynamic runs
+  // cannot be compared against it.
+  if (spec.run_continuous && spec.workload == nullptr) {
     ContinuousDiffusion cont(g, spec.self_loops, initial);
     cont.run(r.horizon);
     r.continuous_final_discrepancy = cont.discrepancy();
@@ -117,10 +140,26 @@ std::string summarize(const ExperimentResult& r) {
   os << r.algorithm << " on " << r.graph << " (d°=" << r.d_loops
      << ", µ=" << r.mu << "): K=" << r.initial_discrepancy << " -> disc@"
      << r.horizon << "=" << r.final_discrepancy
-     << " (continuous=" << r.continuous_final_discrepancy
-     << ", observed δ=" << r.fairness.observed_delta
-     << ", round-fair=" << (r.fairness.round_fair ? "yes" : "no")
-     << ", min-load=" << r.min_load_seen << ")";
+     << " (continuous=" << r.continuous_final_discrepancy;
+  // Unaudited runs have a default-constructed report; say so instead of
+  // printing it as if it had been measured (the CSV writer blanks these
+  // columns the same way).
+  if (r.fairness_audited) {
+    os << ", observed δ=" << r.fairness.observed_delta
+       << ", round-fair=" << (r.fairness.round_fair ? "yes" : "no");
+  } else {
+    os << ", fairness=unaudited";
+  }
+  os << ", min-load=" << r.min_load_seen;
+  if (r.dynamic) {
+    os << ", workload=" << r.workload << ", injected=" << r.injected_total
+       << ", consumed=" << r.consumed_total;
+    if (r.steady.tracked) {
+      os << ", steady-mean=" << r.steady.window_mean
+         << ", t-steady=" << r.steady.t_steady;
+    }
+  }
+  os << ")";
   return os.str();
 }
 

@@ -17,9 +17,12 @@
 #include "core/engine.hpp"
 #include "core/fairness.hpp"
 #include "core/load_vector.hpp"
+#include "dynamics/steady_stats.hpp"
 #include "graph/graph.hpp"
 
 namespace dlb {
+
+class WorkloadProcess;
 
 /// All m tokens on node 0 (worst-case single spike; K = m).
 LoadVector point_mass_initial(NodeId n, Load total);
@@ -67,6 +70,21 @@ struct ExperimentSpec {
   /// seeded by the caller); the seed is carried here so every result row
   /// records the full recipe for reproducing it.
   std::uint64_t seed = 0;
+  /// Online workload applied before every round (not owned; a per-run
+  /// instance — run_experiment resets it on the graph with this spec's
+  /// seed). Null = the classic static run. Dynamic runs skip the
+  /// continuous yardstick (it has no injection model), so
+  /// continuous_final_discrepancy is NaN, and they verify the dynamic
+  /// conservation identity Σx == Σx₀ + injected − consumed at the end
+  /// when check_conservation is on. Sweeps must NOT set this field
+  /// (SweepRunner rejects it — one instance would be shared across
+  /// concurrent workers); use SweepMatrix::add_workload, whose factory
+  /// makes a fresh instance per scenario.
+  WorkloadProcess* workload = nullptr;
+  /// Steady-state discrepancy tracking (see dynamics/steady_stats.hpp);
+  /// window 0 = off. Tracked runs record windowed mean/max/p99 and the
+  /// time-to-steady round in ExperimentResult::steady.
+  SteadyOptions steady;
 };
 
 struct ExperimentResult {
@@ -95,6 +113,17 @@ struct ExperimentResult {
   Step t_reach = -1;
   /// Final load vector; only filled when spec.record_final_loads.
   LoadVector final_loads;
+  /// True iff a workload process drove the run (the label below is just
+  /// a display string — a process may even call itself "static").
+  bool dynamic = false;
+  /// Name of the run's workload process; "static" when none was attached.
+  std::string workload = "static";
+  /// Tokens the workload injected / consumed over the whole run (both 0
+  /// for static runs).
+  Load injected_total = 0;
+  Load consumed_total = 0;
+  /// Steady-state statistics; tracked only when spec.steady.window > 0.
+  SteadySummary steady;
 };
 
 /// Runs one experiment. `mu` is the spectral gap of the balancing graph

@@ -109,6 +109,20 @@ SweepMatrix& SweepMatrix::add_shape(ShapeCase c) {
   return *this;
 }
 
+WorkloadCase static_workload() { return WorkloadCase{}; }
+
+SweepMatrix& SweepMatrix::add_workload(WorkloadCase c) {
+  // A null factory is allowed — it is the static case (static_workload()
+  // re-adds it explicitly to cross static × dynamic in one sweep).
+  DLB_REQUIRE(!c.name.empty(), "SweepMatrix::add_workload: empty name");
+  if (workloads_defaulted_) {
+    workloads_.clear();
+    workloads_defaulted_ = false;
+  }
+  workloads_.push_back(std::move(c));
+  return *this;
+}
+
 SweepMatrix& SweepMatrix::add_load_scale(Load k) {
   DLB_REQUIRE(k >= 0, "SweepMatrix::add_load_scale: negative scale");
   load_scales_.push_back(k);
@@ -137,7 +151,8 @@ SweepMatrix& SweepMatrix::add_seed(std::uint64_t seed) {
 
 std::size_t SweepMatrix::size() const {
   return graphs_.size() * balancers_.size() * shapes_.size() *
-         load_scales_.size() * self_loops_.size() * seeds_.size();
+         workloads_.size() * load_scales_.size() * self_loops_.size() *
+         seeds_.size();
 }
 
 std::vector<Scenario> SweepMatrix::scenarios() const {
@@ -153,23 +168,26 @@ std::vector<Scenario> SweepMatrix::scenarios() const {
     const int degree = graphs_[gi].graph->degree();
     for (std::size_t bi = 0; bi < balancers_.size(); ++bi) {
       for (std::size_t si = 0; si < shapes_.size(); ++si) {
-        for (Load k : load_scales_) {
-          for (int requested : self_loops_) {
-            const int base =
-                requested == kLoopsMatchDegree ? degree : requested;
-            const int effective =
-                balancers_[bi].adjust_self_loops(degree, base);
-            for (std::uint64_t seed : seeds_) {
-              Scenario s;
-              s.index = index++;
-              s.graph_index = gi;
-              s.balancer_index = bi;
-              s.shape_index = si;
-              s.load_scale = k;
-              s.self_loops = effective;
-              s.self_loops_requested = base;
-              s.seed = seed;
-              out.push_back(s);
+        for (std::size_t wi = 0; wi < workloads_.size(); ++wi) {
+          for (Load k : load_scales_) {
+            for (int requested : self_loops_) {
+              const int base =
+                  requested == kLoopsMatchDegree ? degree : requested;
+              const int effective =
+                  balancers_[bi].adjust_self_loops(degree, base);
+              for (std::uint64_t seed : seeds_) {
+                Scenario s;
+                s.index = index++;
+                s.graph_index = gi;
+                s.balancer_index = bi;
+                s.shape_index = si;
+                s.workload_index = wi;
+                s.load_scale = k;
+                s.self_loops = effective;
+                s.self_loops_requested = base;
+                s.seed = seed;
+                out.push_back(s);
+              }
             }
           }
         }
@@ -205,11 +223,19 @@ SweepRow SweepRunner::run_one(const SweepMatrix& matrix, const Scenario& s,
   const GraphCase& gc = matrix.graphs()[s.graph_index];
   const BalancerCase& bc = matrix.balancers()[s.balancer_index];
   const ShapeCase& sc = matrix.shapes()[s.shape_index];
+  const WorkloadCase& wc = matrix.workloads()[s.workload_index];
   const Graph& g = *gc.graph;
 
-  // Per-scenario ownership: fresh balancer, fresh initial vector, fresh
-  // engine inside run_experiment. The graph is shared but immutable.
+  // Per-scenario ownership: fresh balancer, fresh workload, fresh
+  // initial vector, fresh engine inside run_experiment. The graph is
+  // shared but immutable.
   std::unique_ptr<Balancer> balancer = bc.factory(s.seed);
+  std::unique_ptr<WorkloadProcess> workload;
+  if (wc.make) {
+    workload = wc.make(s.seed);
+    DLB_REQUIRE(workload != nullptr,
+                "SweepRunner: WorkloadCase factory returned null");
+  }
   const LoadVector initial = sc.make(g, s.load_scale, s.seed);
 
   ExperimentSpec spec = options_.base;
@@ -217,6 +243,14 @@ SweepRow SweepRunner::run_one(const SweepMatrix& matrix, const Scenario& s,
   spec.seed = s.seed;
   if (options_.adjust_spec) options_.adjust_spec(s, spec);
   spec.pool = pool;
+  // Workloads must come through the WorkloadCase axis: a process set on
+  // the base spec (or in adjust_spec) would be one mutable instance
+  // shared by concurrently-running workers — and silently clobbering it
+  // here would be worse. Fail loudly instead.
+  DLB_REQUIRE(spec.workload == nullptr,
+              "SweepRunner: set workloads through SweepMatrix::add_workload "
+              "(per-scenario instances), not ExperimentSpec::workload");
+  spec.workload = workload.get();  // null for the static case
 
   SweepRow row;
   row.scenario_index = s.index;
@@ -225,6 +259,7 @@ SweepRow SweepRunner::run_one(const SweepMatrix& matrix, const Scenario& s,
   row.graph_name = g.name();
   row.balancer = bc.name;
   row.shape = sc.name;
+  row.workload = wc.name;
   row.load_scale = s.load_scale;
   row.self_loops = s.self_loops;
   row.seed = s.seed;
@@ -336,12 +371,15 @@ void SweepRunner::write_csv(const std::vector<SweepRow>& rows,
                             std::ostream& out) {
   CsvWriter csv(out);
   csv.header({"scenario",   "family",      "graph",       "n",
-              "d",          "algorithm",   "shape",       "load_scale",
+              "d",          "algorithm",   "shape",       "workload",
+              "load_scale",
               "self_loops", "seed",        "mu",          "t_balance",
               "horizon",    "t_reach",     "initial_disc", "final_disc",
               "balancedness",
               "continuous_disc", "delta",  "round_fair",  "observed_s",
-              "min_load",   "max_remainder", "negative_seen", "samples"});
+              "min_load",   "max_remainder", "negative_seen", "samples",
+              "injected",   "consumed",    "steady_mean", "steady_max",
+              "steady_p99", "t_steady"});
   for (const SweepRow& row : rows) {
     const ExperimentResult& r = row.result;
     const FairnessReport& f = r.fairness;
@@ -349,6 +387,9 @@ void SweepRunner::write_csv(const std::vector<SweepRow>& rows,
     // data; blank those columns rather than emitting the default report
     // as if it had been measured.
     const bool audited = r.fairness_audited;
+    // Steady-state columns are blank for untracked runs (no steady
+    // window configured), like the fairness columns for unaudited runs.
+    const bool steady = r.steady.tracked;
     csv.row({std::to_string(row.scenario_index),
              row.family,
              row.graph_name,
@@ -356,6 +397,7 @@ void SweepRunner::write_csv(const std::vector<SweepRow>& rows,
              std::to_string(r.d),
              row.balancer,
              row.shape,
+             row.workload,
              std::to_string(row.load_scale),
              std::to_string(row.self_loops),
              std::to_string(row.seed),
@@ -374,7 +416,17 @@ void SweepRunner::write_csv(const std::vector<SweepRow>& rows,
              std::to_string(r.min_load_seen),
              audited ? std::to_string(f.max_remainder) : std::string(),
              audited ? (f.negative_seen ? "1" : "0") : "",
-             fmt_samples(r.samples)});
+             fmt_samples(r.samples),
+             std::to_string(r.injected_total),
+             std::to_string(r.consumed_total),
+             steady ? fmt_double(r.steady.window_mean) : std::string(),
+             steady ? std::to_string(r.steady.window_max) : std::string(),
+             steady ? std::to_string(r.steady.window_p99) : std::string(),
+             // Blank both when untracked and when never steadied — same
+             // sentinel convention as the t_reach column.
+             steady && r.steady.t_steady >= 0
+                 ? std::to_string(r.steady.t_steady)
+                 : std::string()});
   }
 }
 

@@ -1,9 +1,10 @@
 // SweepRunner: the scenario-matrix driver behind every bench.
 //
 // A sweep is the cross product of {graph × balancer × initial-load shape
-// × load scale × self-loop count × RNG seed}. SweepMatrix enumerates the
-// product in a fixed lexicographic order (graphs outermost, seeds
-// innermost); SweepRunner fans the independent run_experiment calls
+// × workload × load scale × self-loop count × RNG seed}. SweepMatrix
+// enumerates the product in a fixed lexicographic order (graphs
+// outermost, seeds innermost); SweepRunner fans the independent
+// run_experiment calls
 // across a std::thread worker pool and aggregates the results *by
 // scenario index*, never by completion order, so an 8-thread run is
 // byte-identical to a sequential one.
@@ -33,6 +34,7 @@
 #include "analysis/experiment.hpp"
 #include "balancers/registry.hpp"
 #include "core/load_vector.hpp"
+#include "dynamics/workload.hpp"
 #include "graph/graph.hpp"
 
 namespace dlb {
@@ -88,6 +90,22 @@ BalancerCase balancer_case(Algorithm a);
 /// BalancerCase for any registered name (see register_balancer).
 BalancerCase balancer_case(const std::string& registered_name);
 
+/// A workload axis entry: online churn applied before every round (see
+/// dynamics/workload.hpp). `make` constructs a fresh per-scenario
+/// instance from the scenario seed (the runner resets it on the
+/// scenario's graph); a null `make` is the static (no-churn) case, which
+/// is also the axis default — existing static sweeps are untouched.
+/// Dynamic sweeps typically pair this axis with
+/// SweepOptions::base.steady to get the steady-state CSV columns.
+struct WorkloadCase {
+  std::string name = "static";
+  std::function<std::unique_ptr<WorkloadProcess>(std::uint64_t seed)> make;
+};
+
+/// The explicit no-churn entry, for crossing static × dynamic scenarios
+/// in one sweep.
+WorkloadCase static_workload();
+
 /// One fully resolved cell of the cross product. Axis entries are
 /// referenced by index into the owning SweepMatrix.
 struct Scenario {
@@ -95,6 +113,7 @@ struct Scenario {
   std::size_t graph_index = 0;
   std::size_t balancer_index = 0;
   std::size_t shape_index = 0;
+  std::size_t workload_index = 0;  ///< 0 = the default static entry
   Load load_scale = 0;         ///< K of the initial shape
   int self_loops = 0;          ///< effective d° after the balancer's clamp
   /// The axis value before the balancer's clamp (kLoopsMatchDegree
@@ -105,9 +124,9 @@ struct Scenario {
 };
 
 /// Builder for the scenario cross product. Every axis needs at least one
-/// entry except self-loops and seeds, which default to {match-degree}
-/// and {0}. Axis order in the enumeration: graph ▸ balancer ▸ shape ▸
-/// load scale ▸ self-loops ▸ seed.
+/// entry except workloads, self-loops, and seeds, which default to
+/// {static}, {match-degree}, and {0}. Axis order in the enumeration:
+/// graph ▸ balancer ▸ shape ▸ workload ▸ load scale ▸ self-loops ▸ seed.
 class SweepMatrix {
  public:
   /// Sentinel for the self-loop axis: use d° = d of the scenario's graph.
@@ -121,6 +140,9 @@ class SweepMatrix {
   SweepMatrix& add_all_algorithms();
   SweepMatrix& add_shape(InitialShape s);
   SweepMatrix& add_shape(ShapeCase c);  ///< custom initial-load generator
+  /// Adds a workload axis entry; the first explicit add replaces the
+  /// default static entry (add static_workload() back to cross both).
+  SweepMatrix& add_workload(WorkloadCase c);
   SweepMatrix& add_load_scale(Load k);
   SweepMatrix& add_self_loops(int d_loops);  ///< or kLoopsMatchDegree
   SweepMatrix& add_seed(std::uint64_t seed);
@@ -130,6 +152,9 @@ class SweepMatrix {
     return balancers_;
   }
   const std::vector<ShapeCase>& shapes() const noexcept { return shapes_; }
+  const std::vector<WorkloadCase>& workloads() const noexcept {
+    return workloads_;
+  }
 
   /// Number of scenarios in the cross product.
   std::size_t size() const;
@@ -146,6 +171,8 @@ class SweepMatrix {
   std::vector<Load> load_scales_;
   // The optional axes start with a default entry that the first explicit
   // add_* call replaces.
+  std::vector<WorkloadCase> workloads_ = {WorkloadCase{}};
+  bool workloads_defaulted_ = true;
   std::vector<int> self_loops_ = {kLoopsMatchDegree};
   bool self_loops_defaulted_ = true;
   std::vector<std::uint64_t> seeds_ = {0};
@@ -163,7 +190,8 @@ struct SweepRow {
   std::string family;
   std::string graph_name;
   std::string balancer;
-  std::string shape;  ///< the ShapeCase display name
+  std::string shape;     ///< the ShapeCase display name
+  std::string workload;  ///< the WorkloadCase display name ("static")
   Load load_scale = 0;
   int self_loops = 0;
   std::uint64_t seed = 0;

@@ -1,8 +1,10 @@
 #include "core/round_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
+#include "dynamics/workload.hpp"
 #include "util/assertions.hpp"
 #include "util/thread_pool.hpp"
 
@@ -15,6 +17,9 @@ void RoundEngineBase::adopt_loads(LoadVector initial,
   loads_ = std::move(initial);
   audit_ = audit;
   total_ = total_load(loads_);
+  base_total_ = total_;
+  injected_total_ = 0;
+  consumed_total_ = 0;
   const auto [lo, hi] = std::minmax_element(loads_.begin(), loads_.end());
   min_load_ = *lo;
   max_load_ = *hi;
@@ -47,6 +52,45 @@ void RoundEngineBase::refresh_stats(bool audit_total) const {
 
 void RoundEngineBase::do_step_parallel(ThreadPool& /*pool*/) { do_step(); }
 
+void RoundEngineBase::apply_workload(ThreadPool* pool) {
+  if (workload_ == nullptr) return;
+  workload_->prepare(t_, loads_);
+  const auto n = static_cast<std::int64_t>(loads_.size());
+  // Per-chunk partials, combined with commutative integer adds: the
+  // totals are identical for any chunking, so thread count never shows.
+  std::atomic<Load> injected{0};
+  std::atomic<Load> consumed{0};
+  const auto body = [&](std::int64_t first, std::int64_t last) {
+    Load inj = 0;
+    Load con = 0;
+    for (std::int64_t i = first; i < last; ++i) {
+      const Load d = workload_->delta(static_cast<NodeId>(i), t_);
+      Load& x = loads_[static_cast<std::size_t>(i)];
+      if (d > 0) {
+        x += d;
+        inj += d;
+      } else if (d < 0) {
+        const Load take = std::min(-d, std::max<Load>(x, 0));
+        x -= take;
+        con += take;
+      }
+    }
+    injected.fetch_add(inj, std::memory_order_relaxed);
+    consumed.fetch_add(con, std::memory_order_relaxed);
+  };
+  if (pool != nullptr && pool->parallelism() > 1 &&
+      workload_->parallel_generate_safe()) {
+    pool->for_ranges(n, body);
+  } else {
+    body(0, n);
+  }
+  const Load inj = injected.load(std::memory_order_relaxed);
+  const Load con = consumed.load(std::memory_order_relaxed);
+  injected_total_ += inj;
+  consumed_total_ += con;
+  total_ += inj - con;
+}
+
 void RoundEngineBase::after_step() {
   ++t_;
   const bool audit =
@@ -61,14 +105,17 @@ void RoundEngineBase::after_step() {
 }
 
 void RoundEngineBase::step() {
+  apply_workload(nullptr);
   do_step();
   after_step();
 }
 
 void RoundEngineBase::step_parallel() {
   if (pool_ != nullptr && pool_->parallelism() > 1) {
+    apply_workload(pool_);
     do_step_parallel(*pool_);
   } else {
+    apply_workload(nullptr);
     do_step();
   }
   after_step();

@@ -18,7 +18,11 @@
 //     ThreadPool, step_parallel() (and the run loops, once a pool is
 //     attached) routes through the subclass's do_step_parallel(). The
 //     decide/apply engines guarantee a parallel round is byte-identical
-//     to a serial one at any thread count.
+//     to a serial one at any thread count;
+//   * the online-workload hook: set_workload() attaches a
+//     WorkloadProcess whose per-node deltas are applied before every
+//     round (injection/consumption), with the conservation audit
+//     extended to the dynamic invariant Σx == Σx₀ + injected − consumed.
 //
 // Subclasses implement do_step(), which must advance loads_ by exactly one
 // synchronous round (and may fan out to observers before publishing the
@@ -34,6 +38,7 @@
 namespace dlb {
 
 class ThreadPool;
+class WorkloadProcess;
 
 /// Conservation-audit policy of a round engine.
 struct ConservationPolicy {
@@ -61,6 +66,29 @@ class RoundEngineBase {
   void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
   ThreadPool* thread_pool() const noexcept { return pool_; }
 
+  /// Attaches an online workload (not owned; must outlive the engine's
+  /// runs; nullptr detaches). Before every subsequent round the engine
+  /// applies the process's per-node deltas: positive deltas inject
+  /// tokens, negative deltas consume — truncated at zero load, so churn
+  /// never drives a node negative on its own (nodes already negative
+  /// under an allows_negative() balancer contribute nothing). Injection
+  /// composes with parallel rounds: when the process is
+  /// parallel_generate_safe(), deltas of disjoint node ranges are
+  /// generated and applied concurrently, byte-identically to the serial
+  /// order.
+  void set_workload(WorkloadProcess* workload) noexcept {
+    workload_ = workload;
+  }
+  WorkloadProcess* workload() const noexcept { return workload_; }
+
+  /// Tokens the workload injected / consumed since adopt_loads. The
+  /// conservation audit verifies Σx == base_total() + injected_total()
+  /// − consumed_total() on every audited step.
+  Load injected_total() const noexcept { return injected_total_; }
+  Load consumed_total() const noexcept { return consumed_total_; }
+  /// Σx₀: the static part of the conservation identity.
+  Load base_total() const noexcept { return base_total_; }
+
   /// Executes one synchronous round (serial path) plus shared bookkeeping.
   void step();
 
@@ -85,6 +113,7 @@ class RoundEngineBase {
 
   const LoadVector& loads() const noexcept { return loads_; }
   Step time() const noexcept { return t_; }
+  /// Conserved total: Σx₀ plus the net workload churn so far.
   Load total() const noexcept { return total_; }
 
   /// max − min of the current loads; O(1) from the fused step statistics
@@ -131,9 +160,16 @@ class RoundEngineBase {
   }
   /// Post-round bookkeeping shared by step() and step_parallel().
   void after_step();
+  /// Applies the attached workload's deltas for round t_ (no-op without
+  /// one). `pool` may be null; it is only used when the process allows
+  /// parallel generation.
+  void apply_workload(ThreadPool* pool);
 
   Step t_ = 0;
   Load total_ = 0;
+  Load base_total_ = 0;
+  Load injected_total_ = 0;
+  Load consumed_total_ = 0;
   mutable Load min_load_ = 0;
   mutable Load max_load_ = 0;
   mutable Load min_load_seen_ = 0;
@@ -141,6 +177,7 @@ class RoundEngineBase {
   bool deferred_stats_ = false;
   ConservationPolicy audit_;
   ThreadPool* pool_ = nullptr;
+  WorkloadProcess* workload_ = nullptr;
 };
 
 }  // namespace dlb

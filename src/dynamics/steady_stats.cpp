@@ -1,0 +1,68 @@
+#include "dynamics/steady_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+SteadyStateTracker::SteadyStateTracker(SteadyOptions options)
+    : options_(options) {
+  DLB_REQUIRE(options_.window >= 0, "SteadyStateTracker: negative window");
+  DLB_REQUIRE(options_.warmup >= 0, "SteadyStateTracker: negative warmup");
+  DLB_REQUIRE(options_.rel_band >= 0.0 && options_.abs_band >= 0,
+              "SteadyStateTracker: negative band");
+  if (active()) {
+    ring_.assign(static_cast<std::size_t>(options_.window), 0);
+    scratch_.reserve(ring_.size());
+  }
+}
+
+void SteadyStateTracker::observe(Step t, Load discrepancy) {
+  if (!active()) return;
+  ring_[next_] = discrepancy;
+  next_ = (next_ + 1) % ring_.size();
+  ++count_;
+  if (t_steady_ >= 0 || count_ < static_cast<Step>(ring_.size()) ||
+      t <= options_.warmup) {
+    return;
+  }
+  Load lo = ring_[0];
+  Load hi = ring_[0];
+  double sum = 0.0;
+  for (Load v : ring_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += static_cast<double>(v);
+  }
+  const double band =
+      std::max(static_cast<double>(options_.abs_band),
+               options_.rel_band * (sum / static_cast<double>(ring_.size())));
+  if (static_cast<double>(hi - lo) <= band) t_steady_ = t;
+}
+
+SteadySummary SteadyStateTracker::summary() const {
+  SteadySummary s;
+  s.tracked = active();
+  s.rounds = count_;
+  s.t_steady = t_steady_;
+  const std::size_t filled =
+      std::min(static_cast<std::size_t>(count_), ring_.size());
+  if (filled == 0) return s;
+  scratch_.assign(ring_.begin(),
+                  ring_.begin() + static_cast<std::ptrdiff_t>(filled));
+  std::sort(scratch_.begin(), scratch_.end());
+  double sum = 0.0;
+  for (Load v : scratch_) sum += static_cast<double>(v);
+  s.window_mean = sum / static_cast<double>(filled);
+  s.window_max = scratch_.back();
+  // Nearest-rank percentile: the smallest value with at least 99% of the
+  // window at or below it.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(filled)));
+  s.window_p99 = scratch_[std::max<std::size_t>(rank, 1) - 1];
+  return s;
+}
+
+}  // namespace dlb

@@ -1,0 +1,64 @@
+// Windowed steady-state discrepancy statistics for dynamic workloads.
+//
+// A static run converges and is summarized by its final discrepancy; a
+// churning run settles into a *steady state* whose discrepancy keeps
+// fluctuating. The tracker ingests the post-round discrepancy series and
+// reports what a monitoring system would alert on: mean, max, and the
+// 99th percentile over a sliding window of the last W rounds, plus a
+// time-to-steady detector — the first post-warm-up round at which the
+// window's fluctuation band (window max − window min) falls within
+// max(abs_band, rel_band · window mean).
+#pragma once
+
+#include <vector>
+
+#include "core/load_vector.hpp"
+
+namespace dlb {
+
+struct SteadyOptions {
+  int window = 0;          ///< sliding-window length W in rounds; 0 = off
+  Step warmup = 0;         ///< rounds the steady detector ignores
+  double rel_band = 0.10;  ///< relative fluctuation tolerance of "steady"
+  Load abs_band = 2;       ///< absolute fluctuation floor (loads are discrete)
+};
+
+struct SteadySummary {
+  bool tracked = false;  ///< false when the tracker was off (window == 0)
+  Step rounds = 0;       ///< discrepancy observations ingested
+  /// First round at which the window satisfied the steadiness band (the
+  /// window must be full and the round past the warm-up); −1 = never.
+  Step t_steady = -1;
+  double window_mean = 0.0;  ///< mean over the final window
+  Load window_max = 0;       ///< max over the final window
+  Load window_p99 = 0;       ///< nearest-rank 99th pct over the final window
+};
+
+/// Streaming tracker: O(W) per observation (W is small — tens to a few
+/// hundred rounds), no allocation after construction.
+class SteadyStateTracker {
+ public:
+  explicit SteadyStateTracker(SteadyOptions options = {});
+
+  bool active() const noexcept { return options_.window > 0; }
+
+  /// Ingests the discrepancy after round t. No-op when inactive.
+  void observe(Step t, Load discrepancy);
+
+  Step t_steady() const noexcept { return t_steady_; }
+
+  /// Statistics of the trailing window (over the observations seen so
+  /// far when the window never filled). tracked == active(), and the
+  /// window fields are zero until the first observation.
+  SteadySummary summary() const;
+
+ private:
+  SteadyOptions options_;
+  std::vector<Load> ring_;         // last W observations, insertion order lost
+  mutable std::vector<Load> scratch_;  // percentile sort buffer
+  std::size_t next_ = 0;
+  Step count_ = 0;
+  Step t_steady_ = -1;
+};
+
+}  // namespace dlb

@@ -1,0 +1,201 @@
+#include "dynamics/workload.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+Load poisson_draw(Rng& rng, double lambda) {
+  DLB_REQUIRE(lambda >= 0.0, "poisson_draw: negative rate");
+  // Knuth's method costs O(λ) uniforms and its exp(−λ) limit underflows
+  // for λ beyond ~745 (every draw would then return the same degenerate
+  // value); cap λ well below both cliffs — per-round churn rates are
+  // small by design.
+  DLB_REQUIRE(lambda <= 64.0,
+              "poisson_draw: rate too large for the product method");
+  if (lambda == 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  double p = 1.0;
+  Load k = 0;
+  do {
+    ++k;
+    p *= rng.uniform_real();
+  } while (p > limit);
+  return k - 1;
+}
+
+void WorkloadProcess::prepare(Step /*t*/, std::span<const Load> /*loads*/) {}
+
+namespace {
+
+std::string fmt_rate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- counter --
+
+CounterWorkload::CounterWorkload(Params params) : params_(params) {
+  DLB_REQUIRE(params_.arrival_period >= 0 && params_.departure_period >= 0,
+              "CounterWorkload: negative period");
+  DLB_REQUIRE(params_.arrival_amount >= 0 && params_.departure_amount >= 0,
+              "CounterWorkload: negative amount");
+}
+
+std::string CounterWorkload::name() const {
+  return "counter(in=" + std::to_string(params_.arrival_amount) + "/" +
+         std::to_string(params_.arrival_period) +
+         ",out=" + std::to_string(params_.departure_amount) + "/" +
+         std::to_string(params_.departure_period) + ")";
+}
+
+void CounterWorkload::reset(NodeId /*n*/, std::uint64_t /*seed*/) {}
+
+Load CounterWorkload::delta(NodeId u, Step t) {
+  const Step phase = t + static_cast<Step>(u);
+  Load d = 0;
+  if (params_.arrival_period > 0 && phase % params_.arrival_period == 0) {
+    d += params_.arrival_amount;
+  }
+  if (params_.departure_period > 0 &&
+      phase % params_.departure_period == params_.departure_period - 1) {
+    d -= params_.departure_amount;
+  }
+  return d;
+}
+
+// ------------------------------------------------------------- poisson --
+
+PoissonWorkload::PoissonWorkload(Params params) : params_(params) {
+  DLB_REQUIRE(params_.arrival_rate >= 0.0 && params_.departure_rate >= 0.0,
+              "PoissonWorkload: negative rate");
+  DLB_REQUIRE(params_.arrival_rate <= 64.0 && params_.departure_rate <= 64.0,
+              "PoissonWorkload: per-round rate too large (poisson_draw cap)");
+}
+
+std::string PoissonWorkload::name() const {
+  return "poisson(in=" + fmt_rate(params_.arrival_rate) +
+         ",out=" + fmt_rate(params_.departure_rate) + ")";
+}
+
+void PoissonWorkload::reset(NodeId /*n*/, std::uint64_t seed) {
+  seed_ = seed;
+}
+
+Load PoissonWorkload::delta(NodeId u, Step t) {
+  Rng rng(stream_key(seed_, static_cast<std::uint64_t>(u),
+                     static_cast<std::uint64_t>(t)));
+  const Load arrivals = poisson_draw(rng, params_.arrival_rate);
+  const Load departures = poisson_draw(rng, params_.departure_rate);
+  return arrivals - departures;
+}
+
+// --------------------------------------------------------------- burst --
+
+BurstWorkload::BurstWorkload(Params params) : params_(params) {
+  DLB_REQUIRE(params_.period >= 1, "BurstWorkload: period must be >= 1");
+  DLB_REQUIRE(params_.burst >= 0, "BurstWorkload: negative burst");
+  DLB_REQUIRE(params_.drain_period >= 0 && params_.drain_amount >= 0,
+              "BurstWorkload: negative drain");
+}
+
+std::string BurstWorkload::name() const {
+  std::string s = "burst(" + std::to_string(params_.burst) + "/" +
+                  std::to_string(params_.period);
+  if (params_.drain_period > 0 && params_.drain_amount > 0) {
+    s += ",drain=" + std::to_string(params_.drain_amount) + "/" +
+         std::to_string(params_.drain_period);
+  }
+  return s + ")";
+}
+
+void BurstWorkload::reset(NodeId n, std::uint64_t seed) {
+  DLB_REQUIRE(n > 0, "BurstWorkload: node count must be positive");
+  seed_ = seed;
+  n_ = n;
+  hotspot_ = -1;
+}
+
+void BurstWorkload::prepare(Step t, std::span<const Load> /*loads*/) {
+  DLB_REQUIRE(n_ > 0, "BurstWorkload: reset() must run before stepping");
+  if (t % params_.period == 0 && params_.burst > 0) {
+    // One counter-stream draw per burst epoch; the hotspot sequence is a
+    // pure function of (seed, t / period).
+    hotspot_ = static_cast<NodeId>(
+        stream_key(seed_, 0x6275727374ULL,
+                   static_cast<std::uint64_t>(t / params_.period)) %
+        static_cast<std::uint64_t>(n_));
+  } else {
+    hotspot_ = -1;
+  }
+}
+
+Load BurstWorkload::delta(NodeId u, Step t) {
+  Load d = 0;
+  if (u == hotspot_) d += params_.burst;
+  if (params_.drain_period > 0 && t % params_.drain_period == 0) {
+    d -= params_.drain_amount;
+  }
+  return d;
+}
+
+// ----------------------------------------------------------- adversary --
+
+AdversarialInjector::AdversarialInjector(Params params) : params_(params) {
+  DLB_REQUIRE(params_.amount >= 0, "AdversarialInjector: negative amount");
+  DLB_REQUIRE(params_.period >= 1, "AdversarialInjector: period must be >= 1");
+}
+
+std::string AdversarialInjector::name() const {
+  std::string s = "adversary(" + std::to_string(params_.amount) + "/" +
+                  std::to_string(params_.period);
+  if (params_.drain_min) s += ",drain-min";
+  return s + ")";
+}
+
+void AdversarialInjector::reset(NodeId /*n*/, std::uint64_t /*seed*/) {
+  target_max_ = -1;
+  target_min_ = -1;
+}
+
+void AdversarialInjector::prepare(Step t, std::span<const Load> loads) {
+  if (t % params_.period != 0) {
+    target_max_ = -1;
+    target_min_ = -1;
+    return;
+  }
+  // Deterministic scan: lowest index wins ties, so the target sequence is
+  // independent of thread count (the scan itself runs serially).
+  NodeId arg_max = 0;
+  NodeId arg_min = 0;
+  for (NodeId u = 1; u < static_cast<NodeId>(loads.size()); ++u) {
+    if (loads[static_cast<std::size_t>(u)] >
+        loads[static_cast<std::size_t>(arg_max)]) {
+      arg_max = u;
+    }
+    if (loads[static_cast<std::size_t>(u)] <
+        loads[static_cast<std::size_t>(arg_min)]) {
+      arg_min = u;
+    }
+  }
+  target_max_ = arg_max;
+  // On a perfectly flat vector argmax == argmin and the ±amount pair
+  // would cancel into a permanent no-op; skip the drain for that round
+  // so the injection still breaks the balance.
+  target_min_ =
+      params_.drain_min && arg_min != arg_max ? arg_min : NodeId{-1};
+}
+
+Load AdversarialInjector::delta(NodeId u, Step /*t*/) {
+  Load d = 0;
+  if (u == target_max_) d += params_.amount;
+  if (u == target_min_) d -= params_.amount;
+  return d;
+}
+
+}  // namespace dlb

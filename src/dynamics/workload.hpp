@@ -1,0 +1,219 @@
+// Online-workload processes: load churn applied between balancing rounds.
+//
+// The paper analyzes every scheme from a fixed initial load to
+// convergence; production diffusion balancers face *churning* demand —
+// tokens arrive and complete while the protocol runs. A WorkloadProcess
+// perturbs the load vector before every round: positive per-node deltas
+// inject tokens, negative deltas request consumption (the engine
+// truncates consumption at zero load so churn never drives a node
+// negative on its own). The engine's conservation audit then tracks the
+// dynamic invariant
+//
+//     Σx  ==  Σx₀ + injected − consumed     after every round,
+//
+// so a buggy generator or engine still fails loudly.
+//
+// Determinism contract (mirrors the decide/apply split): per-node deltas
+// are drawn from counter-based streams keyed on (seed, node, round) —
+// never from a shared sequential RNG — so disjoint node ranges may be
+// generated concurrently and a parallel round is byte-identical to a
+// serial one at any thread count. Processes that need global round state
+// (the adversarial injector's argmax scan, the burst hotspot pick)
+// compute it in the serial prepare() hook, exactly like
+// Balancer::prepare_round.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/load_vector.hpp"
+#include "graph/graph.hpp"  // NodeId
+#include "util/rng.hpp"
+
+namespace dlb {
+
+/// Counter-based per-(node, round) stream key: three SplitMix64 rounds
+/// over (seed, node, round). Workload generators seed a throwaway Rng
+/// from this instead of sharing one sequential stream, so any node's
+/// draw is independent of evaluation order — the property that makes
+/// parallel injection byte-deterministic.
+inline std::uint64_t stream_key(std::uint64_t seed, std::uint64_t node,
+                                std::uint64_t round) noexcept {
+  std::uint64_t s = seed;
+  std::uint64_t h = splitmix64(s);
+  s ^= node * 0x9e3779b97f4a7c15ULL;
+  h ^= splitmix64(s);
+  s ^= round * 0xbf58476d1ce4e5b9ULL;
+  h ^= splitmix64(s);
+  return h;
+}
+
+/// Exact Poisson(λ) draw via Knuth's product-of-uniforms method, O(λ)
+/// uniforms — for the small per-node per-round rates of arrival
+/// processes. Deterministic for a given Rng stream and libm (the
+/// exp(−λ) threshold is the one libm-rounded quantity; a 1-ULP exp
+/// difference across platforms could flip a boundary draw). Rejects
+/// λ > 64 (the product method degenerates long before exp(−λ)
+/// underflows).
+Load poisson_draw(Rng& rng, double lambda);
+
+/// Per-round load perturbation source. Attach to any round engine via
+/// RoundEngineBase::set_workload; the engine calls prepare() once per
+/// round (serially) and then delta() for every node.
+class WorkloadProcess {
+ public:
+  virtual ~WorkloadProcess() = default;
+
+  /// Human-readable process name for reports and CSV rows.
+  virtual std::string name() const = 0;
+
+  /// Called once before a run; `seed` fixes the per-node streams. Only
+  /// the node count is needed (not a Graph), so workloads attach to any
+  /// engine substrate — regular, irregular, or matching-based.
+  virtual void reset(NodeId n, std::uint64_t seed) = 0;
+
+  /// Serial once-per-round hook, called before any delta() of round t
+  /// with the pre-injection loads. Processes needing global state (an
+  /// argmax scan) compute it here. Default: no-op.
+  virtual void prepare(Step t, std::span<const Load> loads);
+
+  /// Net token demand at node u in round t: > 0 injects that many
+  /// tokens, < 0 requests consumption of −delta tokens (the engine
+  /// truncates at zero load). Given reset() state and this round's
+  /// prepare(), must be a pure function of (u, t) — no shared writes.
+  virtual Load delta(NodeId u, Step t) = 0;
+
+  /// True when delta() over disjoint node ranges may run concurrently
+  /// (the counter-stream contract). Default: false — safe for any
+  /// third-party process (e.g. one drawing from a sequential member RNG
+  /// stream); the engine then generates serially in ascending node
+  /// order, exactly like the serial path. All built-in processes
+  /// opt in, mirroring Balancer::parallel_decide_safe.
+  virtual bool parallel_generate_safe() const { return false; }
+};
+
+/// Deterministic per-node counter streams: node u injects
+/// `arrival_amount` tokens in every round with (t + u) % arrival_period
+/// == 0 and requests `departure_amount` in every round with
+/// (t + u) % departure_period == departure_period − 1. The node stagger
+/// spreads the churn evenly across rounds; a period of 0 disables that
+/// side of the process.
+class CounterWorkload : public WorkloadProcess {
+ public:
+  struct Params {
+    Step arrival_period = 4;
+    Load arrival_amount = 1;
+    Step departure_period = 4;
+    Load departure_amount = 1;
+  };
+
+  explicit CounterWorkload(Params params);
+
+  std::string name() const override;
+  void reset(NodeId n, std::uint64_t seed) override;
+  Load delta(NodeId u, Step t) override;
+  /// Pure arithmetic in (u, t) — ranges may generate concurrently.
+  bool parallel_generate_safe() const override { return true; }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// Seeded stochastic arrival/departure process: per node per round,
+/// arrivals ~ Poisson(arrival_rate) and departure requests
+/// ~ Poisson(departure_rate), both drawn from the (seed, node, round)
+/// counter stream. The two draws are netted into one delta per node per
+/// round, so the engine's injected/consumed ledger counts *net* per-node
+/// movements, not gross arrival volume (a node drawing 2 in / 2 out
+/// contributes 0 to both totals). Consumption truncates at zero load,
+/// so the realized departure mass can also fall below the requested
+/// rate on drained nodes.
+class PoissonWorkload : public WorkloadProcess {
+ public:
+  struct Params {
+    double arrival_rate = 0.5;
+    double departure_rate = 0.5;
+  };
+
+  explicit PoissonWorkload(Params params);
+
+  std::string name() const override;
+  void reset(NodeId n, std::uint64_t seed) override;
+  Load delta(NodeId u, Step t) override;
+  /// Each delta seeds a throwaway Rng from the (seed, node, round)
+  /// stream key — no shared stream, ranges may generate concurrently.
+  bool parallel_generate_safe() const override { return true; }
+
+ private:
+  Params params_;
+  std::uint64_t seed_ = 0;
+};
+
+/// Burst/hotspot injector: every `period` rounds, `burst` tokens land on
+/// one hotspot node drawn from the (seed, round/period) counter stream;
+/// optionally every node consumes `drain_amount` tokens every
+/// `drain_period` rounds so the injected mass recirculates out.
+class BurstWorkload : public WorkloadProcess {
+ public:
+  struct Params {
+    Step period = 32;
+    Load burst = 256;
+    Step drain_period = 0;  ///< 0 = no drain
+    Load drain_amount = 0;
+  };
+
+  explicit BurstWorkload(Params params);
+
+  std::string name() const override;
+  void reset(NodeId n, std::uint64_t seed) override;
+  void prepare(Step t, std::span<const Load> loads) override;
+  Load delta(NodeId u, Step t) override;
+  /// delta() only reads the hotspot chosen in the serial prepare().
+  bool parallel_generate_safe() const override { return true; }
+
+  /// Hotspot of the current round's burst (set by prepare; −1 when the
+  /// round has no burst).
+  NodeId hotspot() const noexcept { return hotspot_; }
+
+ private:
+  Params params_;
+  std::uint64_t seed_ = 0;
+  NodeId n_ = 0;
+  NodeId hotspot_ = -1;
+};
+
+/// Adversarial injector: every `period` rounds it re-targets the current
+/// maximum-load node (lowest index on ties — the scan is deterministic)
+/// and injects `amount` tokens there, fighting the balancer's progress
+/// the way the Section-4 adversaries fight fairness. With `drain_min` it
+/// additionally requests `amount` tokens from the current minimum-load
+/// node, keeping the total roughly constant while widening the gap; on
+/// a perfectly flat vector the drain is skipped for the round (the
+/// ±amount pair would otherwise cancel into a permanent no-op).
+class AdversarialInjector : public WorkloadProcess {
+ public:
+  struct Params {
+    Load amount = 8;
+    Step period = 1;
+    bool drain_min = false;
+  };
+
+  explicit AdversarialInjector(Params params);
+
+  std::string name() const override;
+  void reset(NodeId n, std::uint64_t seed) override;
+  void prepare(Step t, std::span<const Load> loads) override;
+  Load delta(NodeId u, Step t) override;
+  /// delta() only reads the targets chosen in the serial prepare().
+  bool parallel_generate_safe() const override { return true; }
+
+ private:
+  Params params_;
+  NodeId target_max_ = -1;
+  NodeId target_min_ = -1;
+};
+
+}  // namespace dlb

@@ -1,0 +1,576 @@
+// Tests for the src/dynamics subsystem: workload generators, the
+// pre-round engine hook with its extended conservation audit
+// (Σx == Σx₀ + injected − consumed), steady-state tracking, and — the
+// load-bearing property — byte-identical dynamic trajectories at thread
+// counts {1, 2, 8}.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/sweep.hpp"
+#include "balancers/registry.hpp"
+#include "balancers/send_floor.hpp"
+#include "core/engine.hpp"
+#include "dimexchange/de_engine.hpp"
+#include "dynamics/steady_stats.hpp"
+#include "dynamics/workload.hpp"
+#include "graph/generators.hpp"
+#include "irregular/iengine.hpp"
+#include "markov/spectral.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dlb {
+namespace {
+
+// ---------------------------------------------------------- generators --
+
+TEST(CounterWorkload, DeltaFollowsTheStaggeredPattern) {
+  CounterWorkload w({.arrival_period = 4,
+                     .arrival_amount = 3,
+                     .departure_period = 4,
+                     .departure_amount = 2});
+  const Graph g = make_cycle(8);
+  w.reset(g.num_nodes(), 0);
+  for (NodeId u = 0; u < 8; ++u) {
+    for (Step t = 0; t < 12; ++t) {
+      Load expect = 0;
+      if ((t + u) % 4 == 0) expect += 3;
+      if ((t + u) % 4 == 3) expect -= 2;
+      EXPECT_EQ(w.delta(u, t), expect) << "u=" << u << " t=" << t;
+    }
+  }
+  EXPECT_TRUE(w.parallel_generate_safe());
+  EXPECT_EQ(w.name(), "counter(in=3/4,out=2/4)");
+}
+
+TEST(CounterWorkload, ZeroPeriodDisablesThatSide) {
+  CounterWorkload w({.arrival_period = 2,
+                     .arrival_amount = 1,
+                     .departure_period = 0,
+                     .departure_amount = 5});
+  const Graph g = make_cycle(4);
+  w.reset(g.num_nodes(), 0);
+  for (Step t = 0; t < 8; ++t) EXPECT_GE(w.delta(0, t), 0);
+}
+
+TEST(WorkloadProcess, ParallelGenerationIsOptIn) {
+  // Mirror of Balancer::parallel_decide_safe: a third-party process that
+  // doesn't state its contract is generated serially, never raced.
+  class MinimalProcess : public WorkloadProcess {
+   public:
+    std::string name() const override { return "minimal"; }
+    void reset(NodeId, std::uint64_t) override {}
+    Load delta(NodeId, Step) override { return 0; }
+  };
+  MinimalProcess p;
+  EXPECT_FALSE(p.parallel_generate_safe());
+  // The built-ins all opt in.
+  EXPECT_TRUE(PoissonWorkload({0.1, 0.1}).parallel_generate_safe());
+  EXPECT_TRUE(BurstWorkload({}).parallel_generate_safe());
+  EXPECT_TRUE(AdversarialInjector({}).parallel_generate_safe());
+}
+
+TEST(PoissonDraw, MeanApproximatesLambda) {
+  Rng rng(99);
+  const double lambda = 1.5;
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(poisson_draw(rng, lambda));
+  }
+  EXPECT_NEAR(sum / trials, lambda, 0.05);
+  EXPECT_EQ(poisson_draw(rng, 0.0), 0);
+}
+
+TEST(PoissonWorkload, DeltasArePureInNodeRoundSeed) {
+  const Graph g = make_cycle(16);
+  PoissonWorkload a({.arrival_rate = 0.7, .departure_rate = 0.3});
+  PoissonWorkload b({.arrival_rate = 0.7, .departure_rate = 0.3});
+  a.reset(g.num_nodes(), 5);
+  b.reset(g.num_nodes(), 5);
+  // Same seed: identical deltas regardless of evaluation order. Record
+  // a's values in ascending (t, u) order, then query b in the reverse
+  // order — an implementation leaking sequential-stream state into
+  // delta() diverges here.
+  std::vector<Load> recorded;
+  for (Step t = 0; t < 10; ++t) {
+    for (NodeId u = 0; u < 16; ++u) recorded.push_back(a.delta(u, t));
+  }
+  for (Step t = 9; t >= 0; --t) {
+    for (NodeId u = 15; u >= 0; --u) {
+      EXPECT_EQ(b.delta(u, t),
+                recorded[static_cast<std::size_t>(t) * 16 +
+                         static_cast<std::size_t>(u)])
+          << "u=" << u << " t=" << t;
+    }
+  }
+  PoissonWorkload c({.arrival_rate = 0.7, .departure_rate = 0.3});
+  c.reset(g.num_nodes(), 6);
+  int diffs = 0;
+  for (Step t = 0; t < 20; ++t) {
+    for (NodeId u = 0; u < 16; ++u) diffs += (a.delta(u, t) != c.delta(u, t));
+  }
+  EXPECT_GT(diffs, 0);  // different seed, different stream
+}
+
+TEST(BurstWorkload, OneHotspotPerPeriodAndUniformDrain) {
+  const Graph g = make_cycle(32);
+  BurstWorkload w({.period = 8, .burst = 100, .drain_period = 2,
+                   .drain_amount = 1});
+  w.reset(g.num_nodes(), 11);
+  LoadVector loads(32, 0);
+  for (Step t = 0; t < 32; ++t) {
+    w.prepare(t, loads);
+    Load burst_mass = 0;
+    for (NodeId u = 0; u < 32; ++u) {
+      const Load d = w.delta(u, t);
+      const Load drain = (t % 2 == 0) ? -1 : 0;
+      if (u == w.hotspot()) {
+        EXPECT_EQ(d, 100 + drain);
+        burst_mass += 100;
+      } else {
+        EXPECT_EQ(d, drain);
+      }
+    }
+    EXPECT_EQ(burst_mass, t % 8 == 0 ? 100 : 0);
+  }
+}
+
+TEST(AdversarialInjector, TargetsArgmaxWithLowestIndexTieBreak) {
+  const Graph g = make_cycle(8);
+  AdversarialInjector w({.amount = 5, .period = 1, .drain_min = true});
+  w.reset(g.num_nodes(), 0);
+  const LoadVector loads = {3, 9, 9, 1, 1, 4, 0, 0};
+  w.prepare(0, loads);
+  for (NodeId u = 0; u < 8; ++u) {
+    Load expect = 0;
+    if (u == 1) expect += 5;  // first argmax
+    if (u == 6) expect -= 5;  // first argmin
+    EXPECT_EQ(w.delta(u, 0), expect);
+  }
+}
+
+TEST(AdversarialInjector, FlatVectorStillGetsInjectionWithDrainMin) {
+  // argmax == argmin on a flat vector: the drain is skipped so the
+  // adversary perturbs the balance instead of cancelling forever.
+  const Graph g = make_cycle(4);
+  AdversarialInjector w({.amount = 5, .period = 1, .drain_min = true});
+  w.reset(g.num_nodes(), 0);
+  const LoadVector flat = {6, 6, 6, 6};
+  w.prepare(0, flat);
+  Load sum = 0;
+  for (NodeId u = 0; u < 4; ++u) sum += w.delta(u, 0);
+  EXPECT_EQ(sum, 5);
+  EXPECT_EQ(w.delta(0, 0), 5);  // inject at the first argmax, no drain
+}
+
+TEST(AdversarialInjector, PeriodGatesTheInjection) {
+  const Graph g = make_cycle(4);
+  AdversarialInjector w({.amount = 5, .period = 3, .drain_min = false});
+  w.reset(g.num_nodes(), 0);
+  const LoadVector loads = {0, 7, 0, 0};
+  for (Step t = 0; t < 6; ++t) {
+    w.prepare(t, loads);
+    Load sum = 0;
+    for (NodeId u = 0; u < 4; ++u) sum += w.delta(u, t);
+    EXPECT_EQ(sum, t % 3 == 0 ? 5 : 0);
+  }
+}
+
+// --------------------------------------------------- engine integration --
+
+TEST(DynamicEngine, ConservationIdentityHoldsEveryRound) {
+  const Graph g = make_cycle(48);
+  SendFloor balancer;
+  PoissonWorkload churn({.arrival_rate = 0.8, .departure_rate = 0.8});
+  churn.reset(g.num_nodes(), 3);
+  Engine engine(g,
+                EngineConfig{.self_loops = 2, .conservation_interval = 1},
+                balancer, bimodal_initial(48, 20));
+  engine.set_workload(&churn);
+  const Load base = engine.base_total();
+  EXPECT_EQ(base, 20 * 24);
+  for (Step t = 0; t < 300; ++t) {
+    engine.step();  // the interval-1 audit re-sums Σx every round
+    EXPECT_EQ(engine.total(),
+              base + engine.injected_total() - engine.consumed_total());
+    EXPECT_EQ(total_load(engine.loads()), engine.total());
+  }
+  EXPECT_GT(engine.injected_total(), 0);
+  EXPECT_GT(engine.consumed_total(), 0);
+}
+
+TEST(DynamicEngine, ConsumptionTruncatesAtZeroLoad) {
+  const Graph g = make_cycle(16);
+  SendFloor balancer;
+  // Departure-heavy churn on a nearly-empty system: requests far exceed
+  // the available tokens, so realized consumption must be truncated and
+  // no load may ever go negative.
+  CounterWorkload churn({.arrival_period = 8,
+                         .arrival_amount = 1,
+                         .departure_period = 1,
+                         .departure_amount = 100});
+  churn.reset(g.num_nodes(), 0);
+  Engine engine(g, EngineConfig{.self_loops = 2, .conservation_interval = 1},
+                balancer, bimodal_initial(16, 4));
+  engine.set_workload(&churn);
+  for (Step t = 0; t < 50; ++t) engine.step();
+  EXPECT_GE(engine.min_load_seen(), 0);
+  // 16 nodes × 50 rounds × 100 requested ≫ what was ever available.
+  EXPECT_LT(engine.consumed_total(), 16 * 50 * 100);
+  EXPECT_EQ(engine.total(), engine.base_total() + engine.injected_total() -
+                                engine.consumed_total());
+}
+
+TEST(DynamicEngine, WorkloadHookWorksOnTheIrregularSubstrate) {
+  // Irregular graphs have no regular Graph object, which is why reset()
+  // takes a node count; conservation and parallel determinism must hold
+  // there too.
+  const IrregularGraph g = make_wheel(12);
+  CounterWorkload serial_churn({.arrival_period = 3,
+                                .arrival_amount = 2,
+                                .departure_period = 5,
+                                .departure_amount = 1});
+  serial_churn.reset(g.num_nodes(), 0);
+  IrregularEngine serial(g, IrregularPolicy::kRotorRouter,
+                         /*uniform_d_plus=*/0,
+                         LoadVector(static_cast<std::size_t>(g.num_nodes()),
+                                    10));
+  serial.set_workload(&serial_churn);
+
+  ThreadPool pool(4);
+  CounterWorkload par_churn = serial_churn;
+  par_churn.reset(g.num_nodes(), 0);
+  IrregularEngine parallel(g, IrregularPolicy::kRotorRouter, 0,
+                           LoadVector(static_cast<std::size_t>(g.num_nodes()),
+                                      10));
+  parallel.set_workload(&par_churn);
+  parallel.set_thread_pool(&pool);
+
+  for (Step t = 0; t < 120; ++t) {
+    serial.step();
+    parallel.step_parallel();
+    ASSERT_EQ(serial.loads(), parallel.loads()) << "step " << t + 1;
+  }
+  EXPECT_GT(serial.injected_total(), 0);
+  EXPECT_GT(serial.consumed_total(), 0);
+  EXPECT_EQ(total_load(serial.loads()),
+            serial.base_total() + serial.injected_total() -
+                serial.consumed_total());
+}
+
+TEST(DynamicEngine, WorkloadHookWorksOnTheMatchingSubstrate) {
+  // The hook lives in RoundEngineBase, so dimension exchange gets
+  // dynamics for free — including the extended audit.
+  const Graph g = make_hypercube(4);
+  CounterWorkload churn({.arrival_period = 3,
+                         .arrival_amount = 2,
+                         .departure_period = 5,
+                         .departure_amount = 1});
+  churn.reset(g.num_nodes(), 0);
+  DimensionExchange engine(g, DePolicy::kAverageDown, /*seed=*/1,
+                           bimodal_initial(16, 12));
+  engine.set_workload(&churn);
+  for (Step t = 0; t < 100; ++t) engine.step();
+  EXPECT_GT(engine.injected_total(), 0);
+  EXPECT_EQ(total_load(engine.loads()),
+            engine.base_total() + engine.injected_total() -
+                engine.consumed_total());
+}
+
+// Workload factory per golden case, so each engine owns fresh state.
+std::vector<std::pair<std::string,
+                      std::function<std::unique_ptr<WorkloadProcess>()>>>
+golden_workloads() {
+  return {
+      {"counter",
+       [] {
+         return std::make_unique<CounterWorkload>(CounterWorkload::Params{
+             .arrival_period = 3,
+             .arrival_amount = 2,
+             .departure_period = 4,
+             .departure_amount = 1});
+       }},
+      {"poisson",
+       [] {
+         return std::make_unique<PoissonWorkload>(
+             PoissonWorkload::Params{.arrival_rate = 0.6,
+                                     .departure_rate = 0.6});
+       }},
+      {"burst",
+       [] {
+         return std::make_unique<BurstWorkload>(BurstWorkload::Params{
+             .period = 7, .burst = 64, .drain_period = 2,
+             .drain_amount = 1});
+       }},
+      {"adversary",
+       [] {
+         return std::make_unique<AdversarialInjector>(
+             AdversarialInjector::Params{.amount = 6,
+                                         .period = 2,
+                                         .drain_min = true});
+       }},
+  };
+}
+
+TEST(DynamicEngine, GoldenSerialEqualsParallelAtThreads_1_2_8) {
+  // The acceptance gate: dynamic rounds (injection + decide + apply) are
+  // byte-identical at thread counts {1, 2, 8}, for a parallel-decide-safe
+  // balancer and for one that forces the serial decide path (RAND-EXTRA's
+  // sequential RNG stream).
+  const Graph g = make_torus2d(8, 6);
+  for (Algorithm algo :
+       {Algorithm::kSendFloor, Algorithm::kRandomizedExtra}) {
+    for (const auto& [wl_name, wl_make] : golden_workloads()) {
+      const std::string where =
+          algorithm_name(algo) + " under " + wl_name;
+      for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        auto par_b = make_balancer(algo, /*seed=*/7);
+        auto par_w = wl_make();
+        par_w->reset(g.num_nodes(), 13);
+        Engine parallel(g, EngineConfig{.self_loops = 4}, *par_b,
+                        bimodal_initial(48, 30));
+        parallel.set_workload(par_w.get());
+        parallel.set_thread_pool(&pool);
+
+        auto serial_replay_b = make_balancer(algo, /*seed=*/7);
+        auto serial_replay_w = wl_make();
+        serial_replay_w->reset(g.num_nodes(), 13);
+        Engine replay(g, EngineConfig{.self_loops = 4}, *serial_replay_b,
+                      bimodal_initial(48, 30));
+        replay.set_workload(serial_replay_w.get());
+
+        for (Step t = 0; t < 80; ++t) {
+          replay.step();
+          parallel.step_parallel();
+          ASSERT_EQ(replay.loads(), parallel.loads())
+              << where << " diverged at step " << t + 1 << " with "
+              << threads << " threads";
+        }
+        EXPECT_EQ(replay.injected_total(), parallel.injected_total()) << where;
+        EXPECT_EQ(replay.consumed_total(), parallel.consumed_total()) << where;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- steady stats --
+
+TEST(SteadyStateTracker, InactiveWhenWindowZero) {
+  SteadyStateTracker tracker(SteadyOptions{});
+  EXPECT_FALSE(tracker.active());
+  tracker.observe(1, 100);
+  const SteadySummary s = tracker.summary();
+  EXPECT_FALSE(s.tracked);
+  EXPECT_EQ(s.rounds, 0);
+}
+
+TEST(SteadyStateTracker, ConstantSeriesSteadiesWhenWindowFills) {
+  SteadyStateTracker tracker(SteadyOptions{.window = 10, .warmup = 0});
+  for (Step t = 1; t <= 20; ++t) tracker.observe(t, 7);
+  const SteadySummary s = tracker.summary();
+  EXPECT_TRUE(s.tracked);
+  EXPECT_EQ(s.rounds, 20);
+  EXPECT_EQ(s.t_steady, 10);  // first round with a full, flat window
+  EXPECT_DOUBLE_EQ(s.window_mean, 7.0);
+  EXPECT_EQ(s.window_max, 7);
+  EXPECT_EQ(s.window_p99, 7);
+}
+
+TEST(SteadyStateTracker, WarmupDelaysDetection) {
+  SteadyStateTracker tracker(SteadyOptions{.window = 5, .warmup = 12});
+  for (Step t = 1; t <= 20; ++t) tracker.observe(t, 3);
+  EXPECT_EQ(tracker.t_steady(), 13);  // first post-warm-up full window
+}
+
+TEST(SteadyStateTracker, DivergingSeriesNeverSteadies) {
+  SteadyStateTracker tracker(
+      SteadyOptions{.window = 8, .warmup = 0, .rel_band = 0.05,
+                    .abs_band = 1});
+  for (Step t = 1; t <= 100; ++t) {
+    tracker.observe(t, 10 * t);  // window band always ≫ tolerance
+  }
+  EXPECT_EQ(tracker.t_steady(), -1);
+  EXPECT_EQ(tracker.summary().t_steady, -1);
+}
+
+TEST(SteadyStateTracker, WindowStatsCoverTheTrailingWindowOnly) {
+  SteadyStateTracker tracker(SteadyOptions{.window = 4});
+  // Large early values must fall out of the window.
+  for (Load v : {1000, 1000, 1000, 1000, 1, 2, 3, 4}) {
+    tracker.observe(tracker.summary().rounds + 1, v);
+  }
+  const SteadySummary s = tracker.summary();
+  EXPECT_DOUBLE_EQ(s.window_mean, 2.5);
+  EXPECT_EQ(s.window_max, 4);
+  EXPECT_EQ(s.window_p99, 4);
+}
+
+TEST(SteadyStateTracker, PartialWindowUsesWhatWasObserved) {
+  SteadyStateTracker tracker(SteadyOptions{.window = 100});
+  tracker.observe(1, 10);
+  tracker.observe(2, 20);
+  const SteadySummary s = tracker.summary();
+  EXPECT_EQ(s.rounds, 2);
+  EXPECT_DOUBLE_EQ(s.window_mean, 15.0);
+  EXPECT_EQ(s.window_max, 20);
+}
+
+// --------------------------------------------------- experiment driver --
+
+TEST(DynamicExperiment, RecordsWorkloadLedgerAndSteadySummary) {
+  const Graph g = make_hypercube(5);
+  auto balancer = make_balancer(Algorithm::kSendFloor);
+  PoissonWorkload churn({.arrival_rate = 0.5, .departure_rate = 0.5});
+  ExperimentSpec spec;
+  spec.self_loops = 5;
+  spec.fixed_horizon = 400;
+  spec.workload = &churn;
+  spec.steady = SteadyOptions{.window = 50, .warmup = 100};
+  spec.audit_fairness = false;
+  spec.seed = 21;
+  const double mu = 1.0 - lambda2_hypercube(5, 5);
+  const auto r = run_experiment(g, *balancer, bimodal_initial(32, 64), mu,
+                                spec);
+  EXPECT_TRUE(r.dynamic);
+  EXPECT_EQ(r.workload, "poisson(in=0.5,out=0.5)");
+  EXPECT_GT(r.injected_total, 0);
+  EXPECT_GT(r.consumed_total, 0);
+  EXPECT_TRUE(r.steady.tracked);
+  EXPECT_EQ(r.steady.rounds, 400);
+  EXPECT_GT(r.steady.window_mean, 0.0);
+  EXPECT_GE(r.steady.window_max, r.steady.window_p99);
+  // Dynamic runs skip the continuous yardstick: it has no churn model.
+  EXPECT_TRUE(std::isnan(r.continuous_final_discrepancy));
+}
+
+TEST(DynamicExperiment, StaticRunsAreUntouched) {
+  const Graph g = make_hypercube(4);
+  SendFloor b;
+  ExperimentSpec spec;
+  spec.self_loops = 4;
+  const double mu = 1.0 - lambda2_hypercube(4, 4);
+  const auto r = run_experiment(g, b, bimodal_initial(16, 64), mu, spec);
+  EXPECT_FALSE(r.dynamic);
+  EXPECT_EQ(r.workload, "static");
+  EXPECT_EQ(r.injected_total, 0);
+  EXPECT_EQ(r.consumed_total, 0);
+  EXPECT_FALSE(r.steady.tracked);
+}
+
+// --------------------------------------------------- sweep integration --
+
+SweepMatrix dynamic_matrix() {
+  SweepMatrix m;
+  m.add_graph("cycle", make_cycle(24), 1.0 - lambda2_cycle(24, 2));
+  m.add_graph("torus", make_torus2d(4, 4), 1.0 - lambda2_torus({4, 4}, 4));
+  m.add_balancer(Algorithm::kSendFloor);
+  m.add_balancer(Algorithm::kRandomizedExtra);  // serial-decide path
+  m.add_shape(InitialShape::kBimodal);
+  m.add_workload(static_workload());
+  m.add_workload({"poisson(in=0.5,out=0.5)", [](std::uint64_t) {
+                    return std::make_unique<PoissonWorkload>(
+                        PoissonWorkload::Params{0.5, 0.5});
+                  }});
+  m.add_workload({"adversary(4/1)", [](std::uint64_t) {
+                    return std::make_unique<AdversarialInjector>(
+                        AdversarialInjector::Params{.amount = 4,
+                                                    .period = 1});
+                  }});
+  m.add_load_scale(32);
+  m.add_seed(1).add_seed(2);
+  return m;
+}
+
+SweepOptions dynamic_options(int threads) {
+  SweepOptions o;
+  o.threads = threads;
+  o.base.fixed_horizon = 60;
+  o.base.run_continuous = false;
+  o.base.audit_fairness = false;
+  o.base.conservation_interval = 1;
+  o.base.steady = SteadyOptions{.window = 16, .warmup = 20};
+  return o;
+}
+
+TEST(DynamicSweep, WorkloadAxisMultipliesTheCrossProduct) {
+  const SweepMatrix m = dynamic_matrix();
+  EXPECT_EQ(m.workloads().size(), 3u);
+  EXPECT_EQ(m.size(), 2u * 2u * 1u * 3u * 1u * 1u * 2u);
+  // Default axis (no add_workload): exactly one static entry.
+  SweepMatrix plain;
+  EXPECT_EQ(plain.workloads().size(), 1u);
+  EXPECT_EQ(plain.workloads()[0].name, "static");
+  EXPECT_EQ(plain.workloads()[0].make, nullptr);
+}
+
+TEST(DynamicSweep, RejectsWorkloadOnTheBaseSpec) {
+  // A process on the base spec would be one mutable instance shared by
+  // concurrent workers; the runner must refuse instead of racing (or
+  // silently replacing it with the axis entry).
+  SweepMatrix m;
+  m.add_graph("cycle", make_cycle(8), 1.0 - lambda2_cycle(8, 2));
+  m.add_balancer(Algorithm::kSendFloor);
+  m.add_shape(InitialShape::kBimodal);
+  m.add_load_scale(8);
+  PoissonWorkload churn({.arrival_rate = 0.1, .departure_rate = 0.1});
+  SweepOptions o = dynamic_options(1);
+  o.base.workload = &churn;
+  EXPECT_THROW(SweepRunner(o).run(m), invariant_error);
+}
+
+TEST(DynamicSweep, EightThreadsMatchSequentialByteForByte) {
+  const SweepMatrix m = dynamic_matrix();
+  const auto sequential = SweepRunner(dynamic_options(1)).run(m);
+  const auto parallel = SweepRunner(dynamic_options(8)).run(m);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  EXPECT_EQ(SweepRunner::csv_string(sequential),
+            SweepRunner::csv_string(parallel));
+}
+
+TEST(DynamicSweep, InnerNestingMatchesOuterByteForByte) {
+  const SweepMatrix m = dynamic_matrix();
+  SweepOptions outer = dynamic_options(4);
+  outer.nesting = SweepNesting::kOuter;
+  SweepOptions inner = dynamic_options(4);
+  inner.nesting = SweepNesting::kInner;  // round-parallel dynamic engines
+  EXPECT_EQ(SweepRunner::csv_string(SweepRunner(outer).run(m)),
+            SweepRunner::csv_string(SweepRunner(inner).run(m)));
+}
+
+TEST(DynamicSweep, CsvCarriesWorkloadColumnsAndQuotesCommaNames) {
+  const SweepMatrix m = dynamic_matrix();
+  const auto rows = SweepRunner(dynamic_options(4)).run(m);
+  const std::string csv = SweepRunner::csv_string(rows);
+  // The workload axis label contains commas, so the CSV layer must quote
+  // it (RFC 4180) — the hardened writer's end-to-end gate.
+  EXPECT_NE(csv.find("\"poisson(in=0.5,out=0.5)\""), std::string::npos);
+  EXPECT_NE(csv.find(",workload,"), std::string::npos);
+  EXPECT_NE(csv.find(",steady_mean,"), std::string::npos);
+  // Static rows keep the steady columns blank but the ledger at zero.
+  bool saw_static = false;
+  for (const SweepRow& row : rows) {
+    if (row.workload != "static") continue;
+    saw_static = true;
+    EXPECT_EQ(row.result.injected_total, 0);
+    EXPECT_EQ(row.result.consumed_total, 0);
+  }
+  EXPECT_TRUE(saw_static);
+  // Dynamic rows with churn have a non-trivial ledger.
+  bool saw_dynamic = false;
+  for (const SweepRow& row : rows) {
+    if (row.workload.rfind("poisson", 0) != 0) continue;
+    saw_dynamic = true;
+    EXPECT_GT(row.result.injected_total, 0);
+    EXPECT_TRUE(row.result.steady.tracked);
+  }
+  EXPECT_TRUE(saw_dynamic);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -109,6 +109,85 @@ TEST(Experiment, SummaryMentionsKeyFields) {
   EXPECT_NE(s.find("K=64"), std::string::npos);
 }
 
+// ------------------------------------------------- reach-phase edges --
+
+TEST(Experiment, ReachTargetAlreadyMetAtStart) {
+  const Graph g = make_hypercube(4);
+  SendFloor b;
+  ExperimentSpec spec;
+  spec.self_loops = 4;
+  spec.run_continuous = false;
+  // The initial discrepancy *is* the target: the reach phase must end
+  // before taking a single step, and the sampled horizon still runs.
+  spec.reach_target = 64;
+  spec.reach_cap = 1000;
+  const double mu = 1.0 - lambda2_hypercube(4, 4);
+  const auto r = run_experiment(g, b, bimodal_initial(16, 64), mu, spec);
+  EXPECT_EQ(r.t_reach, 0);
+  EXPECT_GE(r.horizon, 1);
+  EXPECT_EQ(r.samples.back().first, r.horizon);
+}
+
+TEST(Experiment, ReachCapZeroTakesNoSteps) {
+  const Graph g = make_hypercube(4);
+  SendFloor b;
+  ExperimentSpec spec;
+  spec.self_loops = 4;
+  spec.run_continuous = false;
+  spec.fixed_horizon = 1;  // keep the sampled phase minimal
+  spec.reach_target = 0;   // far below the initial discrepancy
+  spec.reach_cap = 0;      // 0-step budget: the phase is a no-op
+  const double mu = 1.0 - lambda2_hypercube(4, 4);
+  const auto r = run_experiment(g, b, bimodal_initial(16, 64), mu, spec);
+  EXPECT_EQ(r.t_reach, 0);
+  EXPECT_EQ(r.horizon, 1);
+}
+
+TEST(Experiment, ReachCapHitExactlyAtTargetIsIndistinguishableFromCapped) {
+  const Graph g = make_hypercube(4);
+  SendFloor b1;
+  const double mu = 1.0 - lambda2_hypercube(4, 4);
+  ExperimentSpec probe;
+  probe.self_loops = 4;
+  probe.run_continuous = false;
+  probe.fixed_horizon = 1;
+  probe.reach_target = 8;
+  probe.reach_cap = 10000;
+  const auto first = run_experiment(g, b1, bimodal_initial(16, 64), mu, probe);
+  ASSERT_GT(first.t_reach, 0);          // took some steps...
+  ASSERT_LT(first.t_reach, probe.reach_cap);  // ...and genuinely reached
+
+  // Re-run with the cap set to exactly the step count that reached the
+  // target. run_until_discrepancy checks *before* each step, so the step
+  // that lands on the target is the cap-th and the phase reports the cap
+  // — by design, t_reach == reach_cap cannot distinguish "reached on the
+  // last allowed step" from "never reached" (callers needing the
+  // distinction give the cap one step of slack).
+  SendFloor b2;
+  ExperimentSpec exact = probe;
+  exact.reach_cap = first.t_reach;
+  const auto r = run_experiment(g, b2, bimodal_initial(16, 64), mu, exact);
+  EXPECT_EQ(r.t_reach, exact.reach_cap);
+
+  // One extra step of cap resolves it: the phase stops early.
+  SendFloor b3;
+  ExperimentSpec slack = probe;
+  slack.reach_cap = first.t_reach + 1;
+  const auto s = run_experiment(g, b3, bimodal_initial(16, 64), mu, slack);
+  EXPECT_EQ(s.t_reach, first.t_reach);
+}
+
+TEST(Experiment, ReachPhaseOffByDefault) {
+  const Graph g = make_hypercube(4);
+  SendFloor b;
+  ExperimentSpec spec;
+  spec.self_loops = 4;
+  spec.run_continuous = false;
+  const double mu = 1.0 - lambda2_hypercube(4, 4);
+  const auto r = run_experiment(g, b, bimodal_initial(16, 64), mu, spec);
+  EXPECT_EQ(r.t_reach, -1);  // sentinel: no reach phase configured
+}
+
 TEST(Experiment, RejectsBadArguments) {
   const Graph g = make_hypercube(3);
   SendFloor b;

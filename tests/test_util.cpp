@@ -226,6 +226,25 @@ TEST(Csv, EscapesSpecialCharacters) {
   EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
 }
 
+TEST(Csv, EscapeHandlesCarriageReturnAndMixedSpecials) {
+  EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+  // Custom ShapeCase/WorkloadCase names can carry both commas and quotes
+  // (e.g. poisson(in=0.5,out=0.5) or a "quoted" label): the field must be
+  // wrapped and every inner quote doubled, per RFC 4180.
+  EXPECT_EQ(CsvWriter::escape("poisson(in=0.5,out=0.5)"),
+            "\"poisson(in=0.5,out=0.5)\"");
+  EXPECT_EQ(CsvWriter::escape("say \"a,b\""), "\"say \"\"a,b\"\"\"");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(Csv, RowsQuoteFieldsEndToEnd) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"name", "value"});
+  w.row({"counter(in=1/4,out=1/4)", "7"});
+  EXPECT_EQ(out.str(), "name,value\n\"counter(in=1/4,out=1/4)\",7\n");
+}
+
 TEST(Csv, RowWidthMismatchThrows) {
   std::ostringstream out;
   CsvWriter w(out);
