@@ -45,12 +45,14 @@ class NoopObserver : public StepObserver {
 enum class Path { kLazy, kPerNode };
 
 void run_steps(benchmark::State& state, const Graph& g, Algorithm algo,
-               Path path, bool deferred_stats = false) {
+               Path path, bool deferred_stats = false,
+               bool assign_first = false) {
   auto balancer = balancer_factory(algo)(/*seed=*/42);
   EngineConfig config;
   config.self_loops = g.degree();  // d° = d, the theorems' regime
   config.check_conservation = true;
   config.conservation_interval = path == Path::kLazy ? 64 : 1;
+  config.assign_first_scatter = assign_first;
   Engine e(g, config, *balancer, random_initial(g.num_nodes(), 1000, 7));
   e.set_deferred_stats(deferred_stats);
   NoopObserver observer;
@@ -162,6 +164,65 @@ void BM_StepParallel_Torus_SendFloor(benchmark::State& s) {
   run_steps_parallel(s, torus_512(), Algorithm::kSendFloor);
 }
 
+// -------------------------- implicit-topology vs generic-table series --
+// The same adjacency through both kernel paths: the *_Implicit legs run
+// the structure-tagged graphs (neighbors computed in registers), the
+// *_Generic legs run without_structure() copies (neighbors streamed from
+// the n·d port tables — the pre-PR-5 behavior). SEND(floor), serial lazy
+// step, 2^20 nodes each; the Implicit/Generic steps/sec ratio per family
+// is the tracked acceptance artifact (>= 1.3x on the cycle), committed as
+// BENCH_hotpath.json and re-checked report-only in CI.
+const Graph& torus_1024() {
+  static const Graph g = make_torus2d(1024, 1024);  // 2^20 nodes, d = 4
+  return g;
+}
+
+const Graph& hypercube_20() {
+  static const Graph g = make_hypercube(20);  // 2^20 nodes, d = 20
+  return g;
+}
+
+const Graph& cycle_1m_generic() {
+  static const Graph g = cycle_1m().without_structure();
+  return g;
+}
+
+const Graph& torus_1024_generic() {
+  static const Graph g = torus_1024().without_structure();
+  return g;
+}
+
+const Graph& hypercube_20_generic() {
+  static const Graph g = hypercube_20().without_structure();
+  return g;
+}
+
+void BM_StepImplicit_Cycle(benchmark::State& s) {
+  run_steps(s, cycle_1m(), Algorithm::kSendFloor, Path::kLazy);
+}
+void BM_StepGeneric_Cycle(benchmark::State& s) {
+  run_steps(s, cycle_1m_generic(), Algorithm::kSendFloor, Path::kLazy);
+}
+void BM_StepImplicit_Torus(benchmark::State& s) {
+  run_steps(s, torus_1024(), Algorithm::kSendFloor, Path::kLazy);
+}
+void BM_StepGeneric_Torus(benchmark::State& s) {
+  run_steps(s, torus_1024_generic(), Algorithm::kSendFloor, Path::kLazy);
+}
+void BM_StepImplicit_Hypercube(benchmark::State& s) {
+  run_steps(s, hypercube_20(), Algorithm::kSendFloor, Path::kLazy);
+}
+void BM_StepGeneric_Hypercube(benchmark::State& s) {
+  run_steps(s, hypercube_20_generic(), Algorithm::kSendFloor, Path::kLazy);
+}
+
+// Epoch-RMW revisit (ROADMAP): the kept-first-assign + plain-adds scatter
+// variant vs the epoch-stamped default, same graph and balancer.
+void BM_Cycle1M_SendFloor_LazyAssignFirst(benchmark::State& s) {
+  run_steps(s, cycle_1m(), Algorithm::kSendFloor, Path::kLazy,
+            /*deferred_stats=*/false, /*assign_first=*/true);
+}
+
 // ------------------------------------------ n = 2^18 torus (d = 4) slice --
 void BM_Torus512_SendFloor_Lazy(benchmark::State& s) {
   run_steps(s, torus_512(), Algorithm::kSendFloor, Path::kLazy);
@@ -188,6 +249,14 @@ BENCHMARK(BM_Cycle256k_BoundedError_Lazy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Cycle256k_BoundedError_PerNode)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Cycle256k_ContinuousMimic_Lazy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Cycle256k_ContinuousMimic_PerNode)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepImplicit_Cycle)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepGeneric_Cycle)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepImplicit_Torus)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepGeneric_Torus)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepImplicit_Hypercube)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StepGeneric_Hypercube)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cycle1M_SendFloor_LazyAssignFirst)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Torus512_SendFloor_Lazy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Torus512_SendFloor_PerNode)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare a bench_engine_hotpath JSON run against the committed baseline.
+
+Usage: check_bench_hotpath.py CURRENT.json BASELINE.json [--max-regression PCT]
+
+Report-only by default: prints a per-benchmark table (current vs baseline
+steps/sec plus delta) and the implicit-vs-generic speedup ratios per
+topology family, flagging regressions beyond the threshold — but always
+exits 0 unless --strict is given (CI machines, and in particular the
+1-CPU container this repo's baseline was recorded on, are too noisy for
+a hard gate). Structural problems (missing series, unreadable files)
+exit 1 regardless, so a renamed benchmark cannot silently drop out of
+the trajectory.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    """benchmark name -> items_per_second (engine steps/sec)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        rate = b.get("items_per_second")
+        if rate:
+            rates[b["name"]] = float(rate)
+    if not rates:
+        sys.exit(f"error: no benchmarks with items_per_second in {path}")
+    return rates
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--max-regression", type=float, default=25.0,
+                    help="flag benchmarks slower than baseline by more "
+                         "than this percent (default 25)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when a flagged regression exists")
+    args = ap.parse_args()
+
+    current = load_rates(args.current)
+    baseline = load_rates(args.baseline)
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        sys.exit("error: baseline series missing from the current run: "
+                 + ", ".join(missing))
+
+    print(f"{'benchmark':<42} {'base/s':>10} {'now/s':>10} {'delta':>8}")
+    flagged = []
+    for name in sorted(baseline):
+        base, now = baseline[name], current[name]
+        delta = 100.0 * (now - base) / base
+        mark = ""
+        if delta < -args.max_regression:
+            mark = "  <-- regression"
+            flagged.append(name)
+        print(f"{name:<42} {base:>10.1f} {now:>10.1f} {delta:>+7.1f}%{mark}")
+
+    print()
+    print("implicit-topology speedup (steps/sec ratio vs generic tables):")
+    for family in ("Cycle", "Torus", "Hypercube"):
+        imp = current.get(f"BM_StepImplicit_{family}")
+        gen = current.get(f"BM_StepGeneric_{family}")
+        if imp and gen:
+            base_ratio = (baseline.get(f"BM_StepImplicit_{family}", 0)
+                          / baseline.get(f"BM_StepGeneric_{family}", 1))
+            print(f"  {family:<10} {imp / gen:5.2f}x  "
+                  f"(committed baseline: {base_ratio:.2f}x)")
+
+    if flagged:
+        print(f"\n{len(flagged)} benchmark(s) regressed beyond "
+              f"{args.max_regression:.0f}% (report-only"
+              f"{', strict mode: failing' if args.strict else ''}).")
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/topology.hpp"
 #include "util/assertions.hpp"
 
 namespace dlb {
@@ -32,7 +33,6 @@ void BoundedError::decide(NodeId u, Load load, Step /*t*/,
 void BoundedError::decide_range(NodeId first, NodeId last,
                                 std::span<const Load> loads, Step /*t*/,
                                 FlowSink& sink) {
-  const Graph& g = sink.graph();
   if (sink.row_mode()) {
     const int d_plus = sink.ports();
     for (NodeId u = first; u < last; ++u) {
@@ -52,19 +52,28 @@ void BoundedError::decide_range(NodeId first, NodeId last,
     }
     return;
   }
+  with_topology(sink.graph(), [&](const auto& topo) {
+    scatter_range(topo, first, last, loads, sink);
+  });
+}
+
+template <class Topo>
+void BoundedError::scatter_range(const Topo& topo, NodeId first, NodeId last,
+                                 std::span<const Load> loads, FlowSink& sink) {
+  const int d = topo.degree();
   const auto next = sink.scatter();
-  for (NodeId u = first; u < last; ++u) {
+  auto cur = topo.cursor(first);
+  for (NodeId u = first; u < last; ++u, cur.advance()) {
     const Load x = loads[static_cast<std::size_t>(u)];
     const double share = static_cast<double>(x) / d_plus_;
-    const NodeId* nb = g.neighbors(u).data();
     Load sent = 0;
-    for (int p = 0; p < d_; ++p) {
+    for (int p = 0; p < d; ++p) {
       double& c = carry_[static_cast<std::size_t>(u) * d_ +
                          static_cast<std::size_t>(p)];
       const double desired = share + c;
       const auto f = static_cast<Load>(std::llround(desired));
       c = desired - static_cast<double>(f);
-      next.add(static_cast<std::size_t>(nb[p]), f);
+      next.add(static_cast<std::size_t>(cur.neighbor(p)), f);
       sent += f;
     }
     // Self-loop ports send nothing; the rest (possibly negative) stays.

@@ -41,6 +41,10 @@ class BoundedError : public Balancer {
   double max_abs_carry() const;
 
  private:
+  template <class Topo>
+  void scatter_range(const Topo& topo, NodeId first, NodeId last,
+                     std::span<const Load> loads, FlowSink& sink);
+
   int d_ = 0;
   int d_plus_ = 0;
   std::vector<double> carry_;  // n * d, one per directed original edge

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "graph/topology.hpp"
 #include "util/assertions.hpp"
 
 namespace dlb {
@@ -21,17 +22,23 @@ void ContinuousMimic::reset(const Graph& graph, int d_loops) {
 }
 
 void ContinuousMimic::advance_continuous() {
-  // y <- P·y on the balancing graph (d° self-loops).
+  // y <- P·y on the balancing graph (d° self-loops). The gather loop
+  // rides the same implicit-topology dispatch as the discrete kernels:
+  // structured graphs compute their neighbours here too.
   std::vector<double> next(y_.size());
   const double inv = 1.0 / d_plus_;
-  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
-    double acc = static_cast<double>(d_loops_) * inv *
-                 y_[static_cast<std::size_t>(v)];
-    for (NodeId u : g_->neighbors(v)) {
-      acc += inv * y_[static_cast<std::size_t>(u)];
+  with_topology(*g_, [&](const auto& topo) {
+    const int d = topo.degree();
+    auto cur = topo.cursor(0);
+    for (NodeId v = 0; v < g_->num_nodes(); ++v, cur.advance()) {
+      double acc = static_cast<double>(d_loops_) * inv *
+                   y_[static_cast<std::size_t>(v)];
+      for (int p = 0; p < d; ++p) {
+        acc += inv * y_[static_cast<std::size_t>(cur.neighbor(p))];
+      }
+      next[static_cast<std::size_t>(v)] = acc;
     }
-    next[static_cast<std::size_t>(v)] = acc;
-  }
+  });
   y_.swap(next);
 }
 
@@ -87,7 +94,6 @@ void ContinuousMimic::prepare_round(std::span<const Load> loads, Step t,
 void ContinuousMimic::decide_range(NodeId first, NodeId last,
                                    std::span<const Load> loads, Step /*t*/,
                                    FlowSink& sink) {
-  const Graph& g = sink.graph();
   if (sink.row_mode()) {
     const int d_plus = sink.ports();
     for (NodeId u = first; u < last; ++u) {
@@ -105,20 +111,30 @@ void ContinuousMimic::decide_range(NodeId first, NodeId last,
     }
     return;
   }
+  with_topology(sink.graph(), [&](const auto& topo) {
+    scatter_range(topo, first, last, loads, sink);
+  });
+}
+
+template <class Topo>
+void ContinuousMimic::scatter_range(const Topo& topo, NodeId first,
+                                    NodeId last, std::span<const Load> loads,
+                                    FlowSink& sink) {
+  const int d = topo.degree();
   const auto next = sink.scatter();
-  for (NodeId u = first; u < last; ++u) {
+  auto cur = topo.cursor(first);
+  for (NodeId u = first; u < last; ++u, cur.advance()) {
     const Load x = loads[static_cast<std::size_t>(u)];
     const double per_edge = y_[static_cast<std::size_t>(u)] / d_plus_;
-    const NodeId* nb = g.neighbors(u).data();
     Load sent = 0;
-    for (int p = 0; p < d_; ++p) {
+    for (int p = 0; p < d; ++p) {
       const std::size_t e = static_cast<std::size_t>(u) * d_ +
                             static_cast<std::size_t>(p);
       w_cum_[e] += per_edge;
       const Load target = static_cast<Load>(std::llround(w_cum_[e]));
       const Load f = target - f_cum_[e];
       f_cum_[e] = target;
-      next.add(static_cast<std::size_t>(nb[p]), f);
+      next.add(static_cast<std::size_t>(cur.neighbor(p)), f);
       sent += f;
     }
     // Self-loops carry nothing; the (possibly negative) rest stays local.

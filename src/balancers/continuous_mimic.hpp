@@ -52,6 +52,10 @@ class ContinuousMimic : public Balancer {
   bool parallel_decide_safe() const override { return true; }
 
  private:
+  template <class Topo>
+  void scatter_range(const Topo& topo, NodeId first, NodeId last,
+                     std::span<const Load> loads, FlowSink& sink);
+
   void advance_continuous();
 
   const Graph* g_ = nullptr;

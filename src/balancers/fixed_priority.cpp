@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/topology.hpp"
 #include "util/assertions.hpp"
 #include "util/intmath.hpp"
 
@@ -26,8 +27,6 @@ void FixedPriority::decide(NodeId /*u*/, Load load, Step /*t*/,
 void FixedPriority::decide_range(NodeId first, NodeId last,
                                  std::span<const Load> loads, Step /*t*/,
                                  FlowSink& sink) {
-  const Graph& g = sink.graph();
-  const int d = g.degree();
   if (sink.row_mode()) {
     for (NodeId u = first; u < last; ++u) {
       const Load x = loads[static_cast<std::size_t>(u)];
@@ -40,8 +39,19 @@ void FixedPriority::decide_range(NodeId first, NodeId last,
     }
     return;
   }
+  with_topology(sink.graph(), [&](const auto& topo) {
+    scatter_range(topo, first, last, loads, sink);
+  });
+}
+
+template <class Topo>
+void FixedPriority::scatter_range(const Topo& topo, NodeId first, NodeId last,
+                                  std::span<const Load> loads,
+                                  FlowSink& sink) {
+  const int d = topo.degree();
   const auto next = sink.scatter();
-  for (NodeId u = first; u < last; ++u) {
+  auto cur = topo.cursor(first);
+  for (NodeId u = first; u < last; ++u, cur.advance()) {
     const Load x = loads[static_cast<std::size_t>(u)];
     DLB_REQUIRE(x >= 0, "FixedPriority cannot handle negative load");
     const Load q = div_.quot(x);
@@ -49,9 +59,9 @@ void FixedPriority::decide_range(NodeId first, NodeId last,
     // The first e(u) ports in priority order get one extra; only the
     // first min(e(u), d) of those are original edges.
     const Load edge_extras = std::min<Load>(r, d);
-    const NodeId* nb = g.neighbors(u).data();
     for (int p = 0; p < d; ++p) {
-      next.add(static_cast<std::size_t>(nb[p]), q + (p < edge_extras ? 1 : 0));
+      next.add(static_cast<std::size_t>(cur.neighbor(p)),
+               q + (p < edge_extras ? 1 : 0));
     }
     // Self-loop shares (with their extras) and the remainder stay local.
     next.add(static_cast<std::size_t>(u), x - q * d - edge_extras);

@@ -31,6 +31,10 @@ class FixedPriority : public Balancer {
   bool parallel_decide_safe() const override { return true; }  // stateless
 
  private:
+  template <class Topo>
+  void scatter_range(const Topo& topo, NodeId first, NodeId last,
+                     std::span<const Load> loads, FlowSink& sink);
+
   int d_plus_ = 0;
   NonNegDiv div_;  // ⌊x/d⁺⌋ via shift when d⁺ is a power of two
 };

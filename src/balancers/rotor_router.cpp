@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "graph/topology.hpp"
 #include "util/assertions.hpp"
 #include "util/intmath.hpp"
 #include "util/rng.hpp"
@@ -139,8 +140,6 @@ void RotorRouter::decide(NodeId u, Load load, Step /*t*/,
 void RotorRouter::decide_range(NodeId first, NodeId last,
                                std::span<const Load> loads, Step /*t*/,
                                FlowSink& sink) {
-  const Graph& g = sink.graph();
-  const int d = g.degree();
   if (sink.row_mode()) {
     for (NodeId u = first; u < last; ++u) {
       const Load x = loads[static_cast<std::size_t>(u)];
@@ -162,19 +161,28 @@ void RotorRouter::decide_range(NodeId first, NodeId last,
     }
     return;
   }
+  with_topology(sink.graph(), [&](const auto& topo) {
+    scatter_range(topo, first, last, loads, sink);
+  });
+}
+
+template <class Topo>
+void RotorRouter::scatter_range(const Topo& topo, NodeId first, NodeId last,
+                                std::span<const Load> loads, FlowSink& sink) {
+  const int d = topo.degree();
   const auto next = sink.scatter();
-  for (NodeId u = first; u < last; ++u) {
+  auto cur = topo.cursor(first);
+  for (NodeId u = first; u < last; ++u, cur.advance()) {
     const Load x = loads[static_cast<std::size_t>(u)];
     DLB_REQUIRE(x >= 0, "RotorRouter cannot handle negative load");
     const Load q = div_.quot(x);
     const int r = static_cast<int>(x - q * d_plus_);
-    const NodeId* nb = g.neighbors(u).data();
     const NodeId* targets = extra_targets_.data() +
                             static_cast<std::size_t>(u) * 2 * d_plus_;
     int& rotor = rotor_[static_cast<std::size_t>(u)];
 
     for (int p = 0; p < d; ++p) {
-      next.add(static_cast<std::size_t>(nb[p]), q);
+      next.add(static_cast<std::size_t>(cur.neighbor(p)), q);
     }
     // Every extra token lands on a precomputed target (neighbour or u
     // itself for self-loop positions). Fixed trip count of d⁺−1 with a

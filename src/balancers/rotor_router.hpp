@@ -41,7 +41,10 @@ class RotorRouter : public Balancer {
   /// Scatter kernel: the floor share goes to every neighbour directly and
   /// only the x mod d⁺ extra tokens walk the rotor permutation — the flow
   /// row is never materialized. Row kernel: fill q, walk the extras over
-  /// the doubled port permutation, both branch-free.
+  /// the doubled port permutation, both branch-free. The floor-share loop
+  /// is templated on the topology (computed neighbours on structured
+  /// graphs); the extras still walk the per-node permutation table, which
+  /// encodes state no formula can replace.
   void decide_range(NodeId first, NodeId last, std::span<const Load> loads,
                     Step t, FlowSink& sink) override;
 
@@ -63,6 +66,10 @@ class RotorRouter : public Balancer {
   int rotor(NodeId u) const;
 
  private:
+  template <class Topo>
+  void scatter_range(const Topo& topo, NodeId first, NodeId last,
+                     std::span<const Load> loads, FlowSink& sink);
+
   std::uint64_t seed_;
   int d_plus_ = 0;
   NonNegDiv div_;  // ⌊x/d⁺⌋ via shift when d⁺ is a power of two

@@ -1,5 +1,6 @@
 #include "balancers/rotor_router_star.hpp"
 
+#include "graph/topology.hpp"
 #include "util/assertions.hpp"
 #include "util/intmath.hpp"
 #include "util/rng.hpp"
@@ -68,7 +69,6 @@ void RotorRouterStar::decide_range(NodeId first, NodeId last,
                                    std::span<const Load> loads, Step /*t*/,
                                    FlowSink& sink) {
   const Graph& g = sink.graph();
-  const int d = d_;
   const int d_plus = 2 * d_;
   if (sink.row_mode()) {
     for (NodeId u = first; u < last; ++u) {
@@ -93,13 +93,24 @@ void RotorRouterStar::decide_range(NodeId first, NodeId last,
     }
     return;
   }
+  with_topology(g, [&](const auto& topo) {
+    scatter_range(topo, first, last, loads, sink);
+  });
+}
+
+template <class Topo>
+void RotorRouterStar::scatter_range(const Topo& topo, NodeId first,
+                                    NodeId last, std::span<const Load> loads,
+                                    FlowSink& sink) {
+  const int d = topo.degree();
+  const int d_plus = 2 * d_;
   const auto next = sink.scatter();
-  for (NodeId u = first; u < last; ++u) {
+  auto cur = topo.cursor(first);
+  for (NodeId u = first; u < last; ++u, cur.advance()) {
     const Load x = loads[static_cast<std::size_t>(u)];
     DLB_REQUIRE(x >= 0, "ROTOR-ROUTER* cannot handle negative load");
     const Load q = div_.quot(x);
     const int r = static_cast<int>(x - q * d_plus);
-    const NodeId* nb = g.neighbors(u).data();
     const NodeId* targets = extra_targets_.data() +
                             static_cast<std::size_t>(u) * 2 * rotor_ports_;
     int& rotor = rotor_[static_cast<std::size_t>(u)];
@@ -107,7 +118,7 @@ void RotorRouterStar::decide_range(NodeId first, NodeId last,
     // Ports [0, d) are real edges; [d, 2d−1) ordinary self-loops and
     // 2d−1 the special one — all self-loops resolve to "keep local".
     for (int p = 0; p < d; ++p) {
-      next.add(static_cast<std::size_t>(nb[p]), q);
+      next.add(static_cast<std::size_t>(cur.neighbor(p)), q);
     }
     // The special self-loop's q + (r > 0) ceiling share stays local, as
     // do the ordinary self-loop base shares; the r−1 rotor extras land on

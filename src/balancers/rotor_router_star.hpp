@@ -41,6 +41,10 @@ class RotorRouterStar : public Balancer {
   bool parallel_decide_safe() const override { return true; }  // per-node rotors
 
  private:
+  template <class Topo>
+  void scatter_range(const Topo& topo, NodeId first, NodeId last,
+                     std::span<const Load> loads, FlowSink& sink);
+
   std::uint64_t seed_;
   int d_ = 0;
   int rotor_ports_ = 0;  // 2d − 1

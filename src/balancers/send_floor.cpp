@@ -1,7 +1,9 @@
 #include "balancers/send_floor.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "graph/topology.hpp"
 #include "util/assertions.hpp"
 #include "util/intmath.hpp"
 
@@ -24,8 +26,6 @@ void SendFloor::decide(NodeId /*u*/, Load load, Step /*t*/,
 void SendFloor::decide_range(NodeId first, NodeId last,
                              std::span<const Load> loads, Step /*t*/,
                              FlowSink& sink) {
-  const Graph& g = sink.graph();
-  const int d = g.degree();
   if (sink.row_mode()) {
     for (NodeId u = first; u < last; ++u) {
       const Load x = loads[static_cast<std::size_t>(u)];
@@ -35,14 +35,138 @@ void SendFloor::decide_range(NodeId first, NodeId last,
     }
     return;
   }
+  with_topology(sink.graph(), [&](const auto& topo) {
+    scatter_range(topo, first, last, loads, sink);
+  });
+}
+
+void SendFloor::scatter_range(const CycleTopology& topo, NodeId first,
+                              NodeId last, std::span<const Load> loads,
+                              FlowSink& sink) {
+  // Pure streaming stencil: one pass over loads, one write per next-load
+  // slot, no adjacency traffic and no read-modify-write accumulation.
+  // The left/right floor shares ride a register rotation; only the two
+  // range boundaries wrap around the cycle.
+  const NodeId n = topo.num_nodes();
+  const auto sweep = [&](auto&& emit) {
+    const auto at = [&](NodeId u) {
+      return loads[static_cast<std::size_t>(u)];
+    };
+    Load q_left = div_.quot(at(first == 0 ? n - 1 : first - 1));
+    Load x = at(first);
+    for (NodeId u = first; u < last; ++u) {
+      DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
+      const Load x_right = at(u + 1 == n ? 0 : u + 1);
+      const Load q = div_.quot(x);
+      emit(static_cast<std::size_t>(u), x - 2 * q + q_left + div_.quot(x_right));
+      q_left = q;
+      x = x_right;
+    }
+  };
+  if (sink.assign_first()) {
+    const auto next = sink.plain();
+    sweep([&](std::size_t u, Load acc) { next.assign(u, acc); });
+  } else {
+    const auto next = sink.scatter();
+    sweep([&](std::size_t u, Load acc) { next.add(u, acc); });
+  }
+}
+
+void SendFloor::scatter_range(const TorusTopology& topo, NodeId first,
+                              NodeId last, std::span<const Load> loads,
+                              FlowSink& sink) {
+  // Row-blocked gather stencil: within one dimension-0 row, every
+  // higher-dimension neighbor sits at a *fixed* signed offset (the wrap
+  // decision depends only on that dimension's coordinate, constant over
+  // the row), and the dimension-0 neighbors are ±1 with wraps at the two
+  // row ends. So the inner loop reads 2r constant-stride streams plus
+  // the row itself and writes each next-load slot exactly once — no
+  // coordinate arithmetic per node, no read-modify-write accumulation.
+  // next(u) = kept(u) + Σ_p ⌊x(neighbor)/d⁺⌋ is what the symmetric
+  // scatter delivers, term for term; integer addition commutes, so the
+  // trajectory is byte-identical, and the single touch per slot makes
+  // the kernel valid under both accumulator protocols.
+  const int d = topo.degree();
+  const int r = topo.dims();
+  const NodeId ext0 = topo.extent(0);
+  const bool assign_first = sink.assign_first();
+  std::array<NodeId, 2 * (TorusTopology::kMaxDims - 1)> off{};
+  NodeId u = first;
+  while (u < last) {
+    const auto c0 = static_cast<NodeId>(topo.coordinate(u, 0));
+    const NodeId row_start = u - c0;
+    const NodeId seg_end = std::min<NodeId>(last, row_start + ext0);
+    int m = 0;
+    for (int k = 1; k < r; ++k) {
+      const auto ck = static_cast<NodeId>(topo.coordinate(u, k));
+      const NodeId ext = topo.extent(k);
+      const NodeId stride = topo.stride(k);
+      off[static_cast<std::size_t>(m++)] =
+          ck + 1 == ext ? -(ext - 1) * stride : stride;
+      off[static_cast<std::size_t>(m++)] =
+          ck == 0 ? (ext - 1) * stride : -stride;
+    }
+    const auto segment = [&](auto&& emit) {
+      for (NodeId v = u; v < seg_end; ++v) {
+        const NodeId c = v - row_start;
+        const NodeId left = c == 0 ? row_start + ext0 - 1 : v - 1;
+        const NodeId right = c + 1 == ext0 ? row_start : v + 1;
+        const Load x = loads[static_cast<std::size_t>(v)];
+        DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
+        Load acc = x - div_.quot(x) * d +
+                   div_.quot(loads[static_cast<std::size_t>(left)]) +
+                   div_.quot(loads[static_cast<std::size_t>(right)]);
+        for (int j = 0; j < m; j += 2) {
+          acc += div_.quot(loads[static_cast<std::size_t>(
+                     v + off[static_cast<std::size_t>(j)])]) +
+                 div_.quot(loads[static_cast<std::size_t>(
+                     v + off[static_cast<std::size_t>(j + 1)])]);
+        }
+        emit(static_cast<std::size_t>(v), acc);
+      }
+    };
+    if (assign_first) {
+      const auto next = sink.plain();
+      segment([&](std::size_t v, Load acc) { next.assign(v, acc); });
+    } else {
+      const auto next = sink.scatter();
+      segment([&](std::size_t v, Load acc) { next.add(v, acc); });
+    }
+    u = seg_end;
+  }
+}
+
+template <class Topo>
+void SendFloor::scatter_range(const Topo& topo, NodeId first, NodeId last,
+                              std::span<const Load> loads, FlowSink& sink) {
+  const int d = topo.degree();
+  if (sink.assign_first()) {
+    // Kept-first assign pass: every slot's first touch of the round is
+    // this assign, which is what lets the neighbour shares below be
+    // plain adds with no epoch stamp and no zero-fill.
+    const auto next = sink.plain();
+    for (NodeId u = first; u < last; ++u) {
+      const Load x = loads[static_cast<std::size_t>(u)];
+      DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
+      next.assign(static_cast<std::size_t>(u), x - div_.quot(x) * d);
+    }
+    auto cur = topo.cursor(first);
+    for (NodeId u = first; u < last; ++u, cur.advance()) {
+      const Load q = div_.quot(loads[static_cast<std::size_t>(u)]);
+      for (int p = 0; p < d; ++p) {
+        next.add(static_cast<std::size_t>(cur.neighbor(p)), q);
+      }
+    }
+    return;
+  }
   const auto next = sink.scatter();
-  for (NodeId u = first; u < last; ++u) {
+  auto cur = topo.cursor(first);
+  for (NodeId u = first; u < last; ++u, cur.advance()) {
     const Load x = loads[static_cast<std::size_t>(u)];
     DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
     const Load q = div_.quot(x);
-    const NodeId* nb = g.neighbors(u).data();
     for (int p = 0; p < d; ++p) {
-      next.add(static_cast<std::size_t>(nb[p]), q);
+      next.add(static_cast<std::size_t>(cur.neighbor(p)), q);
     }
     // d° self-loop shares plus the excess stay local.
     next.add(static_cast<std::size_t>(u), x - q * d);

@@ -13,6 +13,9 @@
 
 namespace dlb {
 
+class CycleTopology;
+class TorusTopology;
+
 class SendFloor : public Balancer {
  public:
   std::string name() const override { return "SEND(floor)"; }
@@ -21,13 +24,41 @@ class SendFloor : public Balancer {
 
   /// Scatter kernel: every neighbour gets ⌊x/d⁺⌋, the node keeps the rest
   /// (self-loop shares + excess) — no flow row ever exists. Row kernel:
-  /// every port slot is ⌊x/d⁺⌋, one fill per node.
+  /// every port slot is ⌊x/d⁺⌋, one fill per node. The scatter kernel is
+  /// templated on the topology: on tagged cycle/torus/hypercube graphs
+  /// neighbours are computed, not loaded.
   void decide_range(NodeId first, NodeId last, std::span<const Load> loads,
                     Step t, FlowSink& sink) override;
 
   bool parallel_decide_safe() const override { return true; }  // stateless
 
+  /// Supports the kept-first-assign + plain-adds scatter protocol (the
+  /// epoch-RMW alternative): pass 1 assigns every node's kept load,
+  /// pass 2 adds the neighbour shares.
+  bool assign_first_scatter_safe() const override { return true; }
+
  private:
+  template <class Topo>
+  void scatter_range(const Topo& topo, NodeId first, NodeId last,
+                     std::span<const Load> loads, FlowSink& sink);
+  /// Cycle stencil: next(u) = kept(u) + ⌊x(u−1)/d⁺⌋ + ⌊x(u+1)/d⁺⌋ in one
+  /// streaming sweep with a single accumulator touch per slot (integer
+  /// addition commutes, so the trajectory is byte-identical to the
+  /// generic scatter order; each slot's one touch makes the kernel valid
+  /// for both the epoch and the assign-first protocol).
+  void scatter_range(const CycleTopology& topo, NodeId first, NodeId last,
+                     std::span<const Load> loads, FlowSink& sink);
+  /// Torus row-blocked gather stencil: per dimension-0 row, all neighbor
+  /// offsets are constants, so the sweep is pure constant-stride
+  /// streaming with one write per slot. (The hypercube stays on the
+  /// cursor-scatter template: its d gather reads span the whole vector
+  /// and the dependent-load chain costs more than the scatter writes;
+  /// the generic fallback keeps the scatter form too — an arbitrary
+  /// graph's gather reads are as random as its scatter writes, plus it
+  /// would still stream the port tables.)
+  void scatter_range(const TorusTopology& topo, NodeId first, NodeId last,
+                     std::span<const Load> loads, FlowSink& sink);
+
   int d_plus_ = 0;
   NonNegDiv div_;  // ⌊x/d⁺⌋ via shift when d⁺ is a power of two
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/topology.hpp"
 #include "util/assertions.hpp"
 #include "util/intmath.hpp"
 
@@ -51,7 +52,6 @@ void SendRound::decide(NodeId /*u*/, Load load, Step /*t*/,
 void SendRound::decide_range(NodeId first, NodeId last,
                              std::span<const Load> loads, Step /*t*/,
                              FlowSink& sink) {
-  const Graph& g = sink.graph();
   const int d = d_;
   if (sink.row_mode()) {
     for (NodeId u = first; u < last; ++u) {
@@ -71,14 +71,23 @@ void SendRound::decide_range(NodeId first, NodeId last,
     }
     return;
   }
+  with_topology(sink.graph(), [&](const auto& topo) {
+    scatter_range(topo, first, last, loads, sink);
+  });
+}
+
+template <class Topo>
+void SendRound::scatter_range(const Topo& topo, NodeId first, NodeId last,
+                              std::span<const Load> loads, FlowSink& sink) {
+  const int d = topo.degree();
   const auto next = sink.scatter();
-  for (NodeId u = first; u < last; ++u) {
+  auto cur = topo.cursor(first);
+  for (NodeId u = first; u < last; ++u, cur.advance()) {
     const Load x = loads[static_cast<std::size_t>(u)];
     DLB_REQUIRE(x >= 0, "SendRound cannot handle negative load");
     const Load nearest = div_twice_.quot(2 * x + d_plus_);
-    const NodeId* nb = g.neighbors(u).data();
     for (int p = 0; p < d; ++p) {
-      next.add(static_cast<std::size_t>(nb[p]), nearest);
+      next.add(static_cast<std::size_t>(cur.neighbor(p)), nearest);
     }
     // Self-loop shares and the remainder stay local — their split across
     // self-loop ports never moves a token.

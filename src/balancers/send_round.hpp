@@ -36,6 +36,10 @@ class SendRound : public Balancer {
   int guaranteed_s() const noexcept { return guaranteed_s_; }
 
  private:
+  template <class Topo>
+  void scatter_range(const Topo& topo, NodeId first, NodeId last,
+                     std::span<const Load> loads, FlowSink& sink);
+
   int d_ = 0;
   int d_loops_ = 0;
   int d_plus_ = 0;

@@ -1,7 +1,10 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 
+#include "graph/topology.hpp"
 #include "util/assertions.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,12 +34,17 @@ void Engine::ensure_rows() {
   if (flows_.size() != size) flows_.assign(size, 0);
 }
 
-void Engine::apply_rows(NodeId first, NodeId last, Load* next) const {
-  const int d = g_->degree();
+template <class Topo>
+void Engine::apply_rows(const Topo& topo, NodeId first, NodeId last,
+                        Load* next, Load& range_min, Load& range_max) const {
+  const int d = topo.degree();
   const int d_plus = balancing_degree();
   const Load* rows = flows_.data();
   const bool negatives_ok = balancer_->allows_negative();
-  for (NodeId v = first; v < last; ++v) {
+  Load lo = std::numeric_limits<Load>::max();
+  Load hi = std::numeric_limits<Load>::min();
+  auto cur = topo.cursor(first);
+  for (NodeId v = first; v < last; ++v, cur.advance()) {
     const Load* own = rows + static_cast<std::size_t>(v) * d_plus;
     // kept(v) = x(v) − Σ edge flows out of v: the remainder plus every
     // self-loop share, without reading the self-loop slots.
@@ -60,12 +68,36 @@ void Engine::apply_rows(NodeId first, NodeId last, Load* next) const {
     }
 #endif
     for (int p = 0; p < d; ++p) {
-      acc += rows[static_cast<std::size_t>(g_->neighbor(v, p)) * d_plus +
-                  g_->rev_port(v, p)];
+      acc += rows[static_cast<std::size_t>(cur.neighbor(p)) * d_plus +
+                  cur.rev_port(p)];
     }
     next[static_cast<std::size_t>(v)] = acc;
+    lo = std::min(lo, acc);
+    hi = std::max(hi, acc);
+  }
+  range_min = lo;
+  range_max = hi;
+}
+
+namespace {
+
+/// Lock-free min/max merge for the parallel apply's per-range results
+/// (called once per range, so contention is irrelevant).
+void atomic_min(std::atomic<Load>& a, Load v) noexcept {
+  Load cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
 }
+
+void atomic_max(std::atomic<Load>& a, Load v) noexcept {
+  Load cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 void Engine::step_rows(ThreadPool* pool) {
   ensure_rows();
@@ -82,18 +114,34 @@ void Engine::step_rows(ThreadPool* pool) {
     // RNG stream consume it exactly as the serial path does.
     balancer_->decide_range(0, n, loads_, time(), sink);
   }
-  if (pool != nullptr) {
-    pool->for_ranges(n, [&](std::int64_t first, std::int64_t last) {
-      apply_rows(static_cast<NodeId>(first), static_cast<NodeId>(last),
-                 next_.data());
-    });
-  } else {
-    apply_rows(0, n, next_.data());
-  }
+  // The pull phase dispatches on the topology tag once per round: on
+  // cycle/torus/hypercube every neighbor and rev_port is computed in
+  // registers, the tables are never streamed.
+  Load round_min = 0;
+  Load round_max = 0;
+  with_topology(*g_, [&](const auto& topo) {
+    if (pool != nullptr) {
+      std::atomic<Load> lo{std::numeric_limits<Load>::max()};
+      std::atomic<Load> hi{std::numeric_limits<Load>::min()};
+      pool->for_ranges(n, [&](std::int64_t first, std::int64_t last) {
+        Load range_min;
+        Load range_max;
+        apply_rows(topo, static_cast<NodeId>(first), static_cast<NodeId>(last),
+                   next_.data(), range_min, range_max);
+        atomic_min(lo, range_min);
+        atomic_max(hi, range_max);
+      });
+      round_min = lo.load(std::memory_order_relaxed);
+      round_max = hi.load(std::memory_order_relaxed);
+    } else {
+      apply_rows(topo, 0, n, next_.data(), round_min, round_max);
+    }
+  });
   for (StepObserver* o : observers_) {
     o->on_step(time() + 1, *g_, config_.self_loops, loads_, flows_, next_);
   }
   loads_.swap(next_);
+  publish_round_stats(round_min, round_max);
 }
 
 void Engine::do_step() {
@@ -101,11 +149,25 @@ void Engine::do_step() {
     step_rows(nullptr);
     return;
   }
-  acc_.begin_round();
-  FlowSink sink(*g_, config_.self_loops, &acc_);
-  balancer_->decide_all(loads_, time(), sink);
-  acc_.finalize();
+  Load round_min = 0;
+  Load round_max = 0;
+  if (config_.assign_first_scatter && balancer_->assign_first_scatter_safe()) {
+    // Assign-first protocol: the kernel's kept-load assign sweep is the
+    // logical zero-fill, edge flows are plain adds — no epoch stamps.
+    acc_.begin_round_plain();
+    FlowSink sink(*g_, config_.self_loops, &acc_, /*assign_first=*/true);
+    balancer_->decide_all(loads_, time(), sink);
+    acc_.plain_minmax(round_min, round_max);
+  } else {
+    acc_.begin_round();
+    FlowSink sink(*g_, config_.self_loops, &acc_);
+    balancer_->decide_all(loads_, time(), sink);
+    // Stale-slot fixup and the round's min/max share one sweep; the base
+    // then skips its own stats pass over the swapped-in vector.
+    acc_.finalize_stats(round_min, round_max);
+  }
   loads_.swap(acc_.values());
+  publish_round_stats(round_min, round_max);
 }
 
 void Engine::do_step_parallel(ThreadPool& pool) { step_rows(&pool); }

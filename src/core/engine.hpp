@@ -45,6 +45,13 @@ struct EngineConfig {
   int self_loops = 0;             ///< d°, the number of self-loops per node
   bool check_conservation = true; ///< verify Σx invariant (gated below)
   int conservation_interval = 1;  ///< audit every k-th step (1 = every step)
+  /// Scatter-path variant (the ROADMAP epoch-RMW revisit): replace the
+  /// epoch-stamped accumulator adds with a kept-load assign sweep plus
+  /// plain adds. Only takes effect for balancers that opt in via
+  /// Balancer::assign_first_scatter_safe(); trajectories are identical
+  /// either way (golden-tested). See BENCH_hotpath.json for the measured
+  /// trade on the 2^20-node cycle.
+  bool assign_first_scatter = false;
 };
 
 /// Drives one balancer over one graph; owns loads and flow buffers.
@@ -79,8 +86,13 @@ class Engine : public RoundEngineBase {
   /// kernels overwrite every entry of the rows they decide).
   void ensure_rows();
   /// Apply phase over nodes [first, last): next(v) = kept(v) + incoming
-  /// flow pulled from the neighbours' records through rev_port.
-  void apply_rows(NodeId first, NodeId last, Load* next) const;
+  /// flow pulled from the neighbours' records through the topology's
+  /// rev_port — computed arithmetic on structured graphs (the constant
+  /// p^1 / p, no rev_ table traffic), table loads on generic ones. The
+  /// range's min/max next loads ride the same sweep (fused stats).
+  template <class Topo>
+  void apply_rows(const Topo& topo, NodeId first, NodeId last, Load* next,
+                  Load& range_min, Load& range_max) const;
   /// One row-path round; `pool` may be null (serial decide + apply).
   void step_rows(ThreadPool* pool);
 

@@ -55,6 +55,35 @@ void RoundEngineBase::do_step_parallel(ThreadPool& /*pool*/) { do_step(); }
 void RoundEngineBase::apply_workload(ThreadPool* pool) {
   if (workload_ == nullptr) return;
   workload_->prepare(t_, loads_);
+  // Sparse fast path: a process that knows its round's touched-node set
+  // (burst hotspot, adversary targets) hands it over and the engine
+  // applies exactly those deltas — no n virtual delta() calls per round.
+  if (const std::vector<NodeId>* sparse = workload_->affected_nodes()) {
+    Load inj = 0;
+    Load con = 0;
+    // Always-on bounds check: the list crosses a trust boundary (any
+    // third-party process can return one) and is tiny by design, so the
+    // guard is free — unlike the dense path, a bad entry here would
+    // otherwise corrupt the heap in release builds.
+    for (const NodeId u : *sparse) {
+      DLB_REQUIRE(u >= 0 && static_cast<std::size_t>(u) < loads_.size(),
+                  "workload affected node out of range");
+      const Load d = workload_->delta(u, t_);
+      Load& x = loads_[static_cast<std::size_t>(u)];
+      if (d > 0) {
+        x += d;
+        inj += d;
+      } else if (d < 0) {
+        const Load take = std::min(-d, std::max<Load>(x, 0));
+        x -= take;
+        con += take;
+      }
+    }
+    injected_total_ += inj;
+    consumed_total_ += con;
+    total_ += inj - con;
+    return;
+  }
   const auto n = static_cast<std::int64_t>(loads_.size());
   // Per-chunk partials, combined with commutative integer adds: the
   // totals are identical for any chunking, so thread count never shows.
@@ -96,12 +125,24 @@ void RoundEngineBase::after_step() {
   const bool audit =
       audit_.enabled && (audit_.interval == 1 || t_ % audit_.interval == 0);
   if (audit) {
+    // The audit re-sums the loads anyway, and min/max ride that same
+    // pass for free — published stats are simply superseded.
     refresh_stats(true);
+  } else if (round_stats_valid_) {
+    // The round's own sweep already produced min/max (fused apply pull /
+    // scatter finalize); commit without another O(n) pass. This also
+    // means deferred-stats mode loses nothing on engines that publish:
+    // the observables stay exact at zero extra cost.
+    min_load_ = round_min_;
+    max_load_ = round_max_;
+    min_load_seen_ = std::min(min_load_seen_, round_min_);
+    stats_dirty_ = false;
   } else if (deferred_stats_) {
     stats_dirty_ = true;
   } else {
     refresh_stats(false);
   }
+  round_stats_valid_ = false;
 }
 
 void RoundEngineBase::step() {

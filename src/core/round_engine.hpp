@@ -150,6 +150,21 @@ class RoundEngineBase {
   /// Default: falls back to the serial round.
   virtual void do_step_parallel(ThreadPool& pool);
 
+  /// Subclasses whose round already sweeps the new load vector (the
+  /// engine's apply pull or the scatter accumulator's finalize) publish
+  /// the min/max they computed in that same sweep here, from inside
+  /// do_step()/do_step_parallel(). after_step() then commits them
+  /// instead of re-scanning loads_ — one fewer O(n) pass per round.
+  /// Gated conservation audits still re-sum (and re-derive min/max) from
+  /// the loads themselves, so a wrong published value cannot survive an
+  /// audited step. The publication is consumed by the next after_step()
+  /// only; rounds that do not publish keep the classic refresh behavior.
+  void publish_round_stats(Load lo, Load hi) noexcept {
+    round_min_ = lo;
+    round_max_ = hi;
+    round_stats_valid_ = true;
+  }
+
   LoadVector loads_;
 
  private:
@@ -175,6 +190,9 @@ class RoundEngineBase {
   mutable Load min_load_seen_ = 0;
   mutable bool stats_dirty_ = false;
   bool deferred_stats_ = false;
+  Load round_min_ = 0;
+  Load round_max_ = 0;
+  bool round_stats_valid_ = false;
   ConservationPolicy audit_;
   ThreadPool* pool_ = nullptr;
   WorkloadProcess* workload_ = nullptr;

@@ -119,6 +119,8 @@ void BurstWorkload::reset(NodeId n, std::uint64_t seed) {
   seed_ = seed;
   n_ = n;
   hotspot_ = -1;
+  dense_round_ = false;
+  affected_.clear();
 }
 
 void BurstWorkload::prepare(Step t, std::span<const Load> /*loads*/) {
@@ -133,6 +135,15 @@ void BurstWorkload::prepare(Step t, std::span<const Load> /*loads*/) {
   } else {
     hotspot_ = -1;
   }
+  // A drain round touches every node — only burst-only rounds are sparse.
+  dense_round_ = params_.drain_period > 0 && params_.drain_amount > 0 &&
+                 t % params_.drain_period == 0;
+  affected_.clear();
+  if (!dense_round_ && hotspot_ >= 0) affected_.push_back(hotspot_);
+}
+
+const std::vector<NodeId>* BurstWorkload::affected_nodes() const {
+  return dense_round_ ? nullptr : &affected_;
 }
 
 Load BurstWorkload::delta(NodeId u, Step t) {
@@ -161,12 +172,14 @@ std::string AdversarialInjector::name() const {
 void AdversarialInjector::reset(NodeId /*n*/, std::uint64_t /*seed*/) {
   target_max_ = -1;
   target_min_ = -1;
+  affected_.clear();
 }
 
 void AdversarialInjector::prepare(Step t, std::span<const Load> loads) {
   if (t % params_.period != 0) {
     target_max_ = -1;
     target_min_ = -1;
+    affected_.clear();
     return;
   }
   // Deterministic scan: lowest index wins ties, so the target sequence is
@@ -189,6 +202,13 @@ void AdversarialInjector::prepare(Step t, std::span<const Load> loads) {
   // so the injection still breaks the balance.
   target_min_ =
       params_.drain_min && arg_min != arg_max ? arg_min : NodeId{-1};
+  affected_.clear();
+  if (target_max_ >= 0) affected_.push_back(target_max_);
+  if (target_min_ >= 0) affected_.push_back(target_min_);
+}
+
+const std::vector<NodeId>* AdversarialInjector::affected_nodes() const {
+  return &affected_;
 }
 
 Load AdversarialInjector::delta(NodeId u, Step /*t*/) {

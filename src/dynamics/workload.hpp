@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/load_vector.hpp"
 #include "graph/graph.hpp"  // NodeId
@@ -91,6 +92,21 @@ class WorkloadProcess {
   /// order, exactly like the serial path. All built-in processes
   /// opt in, mirroring Balancer::parallel_decide_safe.
   virtual bool parallel_generate_safe() const { return false; }
+
+  /// Sparse-injection fast path. After prepare(t), a process whose round
+  /// is known to touch only a small node set may expose it here; the
+  /// engine then calls delta() for exactly those nodes instead of
+  /// scanning all n with a virtual call each — the difference between
+  /// O(1) and O(n) bookkeeping per round for a burst or adversary
+  /// process on a 2^20-node graph. Contract: delta(u, t) == 0 for every
+  /// node outside the list, entries are distinct, and the pointer stays
+  /// valid until the next prepare()/reset(). An *empty* list means "no
+  /// churn this round"; returning nullptr (the default) means "dense" —
+  /// the engine scans every node. Equivalence with the dense scan is
+  /// golden-tested for the built-in sparse processes.
+  virtual const std::vector<NodeId>* affected_nodes() const {
+    return nullptr;
+  }
 };
 
 /// Deterministic per-node counter streams: node u injects
@@ -174,6 +190,10 @@ class BurstWorkload : public WorkloadProcess {
   /// delta() only reads the hotspot chosen in the serial prepare().
   bool parallel_generate_safe() const override { return true; }
 
+  /// Sparse on burst-only rounds ({hotspot} or nothing); dense (nullptr)
+  /// on rounds where the global drain touches every node.
+  const std::vector<NodeId>* affected_nodes() const override;
+
   /// Hotspot of the current round's burst (set by prepare; −1 when the
   /// round has no burst).
   NodeId hotspot() const noexcept { return hotspot_; }
@@ -183,6 +203,8 @@ class BurstWorkload : public WorkloadProcess {
   std::uint64_t seed_ = 0;
   NodeId n_ = 0;
   NodeId hotspot_ = -1;
+  bool dense_round_ = false;
+  std::vector<NodeId> affected_;
 };
 
 /// Adversarial injector: every `period` rounds it re-targets the current
@@ -210,10 +232,15 @@ class AdversarialInjector : public WorkloadProcess {
   /// delta() only reads the targets chosen in the serial prepare().
   bool parallel_generate_safe() const override { return true; }
 
+  /// Always sparse: at most {argmax, argmin} per round (the prepare()
+  /// argmax scan is the process's only O(n) work).
+  const std::vector<NodeId>* affected_nodes() const override;
+
  private:
   Params params_;
   NodeId target_max_ = -1;
   NodeId target_min_ = -1;
+  std::vector<NodeId> affected_;
 };
 
 }  // namespace dlb

@@ -26,7 +26,9 @@ Graph make_cycle(NodeId n) {
     adj[static_cast<std::size_t>(i) * 2 + 0] = (i + 1) % n;
     adj[static_cast<std::size_t>(i) * 2 + 1] = (i + n - 1) % n;
   }
-  return Graph(n, 2, std::move(adj), "cycle(" + std::to_string(n) + ")");
+  return Graph(n, 2, std::move(adj), "cycle(" + std::to_string(n) + ")",
+               /*allow_self_edges=*/false,
+               StructureInfo{GraphStructure::kCycle, {}});
 }
 
 Graph make_torus2d(NodeId width, NodeId height) {
@@ -73,7 +75,9 @@ Graph make_torus(const std::vector<NodeId>& extents) {
     name += std::to_string(extents[k]);
   }
   name += ")";
-  return Graph(n, d, std::move(adj), std::move(name));
+  return Graph(n, d, std::move(adj), std::move(name),
+               /*allow_self_edges=*/false,
+               StructureInfo{GraphStructure::kTorus, extents});
 }
 
 Graph make_hypercube(int dim) {
@@ -86,7 +90,9 @@ Graph make_hypercube(int dim) {
     }
   }
   return Graph(n, dim, std::move(adj),
-               "hypercube(" + std::to_string(dim) + ")");
+               "hypercube(" + std::to_string(dim) + ")",
+               /*allow_self_edges=*/false,
+               StructureInfo{GraphStructure::kHypercube, {}});
 }
 
 Graph make_complete(NodeId n) {

@@ -4,12 +4,14 @@
 #include <map>
 #include <utility>
 
+#include "graph/topology.hpp"
+
 namespace dlb {
 
 Graph::Graph(NodeId num_nodes, int degree, std::vector<NodeId> adjacency,
-             std::string name, bool allow_self_edges)
+             std::string name, bool allow_self_edges, StructureInfo structure)
     : n_(num_nodes), d_(degree), adj_(std::move(adjacency)),
-      name_(std::move(name)) {
+      name_(std::move(name)), structure_(std::move(structure)) {
   DLB_REQUIRE(n_ > 0, "graph must have at least one node");
   DLB_REQUIRE(d_ > 0, "graph must have positive degree");
   DLB_REQUIRE(adj_.size() == static_cast<std::size_t>(n_) * d_,
@@ -23,6 +25,61 @@ Graph::Graph(NodeId num_nodes, int degree, std::vector<NodeId> adjacency,
     }
   }
   build_reverse_ports();
+  verify_structure();
+}
+
+Graph Graph::without_structure() const {
+  Graph g = *this;
+  g.structure_ = StructureInfo{};
+  return g;
+}
+
+void Graph::verify_structure() const {
+  switch (structure_.kind) {
+    case GraphStructure::kGeneric:
+      return;
+    case GraphStructure::kCycle:
+      DLB_REQUIRE(d_ == 2 && n_ >= 3 && structure_.extents.empty(),
+                  "cycle tag: need d == 2, n >= 3, no extents");
+      break;
+    case GraphStructure::kTorus: {
+      const auto& ext = structure_.extents;
+      DLB_REQUIRE(!ext.empty() &&
+                      ext.size() <=
+                          static_cast<std::size_t>(TorusTopology::kMaxDims),
+                  "torus tag: bad dimension count");
+      std::int64_t prod = 1;
+      for (NodeId e : ext) {
+        DLB_REQUIRE(e >= 3, "torus tag: extents must be >= 3");
+        prod *= e;
+      }
+      DLB_REQUIRE(prod == n_ && d_ == 2 * static_cast<int>(ext.size()),
+                  "torus tag: extents do not match n and d");
+      break;
+    }
+    case GraphStructure::kHypercube:
+      DLB_REQUIRE(d_ >= 1 && d_ < 31 && n_ == (NodeId{1} << d_) &&
+                      structure_.extents.empty(),
+                  "hypercube tag: need n == 2^d, no extents");
+      break;
+  }
+  // Entry-by-entry check of the tag's arithmetic against the built
+  // tables: O(n·d) integer compares, cheap next to build_reverse_ports'
+  // edge-bucket map, and the reason a structured fast path can never
+  // silently disagree with the tables it skips.
+  with_topology(*this, [&](const auto& topo) {
+    for (NodeId u = 0; u < n_; ++u) {
+      for (int p = 0; p < d_; ++p) {
+        const std::size_t i = static_cast<std::size_t>(u) * d_ + p;
+        DLB_REQUIRE(adj_[i] == topo.neighbor(u, p),
+                    "structure tag: implicit neighbor formula disagrees "
+                    "with the adjacency table");
+        DLB_REQUIRE(rev_[i] == topo.rev_port(u, p),
+                    "structure tag: implicit rev_port formula disagrees "
+                    "with the reverse-port table");
+      }
+    }
+  });
 }
 
 void Graph::build_reverse_ports() {

@@ -24,6 +24,32 @@ namespace dlb {
 
 using NodeId = std::int32_t;
 
+/// Recognized implicit structures. A structured graph's adjacency is pure
+/// arithmetic — neighbor(u, p) is u±1 mod n (cycle), a per-dimension torus
+/// offset, or u ^ (1 << p) (hypercube) — so hot kernels can *compute*
+/// neighbors instead of streaming the n·d port tables (graph/topology.hpp
+/// holds the trait types the kernels template on).
+enum class GraphStructure : std::uint8_t {
+  kGeneric = 0,  ///< no known structure: kernels stream the port tables
+  kCycle,        ///< C_n port layout: port 0 = u+1 mod n, port 1 = u−1 mod n
+  kTorus,        ///< r-dim torus: ports (2k, 2k+1) = ±1 in dimension k
+  kHypercube,    ///< port p = u ^ (1 << p)
+};
+
+/// Structure tag carried by a Graph. Set by the generators and *verified
+/// at construction* — a tag whose implicit formula disagrees with the
+/// adjacency (or reverse-port) tables on any entry throws, so a fast-path
+/// kernel can never silently compute different neighbors than the tables
+/// it replaces.
+struct StructureInfo {
+  GraphStructure kind = GraphStructure::kGeneric;
+  /// kTorus only: per-dimension extents, size r (degree = 2r, node u's
+  /// dimension-k coordinate is (u / stride_k) mod extents[k] with
+  /// mixed-radix strides). Empty for every other kind (the cycle and
+  /// hypercube parameters derive from n and d).
+  std::vector<NodeId> extents;
+};
+
 /// d-regular symmetric multigraph with O(1) reverse-port lookup.
 class Graph {
  public:
@@ -36,8 +62,14 @@ class Graph {
   /// has fixed points of its defining maps; such self-edges always come in
   /// map/inverse-map pairs and are paired with each other). Throws
   /// invariant_error otherwise.
+  ///
+  /// `structure` tags the graph as an instance of an implicit family
+  /// (cycle/torus/hypercube); every adjacency and reverse-port entry is
+  /// checked against the tag's arithmetic formula, so a bogus tag throws
+  /// instead of letting structured kernels diverge from the tables.
   Graph(NodeId num_nodes, int degree, std::vector<NodeId> adjacency,
-        std::string name = "graph", bool allow_self_edges = false);
+        std::string name = "graph", bool allow_self_edges = false,
+        StructureInfo structure = {});
 
   NodeId num_nodes() const noexcept { return n_; }
   int degree() const noexcept { return d_; }
@@ -80,8 +112,26 @@ class Graph {
   /// True if some unordered pair of nodes is joined by >1 edge.
   bool has_parallel_edges() const noexcept { return has_parallel_; }
 
+  /// The verified structure tag (kGeneric when the adjacency has no known
+  /// implicit form). Engines dispatch their fast-path kernels on this.
+  const StructureInfo& structure() const noexcept { return structure_; }
+
+  /// Copy of this graph with the structure tag stripped, forcing every
+  /// kernel onto the generic table path. The implicit≡generic golden
+  /// tests and the BM_StepImplicit_* / BM_StepGeneric_* bench pairs run
+  /// the same adjacency through both paths via this.
+  Graph without_structure() const;
+
+  /// Raw flat port tables (size n·d, layout [u*d + p]) for the generic
+  /// topology wrapper's unchecked hot-loop access.
+  const NodeId* adjacency_data() const noexcept { return adj_.data(); }
+  const std::int32_t* rev_port_data() const noexcept { return rev_.data(); }
+
  private:
   void build_reverse_ports();
+  /// Checks every adjacency/rev entry against the tag's formula; throws
+  /// invariant_error on the first mismatch.
+  void verify_structure() const;
 
   NodeId n_;
   int d_;
@@ -89,6 +139,7 @@ class Graph {
   std::vector<std::int32_t> rev_;
   std::string name_;
   bool has_parallel_ = false;
+  StructureInfo structure_;
 };
 
 }  // namespace dlb

@@ -1,0 +1,324 @@
+// Implicit-topology traits: compute neighbors, don't load them.
+//
+// The hot decide/apply loops are memory-bound, and on structured graphs
+// the n·d `adj_`/`rev_` port tables they stream are pure redundancy:
+// neighbor(u, p) is u±1 mod n on the cycle, a per-dimension offset on the
+// torus, and u ^ (1 << p) on the hypercube, while rev_port(u, p) is the
+// constant p ^ 1 (cycle/torus: the reverse of a +1 edge is the paired −1
+// port) or p (hypercube: flipping a bit twice returns). Each trait type
+// below exposes that arithmetic as branch-light inline calls with the
+// exact same port layout as the corresponding generator, plus a
+// GenericTopology wrapper over the Graph tables so every kernel is
+// written once as a template and instantiated for all four.
+//
+// Dispatch: Graph carries a verified StructureInfo tag (graph.hpp);
+// with_topology(g, f) switches on it once — per kernel invocation, i.e.
+// O(1) per round — and calls f with the concrete trait, so the per-node
+// loops inline the arithmetic with no virtual calls and, for the cycle,
+// a compile-time degree. Correctness is enforced twice: the Graph
+// constructor verifies the tag formula against the tables entry by
+// entry, and the golden tests pin implicit trajectories byte-identically
+// to the generic-table path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+/// ⌊x / d⌋ for 32-bit x by one 64×64→128 multiply (Granlund–Montgomery
+/// round-up method): m = ⌈2^(32+ℓ) / d⌉ with ℓ = ⌈log₂ d⌉ satisfies
+/// m·d − 2^(32+ℓ) ≤ 2^ℓ, which makes (m·x) >> (32+ℓ) exact for every
+/// x < 2^32. The torus trait uses this for its per-dimension coordinate
+/// extraction — a hardware division per port per node would eat the
+/// memory-traffic win the implicit path exists for.
+class FastDivU32 {
+ public:
+  FastDivU32() = default;  ///< divisor 1 (quot(x) == x)
+  explicit FastDivU32(std::uint32_t divisor) {
+    DLB_REQUIRE(divisor >= 1, "FastDivU32: divisor must be positive");
+    int l = 0;
+    while ((std::uint64_t{1} << l) < divisor) ++l;
+    shift_ = 32 + l;
+    mul_ = static_cast<std::uint64_t>(
+        ((static_cast<unsigned __int128>(1) << shift_) + divisor - 1) /
+        divisor);
+  }
+
+  std::uint32_t quot(std::uint32_t x) const noexcept {
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(mul_) * x) >> shift_);
+  }
+
+ private:
+  std::uint64_t mul_ = 1;
+  int shift_ = 0;
+};
+
+/// C_n with the make_cycle port layout: port 0 = successor, port 1 =
+/// predecessor. The reverse of a +1 edge is the neighbor's −1 port and
+/// vice versa, so rev_port is the constant p ^ 1 — the row-mode pull
+/// loop never touches the rev_ table.
+class CycleTopology {
+ public:
+  explicit CycleTopology(NodeId n) noexcept : n_(n) {}
+
+  static constexpr int kDegree = 2;
+  int degree() const noexcept { return kDegree; }
+  NodeId num_nodes() const noexcept { return n_; }
+
+  NodeId neighbor(NodeId u, int p) const noexcept {
+    const NodeId up = u + 1 == n_ ? 0 : u + 1;
+    const NodeId down = u == 0 ? n_ - 1 : u - 1;
+    return p == 0 ? up : down;
+  }
+
+  static int rev_port(NodeId /*u*/, int p) noexcept { return p ^ 1; }
+
+  /// Ascending-sweep cursor (see GenericTopology::Cursor for the shape).
+  class Cursor {
+   public:
+    Cursor(NodeId n, NodeId u) noexcept : n_(n), u_(u) {}
+    NodeId neighbor(int p) const noexcept {
+      const NodeId up = u_ + 1 == n_ ? 0 : u_ + 1;
+      const NodeId down = u_ == 0 ? n_ - 1 : u_ - 1;
+      return p == 0 ? up : down;
+    }
+    int rev_port(int p) const noexcept { return p ^ 1; }
+    void advance() noexcept { ++u_; }
+
+   private:
+    NodeId n_;
+    NodeId u_;
+  };
+  Cursor cursor(NodeId u) const noexcept { return Cursor(n_, u); }
+
+ private:
+  NodeId n_;
+};
+
+/// r-dimensional torus with the make_torus port layout: ports (2k, 2k+1)
+/// are ±1 in dimension k, coordinates mixed-radix with stride_k = ∏ of
+/// lower extents. Coordinate extraction is two FastDivU32 multiplies per
+/// call; the wrap is a conditional move. rev_port is again p ^ 1 (every
+/// extent is >= 3, so ±1 edges are distinct and pair with each other).
+class TorusTopology {
+ public:
+  /// Max supported dimensions: extents >= 3 and n <= 2^26 cap r at 16.
+  static constexpr int kMaxDims = 16;
+
+  explicit TorusTopology(const Graph& g) {
+    const auto& extents = g.structure().extents;
+    DLB_REQUIRE(g.structure().kind == GraphStructure::kTorus,
+                "TorusTopology: graph is not torus-tagged");
+    DLB_REQUIRE(!extents.empty() &&
+                    extents.size() <= static_cast<std::size_t>(kMaxDims),
+                "TorusTopology: unsupported dimension count");
+    r_ = static_cast<int>(extents.size());
+    std::uint32_t stride = 1;
+    for (int k = 0; k < r_; ++k) {
+      const auto ext =
+          static_cast<std::uint32_t>(extents[static_cast<std::size_t>(k)]);
+      Dim& dm = dims_[static_cast<std::size_t>(k)];
+      dm.stride = stride;
+      dm.ext = ext;
+      dm.by_stride = FastDivU32(stride);
+      dm.by_ext = FastDivU32(ext);
+      stride *= ext;
+    }
+  }
+
+  int degree() const noexcept { return 2 * r_; }
+  int dims() const noexcept { return r_; }
+  NodeId extent(int k) const noexcept {
+    return static_cast<NodeId>(dims_[static_cast<std::size_t>(k)].ext);
+  }
+  NodeId stride(int k) const noexcept {
+    return static_cast<NodeId>(dims_[static_cast<std::size_t>(k)].stride);
+  }
+
+  /// Dimension-k coordinate of u: (u / stride_k) mod ext_k, two FastDiv
+  /// multiplies. Row-stencil kernels call this once per row segment.
+  std::uint32_t coordinate(NodeId u, int k) const noexcept {
+    const Dim& dm = dims_[static_cast<std::size_t>(k)];
+    const std::uint32_t q = dm.by_stride.quot(static_cast<std::uint32_t>(u));
+    return q - dm.by_ext.quot(q) * dm.ext;
+  }
+
+  NodeId neighbor(NodeId u, int p) const noexcept {
+    const Dim& dm = dims_[static_cast<std::size_t>(p >> 1)];
+    const std::uint32_t coord = coordinate(u, p >> 1);
+    return offset_in_dim(u, coord, wrap_step(coord, dm, p & 1), dm);
+  }
+
+  static int rev_port(NodeId /*u*/, int p) noexcept { return p ^ 1; }
+
+  /// Ascending-sweep cursor: the mixed-radix coordinate vector is
+  /// extracted once (the only divisions, at cursor construction) and
+  /// then maintained by digit increments — advance() is one add plus a
+  /// carry that fires every ext-th node, so a whole-range sweep costs
+  /// O(1) arithmetic per node with no division and no table traffic.
+  class Cursor {
+   public:
+    Cursor(const TorusTopology& topo, NodeId u) noexcept
+        : topo_(&topo), u_(u) {
+      for (int k = 0; k < topo.r_; ++k) {
+        coord_[static_cast<std::size_t>(k)] = topo.coordinate(u, k);
+      }
+    }
+
+    NodeId neighbor(int p) const noexcept {
+      const Dim& dm = topo_->dims_[static_cast<std::size_t>(p >> 1)];
+      const std::uint32_t coord = coord_[static_cast<std::size_t>(p >> 1)];
+      return offset_in_dim(u_, coord, wrap_step(coord, dm, p & 1), dm);
+    }
+
+    int rev_port(int p) const noexcept { return p ^ 1; }
+
+    void advance() noexcept {
+      ++u_;
+      for (int k = 0; k < topo_->r_; ++k) {
+        std::uint32_t& c = coord_[static_cast<std::size_t>(k)];
+        if (++c != topo_->dims_[static_cast<std::size_t>(k)].ext) break;
+        c = 0;  // carry into the next dimension
+      }
+    }
+
+   private:
+    const TorusTopology* topo_;
+    NodeId u_;
+    std::array<std::uint32_t, kMaxDims> coord_{};
+  };
+  Cursor cursor(NodeId u) const noexcept { return Cursor(*this, u); }
+
+ private:
+  struct Dim {
+    std::uint32_t stride = 1;
+    std::uint32_t ext = 1;
+    FastDivU32 by_stride;
+    FastDivU32 by_ext;
+  };
+
+  /// coord ± 1 with wraparound (dir 1 = down, 0 = up), branch-light.
+  static std::uint32_t wrap_step(std::uint32_t coord, const Dim& dm,
+                                 int dir) noexcept {
+    if (dir) return (coord == 0 ? dm.ext : coord) - 1;
+    const std::uint32_t up = coord + 1;
+    return up == dm.ext ? 0 : up;
+  }
+
+  /// Node u with its dimension coordinate replaced by `next`.
+  static NodeId offset_in_dim(NodeId u, std::uint32_t coord,
+                              std::uint32_t next, const Dim& dm) noexcept {
+    return static_cast<NodeId>(
+        static_cast<std::int64_t>(u) +
+        (static_cast<std::int64_t>(next) - static_cast<std::int64_t>(coord)) *
+            dm.stride);
+  }
+
+  int r_ = 0;
+  std::array<Dim, kMaxDims> dims_{};
+};
+
+/// Hypercube on 2^dim nodes with the make_hypercube port layout: port p
+/// flips bit p. An edge is its own reverse direction's port, so
+/// rev_port(u, p) == p.
+class HypercubeTopology {
+ public:
+  explicit HypercubeTopology(int dim) noexcept : dim_(dim) {}
+
+  int degree() const noexcept { return dim_; }
+
+  static NodeId neighbor(NodeId u, int p) noexcept {
+    return u ^ (NodeId{1} << p);
+  }
+
+  static int rev_port(NodeId /*u*/, int p) noexcept { return p; }
+
+  class Cursor {
+   public:
+    explicit Cursor(NodeId u) noexcept : u_(u) {}
+    NodeId neighbor(int p) const noexcept { return u_ ^ (NodeId{1} << p); }
+    int rev_port(int p) const noexcept { return p; }
+    void advance() noexcept { ++u_; }
+
+   private:
+    NodeId u_;
+  };
+  Cursor cursor(NodeId u) const noexcept { return Cursor(u); }
+
+ private:
+  int dim_;
+};
+
+/// Fallback for untagged graphs: the classic flat port tables through
+/// raw pointers (no per-call asserts — kernels own the bounds contract).
+class GenericTopology {
+ public:
+  explicit GenericTopology(const Graph& g) noexcept
+      : adj_(g.adjacency_data()), rev_(g.rev_port_data()), d_(g.degree()) {}
+
+  int degree() const noexcept { return d_; }
+
+  NodeId neighbor(NodeId u, int p) const noexcept {
+    return adj_[static_cast<std::size_t>(u) * d_ + p];
+  }
+
+  int rev_port(NodeId u, int p) const noexcept {
+    return rev_[static_cast<std::size_t>(u) * d_ + p];
+  }
+
+  /// Ascending-sweep cursor over the tables: the u*d row computation is
+  /// strength-reduced to a per-node pointer bump, exactly the access
+  /// pattern of the pre-topology kernels.
+  class Cursor {
+   public:
+    Cursor(const GenericTopology& topo, NodeId u) noexcept
+        : adj_row_(topo.adj_ + static_cast<std::size_t>(u) * topo.d_),
+          rev_row_(topo.rev_ + static_cast<std::size_t>(u) * topo.d_),
+          d_(topo.d_) {}
+    NodeId neighbor(int p) const noexcept { return adj_row_[p]; }
+    int rev_port(int p) const noexcept {
+      return static_cast<int>(rev_row_[p]);
+    }
+    void advance() noexcept {
+      adj_row_ += d_;
+      rev_row_ += d_;
+    }
+
+   private:
+    const NodeId* adj_row_;
+    const std::int32_t* rev_row_;
+    int d_;
+  };
+  Cursor cursor(NodeId u) const noexcept { return Cursor(*this, u); }
+
+ private:
+  const NodeId* adj_;
+  const std::int32_t* rev_;
+  int d_;
+};
+
+/// Dispatches f on the graph's verified structure tag: f(topo) runs with
+/// the concrete trait type, so the compiler specializes the kernel body
+/// per topology. One switch per invocation (kernels call this once per
+/// round/range, never per node).
+template <class F>
+decltype(auto) with_topology(const Graph& g, F&& f) {
+  switch (g.structure().kind) {
+    case GraphStructure::kCycle:
+      return f(CycleTopology(g.num_nodes()));
+    case GraphStructure::kTorus:
+      return f(TorusTopology(g));
+    case GraphStructure::kHypercube:
+      return f(HypercubeTopology(g.degree()));
+    case GraphStructure::kGeneric:
+      break;
+  }
+  return f(GenericTopology(g));
+}
+
+}  // namespace dlb

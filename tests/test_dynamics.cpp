@@ -5,6 +5,7 @@
 // counts {1, 2, 8}.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -178,6 +179,129 @@ TEST(AdversarialInjector, PeriodGatesTheInjection) {
     Load sum = 0;
     for (NodeId u = 0; u < 4; ++u) sum += w.delta(u, t);
     EXPECT_EQ(sum, t % 3 == 0 ? 5 : 0);
+  }
+}
+
+// ------------------------------------------- sparse-injection fast path --
+
+/// Delegating wrapper that hides the inner process's affected-node list,
+/// forcing the engine onto the dense all-nodes scan — the reference the
+/// sparse fast path must match delta for delta.
+class DenseView : public WorkloadProcess {
+ public:
+  explicit DenseView(WorkloadProcess& inner) : inner_(&inner) {}
+  std::string name() const override { return inner_->name(); }
+  void reset(NodeId n, std::uint64_t seed) override {
+    inner_->reset(n, seed);
+  }
+  void prepare(Step t, std::span<const Load> loads) override {
+    inner_->prepare(t, loads);
+  }
+  Load delta(NodeId u, Step t) override { return inner_->delta(u, t); }
+  bool parallel_generate_safe() const override {
+    return inner_->parallel_generate_safe();
+  }
+  // affected_nodes() deliberately not forwarded: always dense.
+
+ private:
+  WorkloadProcess* inner_;
+};
+
+TEST(SparseWorkload, BurstListCoversExactlyTheTouchedNodes) {
+  BurstWorkload w({.period = 4, .burst = 50, .drain_period = 6,
+                   .drain_amount = 1});
+  w.reset(32, 11);
+  LoadVector loads(32, 3);
+  for (Step t = 0; t < 24; ++t) {
+    w.prepare(t, loads);
+    const std::vector<NodeId>* affected = w.affected_nodes();
+    if (t % 6 == 0) {
+      // Drain rounds touch every node: the process must declare dense.
+      EXPECT_EQ(affected, nullptr) << "t=" << t;
+      continue;
+    }
+    ASSERT_NE(affected, nullptr) << "t=" << t;
+    if (t % 4 == 0) {
+      ASSERT_EQ(affected->size(), 1u) << "t=" << t;
+      EXPECT_EQ((*affected)[0], w.hotspot()) << "t=" << t;
+    } else {
+      EXPECT_TRUE(affected->empty()) << "t=" << t;
+    }
+    // Contract: delta == 0 off the list.
+    for (NodeId u = 0; u < 32; ++u) {
+      const bool listed =
+          std::find(affected->begin(), affected->end(), u) != affected->end();
+      if (!listed) {
+        EXPECT_EQ(w.delta(u, t), 0) << "t=" << t << " u=" << u;
+      }
+    }
+  }
+}
+
+TEST(SparseWorkload, AdversaryListHoldsTheRoundTargets) {
+  AdversarialInjector w({.amount = 5, .period = 2, .drain_min = true});
+  w.reset(8, 0);
+  const LoadVector loads = {3, 9, 9, 1, 1, 4, 0, 0};
+  w.prepare(0, loads);
+  const std::vector<NodeId>* affected = w.affected_nodes();
+  ASSERT_NE(affected, nullptr);
+  EXPECT_EQ(*affected, (std::vector<NodeId>{1, 6}));  // argmax, argmin
+  w.prepare(1, loads);  // off-period round: no targets
+  ASSERT_NE(w.affected_nodes(), nullptr);
+  EXPECT_TRUE(w.affected_nodes()->empty());
+}
+
+TEST(SparseWorkload, FastPathMatchesDenseScanTrajectoryAndLedger) {
+  // Burst (with drain, so sparse and dense rounds interleave) and
+  // adversary processes on the engine: the sparse fast path must
+  // reproduce the dense scan byte for byte — loads, injected/consumed
+  // ledgers, and conservation — serially and under a pool.
+  const Graph g = make_cycle(32);
+  const LoadVector initial = random_initial(g.num_nodes(), 40, 5);
+  ThreadPool pool(4);
+  const auto make_processes = [] {
+    std::vector<std::unique_ptr<WorkloadProcess>> ps;
+    ps.push_back(std::make_unique<BurstWorkload>(BurstWorkload::Params{
+        .period = 4, .burst = 64, .drain_period = 6, .drain_amount = 1}));
+    ps.push_back(std::make_unique<BurstWorkload>(
+        BurstWorkload::Params{.period = 3, .burst = 17}));
+    ps.push_back(std::make_unique<AdversarialInjector>(
+        AdversarialInjector::Params{.amount = 8, .period = 2,
+                                    .drain_min = true}));
+    return ps;
+  };
+  for (bool parallel : {false, true}) {
+    auto sparse_ps = make_processes();
+    auto dense_ps = make_processes();
+    for (std::size_t i = 0; i < sparse_ps.size(); ++i) {
+      SendFloor sparse_b, dense_b;
+      DenseView dense_w(*dense_ps[i]);
+      const EngineConfig config{.self_loops = g.degree()};
+      Engine sparse_e(g, config, sparse_b, initial);
+      Engine dense_e(g, config, dense_b, initial);
+      sparse_ps[i]->reset(g.num_nodes(), 21);
+      dense_w.reset(g.num_nodes(), 21);
+      sparse_e.set_workload(sparse_ps[i].get());
+      dense_e.set_workload(&dense_w);
+      if (parallel) {
+        sparse_e.set_thread_pool(&pool);
+        dense_e.set_thread_pool(&pool);
+      }
+      const auto where = [&] {
+        return sparse_ps[i]->name() +
+               (parallel ? " (parallel)" : " (serial)");
+      };
+      for (Step t = 0; t < 60; ++t) {
+        sparse_e.step_parallel();
+        dense_e.step_parallel();
+        ASSERT_EQ(sparse_e.loads(), dense_e.loads())
+            << where() << " diverged at step " << t + 1;
+        ASSERT_EQ(sparse_e.injected_total(), dense_e.injected_total())
+            << where() << " at step " << t + 1;
+        ASSERT_EQ(sparse_e.consumed_total(), dense_e.consumed_total())
+            << where() << " at step " << t + 1;
+      }
+    }
   }
 }
 

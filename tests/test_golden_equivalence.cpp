@@ -46,6 +46,7 @@ std::vector<GoldenGraph> golden_graphs() {
   std::vector<GoldenGraph> out;
   out.push_back({"cycle", make_cycle(48)});
   out.push_back({"torus", make_torus2d(8, 6)});
+  out.push_back({"hypercube", make_hypercube(4)});
   out.push_back({"expander", make_margulis(5)});
   return out;
 }
@@ -217,6 +218,103 @@ TEST(GoldenEquivalence, SerialMatchesIntraRoundParallelForEveryBalancer) {
           EXPECT_EQ(serial.discrepancy(), parallel.discrepancy()) << where();
         }
       }
+    }
+  }
+}
+
+TEST(GoldenEquivalence, ImplicitTopologyMatchesGenericTablesForEveryBalancer) {
+  // The implicit fast path (structure-tagged graphs: computed neighbors,
+  // stencil/gather kernel shapes) against the same adjacency with the
+  // tag stripped (generic table kernels — the pre-topology behavior),
+  // for every registry balancer on cycle/torus/hypercube, serial and at
+  // pool sizes {1, 2, 8}. Byte-identical trajectories or the fast path
+  // does not ship.
+  constexpr Step kSteps = 120;  // several rotor revolutions
+  std::vector<GoldenGraph> tagged;
+  tagged.push_back({"cycle", make_cycle(48)});
+  tagged.push_back({"torus2d", make_torus2d(8, 6)});
+  tagged.push_back({"torus3d", make_torus({4, 3, 5})});
+  tagged.push_back({"hypercube", make_hypercube(4)});
+  for (int threads : {0, 1, 2, 8}) {  // 0 = pure serial step()
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+    for (const std::string& name : registered_balancer_names()) {
+      const BalancerFactory factory = find_balancer_factory(name);
+      const BalancerTraits traits = find_balancer_traits(name);
+      for (const GoldenGraph& gg : tagged) {
+        const Graph& g = gg.graph;
+        const Graph generic = g.without_structure();
+        ASSERT_EQ(generic.structure().kind, GraphStructure::kGeneric);
+        const int d = g.degree();
+        for (int d_loops : {0, d}) {
+          if (traits.exact_d_loops && d_loops != d) continue;
+          if (d_loops < traits.min_loops(d)) continue;
+          const std::uint64_t seed = 7;
+          const LoadVector initial =
+              random_initial(g.num_nodes(), 500, /*seed=*/99);
+
+          std::unique_ptr<Balancer> imp_b = factory(seed);
+          std::unique_ptr<Balancer> gen_b = factory(seed);
+          const EngineConfig config{.self_loops = d_loops};
+          Engine implicit(g, config, *imp_b, initial);
+          Engine generic_e(generic, config, *gen_b, initial);
+          if (pool) {
+            implicit.set_thread_pool(pool.get());
+            generic_e.set_thread_pool(pool.get());
+          }
+
+          const auto where = [&] {
+            return name + " on " + gg.label + " with d_loops=" +
+                   std::to_string(d_loops) + " threads=" +
+                   std::to_string(threads);
+          };
+          for (Step t = 0; t < kSteps; ++t) {
+            implicit.step_parallel();
+            generic_e.step_parallel();
+            ASSERT_EQ(implicit.loads(), generic_e.loads())
+                << where() << " diverged at step " << t + 1;
+          }
+          EXPECT_EQ(implicit.min_load_seen(), generic_e.min_load_seen())
+              << where();
+          EXPECT_EQ(implicit.discrepancy(), generic_e.discrepancy())
+              << where();
+        }
+      }
+    }
+  }
+}
+
+TEST(GoldenEquivalence, AssignFirstScatterMatchesEpochScatter) {
+  // The kept-first-assign + plain-adds accumulator protocol
+  // (EngineConfig::assign_first_scatter) against the epoch default, for
+  // the balancer that opts in (SEND(floor)) on all three structured
+  // families plus a generic expander.
+  const auto graphs = golden_graphs();
+  for (const GoldenGraph& gg : graphs) {
+    const Graph& g = gg.graph;
+    const int d = g.degree();
+    for (int d_loops : {0, 1, d}) {
+      const LoadVector initial = random_initial(g.num_nodes(), 500, 99);
+      auto epoch_b = make_balancer(Algorithm::kSendFloor, 7);
+      auto plain_b = make_balancer(Algorithm::kSendFloor, 7);
+      EngineConfig epoch_cfg{.self_loops = d_loops};
+      EngineConfig plain_cfg{.self_loops = d_loops};
+      plain_cfg.assign_first_scatter = true;
+      Engine epoch(g, epoch_cfg, *epoch_b, initial);
+      Engine plain(g, plain_cfg, *plain_b, initial);
+      const auto where = [&] {
+        return std::string(gg.label) + " with d_loops=" +
+               std::to_string(d_loops);
+      };
+      for (Step t = 0; t < 120; ++t) {
+        epoch.step();
+        plain.step();
+        ASSERT_EQ(epoch.loads(), plain.loads())
+            << where() << " diverged at step " << t + 1;
+      }
+      EXPECT_EQ(epoch.min_load_seen(), plain.min_load_seen()) << where();
+      EXPECT_EQ(epoch.discrepancy(), plain.discrepancy()) << where();
+      EXPECT_FALSE(plain.flows_materialized()) << where();
     }
   }
 }

@@ -8,6 +8,7 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/properties.hpp"
+#include "graph/topology.hpp"
 #include "util/assertions.hpp"
 
 namespace dlb {
@@ -179,6 +180,103 @@ TEST(Generators, RandomRegularDeterministicInSeed) {
 
 TEST(Generators, RandomRegularRejectsOddTotalDegree) {
   EXPECT_THROW(make_random_regular(5, 3, 1), invariant_error);
+}
+
+// ---------------------------------------------------- implicit topology --
+
+/// Exhaustive check that a tagged graph's implicit arithmetic — both the
+/// random-access trait calls and the ascending-sweep cursors — agrees
+/// with the built adjacency/rev tables on every (node, port). This is
+/// the generator-side counterpart of the constructor's own verification.
+void expect_topology_matches_tables(const Graph& g) {
+  with_topology(g, [&](const auto& topo) {
+    ASSERT_EQ(topo.degree(), g.degree()) << g.name();
+    auto cur = topo.cursor(0);
+    for (NodeId u = 0; u < g.num_nodes(); ++u, cur.advance()) {
+      for (int p = 0; p < g.degree(); ++p) {
+        ASSERT_EQ(topo.neighbor(u, p), g.neighbor(u, p))
+            << g.name() << " node " << u << " port " << p;
+        ASSERT_EQ(topo.rev_port(u, p), g.rev_port(u, p))
+            << g.name() << " node " << u << " port " << p;
+        ASSERT_EQ(cur.neighbor(p), g.neighbor(u, p))
+            << g.name() << " cursor at node " << u << " port " << p;
+        ASSERT_EQ(cur.rev_port(p), g.rev_port(u, p))
+            << g.name() << " cursor at node " << u << " port " << p;
+      }
+    }
+  });
+}
+
+TEST(Topology, GeneratorTagsMatchTablesExhaustively) {
+  for (NodeId n : {3, 4, 5, 7, 16, 33}) {
+    const Graph g = make_cycle(n);
+    EXPECT_EQ(g.structure().kind, GraphStructure::kCycle) << g.name();
+    expect_topology_matches_tables(g);
+  }
+  for (const std::vector<NodeId>& extents :
+       {std::vector<NodeId>{5}, {3, 4}, {4, 3, 5}, {3, 3, 3, 3}}) {
+    const Graph g = make_torus(extents);
+    EXPECT_EQ(g.structure().kind, GraphStructure::kTorus) << g.name();
+    EXPECT_EQ(g.structure().extents, extents) << g.name();
+    expect_topology_matches_tables(g);
+  }
+  for (int dim : {1, 2, 3, 4, 7, 10}) {
+    const Graph g = make_hypercube(dim);
+    EXPECT_EQ(g.structure().kind, GraphStructure::kHypercube) << g.name();
+    expect_topology_matches_tables(g);
+  }
+}
+
+TEST(Topology, UntaggedGeneratorsStayGeneric) {
+  EXPECT_EQ(make_complete(5).structure().kind, GraphStructure::kGeneric);
+  EXPECT_EQ(make_petersen().structure().kind, GraphStructure::kGeneric);
+  EXPECT_EQ(make_circulant(10, {1, 2}).structure().kind,
+            GraphStructure::kGeneric);
+}
+
+TEST(Topology, WithoutStructureStripsTheTagButKeepsTheTables) {
+  const Graph g = make_torus2d(4, 5);
+  const Graph stripped = g.without_structure();
+  EXPECT_EQ(stripped.structure().kind, GraphStructure::kGeneric);
+  EXPECT_EQ(stripped.num_nodes(), g.num_nodes());
+  EXPECT_EQ(stripped.degree(), g.degree());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (int p = 0; p < g.degree(); ++p) {
+      EXPECT_EQ(stripped.neighbor(u, p), g.neighbor(u, p));
+      EXPECT_EQ(stripped.rev_port(u, p), g.rev_port(u, p));
+    }
+  }
+}
+
+TEST(Topology, MisTaggedAdjacencyThrowsAtConstruction) {
+  // A 6-cycle's adjacency tagged as a hypercube (wrong n-vs-d relation).
+  std::vector<NodeId> cyc6 = {1, 5, 2, 0, 3, 1, 4, 2, 5, 3, 0, 4};
+  EXPECT_THROW(Graph(6, 2, cyc6, "bogus", false,
+                     StructureInfo{GraphStructure::kHypercube, {}}),
+               invariant_error);
+  // Right parameter shape, wrong formula: a circulant with offset 2 is
+  // 2-regular on 6 nodes but is not C_6.
+  std::vector<NodeId> circ2 = {2, 4, 3, 5, 4, 0, 5, 1, 0, 2, 1, 3};
+  EXPECT_THROW(Graph(6, 2, circ2, "bogus", false,
+                     StructureInfo{GraphStructure::kCycle, {}}),
+               invariant_error);
+  // Torus tag whose extents do not multiply to n.
+  std::vector<NodeId> cyc6_again = cyc6;
+  EXPECT_THROW(Graph(6, 2, cyc6_again, "bogus", false,
+                     StructureInfo{GraphStructure::kTorus, {3, 3}}),
+               invariant_error);
+}
+
+TEST(Topology, FastDivU32MatchesHardwareDivision) {
+  for (std::uint32_t d : {1u, 2u, 3u, 5u, 7u, 12u, 100u, 1023u, 1024u,
+                          1025u, 999983u, (1u << 26)}) {
+    const FastDivU32 fd(d);
+    for (std::uint32_t x : {0u, 1u, d - 1, d, d + 1, 2 * d, 12345u,
+                            (1u << 20), (1u << 26) - 1, 0x7fffffffu,
+                            0xffffffffu}) {
+      EXPECT_EQ(fd.quot(x), x / d) << x << " / " << d;
+    }
+  }
 }
 
 // ---------------------------------------------------------- properties --
