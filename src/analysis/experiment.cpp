@@ -80,6 +80,10 @@ ExperimentResult run_experiment(const Graph& g, Balancer& balancer,
 
   if (spec.reach_target >= 0) {
     r.t_reach = engine.run_until_discrepancy(spec.reach_target, spec.reach_cap);
+    // run_until_discrepancy returns the cap both when the target fell on
+    // the last allowed step and when it was never reached; the post-phase
+    // discrepancy disambiguates.
+    r.reached = engine.discrepancy() <= spec.reach_target;
   }
 
   // Sample times: sorted unique step indices inside the horizon.

@@ -108,9 +108,16 @@ struct ExperimentResult {
   FairnessReport fairness;
   Load min_load_seen = 0;
   double continuous_final_discrepancy = 0.0;  ///< NaN if not run
-  /// Steps of the reach phase (-1 when spec.reach_target was off; equal
-  /// to spec.reach_cap when the target was never reached).
+  /// Steps of the reach phase (-1 when spec.reach_target was off). A
+  /// value equal to spec.reach_cap is ambiguous on its own — the target
+  /// may have been hit exactly on the last allowed step, or never; read
+  /// `reached` for the verdict.
   Step t_reach = -1;
+  /// True iff the reach phase ended with discrepancy <= reach_target —
+  /// including the edge where that happened on the cap-th step (which
+  /// t_reach alone cannot distinguish from a capped miss). Always false
+  /// when the reach phase was off.
+  bool reached = false;
   /// Final load vector; only filled when spec.record_final_loads.
   LoadVector final_loads;
   /// True iff a workload process drove the run (the label below is just

@@ -374,7 +374,8 @@ void SweepRunner::write_csv(const std::vector<SweepRow>& rows,
               "d",          "algorithm",   "shape",       "workload",
               "load_scale",
               "self_loops", "seed",        "mu",          "t_balance",
-              "horizon",    "t_reach",     "initial_disc", "final_disc",
+              "horizon",    "t_reach",     "reached",
+              "initial_disc", "final_disc",
               "balancedness",
               "continuous_disc", "delta",  "round_fair",  "observed_s",
               "min_load",   "max_remainder", "negative_seen", "samples",
@@ -406,6 +407,10 @@ void SweepRunner::write_csv(const std::vector<SweepRow>& rows,
              std::to_string(r.horizon),
              // Blank unless the run had a reach phase (spec.reach_target).
              r.t_reach >= 0 ? std::to_string(r.t_reach) : std::string(),
+             // Disambiguates t_reach == reach_cap: "1" = target was hit
+             // (possibly on the last allowed step), "0" = capped miss.
+             r.t_reach >= 0 ? std::string(r.reached ? "1" : "0")
+                            : std::string(),
              std::to_string(r.initial_discrepancy),
              std::to_string(r.final_discrepancy),
              fmt_double(r.final_balancedness),

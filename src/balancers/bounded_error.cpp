@@ -87,4 +87,23 @@ double BoundedError::max_abs_carry() const {
   return worst;
 }
 
+
+void BoundedError::save_state(StateWriter& w) const { w.vec_f64(carry_); }
+
+void BoundedError::load_state(StateReader& r) {
+  std::vector<double> carry = r.vec_f64();
+  if (carry.size() != carry_.size()) {
+    throw serial_error("BoundedError state: carry size mismatch");
+  }
+  // The bounded-error invariant itself: llround keeps every residual in
+  // [-1/2, 1/2] (both endpoints reachable via exact .5 halfway cases), so
+  // anything outside cannot have come from a valid run of this scheme.
+  for (double c : carry) {
+    if (!(c >= -0.5 && c <= 0.5)) {
+      throw serial_error("BoundedError state: carry out of range");
+    }
+  }
+  carry_ = std::move(carry);
+}
+
 }  // namespace dlb

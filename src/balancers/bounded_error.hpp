@@ -40,6 +40,11 @@ class BoundedError : public Balancer {
   /// Largest |carry| currently stored (tests assert <= 1/2).
   double max_abs_carry() const;
 
+  /// Snapshot state: the per-edge fractional carries (bit-exact — the
+  /// carry is the scheme's entire memory).
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
  private:
   template <class Topo>
   void scatter_range(const Topo& topo, NodeId first, NodeId last,

@@ -142,4 +142,34 @@ void ContinuousMimic::scatter_range(const Topo& topo, NodeId first,
   }
 }
 
+
+void ContinuousMimic::save_state(StateWriter& w) const {
+  w.i64(current_step_);
+  w.b(initialized_);
+  w.i32(seen_);
+  w.vec_f64(y_);
+  w.vec_f64(w_cum_);
+  w.vec_i64(f_cum_);
+}
+
+void ContinuousMimic::load_state(StateReader& r) {
+  const Step current_step = r.i64();
+  const bool initialized = r.b();
+  const NodeId seen = r.i32();
+  std::vector<double> y = r.vec_f64();
+  std::vector<double> w_cum = r.vec_f64();
+  std::vector<Load> f_cum = r.vec_i64();
+  DLB_REQUIRE(y.size() == y_.size() && w_cum.size() == w_cum_.size() &&
+                  f_cum.size() == f_cum_.size(),
+              "ContinuousMimic: state size mismatch");
+  DLB_REQUIRE(seen >= 0 && seen <= static_cast<NodeId>(y.size()),
+              "ContinuousMimic: bad initialization progress");
+  current_step_ = current_step;
+  initialized_ = initialized;
+  seen_ = seen;
+  y_ = std::move(y);
+  w_cum_ = std::move(w_cum);
+  f_cum_ = std::move(f_cum);
+}
+
 }  // namespace dlb

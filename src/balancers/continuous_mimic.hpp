@@ -51,6 +51,13 @@ class ContinuousMimic : public Balancer {
   /// advanced serially in prepare_round), so ranges may run concurrently.
   bool parallel_decide_safe() const override { return true; }
 
+  /// Snapshot state: the full internal continuous process — step cursor,
+  /// initialization progress, continuous loads y, and both cumulative
+  /// flow vectors (bit-exact doubles; a restored run replays the same
+  /// roundings).
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
  private:
   template <class Topo>
   void scatter_range(const Topo& topo, NodeId first, NodeId last,

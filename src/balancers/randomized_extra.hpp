@@ -24,6 +24,11 @@ class RandomizedExtra : public Balancer {
   void reset(const Graph& graph, int d_loops) override;
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
 
+  /// Snapshot state: the sequential RNG words — a restored run continues
+  /// the exact random stream the captured one would have drawn.
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
  private:
   std::uint64_t seed_;
   Rng rng_;

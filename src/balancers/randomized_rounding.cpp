@@ -27,4 +27,15 @@ void RandomizedRounding::decide(NodeId /*u*/, Load load, Step /*t*/,
   }
 }
 
+
+void RandomizedRounding::save_state(StateWriter& w) const {
+  for (std::uint64_t word : rng_.state()) w.u64(word);
+}
+
+void RandomizedRounding::load_state(StateReader& r) {
+  std::array<std::uint64_t, 4> words;
+  for (auto& word : words) word = r.u64();
+  rng_.set_state(words);
+}
+
 }  // namespace dlb

@@ -26,6 +26,10 @@ class RandomizedRounding : public Balancer {
   void decide(NodeId u, Load load, Step t, std::span<Load> flows) override;
   bool allows_negative() const override { return true; }
 
+  /// Snapshot state: the sequential RNG words (see RandomizedExtra).
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
  private:
   std::uint64_t seed_;
   Rng rng_;

@@ -199,4 +199,18 @@ void RotorRouter::scatter_range(const Topo& topo, NodeId first, NodeId last,
   }
 }
 
+
+void RotorRouter::save_state(StateWriter& w) const { w.vec_int(rotor_); }
+
+void RotorRouter::load_state(StateReader& r) {
+  std::vector<int> rotor = r.vec_int();
+  DLB_REQUIRE(rotor.size() == rotor_.size(),
+              "RotorRouter: rotor state size mismatch");
+  for (int pos : rotor) {
+    DLB_REQUIRE(pos >= 0 && pos < d_plus_,
+                "RotorRouter: rotor position out of range");
+  }
+  rotor_ = std::move(rotor);
+}
+
 }  // namespace dlb

@@ -65,6 +65,11 @@ class RotorRouter : public Balancer {
   /// Current rotor position of node u (for tests).
   int rotor(NodeId u) const;
 
+  /// Snapshot state: the rotor positions (the port permutation is
+  /// reconstructed from the seed / prescription by reset()).
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
  private:
   template <class Topo>
   void scatter_range(const Topo& topo, NodeId first, NodeId last,

@@ -40,6 +40,10 @@ class RotorRouterStar : public Balancer {
 
   bool parallel_decide_safe() const override { return true; }  // per-node rotors
 
+  /// Snapshot state: the rotor positions over the 2d−1 ordinary ports.
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
  private:
   template <class Topo>
   void scatter_range(const Topo& topo, NodeId first, NodeId last,

@@ -11,6 +11,12 @@ namespace dlb {
 void Balancer::prepare_round(std::span<const Load> /*loads*/, Step /*t*/,
                              FlowSink& /*sink*/) {}
 
+// Stateless default: nothing beyond what reset() reconstructs. Stateful
+// balancers override both; overriding only one trips the snapshot
+// layer's exact-consumption check.
+void Balancer::save_state(StateWriter& /*w*/) const {}
+void Balancer::load_state(StateReader& /*r*/) {}
+
 void Balancer::decide_range(NodeId first, NodeId last,
                             std::span<const Load> loads, Step t,
                             FlowSink& sink) {

@@ -36,6 +36,7 @@
 #include "core/epoch_accumulator.hpp"
 #include "core/load_vector.hpp"
 #include "graph/graph.hpp"
+#include "util/serial.hpp"
 
 namespace dlb {
 
@@ -195,6 +196,23 @@ class Balancer {
   /// step (none of the built-in schemes do); the engine then never takes
   /// the scatter path for it.
   virtual bool wants_flow_matrix() const { return false; }
+
+  /// Serializes the balancer's complete mutable run state (everything
+  /// reset() does not reconstruct from the constructor arguments: rotor
+  /// positions, per-edge carries, RNG words, the CONT-MIMIC continuous
+  /// trajectory). Stateless schemes inherit the no-op default. The
+  /// crash-recovery contract: for any balancer B reset on graph G,
+  /// save_state followed by (reset + load_state on an equal instance)
+  /// must reproduce the exact decide trajectory — the snapshot
+  /// equivalence gate asserts this for every registered balancer.
+  virtual void save_state(StateWriter& w) const;
+
+  /// Restores what save_state captured. Called after reset() on an
+  /// instance constructed with the same parameters; must consume the
+  /// buffer exactly (the snapshot layer rejects trailing bytes, so a
+  /// field forgotten on either side is a caught error, not silent
+  /// drift). Throws serial_error / invariant_error on any mismatch.
+  virtual void load_state(StateReader& r);
 };
 
 }  // namespace dlb

@@ -70,6 +70,19 @@ class Engine : public RoundEngineBase {
   int balancing_degree() const noexcept {
     return g_->degree() + config_.self_loops;
   }
+  const EngineConfig& config() const noexcept { return config_; }
+  Balancer& balancer() noexcept { return *balancer_; }
+  const Balancer& balancer() const noexcept { return *balancer_; }
+
+  /// Toggles the assign-first scatter variant mid-run. Safe at any round
+  /// boundary: both scatter variants leave the accumulator fully stamped
+  /// or fully assigned, and each round's begin_round/begin_round_plain
+  /// re-establishes its own invariant from either predecessor state.
+  /// (Exercised by the epoch-wrap regression test; snapshot/restore keys
+  /// on trajectories being identical either way.)
+  void set_assign_first_scatter(bool on) noexcept {
+    config_.assign_first_scatter = on;
+  }
 
   /// True once the per-node record matrix has been allocated (i.e. some
   /// step ran on the row path — an observer, wants_flow_matrix(), or a

@@ -52,6 +52,37 @@ void RoundEngineBase::refresh_stats(bool audit_total) const {
 
 void RoundEngineBase::do_step_parallel(ThreadPool& /*pool*/) { do_step(); }
 
+void RoundEngineBase::save_core_state(StateWriter& w) const {
+  w.vec_i64(loads_);
+  w.i64(t_);
+  w.i64(total_);
+  w.i64(base_total_);
+  w.i64(injected_total_);
+  w.i64(consumed_total_);
+  w.i64(min_load_);
+  w.i64(max_load_);
+  w.i64(min_load_seen_);
+  w.b(stats_dirty_);
+}
+
+void RoundEngineBase::load_core_state(StateReader& r) {
+  LoadVector loads = r.vec_i64();
+  if (loads.size() != loads_.size()) {
+    throw serial_error("engine core state: load vector size mismatch");
+  }
+  loads_ = std::move(loads);
+  t_ = r.i64();
+  total_ = r.i64();
+  base_total_ = r.i64();
+  injected_total_ = r.i64();
+  consumed_total_ = r.i64();
+  min_load_ = r.i64();
+  max_load_ = r.i64();
+  min_load_seen_ = r.i64();
+  stats_dirty_ = r.b();
+  round_stats_valid_ = false;
+}
+
 void RoundEngineBase::apply_workload(ThreadPool* pool) {
   if (workload_ == nullptr) return;
   workload_->prepare(t_, loads_);

@@ -34,6 +34,7 @@
 #include <cstdint>
 
 #include "core/load_vector.hpp"
+#include "util/serial.hpp"
 
 namespace dlb {
 
@@ -133,6 +134,20 @@ class RoundEngineBase {
     refresh_if_dirty();
     return min_load_seen_;
   }
+
+  /// Serializes the complete core stepping state: the load vector, the
+  /// round counter, the conservation ledger (base/injected/consumed
+  /// totals), and the cached statistics (including the dirty flag, so a
+  /// deferred-stats run restores the exact same observable history it
+  /// would have had uninterrupted). Audit policy, pool, and workload
+  /// attachment are construction-time configuration and are NOT
+  /// captured — the restore target must be configured identically.
+  void save_core_state(StateWriter& w) const;
+
+  /// Restores what save_core_state captured into an engine whose load
+  /// vector has the same size; throws serial_error on size mismatch
+  /// before mutating anything.
+  void load_core_state(StateReader& r);
 
  protected:
   RoundEngineBase() = default;

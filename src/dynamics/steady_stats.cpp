@@ -42,6 +42,31 @@ void SteadyStateTracker::observe(Step t, Load discrepancy) {
   if (static_cast<double>(hi - lo) <= band) t_steady_ = t;
 }
 
+void SteadyStateTracker::save_state(StateWriter& w) const {
+  w.vec_i64(ring_);
+  w.u64(static_cast<std::uint64_t>(next_));
+  w.i64(count_);
+  w.i64(t_steady_);
+}
+
+void SteadyStateTracker::load_state(StateReader& r) {
+  std::vector<Load> ring = r.vec_i64();
+  const std::uint64_t next = r.u64();
+  const Step count = r.i64();
+  const Step t_steady = r.i64();
+  if (ring.size() != ring_.size()) {
+    throw serial_error("steady tracker state: window length mismatch");
+  }
+  if (!ring.empty() && next >= ring.size()) {
+    throw serial_error("steady tracker state: cursor out of range");
+  }
+  if (count < 0) throw serial_error("steady tracker state: negative count");
+  ring_ = std::move(ring);
+  next_ = static_cast<std::size_t>(next);
+  count_ = count;
+  t_steady_ = t_steady;
+}
+
 SteadySummary SteadyStateTracker::summary() const {
   SteadySummary s;
   s.tracked = active();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/load_vector.hpp"
+#include "util/serial.hpp"
 
 namespace dlb {
 
@@ -51,6 +52,14 @@ class SteadyStateTracker {
   /// far when the window never filled). tracked == active(), and the
   /// window fields are zero until the first observation.
   SteadySummary summary() const;
+
+  /// Snapshot hooks: persist the ring contents, cursor, observation
+  /// count, and steadiness verdict so a restored tracker reports the
+  /// identical summary. load_state requires a tracker constructed with
+  /// the same window length (options are construction-time config, like
+  /// EngineConfig — the snapshot carries state, not configuration).
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   SteadyOptions options_;

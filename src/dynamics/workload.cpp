@@ -7,15 +7,12 @@
 
 namespace dlb {
 
-Load poisson_draw(Rng& rng, double lambda) {
-  DLB_REQUIRE(lambda >= 0.0, "poisson_draw: negative rate");
-  // Knuth's method costs O(λ) uniforms and its exp(−λ) limit underflows
-  // for λ beyond ~745 (every draw would then return the same degenerate
-  // value); cap λ well below both cliffs — per-round churn rates are
-  // small by design.
-  DLB_REQUIRE(lambda <= 64.0,
-              "poisson_draw: rate too large for the product method");
-  if (lambda == 0.0) return 0;
+namespace {
+
+/// Knuth's product-of-uniforms draw; valid for λ <= kPoissonProductCap
+/// (the exp(−λ) limit underflows for λ beyond ~745, and the method
+/// degenerates long before that).
+Load poisson_product(Rng& rng, double lambda) {
   const double limit = std::exp(-lambda);
   double p = 1.0;
   Load k = 0;
@@ -26,7 +23,73 @@ Load poisson_draw(Rng& rng, double lambda) {
   return k - 1;
 }
 
+/// Acklam's rational approximation to the standard normal inverse CDF
+/// (absolute error < 1.15e-9 over (0, 1)). Uses only log and sqrt, so a
+/// draw is as platform-deterministic as the product method's exp.
+double inverse_normal_cdf(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+Load poisson_draw(Rng& rng, double lambda) {
+  DLB_REQUIRE(lambda >= 0.0, "poisson_draw: negative rate");
+  DLB_REQUIRE(lambda <= 1e15, "poisson_draw: rate overflows the load ledger");
+  if (lambda == 0.0) return 0;
+  if (lambda <= kPoissonProductCap) return poisson_product(rng, lambda);
+  if (lambda <= kPoissonSplitCap) {
+    // Poisson is additive: the sum of m independent Poisson(λ/m) draws
+    // is exactly Poisson(λ), and λ/m sits inside the product method's
+    // range. Exact distribution, O(λ) uniforms total.
+    const int chunks =
+        static_cast<int>(std::ceil(lambda / kPoissonProductCap));
+    const double per_chunk = lambda / chunks;
+    Load sum = 0;
+    for (int i = 0; i < chunks; ++i) sum += poisson_product(rng, per_chunk);
+    return sum;
+  }
+  // Normal approximation via one inverse-CDF uniform. The clamp keeps
+  // the (probability 2^-53) u == 0 draw out of log(0).
+  const double u =
+      std::min(std::max(rng.uniform_real(), 1e-300), 1.0 - 1e-16);
+  const double z = inverse_normal_cdf(u);
+  const double k = std::round(lambda + std::sqrt(lambda) * z);
+  return k <= 0.0 ? 0 : static_cast<Load>(k);
+}
+
 void WorkloadProcess::prepare(Step /*t*/, std::span<const Load> /*loads*/) {}
+
+void WorkloadProcess::save_state(StateWriter& /*w*/) const {}
+void WorkloadProcess::load_state(StateReader& /*r*/) {}
 
 namespace {
 
@@ -74,8 +137,10 @@ Load CounterWorkload::delta(NodeId u, Step t) {
 PoissonWorkload::PoissonWorkload(Params params) : params_(params) {
   DLB_REQUIRE(params_.arrival_rate >= 0.0 && params_.departure_rate >= 0.0,
               "PoissonWorkload: negative rate");
-  DLB_REQUIRE(params_.arrival_rate <= 64.0 && params_.departure_rate <= 64.0,
-              "PoissonWorkload: per-round rate too large (poisson_draw cap)");
+  // No upper cap: poisson_draw covers large rates via the additive-split
+  // and normal-approximation regimes (high-traffic service scenarios).
+  DLB_REQUIRE(params_.arrival_rate <= 1e15 && params_.departure_rate <= 1e15,
+              "PoissonWorkload: rate overflows the load ledger");
 }
 
 std::string PoissonWorkload::name() const {
@@ -94,6 +159,9 @@ Load PoissonWorkload::delta(NodeId u, Step t) {
   const Load departures = poisson_draw(rng, params_.departure_rate);
   return arrivals - departures;
 }
+
+void PoissonWorkload::save_state(StateWriter& w) const { w.u64(seed_); }
+void PoissonWorkload::load_state(StateReader& r) { seed_ = r.u64(); }
 
 // --------------------------------------------------------------- burst --
 
@@ -145,6 +213,9 @@ void BurstWorkload::prepare(Step t, std::span<const Load> /*loads*/) {
 const std::vector<NodeId>* BurstWorkload::affected_nodes() const {
   return dense_round_ ? nullptr : &affected_;
 }
+
+void BurstWorkload::save_state(StateWriter& w) const { w.u64(seed_); }
+void BurstWorkload::load_state(StateReader& r) { seed_ = r.u64(); }
 
 Load BurstWorkload::delta(NodeId u, Step t) {
   Load d = 0;

@@ -31,6 +31,7 @@
 #include "core/load_vector.hpp"
 #include "graph/graph.hpp"  // NodeId
 #include "util/rng.hpp"
+#include "util/serial.hpp"
 
 namespace dlb {
 
@@ -50,14 +51,27 @@ inline std::uint64_t stream_key(std::uint64_t seed, std::uint64_t node,
   return h;
 }
 
-/// Exact Poisson(λ) draw via Knuth's product-of-uniforms method, O(λ)
-/// uniforms — for the small per-node per-round rates of arrival
-/// processes. Deterministic for a given Rng stream and libm (the
-/// exp(−λ) threshold is the one libm-rounded quantity; a 1-ULP exp
-/// difference across platforms could flip a boundary draw). Rejects
-/// λ > 64 (the product method degenerates long before exp(−λ)
-/// underflows).
+/// Poisson(λ) draw, deterministic for a given Rng stream and libm.
+///
+/// Three regimes, chosen by rate (the seams are fixed constants, so the
+/// branch a draw takes is itself deterministic):
+///   * λ <= 64 — Knuth's exact product-of-uniforms method, O(λ) uniforms
+///     (the classic small-rate arrival case; the exp(−λ) threshold is
+///     the one libm-rounded quantity).
+///   * 64 < λ <= 4096 — exact additive split: Poisson(λ) is the sum of
+///     ⌈λ/64⌉ independent Poisson(λ/⌈λ/64⌉) draws, each inside the
+///     product method's range. Still the exact distribution, still O(λ).
+///   * λ > 4096 — deterministic normal approximation: one uniform
+///     through the Acklam inverse-CDF gives z, and the draw is
+///     max(0, round(λ + √λ·z)) — O(1), relative error O(1/√λ), which at
+///     λ > 4096 is below 2% of a standard deviation. High-traffic
+///     service scenarios land here; they previously aborted outright.
+/// Rejects λ > 1e15 (the draw would overflow the Load ledger).
 Load poisson_draw(Rng& rng, double lambda);
+
+/// Regime seams of poisson_draw, exposed so tests can probe both edges.
+inline constexpr double kPoissonProductCap = 64.0;
+inline constexpr double kPoissonSplitCap = 4096.0;
 
 /// Per-round load perturbation source. Attach to any round engine via
 /// RoundEngineBase::set_workload; the engine calls prepare() once per
@@ -107,6 +121,16 @@ class WorkloadProcess {
   virtual const std::vector<NodeId>* affected_nodes() const {
     return nullptr;
   }
+
+  /// Snapshot hooks, mirroring Balancer::save_state/load_state: persist
+  /// whatever reset(n, seed) does not reconstruct — stream seeds, queued
+  /// backlogs. Per-round transients (hotspots, adversary targets) need
+  /// no capture: snapshots are taken between rounds and prepare() runs
+  /// before the next round's deltas. The counter-stream built-ins save
+  /// their seed so a restored process replays the identical streams even
+  /// if the caller reset it differently. Default: stateless.
+  virtual void save_state(StateWriter& w) const;
+  virtual void load_state(StateReader& r);
 };
 
 /// Deterministic per-node counter streams: node u injects
@@ -163,6 +187,10 @@ class PoissonWorkload : public WorkloadProcess {
   /// stream key — no shared stream, ranges may generate concurrently.
   bool parallel_generate_safe() const override { return true; }
 
+  /// Snapshot state: the counter-stream seed.
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
  private:
   Params params_;
   std::uint64_t seed_ = 0;
@@ -197,6 +225,11 @@ class BurstWorkload : public WorkloadProcess {
   /// Hotspot of the current round's burst (set by prepare; −1 when the
   /// round has no burst).
   NodeId hotspot() const noexcept { return hotspot_; }
+
+  /// Snapshot state: the counter-stream seed (hotspot choice is a pure
+  /// function of (seed, round) recomputed by the next prepare()).
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
  private:
   Params params_;

@@ -1,0 +1,71 @@
+// AdmissionQueue: a WorkloadProcess adapter that rate-limits injection.
+//
+// A service-mode balancer can face demand bursts that outpace the round
+// rate — the paper's model injects whatever the adversary chooses, but a
+// deployment admits work at a bounded rate and queues the rest. This
+// adapter caps the total tokens *admitted* per round at `round_cap`;
+// positive deltas beyond the cap join a FIFO backlog that drains, oldest
+// first, in later rounds. Consumption (negative deltas) is never queued —
+// work completing is not subject to admission control.
+//
+// The backlog is part of the recovery state: save_state/load_state
+// persist the queued (node, amount) pairs after the inner process's
+// state, so a restored service resumes with the exact same pending
+// admissions (the equivalence gate covers a mid-backlog snapshot).
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "dynamics/workload.hpp"
+
+namespace dlb {
+
+class AdmissionQueue : public WorkloadProcess {
+ public:
+  struct Params {
+    Load round_cap = 64;  ///< max tokens admitted per round (>= 1)
+  };
+
+  /// Wraps `inner` (not owned; must outlive this adapter).
+  AdmissionQueue(WorkloadProcess& inner, Params params);
+
+  std::string name() const override;
+  void reset(NodeId n, std::uint64_t seed) override;
+
+  /// Serial hook: advances the inner process, collects its round deltas,
+  /// admits backlog first (FIFO, partial admission allowed) and then the
+  /// round's arrivals in ascending node order, queueing the excess.
+  void prepare(Step t, std::span<const Load> loads) override;
+
+  Load delta(NodeId u, Step t) override;
+
+  /// delta() only reads the table built in the serial prepare().
+  bool parallel_generate_safe() const override { return true; }
+
+  /// Always list-based: the touched-node list built by prepare() (it can
+  /// be dense when the inner process is, but the contract holds).
+  const std::vector<NodeId>* affected_nodes() const override;
+
+  /// Snapshot state: the inner process's state followed by the backlog.
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
+  /// Tokens currently queued (sum over backlog entries).
+  Load backlog_total() const noexcept;
+  std::size_t backlog_entries() const noexcept { return backlog_.size(); }
+
+ private:
+  /// Admits up to `budget` tokens for `node`, recording into the round
+  /// table; returns the amount admitted.
+  Load admit(NodeId node, Load amount, Load budget);
+
+  WorkloadProcess* inner_;
+  Params params_;
+  NodeId n_ = 0;
+  std::deque<std::pair<NodeId, Load>> backlog_;
+  std::vector<Load> round_delta_;   // dense per-node table for delta()
+  std::vector<NodeId> affected_;    // nodes touched this round
+};
+
+}  // namespace dlb

@@ -1,0 +1,162 @@
+#include "service/balancer_service.hpp"
+
+#include <csignal>
+#include <fstream>
+#include <ostream>
+
+#include "service/admission.hpp"
+#include "util/assertions.hpp"
+
+namespace dlb {
+
+namespace {
+
+// Handlers only set flags; the service loop polls them between rounds.
+// sig_atomic_t is the only type the standard guarantees safe to write
+// from a handler.
+volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_metrics_requested = 0;
+
+extern "C" void service_stop_handler(int /*signum*/) { g_stop_requested = 1; }
+extern "C" void service_metrics_handler(int /*signum*/) {
+  g_metrics_requested = 1;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace
+
+BalancerService::BalancerService(Engine& engine, Options options,
+                                 SteadyStateTracker* tracker)
+    : engine_(&engine), options_(std::move(options)), tracker_(tracker) {
+  DLB_REQUIRE(options_.checkpoint_interval >= 0,
+              "BalancerService: negative checkpoint interval");
+  DLB_REQUIRE(options_.metrics_interval >= 0,
+              "BalancerService: negative metrics interval");
+  if (options_.restore_on_start && !options_.checkpoint_path.empty() &&
+      file_exists(options_.checkpoint_path)) {
+    // A corrupt or mismatched checkpoint throws (serial_error) rather
+    // than silently starting a fresh run over stale demand.
+    const EngineSnapshot snap =
+        EngineSnapshot::read_file(options_.checkpoint_path);
+    snap.restore(*engine_, tracker_);
+    restored_ = true;
+    if (options_.log) {
+      *options_.log << "[service] restored checkpoint "
+                    << options_.checkpoint_path << " at t=" << engine_->time()
+                    << "\n";
+    }
+  }
+}
+
+void BalancerService::install_signal_handlers() {
+  std::signal(SIGTERM, service_stop_handler);
+  std::signal(SIGINT, service_stop_handler);
+#ifdef SIGUSR1
+  std::signal(SIGUSR1, service_metrics_handler);
+#endif
+}
+
+void BalancerService::request_stop() noexcept { g_stop_requested = 1; }
+void BalancerService::request_metrics() noexcept { g_metrics_requested = 1; }
+void BalancerService::clear_signal_requests() noexcept {
+  g_stop_requested = 0;
+  g_metrics_requested = 0;
+}
+bool BalancerService::stop_requested() noexcept {
+  return g_stop_requested != 0;
+}
+
+const std::string& BalancerService::csv_header() const {
+  static const std::string header = "t,discrepancy,total,injected,consumed";
+  return header;
+}
+
+void BalancerService::emit_csv_row() {
+  if (!options_.csv) return;
+  *options_.csv << engine_->time() << ',' << engine_->discrepancy() << ','
+                << engine_->total() << ',' << engine_->injected_total() << ','
+                << engine_->consumed_total() << '\n';
+}
+
+Step BalancerService::run(Step rounds) {
+  Step done = 0;
+  while (rounds < 0 || done < rounds) {
+    if (g_stop_requested) break;
+    if (g_metrics_requested) {
+      g_metrics_requested = 0;
+      if (options_.metrics_out) dump_metrics(*options_.metrics_out);
+    }
+    // step_parallel() routes through the attached pool when one exists
+    // and falls back to the serial round otherwise — identical results.
+    engine_->step_parallel();
+    ++done;
+    emit_csv_row();
+    if (options_.metrics_interval > 0 && options_.metrics_out &&
+        done % options_.metrics_interval == 0) {
+      dump_metrics(*options_.metrics_out);
+    }
+    if (options_.checkpoint_interval > 0 &&
+        !options_.checkpoint_path.empty() &&
+        done % options_.checkpoint_interval == 0) {
+      checkpoint();
+    }
+    if (options_.stop_after >= 0 && done == options_.stop_after) {
+      // CI/test hook: go through the real signal, handler, and poll.
+      std::raise(SIGTERM);
+    }
+  }
+  // Shutdown (or round budget) path: the round in flight has completed,
+  // so the final checkpoint captures a clean between-rounds state.
+  if (!options_.checkpoint_path.empty()) checkpoint();
+  if (options_.log) {
+    *options_.log << "[service] " << (g_stop_requested ? "stopped" : "done")
+                  << " at t=" << engine_->time() << " after " << done
+                  << " round(s)\n";
+  }
+  if (g_stop_requested && options_.metrics_out) {
+    dump_metrics(*options_.metrics_out);
+  }
+  return done;
+}
+
+void BalancerService::checkpoint() {
+  if (options_.checkpoint_path.empty()) return;
+  EngineSnapshot::capture(*engine_, tracker_)
+      .write_file(options_.checkpoint_path);
+  ++checkpoints_written_;
+  if (options_.log) {
+    *options_.log << "[service] checkpoint #" << checkpoints_written_
+                  << " at t=" << engine_->time() << " -> "
+                  << options_.checkpoint_path << "\n";
+  }
+}
+
+void BalancerService::dump_metrics(std::ostream& out) const {
+  const Engine& e = *engine_;
+  out << "== balancer service @ t=" << e.time() << " ==\n"
+      << "graph: " << e.graph().name() << "  balancer: " << e.balancer().name()
+      << "  workload: "
+      << (e.workload() ? e.workload()->name() : std::string("none")) << "\n"
+      << "nodes: " << e.graph().num_nodes()
+      << "  discrepancy: " << e.discrepancy() << "  avg: " << e.average()
+      << "  min_load_seen: " << e.min_load_seen() << "\n"
+      << "ledger: total=" << e.total() << " base=" << e.base_total()
+      << " injected=" << e.injected_total()
+      << " consumed=" << e.consumed_total() << "\n";
+  if (const auto* q = dynamic_cast<const AdmissionQueue*>(e.workload())) {
+    out << "backlog: entries=" << q->backlog_entries()
+        << " tokens=" << q->backlog_total() << "\n";
+  }
+  if (tracker_ && tracker_->active()) {
+    const SteadySummary s = tracker_->summary();
+    out << "steady: t_steady=" << s.t_steady
+        << " window_mean=" << s.window_mean << " window_max=" << s.window_max
+        << " window_p99=" << s.window_p99 << "\n";
+  }
+  out << "checkpoints: " << checkpoints_written_ << "\n";
+}
+
+}  // namespace dlb

@@ -1,0 +1,248 @@
+#include "service/snapshot.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "dynamics/workload.hpp"
+
+namespace dlb {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x31504E53424C44ULL;  // "DLBSNP1\0" LE
+
+/// Endian-stable hash of the port tables: each adjacency entry as four
+/// little-endian bytes, in layout order. Two graphs hash equal iff their
+/// flat adjacency arrays are identical (rev ports are derived, so they
+/// need no separate hash).
+std::uint64_t hash_adjacency(const Graph& g) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const NodeId* adj = g.adjacency_data();
+  const std::int64_t entries = g.num_directed_edges();
+  for (std::int64_t i = 0; i < entries; ++i) {
+    const auto v = static_cast<std::uint32_t>(adj[i]);
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= static_cast<std::uint8_t>(v >> (8 * byte));
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+void check(bool ok, const char* what) {
+  if (!ok) throw serial_error(what);
+}
+
+/// Writes one length-prefixed component blob.
+void put_blob(StateWriter& w, const std::vector<std::uint8_t>& blob) {
+  w.u64(blob.size());
+  w.bytes(blob);
+}
+
+std::vector<std::uint8_t> get_blob(StateReader& r) {
+  const std::uint64_t len = r.u64();
+  if (len > r.remaining()) {
+    throw serial_error("snapshot payload truncated (bad section length)");
+  }
+  const auto s = r.bytes(static_cast<std::size_t>(len));
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+EngineSnapshot EngineSnapshot::capture(const Engine& engine,
+                                       const SteadyStateTracker* tracker) {
+  EngineSnapshot s;
+  const Graph& g = engine.graph();
+  s.n_ = g.num_nodes();
+  s.d_ = g.degree();
+  s.self_loops_ = engine.self_loops();
+  s.structure_kind_ = static_cast<std::uint8_t>(g.structure().kind);
+  s.extents_ = g.structure().extents;
+  s.adjacency_hash_ = hash_adjacency(g);
+  s.graph_name_ = g.name();
+  s.balancer_name_ = engine.balancer().name();
+  s.time_ = engine.time();
+
+  StateWriter core;
+  engine.save_core_state(core);
+  s.core_blob_ = core.take();
+
+  StateWriter bal;
+  engine.balancer().save_state(bal);
+  s.balancer_blob_ = bal.take();
+
+  if (const WorkloadProcess* w = engine.workload()) {
+    s.workload_name_ = w->name();
+    StateWriter ww;
+    w->save_state(ww);
+    s.workload_blob_ = ww.take();
+  }
+  if (tracker != nullptr) {
+    s.has_tracker_ = true;
+    StateWriter tw;
+    tracker->save_state(tw);
+    s.tracker_blob_ = tw.take();
+  }
+  return s;
+}
+
+void EngineSnapshot::restore(Engine& engine,
+                             SteadyStateTracker* tracker) const {
+  // Full fingerprint validation BEFORE any component is touched: a
+  // restore either happens completely or leaves the engine untouched.
+  const Graph& g = engine.graph();
+  check(g.num_nodes() == n_, "snapshot restore: node count mismatch");
+  check(g.degree() == d_, "snapshot restore: degree mismatch");
+  check(engine.self_loops() == self_loops_,
+        "snapshot restore: self-loop count mismatch");
+  check(static_cast<std::uint8_t>(g.structure().kind) == structure_kind_,
+        "snapshot restore: graph structure tag mismatch");
+  check(g.structure().extents == extents_,
+        "snapshot restore: torus extents mismatch");
+  check(hash_adjacency(g) == adjacency_hash_,
+        "snapshot restore: adjacency table mismatch (different topology)");
+  check(engine.balancer().name() == balancer_name_,
+        "snapshot restore: balancer mismatch");
+  if (workload_name_.empty()) {
+    check(engine.workload() == nullptr,
+          "snapshot restore: engine has a workload but the snapshot "
+          "captured none");
+  } else {
+    check(engine.workload() != nullptr,
+          "snapshot restore: snapshot captured a workload but none is "
+          "attached");
+    check(engine.workload()->name() == workload_name_,
+          "snapshot restore: workload mismatch");
+  }
+  check(has_tracker_ == (tracker != nullptr),
+        has_tracker_
+            ? "snapshot restore: snapshot carries a tracker but none was "
+              "supplied"
+            : "snapshot restore: a tracker was supplied but the snapshot "
+              "carries none");
+
+  // Apply component blobs in order. Each load_state validates sizes and
+  // ranges before assigning, and each blob must be consumed exactly.
+  {
+    StateReader r(core_blob_);
+    engine.load_core_state(r);
+    r.expect_done("engine core state");
+  }
+  {
+    StateReader r(balancer_blob_);
+    engine.balancer().load_state(r);
+    r.expect_done("balancer state");
+  }
+  if (!workload_name_.empty()) {
+    StateReader r(workload_blob_);
+    engine.workload()->load_state(r);
+    r.expect_done("workload state");
+  }
+  if (has_tracker_) {
+    StateReader r(tracker_blob_);
+    tracker->load_state(r);
+    r.expect_done("tracker state");
+  }
+}
+
+std::vector<std::uint8_t> EngineSnapshot::serialize() const {
+  StateWriter payload;
+  payload.i32(n_);
+  payload.i32(d_);
+  payload.i32(self_loops_);
+  payload.u8(structure_kind_);
+  payload.vec_i32(extents_);
+  payload.u64(adjacency_hash_);
+  payload.str(graph_name_);
+  payload.str(balancer_name_);
+  payload.str(workload_name_);
+  payload.i64(time_);
+  payload.b(has_tracker_);
+  put_blob(payload, core_blob_);
+  put_blob(payload, balancer_blob_);
+  put_blob(payload, workload_blob_);
+  put_blob(payload, tracker_blob_);
+
+  StateWriter out;
+  out.u64(kMagic);
+  out.u32(kFormatVersion);
+  out.u64(payload.size());
+  out.u64(fnv1a64(payload.data()));
+  out.bytes(payload.data());
+  return out.take();
+}
+
+EngineSnapshot EngineSnapshot::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  StateReader header(bytes);
+  if (header.remaining() < 8 || header.u64() != kMagic) {
+    throw serial_error("not a DLB snapshot (bad magic)");
+  }
+  const std::uint32_t version = header.u32();
+  if (version != kFormatVersion) {
+    throw serial_error("unsupported snapshot format version " +
+                       std::to_string(version) + " (this build reads " +
+                       std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint64_t payload_len = header.u64();
+  const std::uint64_t checksum = header.u64();
+  if (payload_len != header.remaining()) {
+    throw serial_error("snapshot truncated (payload length mismatch)");
+  }
+  const auto payload_bytes =
+      header.bytes(static_cast<std::size_t>(payload_len));
+  if (fnv1a64(payload_bytes) != checksum) {
+    throw serial_error("snapshot checksum mismatch (corrupted file)");
+  }
+
+  StateReader r(payload_bytes);
+  EngineSnapshot s;
+  s.n_ = r.i32();
+  s.d_ = r.i32();
+  s.self_loops_ = r.i32();
+  s.structure_kind_ = r.u8();
+  s.extents_ = r.vec_i32();
+  s.adjacency_hash_ = r.u64();
+  s.graph_name_ = r.str();
+  s.balancer_name_ = r.str();
+  s.workload_name_ = r.str();
+  s.time_ = r.i64();
+  s.has_tracker_ = r.b();
+  s.core_blob_ = get_blob(r);
+  s.balancer_blob_ = get_blob(r);
+  s.workload_blob_ = get_blob(r);
+  s.tracker_blob_ = get_blob(r);
+  r.expect_done("snapshot payload");
+  return s;
+}
+
+void EngineSnapshot::write_file(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    check(out.good(), "snapshot write: cannot open temporary file");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    check(out.good(), "snapshot write: write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw serial_error("snapshot write: rename into place failed");
+  }
+}
+
+EngineSnapshot EngineSnapshot::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw serial_error("snapshot read: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  check(!in.bad(), "snapshot read: read failed");
+  return deserialize(bytes);
+}
+
+}  // namespace dlb

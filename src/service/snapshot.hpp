@@ -1,0 +1,117 @@
+// EngineSnapshot: versioned, checksummed capture of an Engine's complete
+// stepping state — the crash-recovery half of the service subsystem.
+//
+// A snapshot taken between rounds captures everything the next round
+// depends on: the load vector and round counter, the conservation ledger
+// (base/injected/consumed totals), the cached statistics (so deferred-
+// stats runs restore the same observable history), the balancer's
+// internal state (rotor ports, bounded-error residuals, CONT-MIMIC's
+// continuous trajectory, RNG words), the workload's stream seed, and —
+// optionally — a SteadyStateTracker's window. The equivalence contract,
+// golden-tested in tests/test_snapshot.cpp:
+//
+//     run T  ≡  run T/2 → capture → destroy → rebuild → restore → run T/2
+//
+// byte-identical loads, statistics, and audit counters, at any pool size.
+//
+// The on-disk format is endian-stable (util/serial.hpp): an 8-byte magic,
+// a format version, the payload length, and an FNV-1a checksum, followed
+// by a fingerprint (node count, degree, self-loops, structure tag, an
+// FNV hash of the adjacency table, graph/balancer/workload names) and one
+// length-prefixed state blob per component. deserialize() and restore()
+// refuse — with a clean serial_error, before mutating anything — on a bad
+// magic, an unsupported version, a truncated buffer, a checksum mismatch,
+// or a fingerprint that does not match the restore target. Component
+// blobs are then applied in order; each component validates sizes and
+// ranges before assigning, and each blob must be consumed exactly
+// (expect_done), so a save/load asymmetry is an error, not a skew.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dynamics/steady_stats.hpp"
+#include "util/serial.hpp"
+
+namespace dlb {
+
+class EngineSnapshot {
+ public:
+  /// Bump on any incompatible layout change; deserialize() refuses other
+  /// versions rather than guessing at field offsets.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Captures the full stepping state. Must be called between rounds
+  /// (i.e. never from inside an observer); per-round transients — flow
+  /// records, the scatter accumulator, workload hotspots — are
+  /// deliberately not part of the state, they are rebuilt by the next
+  /// round. Pass the run's tracker to include its window; nullptr when
+  /// the run has none.
+  static EngineSnapshot capture(const Engine& engine,
+                                const SteadyStateTracker* tracker = nullptr);
+
+  /// Restores into an engine built over the *same* graph, self-loop
+  /// count, balancer scheme, and workload configuration as the captured
+  /// one (verified via the fingerprint — names, sizes, structure tag,
+  /// and the adjacency-table hash). All validation happens before any
+  /// state is touched; on success the engine, its balancer, its
+  /// workload, and the tracker continue exactly as the captured run
+  /// would have. Throws serial_error on any mismatch. A tracker must be
+  /// supplied iff the snapshot carries one.
+  void restore(Engine& engine, SteadyStateTracker* tracker = nullptr) const;
+
+  /// Flat byte image: header (magic, version, length, checksum) +
+  /// payload.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses and fully validates a byte image (magic, version, length,
+  /// checksum, payload framing). The result still needs restore()'s
+  /// fingerprint check against a concrete engine.
+  static EngineSnapshot deserialize(std::span<const std::uint8_t> bytes);
+
+  /// Atomic checkpoint write: serializes to `path + ".tmp"` and renames
+  /// over `path`, so a crash mid-write can never clobber the previous
+  /// good checkpoint. Throws serial_error on I/O failure.
+  void write_file(const std::string& path) const;
+  static EngineSnapshot read_file(const std::string& path);
+
+  // -- metadata (for service logs and status lines) --
+  Step time() const noexcept { return time_; }
+  NodeId num_nodes() const noexcept { return n_; }
+  int degree() const noexcept { return d_; }
+  const std::string& graph_name() const noexcept { return graph_name_; }
+  const std::string& balancer_name() const noexcept { return balancer_name_; }
+  /// Empty when the captured engine had no workload attached.
+  const std::string& workload_name() const noexcept { return workload_name_; }
+  bool has_tracker() const noexcept { return has_tracker_; }
+
+  /// Fingerprint of the captured topology (FNV-1a over the adjacency
+  /// table, little-endian element bytes) — exposed so tests can corrupt
+  /// it deliberately.
+  std::uint64_t adjacency_hash() const noexcept { return adjacency_hash_; }
+
+ private:
+  EngineSnapshot() = default;
+
+  NodeId n_ = 0;
+  int d_ = 0;
+  int self_loops_ = 0;
+  std::uint8_t structure_kind_ = 0;
+  std::vector<NodeId> extents_;
+  std::uint64_t adjacency_hash_ = 0;
+  std::string graph_name_;
+  std::string balancer_name_;
+  std::string workload_name_;
+  Step time_ = 0;
+  bool has_tracker_ = false;
+
+  std::vector<std::uint8_t> core_blob_;
+  std::vector<std::uint8_t> balancer_blob_;
+  std::vector<std::uint8_t> workload_blob_;
+  std::vector<std::uint8_t> tracker_blob_;
+};
+
+}  // namespace dlb

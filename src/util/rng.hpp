@@ -101,6 +101,15 @@ class Rng {
     return Rng(splitmix64(s));
   }
 
+  /// The four xoshiro256** state words, for snapshot/restore of
+  /// sequential streams (counter-based streams need no state — their key
+  /// is (seed, node, round)). A restored generator continues the exact
+  /// sequence the captured one would have produced.
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

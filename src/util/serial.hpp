@@ -1,0 +1,212 @@
+// Endian-stable binary state serialization for snapshots.
+//
+// StateWriter/StateReader are the byte-level substrate of the crash-
+// recovery subsystem (src/service/snapshot.hpp): every stateful component
+// (engine core, balancers, workloads, the steady tracker) implements a
+// save_state/load_state pair against them. All multi-byte values are
+// written little-endian byte by byte, so a snapshot taken on any host
+// restores on any other; doubles travel as their IEEE-754 bit pattern.
+//
+// The reader is strict: reading past the end of the buffer throws
+// serial_error instead of returning garbage, and sequences carry explicit
+// length prefixes which are bounds-checked before allocation. This is the
+// mechanism that turns a forgotten field into a caught error — if a
+// save_state writes N bytes and the matching load_state consumes M != N,
+// the snapshot layer's section framing (see snapshot.cpp) detects the
+// mismatch instead of silently mis-aligning every later section.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dlb {
+
+/// Error thrown on any malformed, truncated, or mismatched state buffer.
+/// Distinct from invariant_error so callers can refuse a bad snapshot
+/// cleanly without conflating it with a library-logic bug.
+class serial_error : public std::runtime_error {
+ public:
+  explicit serial_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian byte sink.
+class StateWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void vec_i64(std::span<const std::int64_t> v) {
+    u64(v.size());
+    for (std::int64_t x : v) i64(x);
+  }
+
+  void vec_i32(std::span<const std::int32_t> v) {
+    u64(v.size());
+    for (std::int32_t x : v) i32(x);
+  }
+
+  /// `int` vectors (rotor positions) travel as i32 — int is 32-bit on
+  /// every platform we target, and pinning the width keeps the format
+  /// host-independent.
+  void vec_int(std::span<const int> v) {
+    u64(v.size());
+    for (int x : v) i32(static_cast<std::int32_t>(x));
+  }
+
+  void vec_f64(std::span<const double> v) {
+    u64(v.size());
+    for (double x : v) f64(x);
+  }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian byte source over a borrowed buffer.
+class StateReader {
+ public:
+  explicit StateReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  bool b() { return u8() != 0; }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::size_t len = checked_len(1);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  std::vector<std::int64_t> vec_i64() {
+    const std::size_t len = checked_len(8);
+    std::vector<std::int64_t> v(len);
+    for (auto& x : v) x = i64();
+    return v;
+  }
+
+  std::vector<std::int32_t> vec_i32() {
+    const std::size_t len = checked_len(4);
+    std::vector<std::int32_t> v(len);
+    for (auto& x : v) x = i32();
+    return v;
+  }
+
+  std::vector<int> vec_int() {
+    const std::size_t len = checked_len(4);
+    std::vector<int> v(len);
+    for (auto& x : v) x = static_cast<int>(i32());
+    return v;
+  }
+
+  std::vector<double> vec_f64() {
+    const std::size_t len = checked_len(8);
+    std::vector<double> v(len);
+    for (auto& x : v) x = f64();
+    return v;
+  }
+
+  /// Borrows the next `len` bytes without copying.
+  std::span<const std::uint8_t> bytes(std::size_t len) {
+    need(len);
+    std::span<const std::uint8_t> s = data_.subspan(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+  /// Asserts the buffer was consumed exactly — the save/load symmetry
+  /// check every component restore ends with.
+  void expect_done(const char* what) const {
+    if (!done()) {
+      throw serial_error(std::string(what) +
+                         ": trailing bytes after restore (save/load state "
+                         "mismatch)");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw serial_error("state buffer truncated");
+    }
+  }
+
+  /// Reads a length prefix and verifies the payload fits *before* any
+  /// allocation, so a corrupted length cannot trigger a huge reserve.
+  std::size_t checked_len(std::size_t elem_size) {
+    const std::uint64_t len = u64();
+    if (len > (data_.size() - pos_) / elem_size) {
+      throw serial_error("state buffer truncated (bad sequence length)");
+    }
+    return static_cast<std::size_t>(len);
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit — the snapshot payload checksum. Not cryptographic; it
+/// catches truncation and bit flips, which is the failure model of a
+/// checkpoint file.
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                             std::uint64_t h = 0xcbf29ce484222325ULL) noexcept {
+  for (std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace dlb

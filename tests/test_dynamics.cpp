@@ -87,6 +87,98 @@ TEST(PoissonDraw, MeanApproximatesLambda) {
   EXPECT_EQ(poisson_draw(rng, 0.0), 0);
 }
 
+namespace {
+
+/// Sample mean and variance of `trials` draws at rate `lambda`.
+std::pair<double, double> poisson_moments(double lambda, int trials,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> draws;
+  draws.reserve(static_cast<std::size_t>(trials));
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const auto d = static_cast<double>(poisson_draw(rng, lambda));
+    draws.push_back(d);
+    sum += d;
+  }
+  const double mean = sum / trials;
+  double var = 0.0;
+  for (double d : draws) var += (d - mean) * (d - mean);
+  return {mean, var / (trials - 1)};
+}
+
+}  // namespace
+
+TEST(PoissonDraw, SplitRegimeHasPoissonMoments) {
+  // 64 < λ <= 4096: the exact additive split. Rates here used to abort
+  // outright ("rate too large for the product method"); now they must
+  // draw with Poisson mean AND variance ≈ λ (a wrong split — e.g.
+  // summing copies of the same draw — would inflate the variance).
+  const double lambda = 100.0;
+  const auto [mean, var] = poisson_moments(lambda, 20000, 7);
+  EXPECT_NEAR(mean, lambda, 1.0);
+  EXPECT_NEAR(var, lambda, 0.1 * lambda);
+}
+
+TEST(PoissonDraw, NormalRegimeHasPoissonMoments) {
+  // λ > 4096: the inverse-CDF normal approximation, O(1) per draw.
+  const double lambda = 10000.0;
+  const auto [mean, var] = poisson_moments(lambda, 20000, 8);
+  EXPECT_NEAR(mean, lambda, 5.0);
+  EXPECT_NEAR(var, lambda, 0.1 * lambda);
+}
+
+TEST(PoissonDraw, DeterministicAcrossRegimeBoundaries) {
+  // The regime seams are fixed constants; a given (seed, λ) pair must
+  // draw the same value on every run and platform branch. Probe both
+  // sides of both seams (kPoissonProductCap = 64, kPoissonSplitCap =
+  // 4096) plus a deep-normal rate.
+  for (double lambda : {kPoissonProductCap - 0.5, kPoissonProductCap,
+                        kPoissonProductCap + 0.5, kPoissonSplitCap - 0.5,
+                        kPoissonSplitCap, kPoissonSplitCap + 0.5, 1.0e6}) {
+    SCOPED_TRACE(lambda);
+    Rng a(1234);
+    Rng b(1234);
+    for (int i = 0; i < 50; ++i) {
+      const Load da = poisson_draw(a, lambda);
+      EXPECT_EQ(da, poisson_draw(b, lambda));
+      EXPECT_GE(da, 0);
+      // Loose plausibility band: within 20 standard deviations.
+      EXPECT_LT(static_cast<double>(da),
+                lambda + 20.0 * std::sqrt(lambda) + 10.0);
+    }
+  }
+}
+
+TEST(PoissonDraw, RejectsOnlyLedgerOverflowRates) {
+  Rng rng(5);
+  EXPECT_THROW(poisson_draw(rng, -1.0), invariant_error);
+  EXPECT_THROW(poisson_draw(rng, 2.0e15), invariant_error);
+  // The old hard cap at 64 is gone.
+  EXPECT_NO_THROW(poisson_draw(rng, 65.0));
+  EXPECT_NO_THROW(poisson_draw(rng, 5000.0));
+}
+
+TEST(PoissonWorkload, AcceptsRatesAboveTheOldProductCap) {
+  // The constructor used to reject rates > 64; high-traffic service
+  // scenarios need them. Net drift over n nodes and T rounds must track
+  // arrival − departure.
+  PoissonWorkload w(
+      PoissonWorkload::Params{.arrival_rate = 500.0, .departure_rate = 480.0});
+  w.reset(64, 3);
+  double net = 0.0;
+  int samples = 0;
+  for (Step t = 0; t < 40; ++t) {
+    for (NodeId u = 0; u < 64; ++u) {
+      net += static_cast<double>(w.delta(u, t));
+      ++samples;
+    }
+  }
+  // E[delta] = 20, sd ≈ √980 ≈ 31.3 per sample; 2560 samples → the mean
+  // estimator's sd ≈ 0.62. A ±3 band is ~5 sigma.
+  EXPECT_NEAR(net / samples, 20.0, 3.0);
+}
+
 TEST(PoissonWorkload, DeltasArePureInNodeRoundSeed) {
   const Graph g = make_cycle(16);
   PoissonWorkload a({.arrival_rate = 0.7, .departure_rate = 0.3});

@@ -141,9 +141,10 @@ TEST(Experiment, ReachCapZeroTakesNoSteps) {
   const auto r = run_experiment(g, b, bimodal_initial(16, 64), mu, spec);
   EXPECT_EQ(r.t_reach, 0);
   EXPECT_EQ(r.horizon, 1);
+  EXPECT_FALSE(r.reached);  // discrepancy 64 > target 0 at phase end
 }
 
-TEST(Experiment, ReachCapHitExactlyAtTargetIsIndistinguishableFromCapped) {
+TEST(Experiment, ReachedFlagDisambiguatesTReachEqualToCap) {
   const Graph g = make_hypercube(4);
   SendFloor b1;
   const double mu = 1.0 - lambda2_hypercube(4, 4);
@@ -156,25 +157,36 @@ TEST(Experiment, ReachCapHitExactlyAtTargetIsIndistinguishableFromCapped) {
   const auto first = run_experiment(g, b1, bimodal_initial(16, 64), mu, probe);
   ASSERT_GT(first.t_reach, 0);          // took some steps...
   ASSERT_LT(first.t_reach, probe.reach_cap);  // ...and genuinely reached
+  EXPECT_TRUE(first.reached);
 
-  // Re-run with the cap set to exactly the step count that reached the
-  // target. run_until_discrepancy checks *before* each step, so the step
-  // that lands on the target is the cap-th and the phase reports the cap
-  // — by design, t_reach == reach_cap cannot distinguish "reached on the
-  // last allowed step" from "never reached" (callers needing the
-  // distinction give the cap one step of slack).
+  // Edge 1: cap set to exactly the step count that reaches the target.
+  // run_until_discrepancy checks *before* each step, so the step that
+  // lands on the target is the cap-th and t_reach == reach_cap — the
+  // step count alone cannot distinguish this from a capped miss, but the
+  // reached flag can.
   SendFloor b2;
   ExperimentSpec exact = probe;
   exact.reach_cap = first.t_reach;
   const auto r = run_experiment(g, b2, bimodal_initial(16, 64), mu, exact);
   EXPECT_EQ(r.t_reach, exact.reach_cap);
+  EXPECT_TRUE(r.reached);  // hit the target on the last allowed step
 
-  // One extra step of cap resolves it: the phase stops early.
+  // Edge 2: the same t_reach value from a genuinely capped miss — one
+  // step short of the reach step, target still above the discrepancy.
   SendFloor b3;
+  ExperimentSpec miss = probe;
+  miss.reach_cap = first.t_reach - 1;
+  const auto m = run_experiment(g, b3, bimodal_initial(16, 64), mu, miss);
+  EXPECT_EQ(m.t_reach, miss.reach_cap);
+  EXPECT_FALSE(m.reached);  // same "t_reach == cap" shape, opposite verdict
+
+  // One extra step of cap and the phase stops early, unambiguously.
+  SendFloor b4;
   ExperimentSpec slack = probe;
   slack.reach_cap = first.t_reach + 1;
-  const auto s = run_experiment(g, b3, bimodal_initial(16, 64), mu, slack);
+  const auto s = run_experiment(g, b4, bimodal_initial(16, 64), mu, slack);
   EXPECT_EQ(s.t_reach, first.t_reach);
+  EXPECT_TRUE(s.reached);
 }
 
 TEST(Experiment, ReachPhaseOffByDefault) {
@@ -186,6 +198,7 @@ TEST(Experiment, ReachPhaseOffByDefault) {
   const double mu = 1.0 - lambda2_hypercube(4, 4);
   const auto r = run_experiment(g, b, bimodal_initial(16, 64), mu, spec);
   EXPECT_EQ(r.t_reach, -1);  // sentinel: no reach phase configured
+  EXPECT_FALSE(r.reached);
 }
 
 TEST(Experiment, RejectsBadArguments) {

@@ -1,0 +1,556 @@
+// Crash-recovery equivalence gate and snapshot robustness tests.
+//
+// The load-bearing contract (service/snapshot.hpp): for every registry
+// balancer × workload × pool size,
+//
+//     run T  ≡  run T/2 → capture → serialize → destroy everything →
+//               rebuild → deserialize → restore → run T/2
+//
+// with byte-identical loads, per-round discrepancy rows, conservation
+// ledger, and steady-state summary. Also covered: the epoch-stamp wrap
+// round under mid-run assign-first toggling (the >256-round regression),
+// and the refuse-to-load paths — truncation, bit flips, version and
+// topology mismatches must throw clean serial_errors without mutating
+// the restore target (exercised under ASan/UBSan in CI).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "balancers/registry.hpp"
+#include "balancers/send_floor.hpp"
+#include "core/engine.hpp"
+#include "dynamics/steady_stats.hpp"
+#include "dynamics/workload.hpp"
+#include "graph/generators.hpp"
+#include "service/admission.hpp"
+#include "service/balancer_service.hpp"
+#include "service/snapshot.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dlb {
+namespace {
+
+// ------------------------------------------------------------ fixtures --
+
+enum class Churn { kStatic, kPoisson, kBurst, kAdversary, kAdmission };
+
+const char* churn_name(Churn c) {
+  switch (c) {
+    case Churn::kStatic: return "static";
+    case Churn::kPoisson: return "poisson";
+    case Churn::kBurst: return "burst";
+    case Churn::kAdversary: return "adversary";
+    case Churn::kAdmission: return "admission";
+  }
+  return "?";
+}
+
+/// Owns a workload chain (the admission adapter wraps an inner process).
+struct WorkloadBox {
+  std::unique_ptr<WorkloadProcess> inner;
+  std::unique_ptr<WorkloadProcess> process;  // attach this (null = static)
+};
+
+WorkloadBox make_workload(Churn c) {
+  WorkloadBox box;
+  switch (c) {
+    case Churn::kStatic:
+      break;
+    case Churn::kPoisson:
+      box.process = std::make_unique<PoissonWorkload>(
+          PoissonWorkload::Params{.arrival_rate = 0.6, .departure_rate = 0.5});
+      break;
+    case Churn::kBurst:
+      box.process = std::make_unique<BurstWorkload>(BurstWorkload::Params{
+          .period = 8, .burst = 40, .drain_period = 4, .drain_amount = 1});
+      break;
+    case Churn::kAdversary:
+      box.process = std::make_unique<AdversarialInjector>(
+          AdversarialInjector::Params{
+              .amount = 6, .period = 2, .drain_min = true});
+      break;
+    case Churn::kAdmission:
+      // Bursts far above the per-round cap, so the FIFO backlog is
+      // non-empty at the snapshot round — the queued admissions must
+      // survive the restore.
+      box.inner = std::make_unique<BurstWorkload>(
+          BurstWorkload::Params{.period = 6, .burst = 90});
+      box.process = std::make_unique<AdmissionQueue>(
+          *box.inner, AdmissionQueue::Params{.round_cap = 16});
+      break;
+  }
+  return box;
+}
+
+/// A complete, independently-destructible run: graph, balancer, workload,
+/// optional pool, engine, tracker. Built identically for the full, the
+/// captured, and the restored leg of the equivalence check.
+struct Rig {
+  Graph g;
+  std::unique_ptr<Balancer> balancer;
+  WorkloadBox wl;
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<Engine> engine;
+  SteadyStateTracker tracker;
+
+  explicit Rig(const std::string& balancer_name, Churn churn, int threads)
+      : g(make_cycle(24)),
+        balancer(find_balancer_factory(balancer_name)(/*seed=*/11)),
+        wl(make_workload(churn)),
+        tracker(SteadyOptions{.window = 12, .warmup = 4}) {
+    const BalancerTraits traits = find_balancer_traits(balancer_name);
+    const int d_loops = traits.exact_d_loops
+                            ? g.degree()
+                            : std::max(traits.min_loops(g.degree()),
+                                       g.degree());
+    LoadVector initial(static_cast<std::size_t>(g.num_nodes()), 0);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      initial[static_cast<std::size_t>(u)] = (u % 5 == 0) ? 20 : 1;
+    }
+    engine = std::make_unique<Engine>(
+        g, EngineConfig{.self_loops = d_loops}, *balancer, std::move(initial));
+    if (wl.process) {
+      wl.process->reset(g.num_nodes(), /*seed=*/42);
+      engine->set_workload(wl.process.get());
+    }
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      engine->set_thread_pool(pool.get());
+    }
+  }
+
+  void step_rounds(Step k, std::vector<Load>* disc_rows = nullptr) {
+    for (Step i = 0; i < k; ++i) {
+      if (pool) {
+        engine->step_parallel();
+      } else {
+        engine->step();
+      }
+      tracker.observe(engine->time(), engine->discrepancy());
+      if (disc_rows) disc_rows->push_back(engine->discrepancy());
+    }
+  }
+};
+
+struct Observed {
+  LoadVector loads;
+  Step t = 0;
+  Load total = 0, base = 0, injected = 0, consumed = 0;
+  Load disc = 0, min_seen = 0;
+  std::vector<Load> disc_tail;  // per-round discrepancy after the split
+  SteadySummary steady;
+};
+
+Observed observe(const Rig& rig, std::vector<Load> disc_tail) {
+  Observed o;
+  o.loads = rig.engine->loads();
+  o.t = rig.engine->time();
+  o.total = rig.engine->total();
+  o.base = rig.engine->base_total();
+  o.injected = rig.engine->injected_total();
+  o.consumed = rig.engine->consumed_total();
+  o.disc = rig.engine->discrepancy();
+  o.min_seen = rig.engine->min_load_seen();
+  o.disc_tail = std::move(disc_tail);
+  o.steady = rig.tracker.summary();
+  return o;
+}
+
+void expect_identical(const Observed& a, const Observed& b) {
+  EXPECT_EQ(a.loads, b.loads) << "load vectors diverged";
+  EXPECT_EQ(a.t, b.t);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.base, b.base);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.consumed, b.consumed);
+  EXPECT_EQ(a.disc, b.disc);
+  EXPECT_EQ(a.min_seen, b.min_seen);
+  EXPECT_EQ(a.disc_tail, b.disc_tail) << "per-round discrepancy rows diverged";
+  EXPECT_EQ(a.steady.rounds, b.steady.rounds);
+  EXPECT_EQ(a.steady.t_steady, b.steady.t_steady);
+  EXPECT_EQ(a.steady.window_mean, b.steady.window_mean);
+  EXPECT_EQ(a.steady.window_max, b.steady.window_max);
+  EXPECT_EQ(a.steady.window_p99, b.steady.window_p99);
+}
+
+// ----------------------------------------------------- equivalence gate --
+
+TEST(SnapshotEquivalence, EveryBalancerEveryWorkloadAtPools1And8) {
+  constexpr Step kT = 40;
+  constexpr Churn kChurns[] = {Churn::kStatic, Churn::kPoisson, Churn::kBurst,
+                               Churn::kAdversary, Churn::kAdmission};
+  for (const std::string& name : registered_balancer_names()) {
+    for (Churn churn : kChurns) {
+      for (int threads : {1, 8}) {
+        SCOPED_TRACE(name + " / " + churn_name(churn) + " / pool=" +
+                     std::to_string(threads));
+
+        // Reference: one uninterrupted run of T rounds.
+        Rig full(name, churn, threads);
+        std::vector<Load> full_tail;
+        full.step_rounds(kT / 2);
+        full.step_rounds(kT - kT / 2, &full_tail);
+        const Observed want = observe(full, std::move(full_tail));
+
+        // Candidate: run T/2, capture, serialize, destroy every object,
+        // rebuild from scratch, deserialize, restore, run the rest.
+        std::vector<std::uint8_t> bytes;
+        {
+          Rig half(name, churn, threads);
+          half.step_rounds(kT / 2);
+          bytes = EngineSnapshot::capture(*half.engine, &half.tracker)
+                      .serialize();
+        }
+        Rig resumed(name, churn, threads);
+        EngineSnapshot::deserialize(bytes).restore(*resumed.engine,
+                                                   &resumed.tracker);
+        ASSERT_EQ(resumed.engine->time(), kT / 2);
+        std::vector<Load> resumed_tail;
+        resumed.step_rounds(kT - kT / 2, &resumed_tail);
+        const Observed got = observe(resumed, std::move(resumed_tail));
+
+        expect_identical(want, got);
+      }
+    }
+  }
+}
+
+TEST(SnapshotEquivalence, CrossPoolRestoreIsAlsoIdentical) {
+  // A snapshot taken by a serial service restores into a parallel one
+  // (and vice versa): pool attachment is configuration, not state.
+  constexpr Step kT = 30;
+  const std::string name = "ROTOR-ROUTER";
+  Rig full(name, Churn::kPoisson, 1);
+  std::vector<Load> full_tail;
+  full.step_rounds(kT, &full_tail);
+  const Observed want = observe(full, std::move(full_tail));
+
+  std::vector<std::uint8_t> bytes;
+  {
+    Rig half(name, Churn::kPoisson, 1);
+    half.step_rounds(kT / 2);
+    bytes =
+        EngineSnapshot::capture(*half.engine, &half.tracker).serialize();
+  }
+  Rig resumed(name, Churn::kPoisson, 8);  // different pool size
+  EngineSnapshot::deserialize(bytes).restore(*resumed.engine,
+                                             &resumed.tracker);
+  resumed.step_rounds(kT - kT / 2);
+  EXPECT_EQ(want.loads, resumed.engine->loads());
+  EXPECT_EQ(want.injected, resumed.engine->injected_total());
+  EXPECT_EQ(want.consumed, resumed.engine->consumed_total());
+}
+
+// -------------------------------------------- epoch wrap × assign-first --
+
+// The scatter accumulator's epoch stamps live in one byte and wrap every
+// 255 scatter rounds; assign-first rounds bypass the stamping protocol
+// entirely. This run crosses the wrap with the two variants interleaved
+// mid-run AND a snapshot/restore near the wrap round — any stale-stamp
+// value leaking across a toggle, a wrap, or a restore (the restored
+// engine starts with a *fresh* accumulator) shows up as a diverged load.
+TEST(SnapshotEpochWrap, ToggleAssignFirstAcrossWrapWithMidWrapSnapshot) {
+  constexpr Step kT = 300;        // > 256: crosses the stamp wrap
+  constexpr Step kSnapAt = 255;   // capture on the wrap round itself
+  const Graph g = make_cycle(24);
+  CounterWorkload churn({.arrival_period = 3,
+                         .arrival_amount = 2,
+                         .departure_period = 5,
+                         .departure_amount = 1});
+  LoadVector initial(static_cast<std::size_t>(g.num_nodes()), 0);
+  initial[0] = 240;
+
+  auto fresh_engine = [&](Balancer& b, WorkloadProcess& w) {
+    auto e = std::make_unique<Engine>(
+        g, EngineConfig{.self_loops = g.degree()}, b, initial);
+    w.reset(g.num_nodes(), 9);
+    e->set_workload(&w);
+    return e;
+  };
+
+  // Reference: plain epoch-stamped scatter, never toggled, uninterrupted.
+  SendFloor ref_bal;
+  CounterWorkload ref_churn = churn;
+  auto ref = fresh_engine(ref_bal, ref_churn);
+  std::vector<Load> ref_rows;
+  for (Step t = 0; t < kT; ++t) {
+    ref->step();
+    ref_rows.push_back(ref->discrepancy());
+  }
+
+  // Candidate: assign-first toggled every 64 rounds, snapshot taken on
+  // the wrap round, everything destroyed and restored.
+  auto toggled_step = [](Engine& e) {
+    e.set_assign_first_scatter((e.time() / 64) % 2 == 1);
+    e.step();
+  };
+  std::vector<std::uint8_t> bytes;
+  {
+    SendFloor bal;
+    CounterWorkload w = churn;
+    auto e = fresh_engine(bal, w);
+    for (Step t = 0; t < kSnapAt; ++t) toggled_step(*e);
+    bytes = EngineSnapshot::capture(*e).serialize();
+  }
+  SendFloor bal2;
+  CounterWorkload w2 = churn;
+  auto e2 = fresh_engine(bal2, w2);
+  EngineSnapshot::deserialize(bytes).restore(*e2);
+  ASSERT_EQ(e2->time(), kSnapAt);
+  std::vector<Load> got_rows;
+  {
+    // Recompute the first half's rows from the reference (they were not
+    // recorded in the candidate's first leg on purpose: the restored
+    // engine must reproduce the *remaining* rows from state alone).
+    got_rows.assign(ref_rows.begin(), ref_rows.begin() + kSnapAt);
+  }
+  for (Step t = kSnapAt; t < kT; ++t) {
+    toggled_step(*e2);
+    got_rows.push_back(e2->discrepancy());
+  }
+
+  EXPECT_EQ(ref->loads(), e2->loads())
+      << "assign-first/epoch-wrap/restore interleaving changed the "
+         "trajectory";
+  EXPECT_EQ(ref_rows, got_rows);
+  EXPECT_EQ(ref->total(), e2->total());
+  EXPECT_EQ(ref->injected_total(), e2->injected_total());
+  EXPECT_EQ(ref->consumed_total(), e2->consumed_total());
+}
+
+// ------------------------------------------------------ refuse-to-load --
+
+class SnapshotCorruption : public ::testing::Test {
+ protected:
+  std::vector<std::uint8_t> valid_bytes() {
+    Rig rig("SEND(floor)", Churn::kPoisson, 1);
+    rig.step_rounds(10);
+    return EngineSnapshot::capture(*rig.engine, &rig.tracker).serialize();
+  }
+};
+
+TEST_F(SnapshotCorruption, TruncationAtEveryLayerThrowsCleanly) {
+  const std::vector<std::uint8_t> bytes = valid_bytes();
+  // Sweep truncation points: empty, mid-magic, header-only, mid-payload,
+  // one-byte-short. Every prefix must throw serial_error — never crash,
+  // never return a half-parsed snapshot (ASan/UBSan-clean in CI).
+  for (std::size_t len :
+       {std::size_t{0}, std::size_t{5}, std::size_t{8}, std::size_t{20},
+        std::size_t{28}, bytes.size() / 2, bytes.size() - 1}) {
+    SCOPED_TRACE("truncated to " + std::to_string(len));
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() +
+                                            static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(EngineSnapshot::deserialize(cut), serial_error);
+  }
+}
+
+TEST_F(SnapshotCorruption, BitFlipAnywhereInPayloadFailsTheChecksum) {
+  const std::vector<std::uint8_t> bytes = valid_bytes();
+  const std::size_t header = 8 + 4 + 8 + 8;  // magic+version+len+checksum
+  // Flip one bit in a spread of payload positions.
+  for (std::size_t pos = header; pos < bytes.size(); pos += 97) {
+    SCOPED_TRACE("bit flip at byte " + std::to_string(pos));
+    std::vector<std::uint8_t> bad = bytes;
+    bad[pos] ^= 0x10;
+    EXPECT_THROW(EngineSnapshot::deserialize(bad), serial_error);
+  }
+}
+
+TEST_F(SnapshotCorruption, BadMagicAndUnsupportedVersionAreRejected) {
+  std::vector<std::uint8_t> bad_magic = valid_bytes();
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(EngineSnapshot::deserialize(bad_magic), serial_error);
+
+  std::vector<std::uint8_t> bad_version = valid_bytes();
+  bad_version[8] = 0xEE;  // version field follows the 8-byte magic
+  try {
+    EngineSnapshot::deserialize(bad_version);
+    FAIL() << "unsupported version was accepted";
+  } catch (const serial_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(SnapshotCorruption, TopologyAndConfigMismatchesRefuseBeforeMutating) {
+  Rig src("SEND(floor)", Churn::kPoisson, 1);
+  src.step_rounds(10);
+  const EngineSnapshot snap =
+      EngineSnapshot::capture(*src.engine, &src.tracker);
+
+  struct Target {
+    const char* what;
+    Graph g;
+    const char* balancer;
+    int d_loops;
+  };
+  // Same n and d but different adjacency (circulant with offset 2): only
+  // the adjacency hash can tell them apart.
+  const Target targets[] = {
+      {"node count", make_cycle(32), "SEND(floor)", 2},
+      {"structure tag + adjacency", make_circulant(24, {2}), "SEND(floor)", 2},
+      {"degree", make_torus2d(4, 6), "SEND(floor)", 4},
+      {"balancer", make_cycle(24), "ROTOR-ROUTER", 2},
+      {"self-loops", make_cycle(24), "SEND(floor)", 4},
+  };
+  for (const Target& target : targets) {
+    SCOPED_TRACE(target.what);
+    std::unique_ptr<Balancer> b =
+        find_balancer_factory(target.balancer)(/*seed=*/11);
+    Engine engine(target.g, EngineConfig{.self_loops = target.d_loops}, *b,
+                  LoadVector(static_cast<std::size_t>(target.g.num_nodes()),
+                             3));
+    PoissonWorkload w(
+        PoissonWorkload::Params{.arrival_rate = 0.6, .departure_rate = 0.5});
+    w.reset(target.g.num_nodes(), 42);
+    engine.set_workload(&w);
+    SteadyStateTracker tracker(SteadyOptions{.window = 12, .warmup = 4});
+
+    const LoadVector before = engine.loads();
+    EXPECT_THROW(snap.restore(engine, &tracker), serial_error);
+    EXPECT_EQ(engine.loads(), before) << "failed restore mutated the engine";
+    EXPECT_EQ(engine.time(), 0);
+  }
+}
+
+TEST_F(SnapshotCorruption, WorkloadAndTrackerPresenceMustMatch) {
+  Rig src("SEND(floor)", Churn::kPoisson, 1);
+  src.step_rounds(6);
+  const EngineSnapshot with_wl =
+      EngineSnapshot::capture(*src.engine, &src.tracker);
+
+  // Target without a workload.
+  Rig bare("SEND(floor)", Churn::kStatic, 1);
+  EXPECT_THROW(with_wl.restore(*bare.engine, &bare.tracker), serial_error);
+
+  // Target with a *different* workload configuration.
+  Rig other("SEND(floor)", Churn::kBurst, 1);
+  EXPECT_THROW(with_wl.restore(*other.engine, &other.tracker), serial_error);
+
+  // Tracker presence must match in both directions.
+  Rig no_tracker("SEND(floor)", Churn::kPoisson, 1);
+  EXPECT_THROW(with_wl.restore(*no_tracker.engine, nullptr), serial_error);
+  const EngineSnapshot sans_tracker = EngineSnapshot::capture(*src.engine);
+  Rig with_tracker("SEND(floor)", Churn::kPoisson, 1);
+  EXPECT_THROW(
+      sans_tracker.restore(*with_tracker.engine, &with_tracker.tracker),
+      serial_error);
+
+  // Mismatched tracker window: state must not be loadable into a
+  // differently-sized ring.
+  SteadyStateTracker wide(SteadyOptions{.window = 40, .warmup = 4});
+  Rig sized("SEND(floor)", Churn::kPoisson, 1);
+  EXPECT_THROW(with_wl.restore(*sized.engine, &wide), serial_error);
+}
+
+TEST_F(SnapshotCorruption, FileRoundtripAndAtomicReplace) {
+  const std::string path = ::testing::TempDir() + "dlb_snapshot_test.bin";
+  Rig src("ROTOR-ROUTER", Churn::kBurst, 1);
+  src.step_rounds(12);
+  const EngineSnapshot snap =
+      EngineSnapshot::capture(*src.engine, &src.tracker);
+  snap.write_file(path);
+
+  const EngineSnapshot back = EngineSnapshot::read_file(path);
+  EXPECT_EQ(back.time(), 12);
+  EXPECT_EQ(back.balancer_name(), "ROTOR-ROUTER");
+  EXPECT_EQ(back.num_nodes(), 24);
+  EXPECT_TRUE(back.has_tracker());
+  EXPECT_EQ(back.adjacency_hash(), snap.adjacency_hash());
+
+  Rig resumed("ROTOR-ROUTER", Churn::kBurst, 1);
+  back.restore(*resumed.engine, &resumed.tracker);
+  EXPECT_EQ(resumed.engine->loads(), src.engine->loads());
+
+  // A second write over the same path goes through the temp-file +
+  // rename path (atomic replace of an existing checkpoint).
+  src.step_rounds(1);
+  EngineSnapshot::capture(*src.engine, &src.tracker).write_file(path);
+  EXPECT_EQ(EngineSnapshot::read_file(path).time(), 13);
+  EXPECT_THROW(EngineSnapshot::read_file(path + ".does-not-exist"),
+               serial_error);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------- service + admission --
+
+TEST(AdmissionQueue, CapsPerRoundInjectionAndDrainsFifo) {
+  BurstWorkload inner(BurstWorkload::Params{.period = 100, .burst = 50});
+  AdmissionQueue q(inner, AdmissionQueue::Params{.round_cap = 8});
+  q.reset(16, 7);
+  LoadVector loads(16, 0);
+
+  // Round 0 bursts 50 tokens onto one node; only 8 are admitted.
+  q.prepare(0, loads);
+  Load admitted = 0;
+  for (NodeId u = 0; u < 16; ++u) admitted += std::max<Load>(q.delta(u, 0), 0);
+  EXPECT_EQ(admitted, 8);
+  EXPECT_EQ(q.backlog_total(), 42);
+
+  // Subsequent quiet rounds drain the backlog 8 tokens at a time.
+  for (Step t = 1; t <= 5; ++t) {
+    q.prepare(t, loads);
+    admitted = 0;
+    for (NodeId u = 0; u < 16; ++u) {
+      admitted += std::max<Load>(q.delta(u, t), 0);
+    }
+    EXPECT_EQ(admitted, 8) << "t=" << t;
+  }
+  EXPECT_EQ(q.backlog_total(), 2);
+  q.prepare(6, loads);
+  EXPECT_EQ(q.backlog_total(), 0);
+}
+
+TEST(BalancerService, SigtermStopsCheckpointsAndResumes) {
+  const std::string ck = ::testing::TempDir() + "dlb_service_test.ck";
+  std::remove(ck.c_str());
+  BalancerService::clear_signal_requests();
+
+  auto build = [&] {
+    return std::make_unique<Rig>("SEND(floor)", Churn::kPoisson, 1);
+  };
+
+  // Uninterrupted reference.
+  auto ref = build();
+  ref->step_rounds(60);
+
+  // Service leg 1: SIGTERM raised (through the real handler) after 25
+  // rounds; the loop finishes the round, checkpoints, and returns.
+  {
+    auto rig = build();
+    BalancerService::install_signal_handlers();
+    BalancerService service(*rig->engine,
+                            BalancerService::Options{.checkpoint_path = ck,
+                                                     .stop_after = 25},
+                            &rig->tracker);
+    EXPECT_FALSE(service.restored());
+    const Step ran = service.run(60);
+    EXPECT_EQ(ran, 25);
+    EXPECT_TRUE(BalancerService::stop_requested());
+    EXPECT_GE(service.checkpoints_written(), 1);
+  }
+  BalancerService::clear_signal_requests();
+
+  // Service leg 2: restore-on-start, run the remaining rounds.
+  {
+    auto rig = build();
+    BalancerService service(*rig->engine,
+                            BalancerService::Options{.checkpoint_path = ck},
+                            &rig->tracker);
+    EXPECT_TRUE(service.restored());
+    EXPECT_EQ(rig->engine->time(), 25);
+    service.run(60 - rig->engine->time());
+    EXPECT_EQ(rig->engine->time(), 60);
+    EXPECT_EQ(rig->engine->loads(), ref->engine->loads());
+    EXPECT_EQ(rig->engine->injected_total(), ref->engine->injected_total());
+    EXPECT_EQ(rig->engine->consumed_total(), ref->engine->consumed_total());
+  }
+  std::remove(ck.c_str());
+}
+
+}  // namespace
+}  // namespace dlb
