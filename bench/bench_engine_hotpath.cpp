@@ -29,6 +29,7 @@
 #include "balancers/registry.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -151,6 +152,10 @@ void run_steps_parallel(benchmark::State& state, const Graph& g,
   state.SetItemsProcessed(state.iterations());  // items/sec == steps/sec
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["nodes"] = static_cast<double>(g.num_nodes());
+  state.counters["node_steps_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(g.num_nodes()),
+      benchmark::Counter::kIsRate);
   state.SetLabel(algorithm_name(algo) + "/parallel");
 }
 
@@ -271,4 +276,26 @@ BENCHMARK(BM_StepParallel_Torus_SendFloor)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the JSON context records how the binary was
+// built: scripts/check_bench_hotpath.py refuses to gate against numbers
+// from a debug build, and the SIMD line documents which kernel path the
+// recorded baseline measured (see README "SIMD kernels" for the
+// re-record procedure).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("dlb_build_type",
+#ifdef NDEBUG
+                              "release"
+#else
+                              "debug"
+#endif
+  );
+  benchmark::AddCustomContext(
+      "dlb_simd", dlb::simd::enabled()
+                      ? "avx2"
+                      : (dlb::simd::compiled() ? "disabled" : "scalar-only"));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,8 +4,116 @@
 
 #include "graph/topology.hpp"
 #include "util/assertions.hpp"
+#include "util/simd.hpp"
 
 namespace dlb {
+
+#ifdef DLB_SIMD_AVX2
+namespace {
+
+// d == 2 arithmetic core. Same shape as BoundedError's: deinterleave the
+// [u*2 + p] per-edge state into one vector per port, run the
+// accumulate/round/delta chain on 4 nodes at once, reinterleave and store.
+// All operations are exact IEEE identities, so w_cum, f_cum and the flows
+// are byte-identical to the scalar loop. The guard checks the *updated*
+// cumulative flow |w'| < kExactMax (NLT_UQ also catches NaN) before any
+// state is written, so an out-of-range block falls back to the scalar
+// body cleanly. Only the per-round delta is vectorized — the continuous
+// trajectory itself (advance_continuous) stays serial scalar code, since
+// its multiply-accumulate chain must not be re-associated or contracted.
+template <class Topo>
+void scatter_d2_avx2(const Topo& topo, NodeId first, NodeId last,
+                     std::span<const Load> loads, FlowSink& sink,
+                     const double* y, double* w_cum, Load* f_cum,
+                     int d_plus) {
+  const auto next = sink.scatter();
+  auto cur = topo.cursor(first);
+  const Load* xs = loads.data();
+  const __m256d vdp = _mm256_set1_pd(static_cast<double>(d_plus));
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m256d lim = _mm256_set1_pd(static_cast<double>(simd::kExactMax));
+
+  const auto scalar_node = [&](NodeId u) {
+    const Load x = xs[static_cast<std::size_t>(u)];
+    const double per_edge = y[static_cast<std::size_t>(u)] / d_plus;
+    Load sent = 0;
+    for (int p = 0; p < 2; ++p) {
+      const std::size_t e = static_cast<std::size_t>(u) * 2 +
+                            static_cast<std::size_t>(p);
+      w_cum[e] += per_edge;
+      const Load target = static_cast<Load>(std::llround(w_cum[e]));
+      const Load f = target - f_cum[e];
+      f_cum[e] = target;
+      next.add(static_cast<std::size_t>(cur.neighbor(p)), f);
+      sent += f;
+    }
+    next.add(static_cast<std::size_t>(u), x - sent);
+    cur.advance();
+  };
+
+  NodeId u = first;
+  alignas(32) Load f0s[simd::kLanes];
+  alignas(32) Load f1s[simd::kLanes];
+  alignas(32) Load keep[simd::kLanes];
+  for (; u + simd::kLanes <= last; u += simd::kLanes) {
+    const __m256d per = _mm256_div_pd(_mm256_loadu_pd(y + u), vdp);
+    double* wp = w_cum + static_cast<std::size_t>(u) * 2;
+    __m256d w0;
+    __m256d w1;
+    simd::deinterleave2_pd(_mm256_loadu_pd(wp), _mm256_loadu_pd(wp + 4), w0,
+                           w1);
+    w0 = _mm256_add_pd(w0, per);
+    w1 = _mm256_add_pd(w1, per);
+    const __m256d bad0 =
+        _mm256_cmp_pd(_mm256_and_pd(w0, abs_mask), lim, _CMP_NLT_UQ);
+    const __m256d bad1 =
+        _mm256_cmp_pd(_mm256_and_pd(w1, abs_mask), lim, _CMP_NLT_UQ);
+    if (_mm256_movemask_pd(_mm256_or_pd(bad0, bad1)) != 0) {
+      for (int i = 0; i < simd::kLanes; ++i) scalar_node(u + i);
+      continue;
+    }
+    const __m256d t0 = simd::round_half_away(w0);
+    const __m256d t1 = simd::round_half_away(w1);
+    __m256d a;
+    __m256d b;
+    simd::interleave2_pd(w0, w1, a, b);
+    _mm256_storeu_pd(wp, a);
+    _mm256_storeu_pd(wp + 4, b);
+    const __m256i ft0 = simd::to_int64(t0);
+    const __m256i ft1 = simd::to_int64(t1);
+    Load* fp = f_cum + static_cast<std::size_t>(u) * 2;
+    __m256i fc0;
+    __m256i fc1;
+    simd::deinterleave2_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(fp)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(fp + 4)), fc0,
+        fc1);
+    const __m256i f0 = _mm256_sub_epi64(ft0, fc0);
+    const __m256i f1 = _mm256_sub_epi64(ft1, fc1);
+    __m256i ia;
+    __m256i ib;
+    simd::interleave2_epi64(ft0, ft1, ia, ib);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(fp), ia);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(fp + 4), ib);
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + u));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(f0s), f0);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(f1s), f1);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(keep),
+                       _mm256_sub_epi64(vx, _mm256_add_epi64(f0, f1)));
+    for (int i = 0; i < simd::kLanes; ++i) {
+      next.add(static_cast<std::size_t>(cur.neighbor(0)), f0s[i]);
+      next.add(static_cast<std::size_t>(cur.neighbor(1)), f1s[i]);
+      next.add(static_cast<std::size_t>(u + i), keep[i]);
+      cur.advance();
+    }
+  }
+  for (; u < last; ++u) scalar_node(u);
+}
+
+}  // namespace
+#endif  // DLB_SIMD_AVX2
 
 void ContinuousMimic::reset(const Graph& graph, int d_loops) {
   DLB_REQUIRE(d_loops >= 0, "ContinuousMimic: negative self-loop count");
@@ -121,6 +229,14 @@ void ContinuousMimic::scatter_range(const Topo& topo, NodeId first,
                                     NodeId last, std::span<const Load> loads,
                                     FlowSink& sink) {
   const int d = topo.degree();
+#ifdef DLB_SIMD_AVX2
+  if (d == 2 && d_ == 2 && simd::enabled() &&
+      last - first >= 2 * simd::kLanes) {
+    scatter_d2_avx2(topo, first, last, loads, sink, y_.data(), w_cum_.data(),
+                    f_cum_.data(), d_plus_);
+    return;
+  }
+#endif
   const auto next = sink.scatter();
   auto cur = topo.cursor(first);
   for (NodeId u = first; u < last; ++u, cur.advance()) {

@@ -59,13 +59,26 @@ void RotorRouter::reset(const Graph& graph, int d_loops) {
     }
   }
 
+  // Structured specialization: with the natural port order (seed 0, no
+  // prescribed permutation) cyclic position == port, so an extra token's
+  // destination is pure arithmetic — neighbor(u, pos) for pos < d, u
+  // itself for self-loop positions. The scatter kernel then computes
+  // targets through the topology cursor and the n·2d⁺ target table is
+  // never built (on a tagged cycle/torus/hypercube the whole rotor walk
+  // becomes register arithmetic on (position, d⁺)). Shuffled or
+  // prescribed orders encode genuine per-node state, so they keep the
+  // table.
+  natural_order_ = seed_ == 0 && prescribed_order_.empty();
+  const int d = graph.degree();
+  extra_targets_.clear();
+  port_order2x_.clear();
+  if (natural_order_) return;
+
   // Resolve every cyclic position to the node an extra token lands on
   // (doubled per node so the kernel's rotor walk never wraps). The
   // row-kernel companion table (port_order2x_) is built lazily in
   // prepare_round — scatter-only runs never pay for it.
-  const int d = graph.degree();
   extra_targets_.resize(n * 2 * static_cast<std::size_t>(d_plus_));
-  port_order2x_.clear();
   for (std::size_t u = 0; u < n; ++u) {
     const std::int32_t* row =
         port_order_.data() + u * static_cast<std::size_t>(d_plus_);
@@ -172,6 +185,34 @@ void RotorRouter::scatter_range(const Topo& topo, NodeId first, NodeId last,
   const int d = topo.degree();
   const auto next = sink.scatter();
   auto cur = topo.cursor(first);
+  if (natural_order_) {
+    // Natural port order: cyclic position == port, so the extras walk is
+    // pure arithmetic on (position, d⁺) — no permutation table exists.
+    // Identical add order and destinations as the table walk below
+    // (position pos maps to neighbor(u, pos) for pos < d, u otherwise).
+    for (NodeId u = first; u < last; ++u, cur.advance()) {
+      const Load x = loads[static_cast<std::size_t>(u)];
+      DLB_REQUIRE(x >= 0, "RotorRouter cannot handle negative load");
+      const Load q = div_.quot(x);
+      const int r = static_cast<int>(x - q * d_plus_);
+      int& rotor = rotor_[static_cast<std::size_t>(u)];
+
+      for (int p = 0; p < d; ++p) {
+        next.add(static_cast<std::size_t>(cur.neighbor(p)), q);
+      }
+      // Fixed trip count of d⁺−1 with a masked increment; the
+      // conditional subtract keeps the walk wrap- and division-free.
+      for (int k = 0; k < d_plus_ - 1; ++k) {
+        int pos = rotor + k;
+        pos -= pos >= d_plus_ ? d_plus_ : 0;
+        const NodeId dest = pos < d ? cur.neighbor(pos) : u;
+        next.add(static_cast<std::size_t>(dest), static_cast<Load>(k < r));
+      }
+      rotor = rotor + r < d_plus_ ? rotor + r : rotor + r - d_plus_;
+      next.add(static_cast<std::size_t>(u), x - q * d - r);
+    }
+    return;
+  }
   for (NodeId u = first; u < last; ++u, cur.advance()) {
     const Load x = loads[static_cast<std::size_t>(u)];
     DLB_REQUIRE(x >= 0, "RotorRouter cannot handle negative load");

@@ -80,11 +80,16 @@ class RotorRouter : public Balancer {
   NonNegDiv div_;  // ⌊x/d⁺⌋ via shift when d⁺ is a power of two
   std::vector<int> rotor_;                // per node, in [0, d⁺)
   std::vector<std::int32_t> port_order_;  // n * d⁺ permutation table
-  /// Kernel companion of port_order_: entry [u*2d⁺ + pos] is the node an
-  /// extra token dealt at cyclic position `pos` lands on — the neighbour
-  /// behind the port, or u itself for self-loop ports. Stored twice per
-  /// node (positions [0, 2d⁺)) so the rotor walk never wraps, making the
-  /// extras loop branch-free.
+  /// True when the port order is the natural one (seed 0, no prescribed
+  /// permutation): cyclic position == port, so the scatter kernel
+  /// computes extra-token targets from (position, d⁺) through the
+  /// topology cursor and extra_targets_ is never built.
+  bool natural_order_ = false;
+  /// Kernel companion of port_order_ (shuffled/prescribed orders only):
+  /// entry [u*2d⁺ + pos] is the node an extra token dealt at cyclic
+  /// position `pos` lands on — the neighbour behind the port, or u itself
+  /// for self-loop ports. Stored twice per node (positions [0, 2d⁺)) so
+  /// the rotor walk never wraps, making the extras loop branch-free.
   std::vector<NodeId> extra_targets_;
   /// port_order_ doubled per node the same way, for the row kernel's
   /// wrap-free extras walk over *ports*.

@@ -22,22 +22,13 @@ void RotorRouterStar::reset(const Graph& graph, int d_loops) {
           static_cast<std::uint64_t>(rotor_ports_)));
     }
   }
-
-  // Resolve every rotor position to the node an extra token lands on
-  // (doubled per node so the kernel's rotor walk never wraps).
-  const auto n = static_cast<std::size_t>(graph.num_nodes());
-  extra_targets_.resize(n * 2 * static_cast<std::size_t>(rotor_ports_));
-  for (std::size_t u = 0; u < n; ++u) {
-    NodeId* tgt =
-        extra_targets_.data() + u * 2 * static_cast<std::size_t>(rotor_ports_);
-    for (int pos = 0; pos < rotor_ports_; ++pos) {
-      const NodeId dest =
-          pos < d_ ? graph.neighbor(static_cast<NodeId>(u), pos)
-                   : static_cast<NodeId>(u);
-      tgt[pos] = dest;
-      tgt[rotor_ports_ + pos] = dest;
-    }
-  }
+  // No target table: ROTOR-ROUTER*'s rotor positions *are* ports (the
+  // seed only randomizes starting positions, never the port layout), so
+  // an extra token's destination is pure arithmetic — neighbor(u, pos)
+  // for pos < d, u itself for the self-loop positions. The scatter
+  // kernel computes it through the topology cursor; on structured graphs
+  // that is register arithmetic with zero table traffic, on generic
+  // graphs it reads the same adjacency entry the table would have cached.
 }
 
 void RotorRouterStar::decide(NodeId u, Load load, Step /*t*/,
@@ -111,8 +102,6 @@ void RotorRouterStar::scatter_range(const Topo& topo, NodeId first,
     DLB_REQUIRE(x >= 0, "ROTOR-ROUTER* cannot handle negative load");
     const Load q = div_.quot(x);
     const int r = static_cast<int>(x - q * d_plus);
-    const NodeId* targets = extra_targets_.data() +
-                            static_cast<std::size_t>(u) * 2 * rotor_ports_;
     int& rotor = rotor_[static_cast<std::size_t>(u)];
 
     // Ports [0, d) are real edges; [d, 2d−1) ordinary self-loops and
@@ -122,12 +111,19 @@ void RotorRouterStar::scatter_range(const Topo& topo, NodeId first,
     }
     // The special self-loop's q + (r > 0) ceiling share stays local, as
     // do the ordinary self-loop base shares; the r−1 rotor extras land on
-    // precomputed targets (branch-free, wrap-free walk).
+    // *computed* targets — rotor positions are ports directly, so the
+    // destination is neighbor(u, pos) for pos < d and u itself otherwise
+    // (pure arithmetic on structured graphs, one adjacency read on
+    // generic ones; the old precomputed table is gone).
     const int extras = r > 0 ? r - 1 : 0;
     // Fixed trip count of 2d−2 with a masked increment — a data-dependent
-    // `k < extras` bound would mispredict on nearly every node.
+    // `k < extras` bound would mispredict on nearly every node. The
+    // conditional subtract keeps the walk wrap- and division-free.
     for (int k = 0; k < rotor_ports_ - 1; ++k) {
-      next.add(static_cast<std::size_t>(targets[rotor + k]),
+      int pos = rotor + k;
+      pos -= pos >= rotor_ports_ ? rotor_ports_ : 0;
+      const NodeId dest = pos < d ? cur.neighbor(pos) : u;
+      next.add(static_cast<std::size_t>(dest),
                static_cast<Load>(k < extras));
     }
     rotor = rotor + extras < rotor_ports_ ? rotor + extras

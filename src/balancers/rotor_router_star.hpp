@@ -54,11 +54,9 @@ class RotorRouterStar : public Balancer {
   int rotor_ports_ = 0;  // 2d − 1
   NonNegDiv div_;        // ⌊x/2d⌋ via shift when 2d is a power of two
   std::vector<int> rotor_;
-  /// Kernel companion: entry [u*2(2d−1) + pos] is the node an extra token
-  /// dealt at rotor position `pos` lands on (the neighbour for pos < d, u
-  /// itself for the ordinary self-loop positions), stored twice per node
-  /// so the rotor walk never wraps.
-  std::vector<NodeId> extra_targets_;
+  // No extra-target table: rotor positions are ports directly, so the
+  // scatter kernel computes each extra token's destination from
+  // (position, d) through the topology cursor — see scatter_range.
 };
 
 }  // namespace dlb

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
+#include <limits>
 
 #include "graph/topology.hpp"
 #include "util/assertions.hpp"
 #include "util/intmath.hpp"
+#include "util/simd.hpp"
 
 namespace dlb {
 
@@ -45,31 +48,114 @@ void SendFloor::scatter_range(const CycleTopology& topo, NodeId first,
                               FlowSink& sink) {
   // Pure streaming stencil: one pass over loads, one write per next-load
   // slot, no adjacency traffic and no read-modify-write accumulation.
-  // The left/right floor shares ride a register rotation; only the two
-  // range boundaries wrap around the cycle.
+  // Single-touch, so the round's min/max ride the emit sweep
+  // (FlowSink::merge_emit_stats) and the engine's dedicated stats pass
+  // disappears. The AVX2 path processes four interior nodes per vector —
+  // three unaligned load streams (left/self/right), lane shifts for the
+  // floor shares (power-of-two d⁺ only), one store plus a 4-byte epoch
+  // stamp — and is byte-identical to the scalar rotation: same integer
+  // arithmetic, and a block store equals four single-touch add()s (see
+  // Scatter::raw_values). The two range boundaries and any tail stay
+  // scalar.
   const NodeId n = topo.num_nodes();
-  const auto sweep = [&](auto&& emit) {
-    const auto at = [&](NodeId u) {
-      return loads[static_cast<std::size_t>(u)];
-    };
-    Load q_left = div_.quot(at(first == 0 ? n - 1 : first - 1));
-    Load x = at(first);
-    for (NodeId u = first; u < last; ++u) {
+  const Load* xs = loads.data();
+  Load lo = std::numeric_limits<Load>::max();
+  Load hi = std::numeric_limits<Load>::min();
+
+  // Scalar sweep over [a, b): left/right floor shares ride a register
+  // rotation; only the two cycle boundaries wrap.
+  const auto sweep = [&](NodeId a, NodeId b, auto&& emit) {
+    if (a >= b) return;
+    const auto at = [&](NodeId u) { return xs[static_cast<std::size_t>(u)]; };
+    Load q_left = div_.quot(at(a == 0 ? n - 1 : a - 1));
+    Load x = at(a);
+    for (NodeId u = a; u < b; ++u) {
       DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
       const Load x_right = at(u + 1 == n ? 0 : u + 1);
       const Load q = div_.quot(x);
-      emit(static_cast<std::size_t>(u), x - 2 * q + q_left + div_.quot(x_right));
+      const Load acc = x - 2 * q + q_left + div_.quot(x_right);
+      emit(static_cast<std::size_t>(u), acc);
+      lo = acc < lo ? acc : lo;
+      hi = acc > hi ? acc : hi;
       q_left = q;
       x = x_right;
     }
   };
+
+  const auto run = [&](auto&& emit, [[maybe_unused]] auto&& emit_block) {
+#ifdef DLB_SIMD_AVX2
+    if (div_.pow2() && simd::enabled() &&
+        last - first >= 2 * simd::kLanes) {
+      const __m128i sh = _mm_cvtsi32_si128(div_.pow2_shift());
+      // Interior nodes: both neighbors are ±1, no wrap.
+      const NodeId a = std::max<NodeId>(first, 1);
+      const NodeId b = std::min<NodeId>(last, n - 1);
+      sweep(first, a, emit);
+      __m256i vmin = _mm256_set1_epi64x(std::numeric_limits<Load>::max());
+      __m256i vmax = _mm256_set1_epi64x(std::numeric_limits<Load>::min());
+      NodeId u = a;
+      for (; u + simd::kLanes <= b; u += simd::kLanes) {
+        const __m256i vx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(xs + u));
+        if (simd::any_negative(vx)) {
+          // Negative load in the block: the scalar sweep reproduces the
+          // exact per-node contract check (and throws at the right node).
+          sweep(u, u + simd::kLanes, emit);
+          continue;
+        }
+        const __m256i vl = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(xs + u - 1));
+        const __m256i vr = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(xs + u + 1));
+        const __m256i q = _mm256_srl_epi64(vx, sh);
+        __m256i acc = _mm256_sub_epi64(vx, _mm256_add_epi64(q, q));
+        acc = _mm256_add_epi64(acc, _mm256_srl_epi64(vl, sh));
+        acc = _mm256_add_epi64(acc, _mm256_srl_epi64(vr, sh));
+        emit_block(static_cast<std::size_t>(u), acc);
+        vmin = simd::min_epi64(vmin, acc);
+        vmax = simd::max_epi64(vmax, acc);
+      }
+      const Load vlo = simd::reduce_min(vmin);
+      const Load vhi = simd::reduce_max(vmax);
+      lo = vlo < lo ? vlo : lo;
+      hi = vhi > hi ? vhi : hi;
+      sweep(u, last, emit);
+      return;
+    }
+#endif
+    sweep(first, last, emit);
+  };
+
   if (sink.assign_first()) {
     const auto next = sink.plain();
-    sweep([&](std::size_t u, Load acc) { next.assign(u, acc); });
+    [[maybe_unused]] Load* vals = next.raw_values();
+    run([&](std::size_t u, Load acc) { next.assign(u, acc); },
+#ifdef DLB_SIMD_AVX2
+        [&](std::size_t u, __m256i acc) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + u), acc);
+        }
+#else
+        0
+#endif
+    );
   } else {
     const auto next = sink.scatter();
-    sweep([&](std::size_t u, Load acc) { next.add(u, acc); });
+    [[maybe_unused]] Load* vals = next.raw_values();
+    [[maybe_unused]] std::uint8_t* ep = next.raw_epoch();
+    [[maybe_unused]] const std::uint32_t st4 =
+        std::uint32_t{0x01010101} * next.epoch_stamp();
+    run([&](std::size_t u, Load acc) { next.add(u, acc); },
+#ifdef DLB_SIMD_AVX2
+        [&](std::size_t u, __m256i acc) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + u), acc);
+          std::memcpy(ep + u, &st4, sizeof(st4));
+        }
+#else
+        0
+#endif
+    );
   }
+  sink.merge_emit_stats(lo, hi, last - first);
 }
 
 void SendFloor::scatter_range(const TorusTopology& topo, NodeId first,
@@ -85,18 +171,51 @@ void SendFloor::scatter_range(const TorusTopology& topo, NodeId first,
   // next(u) = kept(u) + Σ_p ⌊x(neighbor)/d⁺⌋ is what the symmetric
   // scatter delivers, term for term; integer addition commutes, so the
   // trajectory is byte-identical, and the single touch per slot makes
-  // the kernel valid under both accumulator protocols.
+  // the kernel valid under both accumulator protocols — and lets the
+  // round's min/max ride the emit sweep (merge_emit_stats). The AVX2
+  // path gathers the same 2r + 3 streams four row-interior nodes at a
+  // time (lane shifts need power-of-two d⁺; q·d is a short add chain so
+  // the integer arithmetic stays exact); row ends and tails stay scalar.
   const int d = topo.degree();
   const int r = topo.dims();
   const NodeId ext0 = topo.extent(0);
   const bool assign_first = sink.assign_first();
+  const Load* xs = loads.data();
+  Load lo = std::numeric_limits<Load>::max();
+  Load hi = std::numeric_limits<Load>::min();
   std::array<NodeId, 2 * (TorusTopology::kMaxDims - 1)> off{};
+  int m = 0;
+  NodeId row_start = 0;
   NodeId u = first;
+
+  // Scalar sweep over [a, b) within the current row.
+  const auto segment = [&](NodeId a, NodeId b, auto&& emit) {
+    for (NodeId v = a; v < b; ++v) {
+      const NodeId c = v - row_start;
+      const NodeId left = c == 0 ? row_start + ext0 - 1 : v - 1;
+      const NodeId right = c + 1 == ext0 ? row_start : v + 1;
+      const Load x = xs[static_cast<std::size_t>(v)];
+      DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
+      Load acc = x - div_.quot(x) * d +
+                 div_.quot(xs[static_cast<std::size_t>(left)]) +
+                 div_.quot(xs[static_cast<std::size_t>(right)]);
+      for (int j = 0; j < m; j += 2) {
+        acc += div_.quot(xs[static_cast<std::size_t>(
+                   v + off[static_cast<std::size_t>(j)])]) +
+               div_.quot(xs[static_cast<std::size_t>(
+                   v + off[static_cast<std::size_t>(j + 1)])]);
+      }
+      emit(static_cast<std::size_t>(v), acc);
+      lo = acc < lo ? acc : lo;
+      hi = acc > hi ? acc : hi;
+    }
+  };
+
   while (u < last) {
     const auto c0 = static_cast<NodeId>(topo.coordinate(u, 0));
-    const NodeId row_start = u - c0;
+    row_start = u - c0;
     const NodeId seg_end = std::min<NodeId>(last, row_start + ext0);
-    int m = 0;
+    m = 0;
     for (int k = 1; k < r; ++k) {
       const auto ck = static_cast<NodeId>(topo.coordinate(u, k));
       const NodeId ext = topo.extent(k);
@@ -106,34 +225,100 @@ void SendFloor::scatter_range(const TorusTopology& topo, NodeId first,
       off[static_cast<std::size_t>(m++)] =
           ck == 0 ? (ext - 1) * stride : -stride;
     }
-    const auto segment = [&](auto&& emit) {
-      for (NodeId v = u; v < seg_end; ++v) {
-        const NodeId c = v - row_start;
-        const NodeId left = c == 0 ? row_start + ext0 - 1 : v - 1;
-        const NodeId right = c + 1 == ext0 ? row_start : v + 1;
-        const Load x = loads[static_cast<std::size_t>(v)];
-        DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
-        Load acc = x - div_.quot(x) * d +
-                   div_.quot(loads[static_cast<std::size_t>(left)]) +
-                   div_.quot(loads[static_cast<std::size_t>(right)]);
-        for (int j = 0; j < m; j += 2) {
-          acc += div_.quot(loads[static_cast<std::size_t>(
-                     v + off[static_cast<std::size_t>(j)])]) +
-                 div_.quot(loads[static_cast<std::size_t>(
-                     v + off[static_cast<std::size_t>(j + 1)])]);
+
+    const auto run_segment = [&](auto&& emit,
+                                 [[maybe_unused]] auto&& emit_block) {
+#ifdef DLB_SIMD_AVX2
+      if (div_.pow2() && simd::enabled() &&
+          seg_end - u >= 2 * simd::kLanes) {
+        const __m128i sh = _mm_cvtsi32_si128(div_.pow2_shift());
+        // Row-interior nodes: dimension-0 neighbors are ±1, no wrap.
+        const NodeId a = std::max<NodeId>(u, row_start + 1);
+        const NodeId b = std::min<NodeId>(seg_end, row_start + ext0 - 1);
+        segment(u, a, emit);
+        __m256i vmin = _mm256_set1_epi64x(std::numeric_limits<Load>::max());
+        __m256i vmax = _mm256_set1_epi64x(std::numeric_limits<Load>::min());
+        NodeId v = a;
+        for (; v + simd::kLanes <= b; v += simd::kLanes) {
+          const __m256i vx = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(xs + v));
+          if (simd::any_negative(vx)) {
+            segment(v, v + simd::kLanes, emit);
+            continue;
+          }
+          const __m256i q = _mm256_srl_epi64(vx, sh);
+          // q·d as an add chain: exact int64, no 64-bit vector multiply
+          // needed (d is small — 2r).
+          __m256i qd = q;
+          for (int i = 1; i < d; ++i) qd = _mm256_add_epi64(qd, q);
+          __m256i acc = _mm256_sub_epi64(vx, qd);
+          acc = _mm256_add_epi64(
+              acc, _mm256_srl_epi64(_mm256_loadu_si256(
+                                        reinterpret_cast<const __m256i*>(
+                                            xs + v - 1)),
+                                    sh));
+          acc = _mm256_add_epi64(
+              acc, _mm256_srl_epi64(_mm256_loadu_si256(
+                                        reinterpret_cast<const __m256i*>(
+                                            xs + v + 1)),
+                                    sh));
+          for (int j = 0; j < m; ++j) {
+            const Load* stream = xs + v + off[static_cast<std::size_t>(j)];
+            acc = _mm256_add_epi64(
+                acc, _mm256_srl_epi64(
+                         _mm256_loadu_si256(
+                             reinterpret_cast<const __m256i*>(stream)),
+                         sh));
+          }
+          emit_block(static_cast<std::size_t>(v), acc);
+          vmin = simd::min_epi64(vmin, acc);
+          vmax = simd::max_epi64(vmax, acc);
         }
-        emit(static_cast<std::size_t>(v), acc);
+        const Load vlo = simd::reduce_min(vmin);
+        const Load vhi = simd::reduce_max(vmax);
+        lo = vlo < lo ? vlo : lo;
+        hi = vhi > hi ? vhi : hi;
+        segment(v, seg_end, emit);
+        return;
       }
+#endif
+      segment(u, seg_end, emit);
     };
+
     if (assign_first) {
       const auto next = sink.plain();
-      segment([&](std::size_t v, Load acc) { next.assign(v, acc); });
+      [[maybe_unused]] Load* vals = next.raw_values();
+      run_segment([&](std::size_t v, Load acc) { next.assign(v, acc); },
+#ifdef DLB_SIMD_AVX2
+                  [&](std::size_t v, __m256i acc) {
+                    _mm256_storeu_si256(
+                        reinterpret_cast<__m256i*>(vals + v), acc);
+                  }
+#else
+                  0
+#endif
+      );
     } else {
       const auto next = sink.scatter();
-      segment([&](std::size_t v, Load acc) { next.add(v, acc); });
+      [[maybe_unused]] Load* vals = next.raw_values();
+      [[maybe_unused]] std::uint8_t* ep = next.raw_epoch();
+      [[maybe_unused]] const std::uint32_t st4 =
+          std::uint32_t{0x01010101} * next.epoch_stamp();
+      run_segment([&](std::size_t v, Load acc) { next.add(v, acc); },
+#ifdef DLB_SIMD_AVX2
+                  [&](std::size_t v, __m256i acc) {
+                    _mm256_storeu_si256(
+                        reinterpret_cast<__m256i*>(vals + v), acc);
+                    std::memcpy(ep + v, &st4, sizeof(st4));
+                  }
+#else
+                  0
+#endif
+      );
     }
     u = seg_end;
   }
+  sink.merge_emit_stats(lo, hi, last - first);
 }
 
 template <class Topo>

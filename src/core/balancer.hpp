@@ -30,6 +30,7 @@
 //                     nodes; what the serial engine step calls.
 #pragma once
 
+#include <limits>
 #include <span>
 #include <string>
 
@@ -114,6 +115,26 @@ class FlowSink {
     return EpochAccumulator::Plain(*acc_);
   }
 
+  /// Emit-fused round statistics. A *single-touch* scatter kernel — one
+  /// that writes each slot of its range exactly once with the slot's
+  /// final next load (the cycle stencil, the torus row gather) — already
+  /// has every emitted value in hand, so it folds the min/max reduction
+  /// into the emit sweep and reports it here, together with how many
+  /// slots it covered. Ranges merge; when the merged coverage reaches n,
+  /// the engine has the round's exact min/max and every slot stamped, and
+  /// skips its dedicated post-round pass (finalize_stats / plain_minmax)
+  /// — one fewer O(n) sweep per round. Kernels that cannot make the
+  /// single-touch guarantee simply never call this; coverage stays short
+  /// of n and the engine scans as before.
+  void merge_emit_stats(Load lo, Load hi, NodeId covered) noexcept {
+    emit_min_ = lo < emit_min_ ? lo : emit_min_;
+    emit_max_ = hi > emit_max_ ? hi : emit_max_;
+    emit_covered_ += covered;
+  }
+  NodeId emit_covered() const noexcept { return emit_covered_; }
+  Load emit_min() const noexcept { return emit_min_; }
+  Load emit_max() const noexcept { return emit_max_; }
+
  private:
   const Graph* g_;
   int d_loops_;
@@ -121,6 +142,9 @@ class FlowSink {
   Load* rows_;             // nullptr in scatter mode
   EpochAccumulator* acc_;  // nullptr in row mode
   bool assign_first_ = false;
+  Load emit_min_ = std::numeric_limits<Load>::max();
+  Load emit_max_ = std::numeric_limits<Load>::min();
+  NodeId emit_covered_ = 0;
 };
 
 /// Per-node (decide) and per-range (decide_range) send policy.

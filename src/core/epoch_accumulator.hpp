@@ -49,6 +49,16 @@ class EpochAccumulator {
       values_[i] = (stale ? 0 : values_[i]) + f;
     }
 
+    /// Raw storage access for vectorized *single-touch* kernels. A kernel
+    /// that emits each slot's final value exactly once per round may write
+    /// raw_values()[i] = f and raw_epoch()[i] = epoch_stamp() directly —
+    /// byte-identical to add() on a slot untouched this round (stale is
+    /// always true on first touch, so add() is exactly that overwrite).
+    /// Multi-touch kernels must keep using add().
+    Load* raw_values() const noexcept { return values_; }
+    std::uint8_t* raw_epoch() const noexcept { return epoch_; }
+    std::uint8_t epoch_stamp() const noexcept { return current_; }
+
    private:
     Load* values_;
     std::uint8_t* epoch_;
@@ -69,6 +79,11 @@ class EpochAccumulator {
 
     /// Subsequent touches: next[i] += f.
     void add(std::size_t i, Load f) const noexcept { values_[i] += f; }
+
+    /// Raw storage for vectorized single-touch kernels (see
+    /// Scatter::raw_values): a block store is byte-identical to per-slot
+    /// assign() when each slot is written exactly once.
+    Load* raw_values() const noexcept { return values_; }
 
    private:
     Load* values_;
@@ -190,7 +205,7 @@ class EpochAccumulator {
   }
 
   LoadVector values_;
-  std::vector<std::uint8_t> epoch_;
+  std::vector<std::uint8_t, AlignedAllocator<std::uint8_t>> epoch_;
   std::uint8_t current_ = 0;
 };
 

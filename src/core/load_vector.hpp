@@ -10,13 +10,20 @@
 #include <span>
 #include <vector>
 
+#include "util/alloc.hpp"
 #include "util/assertions.hpp"
 
 namespace dlb {
 
 using Load = std::int64_t;
 using Step = std::int64_t;
-using LoadVector = std::vector<Load>;
+
+/// The hot per-node arrays (loads, accumulator values) live in
+/// cache-line-aligned, huge-page-backed storage (util/alloc.hpp): SIMD
+/// kernels get aligned streams and production-sized vectors (8 MiB at
+/// 2^20 nodes) stop thrashing the TLB. Still a std::vector — only the
+/// allocator differs — so spans, iterators, and swap work unchanged.
+using LoadVector = std::vector<Load, AlignedAllocator<Load>>;
 
 inline Load total_load(std::span<const Load> x) {
   Load sum = 0;

@@ -66,11 +66,11 @@ void RoundEngineBase::save_core_state(StateWriter& w) const {
 }
 
 void RoundEngineBase::load_core_state(StateReader& r) {
-  LoadVector loads = r.vec_i64();
+  const std::vector<std::int64_t> loads = r.vec_i64();
   if (loads.size() != loads_.size()) {
     throw serial_error("engine core state: load vector size mismatch");
   }
-  loads_ = std::move(loads);
+  loads_.assign(loads.begin(), loads.end());
   t_ = r.i64();
   total_ = r.i64();
   base_total_ = r.i64();

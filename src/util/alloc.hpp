@@ -1,0 +1,112 @@
+// Aligned / huge-page allocation for the hot arrays.
+//
+// The round kernels stream the load vector and the accumulator arrays
+// every step; at production sizes (2^20 nodes = 8 MiB per array) the two
+// memory-system levers that matter are cache-line alignment (vector
+// loads never straddle a line, no false sharing between the parallel
+// apply shards) and TLB reach (4 KiB pages mean 2048 entries per array —
+// transparent huge pages cut that to 4).
+//
+// AlignedAllocator<T, Align> delivers both:
+//   * every allocation is at least Align-aligned (default 64, one cache
+//     line — also covers the 32-byte AVX2 vector alignment);
+//   * allocations of kHugeThreshold (2 MiB) or more come from a private
+//     anonymous mmap, page-aligned by construction, with
+//     madvise(MADV_HUGEPAGE) applied best-effort so the kernel backs the
+//     range with huge pages where transparent-huge-page support is on.
+//
+// The mmap-vs-new decision is a pure function of the byte count, so
+// deallocate(p, n) — which receives the same n back from the container —
+// always unmaps/deletes through the path that allocated. Allocators of
+// equal Align compare equal (stateless), so containers swap/move freely;
+// LoadVector and the EpochAccumulator arrays adopt it via the
+// container's allocator parameter with zero call-site churn.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace dlb {
+
+/// One cache line on every x86-64 / common AArch64 part we target.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Allocations at or above this many bytes are served by mmap so they
+/// can be backed by transparent huge pages (2 MiB = one x86-64 huge page).
+inline constexpr std::size_t kHugeThreshold = std::size_t{2} << 20;
+
+namespace detail {
+
+inline void* huge_page_alloc(std::size_t bytes) {
+#if defined(__linux__)
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw std::bad_alloc{};
+#if defined(MADV_HUGEPAGE)
+  // Best-effort: THP may be disabled or the madvise flag unsupported;
+  // the mapping works either way.
+  (void)::madvise(p, bytes, MADV_HUGEPAGE);
+#endif
+  return p;
+#else
+  return ::operator new(bytes, std::align_val_t{kCacheLineBytes});
+#endif
+}
+
+inline void huge_page_free(void* p, std::size_t bytes) noexcept {
+#if defined(__linux__)
+  ::munmap(p, bytes);
+#else
+  ::operator delete(p, bytes, std::align_val_t{kCacheLineBytes});
+#endif
+}
+
+}  // namespace detail
+
+template <class T, std::size_t Align = kCacheLineBytes>
+class AlignedAllocator {
+  static_assert(Align >= alignof(T), "Align must satisfy T's alignment");
+  static_assert((Align & (Align - 1)) == 0, "Align must be a power of two");
+
+ public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (bytes >= kHugeThreshold) {
+      return static_cast<T*>(detail::huge_page_alloc(bytes));
+    }
+    return static_cast<T*>(::operator new(bytes, std::align_val_t{Align}));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    const std::size_t bytes = n * sizeof(T);
+    if (bytes >= kHugeThreshold) {
+      detail::huge_page_free(p, bytes);
+      return;
+    }
+    ::operator delete(p, bytes, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace dlb

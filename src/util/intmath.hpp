@@ -69,6 +69,13 @@ class NonNegDiv {
     return shift_ >= 0 ? (x & (d_ - 1)) : (x % d_);
   }
 
+  /// True when the divisor is a power of two — the gate for the SIMD
+  /// kernels, whose vector division is a lane shift by pow2_shift().
+  bool pow2() const noexcept { return shift_ >= 0; }
+
+  /// log2(divisor); only meaningful when pow2().
+  int pow2_shift() const noexcept { return shift_; }
+
  private:
   std::int64_t d_ = 1;
   int shift_ = 0;  // -1 when the divisor is not a power of two

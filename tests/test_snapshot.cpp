@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment.hpp"
 #include "balancers/registry.hpp"
 #include "balancers/send_floor.hpp"
 #include "core/engine.hpp"
@@ -29,6 +30,7 @@
 #include "service/admission.hpp"
 #include "service/balancer_service.hpp"
 #include "service/snapshot.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dlb {
@@ -243,6 +245,44 @@ TEST(SnapshotEquivalence, CrossPoolRestoreIsAlsoIdentical) {
   EXPECT_EQ(want.loads, resumed.engine->loads());
   EXPECT_EQ(want.injected, resumed.engine->injected_total());
   EXPECT_EQ(want.consumed, resumed.engine->consumed_total());
+}
+
+TEST(SnapshotEquivalence, StructuredSimdRunRestoresIntoScalarRun) {
+  // A snapshot captured mid-run under the AVX2 kernels restores into an
+  // engine forced onto the scalar fallback (and vice versa) with the
+  // identical trajectory: SIMD is a kernel implementation detail, never
+  // state. Uses a size with a vector tail (65 = 16 blocks + 1) so both
+  // halves of the dispatch are live in the captured run. Vacuous (both
+  // runs scalar) when AVX2 is not compiled in or the CPU lacks it.
+  constexpr Step kT = 40;
+  const bool simd_was = simd::enabled();
+  const Graph g = make_cycle(65);
+  const LoadVector initial = random_initial(g.num_nodes(), 700, /*seed=*/21);
+  const EngineConfig config{.self_loops = g.degree()};
+
+  const auto run = [&](bool simd_first, bool simd_second) {
+    auto half_b = make_balancer(Algorithm::kBoundedError, 11);
+    std::vector<std::uint8_t> bytes;
+    {
+      Engine half(g, config, *half_b, initial);
+      simd::set_enabled(simd_first);
+      for (Step t = 0; t < kT / 2; ++t) half.step();
+      bytes = EngineSnapshot::capture(half).serialize();
+    }
+    auto resumed_b = make_balancer(Algorithm::kBoundedError, 11);
+    Engine resumed(g, config, *resumed_b, initial);
+    EngineSnapshot::deserialize(bytes).restore(resumed);
+    simd::set_enabled(simd_second);
+    for (Step t = kT / 2; t < kT; ++t) resumed.step();
+    return resumed.loads();
+  };
+
+  const LoadVector simd_then_scalar = run(true, false);
+  const LoadVector scalar_then_simd = run(false, true);
+  const LoadVector scalar_only = run(false, false);
+  EXPECT_EQ(simd_then_scalar, scalar_only);
+  EXPECT_EQ(scalar_then_simd, scalar_only);
+  simd::set_enabled(simd_was);
 }
 
 // -------------------------------------------- epoch wrap × assign-first --
