@@ -22,13 +22,23 @@
 // kernel regression (or an accidental re-materialization) breaks the
 // build loudly rather than silently slowing every sweep.
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
 
 #include "analysis/experiment.hpp"
 #include "balancers/registry.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
+#include "shard/sharded_engine.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
@@ -228,6 +238,56 @@ void BM_Cycle1M_SendFloor_LazyAssignFirst(benchmark::State& s) {
             /*deferred_stats=*/false, /*assign_first=*/true);
 }
 
+// ----------------------------- sharded halo-exchange engine, k-shard series --
+// The ShardedEngine runs each shard's decide/apply on a private 64-byte-
+// aligned window slice and exchanges only boundary data between rounds;
+// this series tracks its node-steps/sec at k ∈ {1, 2, 4, 8} shards. Two
+// legs cover both round protocols: SEND(floor) on the cycle takes the
+// tier-1 windowed halo path (2 loads per shard per round cross the
+// channel), ROTOR-ROUTER takes the tier-2 routed-flow path. k = 1 vs the
+// flat BM_Cycle1M_*_Lazy twin is the abstraction overhead of the shard
+// substrate itself.
+void run_steps_sharded(benchmark::State& state, const Graph& g,
+                       Algorithm algo) {
+  const int shards = static_cast<int>(state.range(0));
+  auto balancer = balancer_factory(algo)(/*seed=*/42);
+  ShardedEngineConfig config;
+  config.self_loops = g.degree();  // d° = d, the theorems' regime
+  config.check_conservation = true;
+  config.conservation_interval = 64;
+  ShardedEngine e(g, config, *balancer,
+                  random_initial(g.num_nodes(), 1000, 7), shards);
+  ThreadPool pool(shards);
+  if (shards > 1) e.set_thread_pool(&pool);
+
+  for (auto _ : state) {
+    e.step();
+    benchmark::DoNotOptimize(e.time());
+  }
+  state.SetItemsProcessed(state.iterations());  // items/sec == steps/sec
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["nodes"] = static_cast<double>(g.num_nodes());
+  state.counters["node_steps_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(g.num_nodes()),
+      benchmark::Counter::kIsRate);
+  std::size_t halo = 0;
+  for (int s = 0; s < shards; ++s) halo += e.shard_halo_bytes(s);
+  state.counters["halo_bytes"] = static_cast<double>(halo);
+  state.SetLabel(algorithm_name(algo) +
+                 (e.windowed() ? "/sharded-halo" : "/sharded-routed"));
+}
+
+void BM_Sharded_Cycle1M_SendFloor(benchmark::State& s) {
+  run_steps_sharded(s, cycle_1m(), Algorithm::kSendFloor);
+}
+void BM_Sharded_Cycle1M_RotorRouter(benchmark::State& s) {
+  run_steps_sharded(s, cycle_1m(), Algorithm::kRotorRouter);
+}
+void BM_Sharded_Torus512_SendFloor(benchmark::State& s) {
+  run_steps_sharded(s, torus_512(), Algorithm::kSendFloor);
+}
+
 // ------------------------------------------ n = 2^18 torus (d = 4) slice --
 void BM_Torus512_SendFloor_Lazy(benchmark::State& s) {
   run_steps(s, torus_512(), Algorithm::kSendFloor, Path::kLazy);
@@ -273,6 +333,100 @@ BENCHMARK(BM_StepParallel_RotorRouter)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StepParallel_Torus_SendFloor)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sharded_Cycle1M_SendFloor)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sharded_Cycle1M_RotorRouter)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sharded_Torus512_SendFloor)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------- --timed-window mode --
+// Fixed wall-clock measurement, bypassing google-benchmark's iteration
+// estimator: each roster entry steps its engine until the window closes
+// and reports completed steps over the elapsed time, plus the process's
+// peak resident set after the run (getrusage ru_maxrss — the column that
+// catches an accidental adjacency materialization or a copied window).
+// The final roster entry is the capstone capacity demo: a 2^26-node
+// *implicit* cycle (no adjacency table exists; at 8 bytes/node its load
+// state alone is 512 MiB) sharded 8 ways, with each shard's resident
+// slice + halo footprint printed so the memory story is part of the
+// recorded artifact.
+
+long peak_rss_kib() {
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+  return u.ru_maxrss;  // KiB on Linux
+}
+
+template <class EngineT>
+std::pair<long long, double> spin_window(EngineT& e, double window_s) {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<clock::duration>(
+                  std::chrono::duration<double>(window_s));
+  long long steps = 0;
+  do {  // at least one step, however large the graph
+    e.step();
+    ++steps;
+  } while (clock::now() < deadline);
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  return {steps, elapsed};
+}
+
+void timed_row(const char* series, const Graph& g, Algorithm algo,
+               int shards, double window_s) {
+  auto balancer = balancer_factory(algo)(/*seed=*/42);
+  const LoadVector initial = random_initial(g.num_nodes(), 1000, 7);
+  long long steps = 0;
+  double elapsed = 0.0;
+  std::size_t resident = 0, halo = 0;
+  if (shards == 0) {
+    EngineConfig config;
+    config.self_loops = g.degree();
+    config.conservation_interval = 64;
+    Engine e(g, config, *balancer, initial);
+    std::tie(steps, elapsed) = spin_window(e, window_s);
+  } else {
+    ShardedEngineConfig config;
+    config.self_loops = g.degree();
+    config.conservation_interval = 64;
+    ShardedEngine e(g, config, *balancer, initial, shards);
+    ThreadPool pool(shards);
+    if (shards > 1) e.set_thread_pool(&pool);
+    std::tie(steps, elapsed) = spin_window(e, window_s);
+    for (int s = 0; s < shards; ++s) {
+      resident = std::max(resident, e.shard_resident_bytes(s));
+      halo = std::max(halo, e.shard_halo_bytes(s));
+    }
+  }
+  const double steps_per_s = static_cast<double>(steps) / elapsed;
+  std::printf("%s,%s,%lld,%d,%lld,%.3f,%.2f,%.0f,%zu,%zu,%ld\n", series,
+              algorithm_name(algo).c_str(),
+              static_cast<long long>(g.num_nodes()), shards, steps, elapsed,
+              steps_per_s, steps_per_s * static_cast<double>(g.num_nodes()),
+              resident, halo, peak_rss_kib());
+  std::fflush(stdout);
+}
+
+int run_timed_window(double window_s) {
+  std::printf(
+      "series,algorithm,nodes,shards,steps,window_s,steps_per_s,"
+      "node_steps_per_s,max_shard_resident_bytes,max_shard_halo_bytes,"
+      "peak_rss_kib\n");
+  timed_row("flat", cycle_1m(), Algorithm::kSendFloor, 0, window_s);
+  for (int k : {1, 2, 4, 8}) {
+    timed_row("sharded", cycle_1m(), Algorithm::kSendFloor, k, window_s);
+  }
+  // Capacity demo: 2^26 implicit cycle, 8 shards. The per-shard resident
+  // column shows ~1/8th of the load state per shard; the halo column
+  // shows the constant few dozen bytes that actually cross shards.
+  const Graph big = Graph::implicit(NodeId{1} << 26, 2, "cycle-2^26",
+                                    {GraphStructure::kCycle, {}});
+  timed_row("sharded-demo", big, Algorithm::kSendFloor, 8, window_s);
+  return 0;
+}
 
 }  // namespace
 
@@ -282,6 +436,29 @@ BENCHMARK(BM_StepParallel_Torus_SendFloor)
 // recorded baseline measured (see README "SIMD kernels" for the
 // re-record procedure).
 int main(int argc, char** argv) {
+  // --timed-window[=SECONDS] is ours, not google-benchmark's: strip it
+  // from argv BEFORE Initialize (which rejects unknown flags), then run
+  // the wall-clock roster instead of the registered benchmarks.
+  double window_s = -1.0;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--timed-window") {
+      window_s = 2.0;
+    } else if (arg.rfind("--timed-window=", 0) == 0) {
+      window_s = std::atof(argv[i] + sizeof("--timed-window=") - 1);
+      if (window_s <= 0.0) {
+        std::fprintf(stderr, "bad --timed-window value: %s\n", argv[i]);
+        return 1;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+  if (window_s > 0.0) return run_timed_window(window_s);
+
   benchmark::AddCustomContext("dlb_build_type",
 #ifdef NDEBUG
                               "release"

@@ -12,9 +12,10 @@ this repo's baseline was recorded on, are too noisy for a hard perf
 gate). Two kinds of problem do exit 1 unconditionally, because they make
 the numbers meaningless rather than merely noisy:
 
-  * structural problems — unreadable files, or baseline series missing
+  * structural problems — unreadable files, baseline series missing
     from the current run (a renamed benchmark must not silently drop out
-    of the tracked trajectory);
+    of the tracked trajectory), or a run carrying no BM_Sharded_* series
+    at all (the sharded-engine throughput trajectory is tracked);
   * debug builds — either file carrying a "dlb_build_type" context other
     than "release" (the bench binary stamps it; debug numbers are 5-20x
     off and must never be recorded or compared as a baseline). Files
@@ -65,6 +66,21 @@ def extract_rates(path, doc):
     return rates
 
 
+def require_sharded_series(path, rates):
+    """Hard-fails when a run carries no BM_Sharded_* series.
+
+    The sharded-engine throughput trajectory is a tracked artifact like
+    the implicit-vs-generic ratios; a filter or rename that silently
+    drops every sharded series would otherwise go unnoticed until the
+    next re-record.
+    """
+    if not any(name.startswith("BM_Sharded_") for name in rates):
+        sys.exit(f"error: {path} carries no BM_Sharded_* series; the "
+                 "sharded-engine throughput trajectory is a tracked "
+                 "artifact — run bench_engine_hotpath without a filter "
+                 "that excludes it")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current")
@@ -93,6 +109,8 @@ def main():
 
     current = extract_rates(args.current, cur_doc)
     baseline = extract_rates(args.baseline, base_doc)
+    require_sharded_series(args.current, current)
+    require_sharded_series(args.baseline, baseline)
 
     missing = sorted(set(baseline) - set(current))
     if missing:

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -288,11 +289,18 @@ std::vector<SweepRow> SweepRunner::run(
     }
     return false;
   };
-  const bool inner =
-      options_.nesting == SweepNesting::kInner ||
-      (options_.nesting == SweepNesting::kAuto && raw_threads > 1 &&
-       scenarios.size() < static_cast<std::size_t>(raw_threads) &&
-       big_enough_for_inner());
+  const bool auto_starved =
+      options_.nesting == SweepNesting::kAuto && raw_threads > 1 &&
+      scenarios.size() < static_cast<std::size_t>(raw_threads) &&
+      big_enough_for_inner();
+  const bool inner = options_.nesting == SweepNesting::kInner ||
+                     (auto_starved && scenarios.size() == 1);
+  // Hybrid splits the budget: scenario-parallel outer workers, each
+  // running its engine round-parallel on threads/outer cores. kAuto
+  // lands here when outer mode would idle threads but there is more
+  // than one scenario to overlap (pure inner would serialize them).
+  const bool hybrid = options_.nesting == SweepNesting::kHybrid ||
+                      (auto_starved && scenarios.size() > 1);
 
   if (inner) {
     // Few huge scenarios: run them sequentially, each round-parallel on
@@ -306,18 +314,32 @@ std::vector<SweepRow> SweepRunner::run(
     return rows;
   }
 
+  int n_threads = effective_threads(scenarios.size());
+  int inner_width = 1;
+  if (hybrid) {
+    n_threads = static_cast<int>(std::min<std::size_t>(
+        scenarios.size(),
+        static_cast<std::size_t>(std::max(1, raw_threads))));
+    inner_width = std::max(1, raw_threads / n_threads);
+  }
+
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::mutex error_mutex;  // guards first_error and the on_result callback
   std::exception_ptr first_error;
 
   auto worker = [&]() {
+    // Each outer worker owns its slice of the thread budget; rows stay
+    // byte-identical because the engines' parallel pipeline is itself
+    // thread-count-invariant.
+    std::unique_ptr<ThreadPool> pool;
+    if (inner_width > 1) pool = std::make_unique<ThreadPool>(inner_width);
     for (;;) {
       if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= scenarios.size()) return;
       try {
-        rows[i] = run_one(matrix, scenarios[i], nullptr);
+        rows[i] = run_one(matrix, scenarios[i], pool.get());
         // List position, not completion order.
         if (options_.on_result) {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -332,7 +354,6 @@ std::vector<SweepRow> SweepRunner::run(
     }
   };
 
-  const int n_threads = effective_threads(scenarios.size());
   if (n_threads == 1) {
     worker();
   } else {

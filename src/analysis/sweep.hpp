@@ -12,10 +12,13 @@
 // Nesting policy: with many scenarios the worker pool parallelizes
 // *across* scenarios (outer mode — each run serial). With fewer
 // scenarios than threads (a handful of huge-n runs), outer mode would
-// idle most cores, so the runner flips to inner mode: scenarios run
-// sequentially and each engine runs its intra-round parallel
-// decide/apply pipeline on a shared ThreadPool. Both modes produce
-// byte-identical rows (kAuto picks per sweep; kOuter/kInner force one).
+// idle most cores, so the runner splits the budget: one outer worker
+// per scenario, each running its engine's intra-round parallel
+// decide/apply pipeline on a private pool of threads/outer cores
+// (hybrid mode), degenerating to inner mode — scenarios sequential,
+// one shared pool — when there is a single scenario. All modes produce
+// byte-identical rows (kAuto picks per sweep; kOuter/kInner/kHybrid
+// force one).
 //
 // Thread-safety model: graphs are immutable and shared read-only;
 // balancer and engine state is per-scenario (every worker constructs its
@@ -200,13 +203,20 @@ struct SweepRow {
 
 /// How SweepRunner nests the two levels of parallelism.
 enum class SweepNesting {
-  /// Outer when scenarios >= threads; inner when threads would idle AND
-  /// some scenario graph has >= 2^15 nodes (below that, the per-step
-  /// pool rendezvous costs more than round-parallelism recovers, so the
-  /// few-small-scenarios case stays serial).
+  /// Outer when scenarios >= threads. When threads would idle AND some
+  /// scenario graph has >= 2^15 nodes (below that, the per-step pool
+  /// rendezvous costs more than round-parallelism recovers, so the
+  /// few-small-scenarios case stays serial): inner for a single
+  /// scenario, hybrid for 1 < scenarios < threads.
   kAuto,
   kOuter,  ///< always parallelize across scenarios (each run serial)
   kInner,  ///< scenarios sequential, each run intra-round parallel
+  /// Both levels at once: one outer worker per scenario (capped at the
+  /// thread budget), each running its engine round-parallel on a private
+  /// pool of threads/outer cores. Covers the gap where outer mode idles
+  /// most of the budget but inner mode serializes scenarios that could
+  /// overlap.
+  kHybrid,
 };
 
 struct SweepOptions {

@@ -12,6 +12,137 @@
 
 namespace dlb {
 
+namespace {
+
+// Shared torus row-gather core: sweeps storage-space indices [first, last)
+// of `xs`, extracting coordinates at `storage index + shift` (the flat
+// path runs with shift = 0 over the whole load vector; the windowed path
+// runs with shift = global_begin − reach over a shard's halo'd window).
+// `ring_top` forces the top dimension's offsets to ±stride(r−1): in ring
+// coordinates the wrap offset ±(ext−1)·stride is congruent to ∓stride
+// mod n, and a window filled mod n makes that congruence literal — the
+// flat path keeps the true wrap offsets. Everything else — the row
+// blocking, the per-segment scalar/AVX2 bodies, the emit order, the
+// min/max fold — is byte-for-byte the same arithmetic in both callers.
+template <class Emit, class EmitBlock>
+void torus_gather_rows(const TorusTopology& topo, const NonNegDiv& div,
+                       NodeId first, NodeId last, NodeId shift, bool ring_top,
+                       const Load* xs, Load& lo, Load& hi, Emit&& emit,
+                       [[maybe_unused]] EmitBlock&& emit_block) {
+  const int d = topo.degree();
+  const int r = topo.dims();
+  const NodeId ext0 = topo.extent(0);
+  std::array<NodeId, 2 * (TorusTopology::kMaxDims - 1)> off{};
+  int m = 0;
+  NodeId row_start = 0;
+  NodeId u = first;
+
+  // Scalar sweep over [a, b) within the current row.
+  const auto segment = [&](NodeId a, NodeId b, auto&& emit_one) {
+    for (NodeId v = a; v < b; ++v) {
+      const NodeId c = v - row_start;
+      const NodeId left = c == 0 ? row_start + ext0 - 1 : v - 1;
+      const NodeId right = c + 1 == ext0 ? row_start : v + 1;
+      const Load x = xs[static_cast<std::size_t>(v)];
+      DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
+      Load acc = x - div.quot(x) * d +
+                 div.quot(xs[static_cast<std::size_t>(left)]) +
+                 div.quot(xs[static_cast<std::size_t>(right)]);
+      for (int j = 0; j < m; j += 2) {
+        acc += div.quot(xs[static_cast<std::size_t>(
+                   v + off[static_cast<std::size_t>(j)])]) +
+               div.quot(xs[static_cast<std::size_t>(
+                   v + off[static_cast<std::size_t>(j + 1)])]);
+      }
+      emit_one(static_cast<std::size_t>(v), acc);
+      lo = acc < lo ? acc : lo;
+      hi = acc > hi ? acc : hi;
+    }
+  };
+
+  while (u < last) {
+    const auto c0 = static_cast<NodeId>(topo.coordinate(u + shift, 0));
+    row_start = u - c0;
+    const NodeId seg_end = std::min<NodeId>(last, row_start + ext0);
+    m = 0;
+    for (int k = 1; k < r; ++k) {
+      const NodeId ext = topo.extent(k);
+      const NodeId stride = topo.stride(k);
+      if (ring_top && k == r - 1) {
+        // Ring window: the top dimension's neighbours are always at
+        // ±stride — the wrap case collapsed into the halo fill.
+        off[static_cast<std::size_t>(m++)] = stride;
+        off[static_cast<std::size_t>(m++)] = -stride;
+        continue;
+      }
+      const auto ck = static_cast<NodeId>(topo.coordinate(u + shift, k));
+      off[static_cast<std::size_t>(m++)] =
+          ck + 1 == ext ? -(ext - 1) * stride : stride;
+      off[static_cast<std::size_t>(m++)] =
+          ck == 0 ? (ext - 1) * stride : -stride;
+    }
+
+#ifdef DLB_SIMD_AVX2
+    if (div.pow2() && simd::enabled() && seg_end - u >= 2 * simd::kLanes) {
+      const __m128i sh = _mm_cvtsi32_si128(div.pow2_shift());
+      // Row-interior nodes: dimension-0 neighbors are ±1, no wrap.
+      const NodeId a = std::max<NodeId>(u, row_start + 1);
+      const NodeId b = std::min<NodeId>(seg_end, row_start + ext0 - 1);
+      segment(u, a, emit);
+      __m256i vmin = _mm256_set1_epi64x(std::numeric_limits<Load>::max());
+      __m256i vmax = _mm256_set1_epi64x(std::numeric_limits<Load>::min());
+      NodeId v = a;
+      for (; v + simd::kLanes <= b; v += simd::kLanes) {
+        const __m256i vx =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + v));
+        if (simd::any_negative(vx)) {
+          segment(v, v + simd::kLanes, emit);
+          continue;
+        }
+        const __m256i q = _mm256_srl_epi64(vx, sh);
+        // q·d as an add chain: exact int64, no 64-bit vector multiply
+        // needed (d is small — 2r).
+        __m256i qd = q;
+        for (int i = 1; i < d; ++i) qd = _mm256_add_epi64(qd, q);
+        __m256i acc = _mm256_sub_epi64(vx, qd);
+        acc = _mm256_add_epi64(
+            acc, _mm256_srl_epi64(
+                     _mm256_loadu_si256(
+                         reinterpret_cast<const __m256i*>(xs + v - 1)),
+                     sh));
+        acc = _mm256_add_epi64(
+            acc, _mm256_srl_epi64(
+                     _mm256_loadu_si256(
+                         reinterpret_cast<const __m256i*>(xs + v + 1)),
+                     sh));
+        for (int j = 0; j < m; ++j) {
+          const Load* stream = xs + v + off[static_cast<std::size_t>(j)];
+          acc = _mm256_add_epi64(
+              acc,
+              _mm256_srl_epi64(_mm256_loadu_si256(
+                                   reinterpret_cast<const __m256i*>(stream)),
+                               sh));
+        }
+        emit_block(static_cast<std::size_t>(v), acc);
+        vmin = simd::min_epi64(vmin, acc);
+        vmax = simd::max_epi64(vmax, acc);
+      }
+      const Load vlo = simd::reduce_min(vmin);
+      const Load vhi = simd::reduce_max(vmax);
+      lo = vlo < lo ? vlo : lo;
+      hi = vhi > hi ? vhi : hi;
+      segment(v, seg_end, emit);
+      u = seg_end;
+      continue;
+    }
+#endif
+    segment(u, seg_end, emit);
+    u = seg_end;
+  }
+}
+
+}  // namespace
+
 void SendFloor::reset(const Graph& graph, int d_loops) {
   DLB_REQUIRE(d_loops >= 0, "SendFloor: negative self-loop count");
   d_plus_ = graph.degree() + d_loops;
@@ -176,149 +307,98 @@ void SendFloor::scatter_range(const TorusTopology& topo, NodeId first,
   // path gathers the same 2r + 3 streams four row-interior nodes at a
   // time (lane shifts need power-of-two d⁺; q·d is a short add chain so
   // the integer arithmetic stays exact); row ends and tails stay scalar.
-  const int d = topo.degree();
-  const int r = topo.dims();
-  const NodeId ext0 = topo.extent(0);
-  const bool assign_first = sink.assign_first();
-  const Load* xs = loads.data();
+  torus_gather_dispatch(topo, first, last, /*shift=*/0, /*ring_top=*/false,
+                        loads.data(), last - first, sink);
+}
+
+// Emit-mode selection around torus_gather_rows, shared by the flat
+// scatter kernel (storage space == global space) and the windowed shard
+// kernel (storage space == window slots).
+void SendFloor::torus_gather_dispatch(const TorusTopology& topo, NodeId first,
+                                      NodeId last, NodeId shift, bool ring_top,
+                                      const Load* xs, NodeId covered,
+                                      FlowSink& sink) {
   Load lo = std::numeric_limits<Load>::max();
   Load hi = std::numeric_limits<Load>::min();
-  std::array<NodeId, 2 * (TorusTopology::kMaxDims - 1)> off{};
-  int m = 0;
-  NodeId row_start = 0;
-  NodeId u = first;
-
-  // Scalar sweep over [a, b) within the current row.
-  const auto segment = [&](NodeId a, NodeId b, auto&& emit) {
-    for (NodeId v = a; v < b; ++v) {
-      const NodeId c = v - row_start;
-      const NodeId left = c == 0 ? row_start + ext0 - 1 : v - 1;
-      const NodeId right = c + 1 == ext0 ? row_start : v + 1;
-      const Load x = xs[static_cast<std::size_t>(v)];
-      DLB_REQUIRE(x >= 0, "SendFloor cannot handle negative load");
-      Load acc = x - div_.quot(x) * d +
-                 div_.quot(xs[static_cast<std::size_t>(left)]) +
-                 div_.quot(xs[static_cast<std::size_t>(right)]);
-      for (int j = 0; j < m; j += 2) {
-        acc += div_.quot(xs[static_cast<std::size_t>(
-                   v + off[static_cast<std::size_t>(j)])]) +
-               div_.quot(xs[static_cast<std::size_t>(
-                   v + off[static_cast<std::size_t>(j + 1)])]);
-      }
-      emit(static_cast<std::size_t>(v), acc);
-      lo = acc < lo ? acc : lo;
-      hi = acc > hi ? acc : hi;
-    }
-  };
-
-  while (u < last) {
-    const auto c0 = static_cast<NodeId>(topo.coordinate(u, 0));
-    row_start = u - c0;
-    const NodeId seg_end = std::min<NodeId>(last, row_start + ext0);
-    m = 0;
-    for (int k = 1; k < r; ++k) {
-      const auto ck = static_cast<NodeId>(topo.coordinate(u, k));
-      const NodeId ext = topo.extent(k);
-      const NodeId stride = topo.stride(k);
-      off[static_cast<std::size_t>(m++)] =
-          ck + 1 == ext ? -(ext - 1) * stride : stride;
-      off[static_cast<std::size_t>(m++)] =
-          ck == 0 ? (ext - 1) * stride : -stride;
-    }
-
-    const auto run_segment = [&](auto&& emit,
-                                 [[maybe_unused]] auto&& emit_block) {
+  if (sink.assign_first()) {
+    const auto next = sink.plain();
+    [[maybe_unused]] Load* vals = next.raw_values();
+    torus_gather_rows(
+        topo, div_, first, last, shift, ring_top, xs, lo, hi,
+        [&](std::size_t v, Load acc) { next.assign(v, acc); },
 #ifdef DLB_SIMD_AVX2
-      if (div_.pow2() && simd::enabled() &&
-          seg_end - u >= 2 * simd::kLanes) {
-        const __m128i sh = _mm_cvtsi32_si128(div_.pow2_shift());
-        // Row-interior nodes: dimension-0 neighbors are ±1, no wrap.
-        const NodeId a = std::max<NodeId>(u, row_start + 1);
-        const NodeId b = std::min<NodeId>(seg_end, row_start + ext0 - 1);
-        segment(u, a, emit);
-        __m256i vmin = _mm256_set1_epi64x(std::numeric_limits<Load>::max());
-        __m256i vmax = _mm256_set1_epi64x(std::numeric_limits<Load>::min());
-        NodeId v = a;
-        for (; v + simd::kLanes <= b; v += simd::kLanes) {
-          const __m256i vx = _mm256_loadu_si256(
-              reinterpret_cast<const __m256i*>(xs + v));
-          if (simd::any_negative(vx)) {
-            segment(v, v + simd::kLanes, emit);
-            continue;
-          }
-          const __m256i q = _mm256_srl_epi64(vx, sh);
-          // q·d as an add chain: exact int64, no 64-bit vector multiply
-          // needed (d is small — 2r).
-          __m256i qd = q;
-          for (int i = 1; i < d; ++i) qd = _mm256_add_epi64(qd, q);
-          __m256i acc = _mm256_sub_epi64(vx, qd);
-          acc = _mm256_add_epi64(
-              acc, _mm256_srl_epi64(_mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(
-                                            xs + v - 1)),
-                                    sh));
-          acc = _mm256_add_epi64(
-              acc, _mm256_srl_epi64(_mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(
-                                            xs + v + 1)),
-                                    sh));
-          for (int j = 0; j < m; ++j) {
-            const Load* stream = xs + v + off[static_cast<std::size_t>(j)];
-            acc = _mm256_add_epi64(
-                acc, _mm256_srl_epi64(
-                         _mm256_loadu_si256(
-                             reinterpret_cast<const __m256i*>(stream)),
-                         sh));
-          }
-          emit_block(static_cast<std::size_t>(v), acc);
-          vmin = simd::min_epi64(vmin, acc);
-          vmax = simd::max_epi64(vmax, acc);
+        [&](std::size_t v, __m256i acc) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + v), acc);
         }
-        const Load vlo = simd::reduce_min(vmin);
-        const Load vhi = simd::reduce_max(vmax);
-        lo = vlo < lo ? vlo : lo;
-        hi = vhi > hi ? vhi : hi;
-        segment(v, seg_end, emit);
-        return;
-      }
-#endif
-      segment(u, seg_end, emit);
-    };
-
-    if (assign_first) {
-      const auto next = sink.plain();
-      [[maybe_unused]] Load* vals = next.raw_values();
-      run_segment([&](std::size_t v, Load acc) { next.assign(v, acc); },
-#ifdef DLB_SIMD_AVX2
-                  [&](std::size_t v, __m256i acc) {
-                    _mm256_storeu_si256(
-                        reinterpret_cast<__m256i*>(vals + v), acc);
-                  }
 #else
-                  0
+        0
 #endif
-      );
-    } else {
-      const auto next = sink.scatter();
-      [[maybe_unused]] Load* vals = next.raw_values();
-      [[maybe_unused]] std::uint8_t* ep = next.raw_epoch();
-      [[maybe_unused]] const std::uint32_t st4 =
-          std::uint32_t{0x01010101} * next.epoch_stamp();
-      run_segment([&](std::size_t v, Load acc) { next.add(v, acc); },
+    );
+  } else {
+    const auto next = sink.scatter();
+    [[maybe_unused]] Load* vals = next.raw_values();
+    [[maybe_unused]] std::uint8_t* ep = next.raw_epoch();
+    [[maybe_unused]] const std::uint32_t st4 =
+        std::uint32_t{0x01010101} * next.epoch_stamp();
+    torus_gather_rows(
+        topo, div_, first, last, shift, ring_top, xs, lo, hi,
+        [&](std::size_t v, Load acc) { next.add(v, acc); },
 #ifdef DLB_SIMD_AVX2
-                  [&](std::size_t v, __m256i acc) {
-                    _mm256_storeu_si256(
-                        reinterpret_cast<__m256i*>(vals + v), acc);
-                    std::memcpy(ep + v, &st4, sizeof(st4));
-                  }
+        [&](std::size_t v, __m256i acc) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + v), acc);
+          std::memcpy(ep + v, &st4, sizeof(st4));
+        }
 #else
-                  0
+        0
 #endif
-      );
-    }
-    u = seg_end;
+    );
   }
-  sink.merge_emit_stats(lo, hi, last - first);
+  sink.merge_emit_stats(lo, hi, covered);
+}
+
+NodeId SendFloor::window_reach(const Graph& g) const {
+  switch (g.structure().kind) {
+    case GraphStructure::kCycle:
+      return 1;
+    case GraphStructure::kTorus: {
+      // Top dimension's stride: every lower dimension's wrap offset
+      // (ext_k − 1)·stride_k < stride_{k+1} stays inside it, and the top
+      // dimension's own wrap ±(ext−1)·stride ≡ ∓stride mod n. A 1-dim
+      // torus is the cycle (reach 1 = stride(0)).
+      const TorusTopology topo(g);
+      return topo.stride(topo.dims() - 1);
+    }
+    default:
+      return -1;  // hypercube/generic: no bounded ring reach
+  }
+}
+
+void SendFloor::decide_window(std::span<const Load> window, NodeId global_begin,
+                              NodeId owned, NodeId reach, Step /*t*/,
+                              FlowSink& sink) {
+  const Graph& g = sink.graph();
+  const auto kind = g.structure().kind;
+  DLB_REQUIRE(window.size() ==
+                  static_cast<std::size_t>(owned) + 2 * static_cast<std::size_t>(reach),
+              "SendFloor::decide_window: window size mismatch");
+  if (kind == GraphStructure::kCycle ||
+      (kind == GraphStructure::kTorus && g.structure().extents.size() == 1)) {
+    // The window is a halo'd cycle segment: running the flat cycle
+    // stencil over a synthetic cycle the size of the window, restricted
+    // to the owned interior [reach, reach + owned), performs exactly the
+    // windowed gather — the boundary wraps are never taken, every read
+    // lands on a halo or owned slot. Same div_, same SIMD body, same
+    // emit order → byte-identical next loads.
+    scatter_range(CycleTopology(static_cast<NodeId>(window.size())), reach,
+                  reach + owned, window, sink);
+    return;
+  }
+  DLB_REQUIRE(kind == GraphStructure::kTorus,
+              "SendFloor::decide_window: unsupported structure");
+  const TorusTopology topo(g);
+  torus_gather_dispatch(topo, reach, reach + owned,
+                        /*shift=*/global_begin - reach, /*ring_top=*/true,
+                        window.data(), owned, sink);
 }
 
 template <class Topo>

@@ -37,6 +37,21 @@ class SendFloor : public Balancer {
   /// pass 2 adds the neighbour shares.
   bool assign_first_scatter_safe() const override { return true; }
 
+  /// Windowed-gather support for the sharded engine: the cycle stencil
+  /// reaches one slot each way; the r-dim torus row gather reaches
+  /// stride(r−1) ring slots (the top dimension's wrap offset
+  /// ±(ext−1)·stride ≡ ∓stride mod n, so in ring coordinates *every*
+  /// neighbour lies within stride(r−1)). Hypercube/generic have no
+  /// bounded ring reach (−1 → the engine's tier-2 flow routing).
+  NodeId window_reach(const Graph& g) const override;
+
+  /// Per-slice variants of the structured scatter kernels above, running
+  /// the same scalar/SIMD bodies over a halo'd window (indices are window
+  /// slots, all stencil reads in-bounds by the window_reach contract).
+  void decide_window(std::span<const Load> window, NodeId global_begin,
+                     NodeId owned, NodeId reach, Step t,
+                     FlowSink& sink) override;
+
  private:
   template <class Topo>
   void scatter_range(const Topo& topo, NodeId first, NodeId last,
@@ -58,6 +73,13 @@ class SendFloor : public Balancer {
   /// would still stream the port tables.)
   void scatter_range(const TorusTopology& topo, NodeId first, NodeId last,
                      std::span<const Load> loads, FlowSink& sink);
+  /// Emit-mode selection around the shared torus row-gather core; the
+  /// flat kernel calls it with shift 0 / true wrap offsets, the windowed
+  /// kernel with window-slot indices and ring-normalized top-dimension
+  /// offsets (see send_floor.cpp).
+  void torus_gather_dispatch(const TorusTopology& topo, NodeId first,
+                             NodeId last, NodeId shift, bool ring_top,
+                             const Load* xs, NodeId covered, FlowSink& sink);
 
   int d_plus_ = 0;
   NonNegDiv div_;  // ⌊x/d⁺⌋ via shift when d⁺ is a power of two

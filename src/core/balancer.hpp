@@ -195,6 +195,36 @@ class Balancer {
   virtual void decide_all(std::span<const Load> loads, Step t,
                           FlowSink& sink) final;
 
+  /// Stencil reach of this balancer's windowed gather kernel on `g`, in
+  /// linearized ring slots, or −1 when it has no windowed kernel for this
+  /// graph. A non-negative reach R is a promise: for every node u, the
+  /// next load next(u) is a pure gather over loads at ring distance ≤ R
+  /// from u (mod n, in index space), computable by decide_window() from a
+  /// halo'd window alone. The sharded engine keys its tier-1 fast path on
+  /// this — shards exchange R boundary *loads* before decide instead of
+  /// flows after it, and nothing else ever crosses a shard.
+  virtual NodeId window_reach(const Graph& g) const;
+
+  /// Windowed gather decide over one shard's slice. `window` holds
+  /// `owned + 2·reach` loads: slots [0, reach) are the left halo, slots
+  /// [reach, reach + owned) are the owned nodes — globally
+  /// [global_begin, global_begin + owned) — and the rest is the right
+  /// halo. The kernel must write each owned slot's next load exactly once
+  /// through the sink's scatter view *at window indices* (single-touch,
+  /// like the structured scatter kernels), fold min/max into the emit
+  /// sweep, and report merge_emit_stats(lo, hi, owned). Only called when
+  /// window_reach(g) >= 0; the default aborts.
+  virtual void decide_window(std::span<const Load> window, NodeId global_begin,
+                             NodeId owned, NodeId reach, Step t,
+                             FlowSink& sink);
+
+  /// True when prepare_round reads its loads span (e.g. CONT-MIMIC's
+  /// step-0 capture). The sharded engine gathers a contiguous global copy
+  /// of the loads before the round's prepare_round call iff this is set;
+  /// balancers that ignore the span (the default no-op, ROTOR-ROUTER's
+  /// lazy table build) skip that O(n) gather. Default: false.
+  virtual bool prepare_reads_loads() const { return false; }
+
   /// True when decide_range over disjoint ranges may run concurrently —
   /// i.e. a node's decision touches only that node's own state (rotor
   /// slots, per-edge carries) plus read-only data. Balancers drawing from

@@ -93,6 +93,12 @@ class WorkloadProcess {
   /// argmax scan) compute it here. Default: no-op.
   virtual void prepare(Step t, std::span<const Load> loads);
 
+  /// True when prepare() actually reads its loads span (the adversarial
+  /// argmax scan). The sharded engine gathers a contiguous global copy of
+  /// the loads before prepare() iff this is set; processes that only use
+  /// t (bursts, Poisson streams) skip that O(n) gather. Default: false.
+  virtual bool prepare_reads_loads() const { return false; }
+
   /// Net token demand at node u in round t: > 0 injects that many
   /// tokens, < 0 requests consumption of −delta tokens (the engine
   /// truncates at zero load). Given reset() state and this round's
@@ -262,6 +268,9 @@ class AdversarialInjector : public WorkloadProcess {
   void reset(NodeId n, std::uint64_t seed) override;
   void prepare(Step t, std::span<const Load> loads) override;
   Load delta(NodeId u, Step t) override;
+  /// The argmax/argmin scan is the one built-in prepare() that reads the
+  /// loads span — the sharded engine gathers a global copy for it.
+  bool prepare_reads_loads() const override { return true; }
   /// delta() only reads the targets chosen in the serial prepare().
   bool parallel_generate_safe() const override { return true; }
 

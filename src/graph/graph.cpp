@@ -28,7 +28,35 @@ Graph::Graph(NodeId num_nodes, int degree, std::vector<NodeId> adjacency,
   verify_structure();
 }
 
+Graph Graph::implicit(NodeId num_nodes, int degree, std::string name,
+                      StructureInfo structure) {
+  DLB_REQUIRE(structure.kind != GraphStructure::kGeneric,
+              "implicit graph needs a concrete structure tag");
+  Graph g;
+  g.n_ = num_nodes;
+  g.d_ = degree;
+  g.name_ = std::move(name);
+  g.structure_ = std::move(structure);
+  DLB_REQUIRE(g.n_ > 0, "graph must have at least one node");
+  DLB_REQUIRE(g.d_ > 0, "graph must have positive degree");
+  // Same tag-parameter validation as the table constructor; the
+  // entry-by-entry table comparison is vacuous (there are no tables —
+  // the formula *is* the adjacency).
+  g.verify_structure();
+  return g;
+}
+
+NodeId Graph::implicit_neighbor(NodeId u, int port) const {
+  // Non-inline on purpose: graph.hpp cannot see topology.hpp (it includes
+  // graph.hpp), and this path is for slow-path callers — hot kernels
+  // template on the trait types directly.
+  return with_topology(*this,
+                       [&](const auto& topo) { return topo.neighbor(u, port); });
+}
+
 Graph Graph::without_structure() const {
+  DLB_REQUIRE(!is_implicit(),
+              "without_structure: an implicit graph has no table path");
   Graph g = *this;
   g.structure_ = StructureInfo{};
   return g;
@@ -66,7 +94,9 @@ void Graph::verify_structure() const {
   // Entry-by-entry check of the tag's arithmetic against the built
   // tables: O(n·d) integer compares, cheap next to build_reverse_ports'
   // edge-bucket map, and the reason a structured fast path can never
-  // silently disagree with the tables it skips.
+  // silently disagree with the tables it skips. Implicit graphs have no
+  // tables to compare against.
+  if (is_implicit()) return;
   with_topology(*this, [&](const auto& topo) {
     for (NodeId u = 0; u < n_; ++u) {
       for (int p = 0; p < d_; ++p) {

@@ -71,6 +71,18 @@ class Graph {
         std::string name = "graph", bool allow_self_edges = false,
         StructureInfo structure = {});
 
+  /// Builds a *table-free* structured graph: no adjacency or reverse-port
+  /// arrays are materialized; neighbor()/rev_port() evaluate the tag's
+  /// arithmetic formula instead. This is how graphs bigger than one
+  /// address space's table budget (2^26-node cycle = 512 MiB of adj_
+  /// alone) are represented — the structured kernels never touch tables
+  /// anyway, and the sharded engine computes ownership from the same
+  /// arithmetic. `structure.kind` must not be kGeneric. The parameter
+  /// checks of the tag (n/d/extent consistency) still run; only the
+  /// entry-by-entry table verification is vacuous.
+  static Graph implicit(NodeId num_nodes, int degree, std::string name,
+                        StructureInfo structure);
+
   NodeId num_nodes() const noexcept { return n_; }
   int degree() const noexcept { return d_; }
   std::int64_t num_directed_edges() const noexcept {
@@ -81,12 +93,15 @@ class Graph {
   /// Head of the `port`-th out-edge of `u`.
   NodeId neighbor(NodeId u, int port) const {
     DLB_ASSERT(valid_node(u) && port >= 0 && port < d_, "neighbor: bad args");
-    return adj_[static_cast<std::size_t>(u) * d_ + port];
+    if (!adj_.empty()) return adj_[static_cast<std::size_t>(u) * d_ + port];
+    return implicit_neighbor(u, port);
   }
 
-  /// All out-neighbours of `u` (size d).
+  /// All out-neighbours of `u` (size d). Table-backed graphs only.
   std::span<const NodeId> neighbors(NodeId u) const {
     DLB_ASSERT(valid_node(u), "neighbors: bad node");
+    DLB_REQUIRE(!is_implicit(),
+                "neighbors: implicit graph has no adjacency table");
     return {adj_.data() + static_cast<std::size_t>(u) * d_,
             static_cast<std::size_t>(d_)};
   }
@@ -97,7 +112,10 @@ class Graph {
   /// pairing is an involution.
   int rev_port(NodeId u, int port) const {
     DLB_ASSERT(valid_node(u) && port >= 0 && port < d_, "rev_port: bad args");
-    return rev_[static_cast<std::size_t>(u) * d_ + port];
+    if (!rev_.empty()) return rev_[static_cast<std::size_t>(u) * d_ + port];
+    // Implicit families: cycle/torus pair +1 with −1 (p ^ 1); the
+    // hypercube edge is its own reverse port.
+    return structure_.kind == GraphStructure::kHypercube ? port : (port ^ 1);
   }
 
   /// Global directed-edge index of (u, port); dense in [0, n*d).
@@ -116,6 +134,10 @@ class Graph {
   /// implicit form). Engines dispatch their fast-path kernels on this.
   const StructureInfo& structure() const noexcept { return structure_; }
 
+  /// True when the graph was built by Graph::implicit — adjacency is
+  /// arithmetic only; the raw table accessors below must not be used.
+  bool is_implicit() const noexcept { return adj_.empty(); }
+
   /// Copy of this graph with the structure tag stripped, forcing every
   /// kernel onto the generic table path. The implicit≡generic golden
   /// tests and the BM_StepImplicit_* / BM_StepGeneric_* bench pairs run
@@ -123,11 +145,21 @@ class Graph {
   Graph without_structure() const;
 
   /// Raw flat port tables (size n·d, layout [u*d + p]) for the generic
-  /// topology wrapper's unchecked hot-loop access.
-  const NodeId* adjacency_data() const noexcept { return adj_.data(); }
-  const std::int32_t* rev_port_data() const noexcept { return rev_.data(); }
+  /// topology wrapper's unchecked hot-loop access. Implicit graphs carry
+  /// no tables — they are never structure-tagged kGeneric, so the generic
+  /// wrapper is unreachable for them by construction.
+  const NodeId* adjacency_data() const noexcept {
+    DLB_ASSERT(!is_implicit(), "adjacency_data: implicit graph");
+    return adj_.data();
+  }
+  const std::int32_t* rev_port_data() const noexcept {
+    DLB_ASSERT(!is_implicit(), "rev_port_data: implicit graph");
+    return rev_.data();
+  }
 
  private:
+  Graph() = default;  ///< used by the implicit() factory only
+  NodeId implicit_neighbor(NodeId u, int port) const;
   void build_reverse_ports();
   /// Checks every adjacency/rev entry against the tag's formula; throws
   /// invariant_error on the first mismatch.

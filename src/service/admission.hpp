@@ -43,6 +43,12 @@ class AdmissionQueue : public WorkloadProcess {
   /// delta() only reads the table built in the serial prepare().
   bool parallel_generate_safe() const override { return true; }
 
+  /// Adapter: whether prepare() needs the loads is the inner process's
+  /// business — this wrapper only forwards the span.
+  bool prepare_reads_loads() const override {
+    return inner_->prepare_reads_loads();
+  }
+
   /// Always list-based: the touched-node list built by prepare() (it can
   /// be dense when the inner process is, but the contract holds).
   const std::vector<NodeId>* affected_nodes() const override;

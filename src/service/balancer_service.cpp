@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "service/admission.hpp"
+#include "util/alloc.hpp"
 #include "util/assertions.hpp"
 
 namespace dlb {
@@ -156,7 +157,9 @@ void BalancerService::dump_metrics(std::ostream& out) const {
         << " window_mean=" << s.window_mean << " window_max=" << s.window_max
         << " window_p99=" << s.window_p99 << "\n";
   }
-  out << "checkpoints: " << checkpoints_written_ << "\n";
+  out << "checkpoints: " << checkpoints_written_ << "\n"
+      << "huge_page_madvise_failures: " << huge_page_madvise_failures()
+      << "\n";
 }
 
 }  // namespace dlb

@@ -4,6 +4,8 @@
 #include <fstream>
 
 #include "dynamics/workload.hpp"
+#include "graph/topology.hpp"
+#include "shard/sharded_engine.hpp"
 
 namespace dlb {
 
@@ -17,15 +19,28 @@ constexpr std::uint64_t kMagic = 0x31504E53424C44ULL;  // "DLBSNP1\0" LE
 /// need no separate hash).
 std::uint64_t hash_adjacency(const Graph& g) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  const NodeId* adj = g.adjacency_data();
-  const std::int64_t entries = g.num_directed_edges();
-  for (std::int64_t i = 0; i < entries; ++i) {
-    const auto v = static_cast<std::uint32_t>(adj[i]);
+  const auto mix = [&h](NodeId entry) {
+    const auto v = static_cast<std::uint32_t>(entry);
     for (int byte = 0; byte < 4; ++byte) {
       h ^= static_cast<std::uint8_t>(v >> (8 * byte));
       h *= 0x100000001b3ULL;
     }
+  };
+  if (g.is_implicit()) {
+    // No table exists — hash the entries it *would* hold, in layout
+    // order, so an implicit graph and its materialized twin fingerprint
+    // identically (snapshots move freely between the two).
+    const int d = g.degree();
+    with_topology(g, [&](const auto& topo) {
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (int p = 0; p < d; ++p) mix(topo.neighbor(u, p));
+      }
+    });
+    return h;
   }
+  const NodeId* adj = g.adjacency_data();
+  const std::int64_t entries = g.num_directed_edges();
+  for (std::int64_t i = 0; i < entries; ++i) mix(adj[i]);
   return h;
 }
 
@@ -50,8 +65,9 @@ std::vector<std::uint8_t> get_blob(StateReader& r) {
 
 }  // namespace
 
-EngineSnapshot EngineSnapshot::capture(const Engine& engine,
-                                       const SteadyStateTracker* tracker) {
+template <class EngineT>
+EngineSnapshot EngineSnapshot::capture_impl(const EngineT& engine,
+                                            const SteadyStateTracker* tracker) {
   EngineSnapshot s;
   const Graph& g = engine.graph();
   s.n_ = g.num_nodes();
@@ -87,8 +103,19 @@ EngineSnapshot EngineSnapshot::capture(const Engine& engine,
   return s;
 }
 
-void EngineSnapshot::restore(Engine& engine,
-                             SteadyStateTracker* tracker) const {
+EngineSnapshot EngineSnapshot::capture(const Engine& engine,
+                                       const SteadyStateTracker* tracker) {
+  return capture_impl(engine, tracker);
+}
+
+EngineSnapshot EngineSnapshot::capture(const ShardedEngine& engine,
+                                       const SteadyStateTracker* tracker) {
+  return capture_impl(engine, tracker);
+}
+
+template <class EngineT>
+void EngineSnapshot::restore_impl(EngineT& engine,
+                                  SteadyStateTracker* tracker) const {
   // Full fingerprint validation BEFORE any component is touched: a
   // restore either happens completely or leaves the engine untouched.
   const Graph& g = engine.graph();
@@ -144,6 +171,16 @@ void EngineSnapshot::restore(Engine& engine,
     tracker->load_state(r);
     r.expect_done("tracker state");
   }
+}
+
+void EngineSnapshot::restore(Engine& engine,
+                             SteadyStateTracker* tracker) const {
+  restore_impl(engine, tracker);
+}
+
+void EngineSnapshot::restore(ShardedEngine& engine,
+                             SteadyStateTracker* tracker) const {
+  restore_impl(engine, tracker);
 }
 
 std::vector<std::uint8_t> EngineSnapshot::serialize() const {

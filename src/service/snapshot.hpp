@@ -38,6 +38,8 @@
 
 namespace dlb {
 
+class ShardedEngine;
+
 class EngineSnapshot {
  public:
   /// Bump on any incompatible layout change; deserialize() refuses other
@@ -53,6 +55,13 @@ class EngineSnapshot {
   static EngineSnapshot capture(const Engine& engine,
                                 const SteadyStateTracker* tracker = nullptr);
 
+  /// Sharded capture: identical image format and contents. The core blob
+  /// gathers the owned slices in shard order, so a k-shard snapshot is
+  /// indistinguishable from (and interchangeable with) a flat one — the
+  /// shard count is a runtime execution choice, not persisted state.
+  static EngineSnapshot capture(const ShardedEngine& engine,
+                                const SteadyStateTracker* tracker = nullptr);
+
   /// Restores into an engine built over the *same* graph, self-loop
   /// count, balancer scheme, and workload configuration as the captured
   /// one (verified via the fingerprint — names, sizes, structure tag,
@@ -62,6 +71,13 @@ class EngineSnapshot {
   /// would have. Throws serial_error on any mismatch. A tracker must be
   /// supplied iff the snapshot carries one.
   void restore(Engine& engine, SteadyStateTracker* tracker = nullptr) const;
+
+  /// Restores into a sharded engine over the same run configuration, at
+  /// *any* shard count — the image carries no trace of the one it was
+  /// taken at. The flat load vector is scattered into the target's shard
+  /// windows.
+  void restore(ShardedEngine& engine,
+               SteadyStateTracker* tracker = nullptr) const;
 
   /// Flat byte image: header (magic, version, length, checksum) +
   /// payload.
@@ -95,6 +111,16 @@ class EngineSnapshot {
 
  private:
   EngineSnapshot() = default;
+
+  /// The capture/restore logic is engine-shape-agnostic — both engines
+  /// expose the same stepping-state surface (graph, self_loops, balancer,
+  /// workload, time, save/load_core_state) — so one template serves the
+  /// flat and the sharded substrate with byte-identical images.
+  template <class EngineT>
+  static EngineSnapshot capture_impl(const EngineT& engine,
+                                     const SteadyStateTracker* tracker);
+  template <class EngineT>
+  void restore_impl(EngineT& engine, SteadyStateTracker* tracker) const;
 
   NodeId n_ = 0;
   int d_ = 0;

@@ -1,0 +1,531 @@
+#include "shard/sharded_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "dynamics/workload.hpp"
+#include "util/assertions.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dlb {
+
+namespace {
+
+/// Wire format of one tier-1 halo segment: header then `len` loads. The
+/// header is two NodeIds so the receiver needs no out-of-band layout —
+/// a process transport replays the same bytes.
+struct HaloHeader {
+  NodeId dest_window;  ///< receiver's first window slot to fill
+  NodeId len;          ///< loads that follow
+};
+static_assert(sizeof(HaloHeader) == 2 * sizeof(NodeId));
+
+/// Wire format of one tier-2 routed flow: (global node, amount), packed
+/// to 12 bytes (no struct padding on the wire).
+inline constexpr std::size_t kFlowRecordBytes = sizeof(NodeId) + sizeof(Load);
+
+inline void append_flow(std::vector<std::byte>& buf, NodeId v, Load f) {
+  std::byte rec[kFlowRecordBytes];
+  std::memcpy(rec, &v, sizeof(NodeId));
+  std::memcpy(rec + sizeof(NodeId), &f, sizeof(Load));
+  buf.insert(buf.end(), rec, rec + kFlowRecordBytes);
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const Graph& g, ShardedEngineConfig config,
+                             Balancer& balancer, const LoadVector& initial,
+                             int shards, ShardChannel* channel)
+    : g_(&g), config_(config), balancer_(&balancer),
+      part_(g.num_nodes(), shards) {
+  DLB_REQUIRE(config_.self_loops >= 0, "self_loops must be non-negative");
+  DLB_REQUIRE(config_.conservation_interval >= 1,
+              "sharded engine: audit interval must be >= 1");
+  DLB_REQUIRE(initial.size() == static_cast<std::size_t>(g.num_nodes()),
+              "initial load vector has wrong size");
+  audit_ = ConservationPolicy{config_.check_conservation,
+                              config_.conservation_interval};
+  if (channel != nullptr) {
+    DLB_REQUIRE(channel->shard_count() == part_.shards(),
+                "sharded engine: channel endpoint count != shard count");
+    channel_ = channel;
+  } else {
+    owned_channel_ = std::make_unique<InProcessShardChannel>(part_.shards());
+    channel_ = owned_channel_.get();
+  }
+
+  balancer_->reset(g, config_.self_loops);
+  reach_ = balancer_->window_reach(g);
+  // A window needs reach < n ring slots each way; a degenerate tiny graph
+  // whose reach covers the whole ring routes flows instead.
+  if (reach_ >= g.num_nodes()) reach_ = -1;
+
+  const NodeId w = reach_ >= 0 ? reach_ : 0;
+  shards_.resize(static_cast<std::size_t>(part_.shards()));
+  for (int s = 0; s < part_.shards(); ++s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    sh.begin = part_.begin(s);
+    sh.size = part_.size(s);
+    sh.window.assign(static_cast<std::size_t>(sh.size + 2 * w), 0);
+    std::copy(initial.begin() + sh.begin, initial.begin() + sh.begin + sh.size,
+              sh.window.begin() + w);
+    sh.acc.reset(sh.window.size());
+  }
+  if (reach_ >= 0) {
+    build_tier1_plan();
+  } else {
+    build_tier2_plan();
+  }
+
+  // Statistics adoption, mirroring RoundEngineBase::adopt_loads.
+  total_ = total_load(initial);
+  base_total_ = total_;
+  const auto [lo, hi] = std::minmax_element(initial.begin(), initial.end());
+  min_load_ = *lo;
+  max_load_ = *hi;
+  min_load_seen_ = min_load_;
+  stats_dirty_ = false;
+}
+
+void ShardedEngine::build_tier1_plan() {
+  // Invert the halo geometry: shard t's halo segments, grouped by owner,
+  // become the owners' send lists. Pure ring arithmetic — no adjacency is
+  // ever consulted, so a 2^26-node implicit cycle plans in O(k) space.
+  for (int t = 0; t < part_.shards(); ++t) {
+    for (const HaloSegment& seg : ring_halo_segments(part_, t, reach_)) {
+      Shard& owner = shards_[static_cast<std::size_t>(seg.owner)];
+      owner.sends.push_back(HaloSend{
+          t, reach_ + (seg.global_begin - owner.begin), seg.len,
+          seg.window_offset});
+    }
+  }
+}
+
+void ShardedEngine::build_tier2_plan() {
+  // The edge cut, computed once: nodes with no cut edge (the common case
+  // on structured graphs — only the slice boundary qualifies) take a
+  // branch-free all-local scatter in the decide loop.
+  const int d = g_->degree();
+  with_topology(*g_, [&](const auto& topo) {
+    for (int s = 0; s < part_.shards(); ++s) {
+      Shard& sh = shards_[static_cast<std::size_t>(s)];
+      sh.boundary.assign(static_cast<std::size_t>(sh.size), 0);
+      sh.flow_out.resize(static_cast<std::size_t>(part_.shards()));
+      for (NodeId i = 0; i < sh.size; ++i) {
+        const NodeId u = sh.begin + i;
+        for (int p = 0; p < d; ++p) {
+          if (part_.owner(topo.neighbor(u, p)) != s) {
+            sh.boundary[static_cast<std::size_t>(i)] = 1;
+            ++sh.cut_edges;
+          }
+        }
+      }
+    }
+  });
+}
+
+template <class Body>
+void ShardedEngine::for_shards(bool parallel_ok, Body&& body) {
+  const int k = part_.shards();
+  if (parallel_ok && pool_ != nullptr && pool_->parallelism() > 1 && k > 1) {
+    pool_->for_ranges(k, [&](std::int64_t first, std::int64_t last) {
+      for (std::int64_t s = first; s < last; ++s) body(static_cast<int>(s));
+    });
+  } else {
+    for (int s = 0; s < k; ++s) body(s);
+  }
+}
+
+std::span<const Load> ShardedEngine::gather_into_scratch() const {
+  scratch_.resize(static_cast<std::size_t>(part_.num_nodes()));
+  const NodeId w = reach_ >= 0 ? reach_ : 0;
+  for (const Shard& sh : shards_) {
+    std::copy(sh.window.begin() + w, sh.window.begin() + w + sh.size,
+              scratch_.begin() + sh.begin);
+  }
+  return {scratch_.data(), scratch_.size()};
+}
+
+LoadVector ShardedEngine::gather_loads() const {
+  const std::span<const Load> all = gather_into_scratch();
+  return LoadVector(all.begin(), all.end());
+}
+
+Load ShardedEngine::load_of(NodeId u) const {
+  DLB_REQUIRE(u >= 0 && u < part_.num_nodes(), "load_of: node out of range");
+  const Shard& sh = shards_[static_cast<std::size_t>(part_.owner(u))];
+  return sh.window[static_cast<std::size_t>(window_slot(sh, u))];
+}
+
+void ShardedEngine::apply_workload() {
+  if (workload_ == nullptr) return;
+  // The serial prepare hook sees the global loads only when it actually
+  // reads them (the adversarial argmax scan) — otherwise the O(n) gather
+  // is skipped and the span is empty.
+  const std::span<const Load> loads = workload_->prepare_reads_loads()
+                                          ? gather_into_scratch()
+                                          : std::span<const Load>();
+  workload_->prepare(t_, loads);
+  const NodeId w = reach_ >= 0 ? reach_ : 0;
+  if (const std::vector<NodeId>* sparse = workload_->affected_nodes()) {
+    Load inj = 0;
+    Load con = 0;
+    for (const NodeId u : *sparse) {
+      DLB_REQUIRE(u >= 0 && u < part_.num_nodes(),
+                  "workload affected node out of range");
+      const Load d = workload_->delta(u, t_);
+      Shard& sh = shards_[static_cast<std::size_t>(part_.owner(u))];
+      Load& x = sh.window[static_cast<std::size_t>(w + (u - sh.begin))];
+      if (d > 0) {
+        x += d;
+        inj += d;
+      } else if (d < 0) {
+        const Load take = std::min(-d, std::max<Load>(x, 0));
+        x -= take;
+        con += take;
+      }
+    }
+    injected_total_ += inj;
+    consumed_total_ += con;
+    total_ += inj - con;
+    return;
+  }
+  // Dense: per-shard partials, combined with commutative integer adds —
+  // identical totals for any shard count or pool size (the flat engine's
+  // per-chunk argument, with shards as the chunks).
+  for_shards(workload_->parallel_generate_safe(), [&](int s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    Load inj = 0;
+    Load con = 0;
+    for (NodeId i = 0; i < sh.size; ++i) {
+      const Load d = workload_->delta(sh.begin + i, t_);
+      Load& x = sh.window[static_cast<std::size_t>(w + i)];
+      if (d > 0) {
+        x += d;
+        inj += d;
+      } else if (d < 0) {
+        const Load take = std::min(-d, std::max<Load>(x, 0));
+        x -= take;
+        con += take;
+      }
+    }
+    sh.inj = inj;
+    sh.con = con;
+  });
+  Load inj = 0;
+  Load con = 0;
+  for (const Shard& sh : shards_) {
+    inj += sh.inj;
+    con += sh.con;
+  }
+  injected_total_ += inj;
+  consumed_total_ += con;
+  total_ += inj - con;
+}
+
+void ShardedEngine::exchange_halos() {
+  // Post phase: every shard serializes its boundary loads for the shards
+  // whose halos it feeds. Barrier between the two for_shards calls, so
+  // no drain starts before every post landed.
+  for_shards(true, [&](int s) {
+    const Shard& sh = shards_[static_cast<std::size_t>(s)];
+    for (const HaloSend& send : sh.sends) {
+      const HaloHeader hdr{send.dest_window, send.len};
+      channel_->post(s, send.to, ShardTag::kHaloLoads,
+                     std::as_bytes(std::span<const HaloHeader>(&hdr, 1)));
+      channel_->post(
+          s, send.to, ShardTag::kHaloLoads,
+          std::as_bytes(std::span<const Load>(
+              sh.window.data() + send.src_window,
+              static_cast<std::size_t>(send.len))));
+    }
+  });
+  for_shards(true, [&](int s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    channel_->drain(
+        s, ShardTag::kHaloLoads,
+        [&](int /*from*/, std::span<const std::byte> bytes) {
+          std::size_t off = 0;
+          while (off < bytes.size()) {
+            HaloHeader hdr;
+            DLB_REQUIRE(off + sizeof(HaloHeader) <= bytes.size(),
+                        "halo stream: truncated header");
+            std::memcpy(&hdr, bytes.data() + off, sizeof(HaloHeader));
+            const std::size_t payload =
+                static_cast<std::size_t>(hdr.len) * sizeof(Load);
+            DLB_REQUIRE(off + sizeof(HaloHeader) + payload <= bytes.size(),
+                        "halo stream: truncated payload");
+            DLB_REQUIRE(hdr.dest_window >= 0 && hdr.len >= 0 &&
+                            static_cast<std::size_t>(hdr.dest_window) +
+                                    static_cast<std::size_t>(hdr.len) <=
+                                sh.window.size(),
+                        "halo stream: segment out of window");
+            std::memcpy(sh.window.data() + hdr.dest_window,
+                        bytes.data() + off + sizeof(HaloHeader), payload);
+            off += sizeof(HaloHeader) + payload;
+          }
+        });
+  });
+}
+
+void ShardedEngine::decide_shard(int s, Step t) {
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  sh.acc.begin_round();
+  if (reach_ >= 0) {
+    // Tier 1: the balancer's windowed gather kernel, single-touch over
+    // the owned window slots, min/max fused into the emit sweep. Nothing
+    // leaves the shard — the halo refill already happened.
+    FlowSink sink(*g_, config_.self_loops, &sh.acc);
+    balancer_->decide_window(
+        std::span<const Load>(sh.window.data(), sh.window.size()), sh.begin,
+        sh.size, reach_, t, sink);
+    DLB_REQUIRE(sink.emit_covered() == sh.size,
+                "decide_window did not cover every owned slot");
+    sh.round_min = sink.emit_min();
+    sh.round_max = sink.emit_max();
+    // O(1) apply: the accumulator's owned slots are the next loads; its
+    // (stale) halo slots are refilled before the next decide reads them.
+    sh.window.swap(sh.acc.values());
+    return;
+  }
+  // Tier 2: the default decide() loop over the owned slice — the same
+  // contract enforcement as Balancer::decide_range — with flows routed by
+  // owner: local ones scatter into the shard's accumulator, cross-shard
+  // ones are staged per destination and posted below.
+  const int d = g_->degree();
+  const int d_plus = d + config_.self_loops;
+  const bool negatives_ok = balancer_->allows_negative();
+  std::vector<Load> row(static_cast<std::size_t>(d_plus));
+  const EpochAccumulator::Scatter next(sh.acc);
+  with_topology(*g_, [&](const auto& topo) {
+    for (NodeId i = 0; i < sh.size; ++i) {
+      const NodeId u = sh.begin + i;
+      std::fill(row.begin(), row.end(), 0);
+      const Load x = sh.window[static_cast<std::size_t>(i)];
+      balancer_->decide(u, x, t, row);
+      Load sent = 0;
+      for (int p = 0; p < d_plus; ++p) {
+        DLB_ASSERT(negatives_ok || row[static_cast<std::size_t>(p)] >= 0,
+                   "balancer produced a negative flow");
+        sent += row[static_cast<std::size_t>(p)];
+      }
+      const Load remainder = x - sent;
+      DLB_REQUIRE(negatives_ok || remainder >= 0,
+                  "balancer sent more tokens than available");
+      Load kept = remainder;
+      for (int p = d; p < d_plus; ++p) {
+        kept += row[static_cast<std::size_t>(p)];
+      }
+      next.add(static_cast<std::size_t>(i), kept);
+      if (!sh.boundary[static_cast<std::size_t>(i)]) {
+        // Interior node: every neighbor is local by the cut table.
+        for (int p = 0; p < d; ++p) {
+          next.add(static_cast<std::size_t>(topo.neighbor(u, p) - sh.begin),
+                   row[static_cast<std::size_t>(p)]);
+        }
+      } else {
+        for (int p = 0; p < d; ++p) {
+          const NodeId v = topo.neighbor(u, p);
+          const Load f = row[static_cast<std::size_t>(p)];
+          const int o = part_.owner(v);
+          if (o == s) {
+            next.add(static_cast<std::size_t>(v - sh.begin), f);
+          } else if (f != 0) {
+            append_flow(sh.flow_out[static_cast<std::size_t>(o)], v, f);
+          }
+        }
+      }
+    }
+  });
+  for (int o = 0; o < part_.shards(); ++o) {
+    std::vector<std::byte>& buf = sh.flow_out[static_cast<std::size_t>(o)];
+    if (buf.empty()) continue;
+    channel_->post(s, o, ShardTag::kFlows,
+                   std::span<const std::byte>(buf.data(), buf.size()));
+    buf.clear();
+  }
+}
+
+void ShardedEngine::drain_flows() {
+  for_shards(true, [&](int s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    channel_->drain(
+        s, ShardTag::kFlows,
+        [&](int /*from*/, std::span<const std::byte> bytes) {
+          DLB_REQUIRE(bytes.size() % kFlowRecordBytes == 0,
+                      "flow stream: truncated record");
+          const EpochAccumulator::Scatter next(sh.acc);
+          for (std::size_t off = 0; off < bytes.size();
+               off += kFlowRecordBytes) {
+            NodeId v;
+            Load f;
+            std::memcpy(&v, bytes.data() + off, sizeof(NodeId));
+            std::memcpy(&f, bytes.data() + off + sizeof(NodeId),
+                        sizeof(Load));
+            DLB_REQUIRE(v >= sh.begin && v < sh.begin + sh.size,
+                        "flow stream: node not owned by this shard");
+            next.add(static_cast<std::size_t>(v - sh.begin), f);
+          }
+        });
+    // All of the round's adds (local + drained) have landed: materialize
+    // the next loads, fold min/max into the same sweep, and swap.
+    sh.acc.finalize_stats(sh.round_min, sh.round_max);
+    sh.window.swap(sh.acc.values());
+  });
+}
+
+void ShardedEngine::step() {
+  apply_workload();
+  {
+    // Serial once-per-round hook, before any shard decides — exactly the
+    // decide_all contract. The sink exists only to convey graph/mode (no
+    // built-in prepare_round writes flows); global loads are gathered
+    // only for balancers that declare they read them.
+    const std::span<const Load> loads = balancer_->prepare_reads_loads()
+                                            ? gather_into_scratch()
+                                            : std::span<const Load>();
+    FlowSink sink(*g_, config_.self_loops, &shards_[0].acc);
+    balancer_->prepare_round(loads, t_, sink);
+  }
+  const bool parallel_decide = balancer_->parallel_decide_safe();
+  if (reach_ >= 0) {
+    exchange_halos();
+    for_shards(parallel_decide, [&](int s) { decide_shard(s, t_); });
+  } else {
+    // Serial shard order when the balancer is not parallel-safe keeps
+    // e.g. a sequential RNG stream in ascending node order — the same
+    // trajectory as the flat serial engine.
+    for_shards(parallel_decide, [&](int s) { decide_shard(s, t_); });
+    drain_flows();
+  }
+  Load lo = std::numeric_limits<Load>::max();
+  Load hi = std::numeric_limits<Load>::min();
+  for (const Shard& sh : shards_) {
+    lo = std::min(lo, sh.round_min);
+    hi = std::max(hi, sh.round_max);
+  }
+  round_min_ = lo;
+  round_max_ = hi;
+  round_stats_valid_ = true;
+  after_step();
+}
+
+void ShardedEngine::run(Step steps) {
+  DLB_REQUIRE(steps >= 0, "run: negative step count");
+  for (Step i = 0; i < steps; ++i) step();
+}
+
+void ShardedEngine::refresh_stats(bool audit_total) const {
+  const NodeId w = reach_ >= 0 ? reach_ : 0;
+  Load lo = std::numeric_limits<Load>::max();
+  Load hi = std::numeric_limits<Load>::min();
+  Load sum = 0;
+  for (const Shard& sh : shards_) {
+    const Load* x = sh.window.data() + w;
+    if (audit_total) {
+      for (NodeId i = 0; i < sh.size; ++i) {
+        lo = std::min(lo, x[i]);
+        hi = std::max(hi, x[i]);
+        sum += x[i];
+      }
+    } else {
+      for (NodeId i = 0; i < sh.size; ++i) {
+        lo = std::min(lo, x[i]);
+        hi = std::max(hi, x[i]);
+      }
+    }
+  }
+  if (audit_total) {
+    DLB_REQUIRE(sum == total_, "token conservation violated by engine step");
+  }
+  min_load_ = lo;
+  max_load_ = hi;
+  min_load_seen_ = std::min(min_load_seen_, lo);
+  stats_dirty_ = false;
+}
+
+void ShardedEngine::after_step() {
+  // Mirrors RoundEngineBase::after_step so the sharded observable
+  // history (min/max/min_seen/dirty) is bit-equal to the flat engine's.
+  ++t_;
+  const bool audit =
+      audit_.enabled && (audit_.interval == 1 || t_ % audit_.interval == 0);
+  if (audit) {
+    refresh_stats(true);
+  } else if (round_stats_valid_) {
+    min_load_ = round_min_;
+    max_load_ = round_max_;
+    min_load_seen_ = std::min(min_load_seen_, round_min_);
+    stats_dirty_ = false;
+  } else if (deferred_stats_) {
+    stats_dirty_ = true;
+  } else {
+    refresh_stats(false);
+  }
+  round_stats_valid_ = false;
+}
+
+std::size_t ShardedEngine::shard_resident_bytes(int s) const {
+  const Shard& sh = shards_[static_cast<std::size_t>(s)];
+  // Load window + accumulator values (both Load) + epoch stamps (1 byte).
+  return sh.window.size() * sizeof(Load) +
+         sh.acc.size() * (sizeof(Load) + 1);
+}
+
+std::size_t ShardedEngine::shard_halo_bytes(int s) const {
+  if (reach_ >= 0) {
+    // 2W halo slots in the window and in the accumulator's value array,
+    // plus their epoch stamps.
+    return static_cast<std::size_t>(2 * reach_) * (2 * sizeof(Load) + 1);
+  }
+  const Shard& sh = shards_[static_cast<std::size_t>(s)];
+  std::size_t bytes = 0;
+  for (const auto& buf : sh.flow_out) bytes += buf.capacity();
+  return bytes;
+}
+
+std::uint64_t ShardedEngine::shard_cut_edges(int s) const {
+  return shards_[static_cast<std::size_t>(s)].cut_edges;
+}
+
+void ShardedEngine::save_core_state(StateWriter& w) const {
+  // Field-for-field the RoundEngineBase layout: a k-shard snapshot IS a
+  // flat snapshot (and restores into any shard count, or the flat
+  // engine, unchanged).
+  w.vec_i64(gather_into_scratch());
+  w.i64(t_);
+  w.i64(total_);
+  w.i64(base_total_);
+  w.i64(injected_total_);
+  w.i64(consumed_total_);
+  w.i64(min_load_);
+  w.i64(max_load_);
+  w.i64(min_load_seen_);
+  w.b(stats_dirty_);
+}
+
+void ShardedEngine::load_core_state(StateReader& r) {
+  const std::vector<std::int64_t> loads = r.vec_i64();
+  if (loads.size() != static_cast<std::size_t>(part_.num_nodes())) {
+    throw serial_error("engine core state: load vector size mismatch");
+  }
+  const NodeId w = reach_ >= 0 ? reach_ : 0;
+  for (Shard& sh : shards_) {
+    std::copy(loads.begin() + sh.begin, loads.begin() + sh.begin + sh.size,
+              sh.window.begin() + w);
+  }
+  t_ = r.i64();
+  total_ = r.i64();
+  base_total_ = r.i64();
+  injected_total_ = r.i64();
+  consumed_total_ = r.i64();
+  min_load_ = r.i64();
+  max_load_ = r.i64();
+  min_load_seen_ = r.i64();
+  stats_dirty_ = r.b();
+  round_stats_valid_ = false;
+}
+
+}  // namespace dlb

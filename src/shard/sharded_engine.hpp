@@ -1,0 +1,254 @@
+// ShardedEngine: the decide/apply round over k partitioned load slices.
+//
+// The flat Engine keeps one n-slot load vector and one accumulator; this
+// engine cuts the node range into k contiguous shards (ShardPartition's
+// balanced split), gives each shard a private, cache-line-aligned window
+// of loads and its own epoch accumulator, and runs the round phases
+// shard-by-shard — shards-as-threads today, with every cross-shard byte
+// moving through the narrow ShardChannel seam so the same protocol runs
+// over processes later.
+//
+// Two tiers, selected per (balancer, graph) at construction:
+//
+//   Tier 1 — windowed gather (balancer->window_reach(g) = W >= 0). The
+//   balancer promises next(u) is a pure gather over loads within ring
+//   distance W of u, so the only thing shards ever exchange is W boundary
+//   *loads* each way, posted before decide (the halo refill) — flows never
+//   cross a shard, and structured graphs never materialize cross-shard
+//   adjacency (halo geometry is ring arithmetic from the PR-5 structure
+//   tags, via ring_halo_segments). A shard's window is its owned slice
+//   plus 2W halo slots; decide_window runs the same SIMD kernels as the
+//   flat engine over that window, single-touch, with min/max fused into
+//   the emit sweep. The O(1) window/accumulator swap then retires the
+//   round.
+//
+//   Tier 2 — routed flows (window_reach < 0: hypercube, generic graphs,
+//   stateful balancers). Each shard runs the default decide() loop over
+//   its owned nodes; flows to local neighbors scatter straight into the
+//   shard's accumulator, flows that cross a shard are staged as (node,
+//   amount) records and posted through the channel, then drained into the
+//   owning shard's accumulator after a barrier. A per-node boundary table
+//   (the edge cut, computed once at partition time) lets interior nodes
+//   skip the owner test entirely. int64 flow adds commute exactly, so the
+//   drain order never shows in the result.
+//
+// Equivalence contract (golden-tested): for every registered balancer,
+// graph family, and workload, a k-shard run is byte-identical to the
+// 1-shard run and to the flat Engine — same loads trajectory, same
+// conservation ledger, same min/max history. save_core_state emits the
+// exact byte stream RoundEngineBase does (owned slices gathered in shard
+// order = the flat load vector), so snapshots move freely between the
+// flat engine and any shard count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "core/epoch_accumulator.hpp"
+#include "core/load_vector.hpp"
+#include "core/round_engine.hpp"  // ConservationPolicy
+#include "graph/graph.hpp"
+#include "graph/topology.hpp"  // ShardPartition
+#include "shard/channel.hpp"
+#include "util/serial.hpp"
+
+namespace dlb {
+
+class ThreadPool;
+class WorkloadProcess;
+
+/// Mirrors EngineConfig for the sharded substrate (flow matrices and the
+/// assign-first protocol are flat-engine concerns; shards always scatter).
+struct ShardedEngineConfig {
+  int self_loops = 0;            ///< d° self-loops per node
+  bool check_conservation = true;
+  int conservation_interval = 1;
+};
+
+class ShardedEngine {
+ public:
+  /// Partitions `initial` (size n) into `shards` contiguous slices.
+  /// `balancer` is not owned and must outlive the engine (same contract
+  /// as Engine). `channel` is the cross-shard transport; nullptr selects
+  /// an owned InProcessShardChannel. A non-null channel must connect
+  /// exactly `shards` endpoints.
+  ShardedEngine(const Graph& g, ShardedEngineConfig config,
+                Balancer& balancer, const LoadVector& initial, int shards,
+                ShardChannel* channel = nullptr);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  const Graph& graph() const noexcept { return *g_; }
+  const ShardedEngineConfig& config() const noexcept { return config_; }
+  int self_loops() const noexcept { return config_.self_loops; }
+  int balancing_degree() const noexcept {
+    return g_->degree() + config_.self_loops;
+  }
+  Balancer& balancer() noexcept { return *balancer_; }
+  const Balancer& balancer() const noexcept { return *balancer_; }
+
+  int shards() const noexcept { return part_.shards(); }
+  /// True when this run took the tier-1 windowed-gather path.
+  bool windowed() const noexcept { return reach_ >= 0; }
+  /// Halo width W in ring slots (tier 1), or −1 on the tier-2 path.
+  NodeId halo_reach() const noexcept { return reach_; }
+
+  /// Attaches a worker pool (not owned; nullptr detaches). Shards then
+  /// run their round phases concurrently — byte-identically to the
+  /// serial shard order at any pool size.
+  void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+  ThreadPool* thread_pool() const noexcept { return pool_; }
+
+  /// Attaches an online workload (not owned; nullptr detaches) — same
+  /// injection/consumption semantics and conservation ledger as
+  /// RoundEngineBase::set_workload.
+  void set_workload(WorkloadProcess* workload) noexcept {
+    workload_ = workload;
+  }
+  WorkloadProcess* workload() const noexcept { return workload_; }
+
+  /// Executes one synchronous round (workload churn, halo/flow exchange,
+  /// decide, apply, audit) across all shards.
+  void step();
+  /// Executes `steps` rounds.
+  void run(Step steps);
+
+  Step time() const noexcept { return t_; }
+  Load total() const noexcept { return total_; }
+  Load base_total() const noexcept { return base_total_; }
+  Load injected_total() const noexcept { return injected_total_; }
+  Load consumed_total() const noexcept { return consumed_total_; }
+  double average() const {
+    return static_cast<double>(total_) / static_cast<double>(part_.num_nodes());
+  }
+  Load discrepancy() const noexcept {
+    refresh_if_dirty();
+    return max_load_ - min_load_;
+  }
+  Load min_load_seen() const noexcept {
+    refresh_if_dirty();
+    return min_load_seen_;
+  }
+  /// Same deferral semantics as RoundEngineBase::set_deferred_stats.
+  void set_deferred_stats(bool deferred) noexcept {
+    deferred_stats_ = deferred;
+  }
+
+  /// Load of global node u (window lookup; O(1)). For tests and probes.
+  Load load_of(NodeId u) const;
+  /// The full load vector, owned slices concatenated in shard order —
+  /// exactly the flat engine's loads(). O(n); for tests and reports.
+  LoadVector gather_loads() const;
+
+  // --- per-shard geometry and memory accounting (bench/report surface) ---
+  NodeId shard_begin(int s) const { return part_.begin(s); }
+  NodeId shard_size(int s) const { return part_.size(s); }
+  /// Bytes of per-shard resident state: the load window plus the
+  /// accumulator's value and epoch arrays (all sized owned + 2W).
+  std::size_t shard_resident_bytes(int s) const;
+  /// Bytes of that residency that are halo, not owned slice: the 2W halo
+  /// slots across window, accumulator values, and epoch stamps (tier 1),
+  /// or the flow-staging buffer capacity (tier 2).
+  std::size_t shard_halo_bytes(int s) const;
+  /// Edges of shard s whose other endpoint lives on another shard (the
+  /// edge cut; 0 on the tier-1 path, where no flow ever crosses).
+  std::uint64_t shard_cut_edges(int s) const;
+
+  /// Byte-identical to RoundEngineBase::save_core_state on the flat
+  /// engine holding the same run — the owned slices are gathered in
+  /// shard order into one flat load vector before serialization.
+  void save_core_state(StateWriter& w) const;
+  /// Restores what save_core_state (or a flat engine's) captured,
+  /// scattering the flat load vector into the shard windows; throws
+  /// serial_error on size mismatch before mutating anything.
+  void load_core_state(StateReader& r);
+
+ private:
+  struct HaloSend {
+    int to = 0;                ///< destination shard
+    NodeId src_window = 0;     ///< first window slot to read (owned region)
+    NodeId len = 0;            ///< slots to send
+    NodeId dest_window = 0;    ///< destination's window slot to fill
+  };
+
+  struct Shard {
+    NodeId begin = 0;          ///< first owned global node
+    NodeId size = 0;           ///< owned node count
+    LoadVector window;         ///< owned + 2W loads (W = 0 on tier 2)
+    EpochAccumulator acc;      ///< next-load accumulator, window-sized
+    std::vector<HaloSend> sends;          ///< tier 1: halo segments to post
+    std::vector<std::uint8_t> boundary;   ///< tier 2: node has a cut edge
+    std::vector<std::vector<std::byte>> flow_out;  ///< tier 2: per-dest staging
+    std::uint64_t cut_edges = 0;
+    Load round_min = 0;        ///< this round's emitted min (merged later)
+    Load round_max = 0;
+    Load inj = 0;              ///< this round's workload partials
+    Load con = 0;
+  };
+
+  /// Window slot of global node u on its owning shard.
+  NodeId window_slot(const Shard& sh, NodeId u) const noexcept {
+    return (reach_ >= 0 ? reach_ : 0) + (u - sh.begin);
+  }
+
+  void build_tier1_plan();
+  void build_tier2_plan();
+
+  /// Round phases (see step() for the order and barriers).
+  void apply_workload();
+  void exchange_halos();
+  void decide_shard(int s, Step t);
+  void drain_flows();
+  void finalize_shards();
+
+  /// Runs body(s) for every shard — through the pool when one is
+  /// attached and `parallel_ok`, else serially in ascending shard order.
+  /// Each call is a full barrier.
+  template <class Body>
+  void for_shards(bool parallel_ok, Body&& body);
+
+  /// One fused pass over all owned slots: min/max always, Σx when
+  /// auditing (mirrors RoundEngineBase::refresh_stats).
+  void refresh_stats(bool audit_total) const;
+  void refresh_if_dirty() const {
+    if (stats_dirty_) refresh_stats(false);
+  }
+  void after_step();
+
+  /// Gathers the owned slices into scratch_ and returns a span over it
+  /// (for prepare hooks that read the global loads).
+  std::span<const Load> gather_into_scratch() const;
+
+  const Graph* g_;
+  ShardedEngineConfig config_;
+  Balancer* balancer_;
+  ShardPartition part_;
+  NodeId reach_ = -1;  ///< tier-1 halo width W, or −1 on tier 2
+  std::unique_ptr<InProcessShardChannel> owned_channel_;
+  ShardChannel* channel_;
+  std::vector<Shard> shards_;
+  mutable LoadVector scratch_;  ///< global gather buffer (lazily sized)
+
+  Step t_ = 0;
+  Load total_ = 0;
+  Load base_total_ = 0;
+  Load injected_total_ = 0;
+  Load consumed_total_ = 0;
+  mutable Load min_load_ = 0;
+  mutable Load max_load_ = 0;
+  mutable Load min_load_seen_ = 0;
+  mutable bool stats_dirty_ = false;
+  bool deferred_stats_ = false;
+  Load round_min_ = 0;
+  Load round_max_ = 0;
+  bool round_stats_valid_ = false;
+  ConservationPolicy audit_;
+  ThreadPool* pool_ = nullptr;
+  WorkloadProcess* workload_ = nullptr;
+};
+
+}  // namespace dlb

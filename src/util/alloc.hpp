@@ -23,7 +23,9 @@
 // container's allocator parameter with zero call-site churn.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <new>
 
 #if defined(__linux__)
@@ -41,6 +43,11 @@ inline constexpr std::size_t kHugeThreshold = std::size_t{2} << 20;
 
 namespace detail {
 
+inline std::atomic<std::uint64_t>& madvise_failure_counter() noexcept {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
 inline void* huge_page_alloc(std::size_t bytes) {
 #if defined(__linux__)
   void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
@@ -48,8 +55,12 @@ inline void* huge_page_alloc(std::size_t bytes) {
   if (p == MAP_FAILED) throw std::bad_alloc{};
 #if defined(MADV_HUGEPAGE)
   // Best-effort: THP may be disabled or the madvise flag unsupported;
-  // the mapping works either way.
-  (void)::madvise(p, bytes, MADV_HUGEPAGE);
+  // the mapping works either way. A failure (ENOMEM under memory
+  // pressure, EINVAL with THP off) silently costs TLB reach, so count
+  // it — the service exposes the tally via SIGUSR1 metrics.
+  if (::madvise(p, bytes, MADV_HUGEPAGE) != 0) {
+    madvise_failure_counter().fetch_add(1, std::memory_order_relaxed);
+  }
 #endif
   return p;
 #else
@@ -66,6 +77,13 @@ inline void huge_page_free(void* p, std::size_t bytes) noexcept {
 }
 
 }  // namespace detail
+
+/// How many huge-page allocations lost their MADV_HUGEPAGE hint (madvise
+/// returned -1; the mapping itself succeeded, just on 4 KiB pages).
+/// Monotone process-lifetime counter, safe to read from any thread.
+inline std::uint64_t huge_page_madvise_failures() noexcept {
+  return detail::madvise_failure_counter().load(std::memory_order_relaxed);
+}
 
 template <class T, std::size_t Align = kCacheLineBytes>
 class AlignedAllocator {

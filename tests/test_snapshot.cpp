@@ -30,6 +30,7 @@
 #include "service/admission.hpp"
 #include "service/balancer_service.hpp"
 #include "service/snapshot.hpp"
+#include "shard/sharded_engine.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
@@ -590,6 +591,97 @@ TEST(BalancerService, SigtermStopsCheckpointsAndResumes) {
     EXPECT_EQ(rig->engine->consumed_total(), ref->engine->consumed_total());
   }
   std::remove(ck.c_str());
+}
+
+// ------------------------------------------------- sharded-engine interop --
+
+TEST(SnapshotShardInterop, KShardImageRestoresIntoOneShardAndFlat) {
+  // The shard count is an execution choice, not persisted state: an image
+  // captured from a 3-shard run must restore into a 1-shard engine AND
+  // into the flat Engine, both continuing byte-identically to an
+  // uninterrupted flat reference — workload ledger included.
+  const Graph g = make_torus2d(8, 6);
+  const LoadVector initial = random_initial(g.num_nodes(), 300, 17);
+  constexpr Step kHalf = 24;
+  const auto fresh_workload = [] {
+    auto w = std::make_unique<PoissonWorkload>(
+        PoissonWorkload::Params{.arrival_rate = 0.6, .departure_rate = 0.5});
+    return w;
+  };
+
+  // Uninterrupted flat reference over 2×kHalf rounds.
+  auto ref_b = make_balancer(Algorithm::kSendFloor, 11);
+  auto ref_w = fresh_workload();
+  ref_w->reset(g.num_nodes(), /*seed=*/42);
+  Engine ref(g, EngineConfig{.self_loops = 1}, *ref_b, initial);
+  ref.set_workload(ref_w.get());
+  for (Step t = 0; t < 2 * kHalf; ++t) ref.step();
+
+  // Captured leg: 3 shards (tier-1 windowed path on the torus).
+  std::vector<std::uint8_t> bytes;
+  {
+    auto b = make_balancer(Algorithm::kSendFloor, 11);
+    auto w = fresh_workload();
+    w->reset(g.num_nodes(), /*seed=*/42);
+    ShardedEngine sharded(g, ShardedEngineConfig{.self_loops = 1}, *b,
+                          initial, 3);
+    sharded.set_workload(w.get());
+    sharded.run(kHalf);
+    bytes = EngineSnapshot::capture(sharded).serialize();
+  }
+
+  // Restore at shard count 1 and continue.
+  {
+    auto b = make_balancer(Algorithm::kSendFloor, 11);
+    auto w = fresh_workload();
+    w->reset(g.num_nodes(), /*seed=*/42);
+    ShardedEngine one(g, ShardedEngineConfig{.self_loops = 1}, *b, initial,
+                      1);
+    one.set_workload(w.get());
+    EngineSnapshot::deserialize(bytes).restore(one);
+    ASSERT_EQ(one.time(), kHalf);
+    one.run(kHalf);
+    EXPECT_EQ(one.gather_loads(), ref.loads());
+    EXPECT_EQ(one.injected_total(), ref.injected_total());
+    EXPECT_EQ(one.consumed_total(), ref.consumed_total());
+    EXPECT_EQ(one.min_load_seen(), ref.min_load_seen());
+  }
+
+  // The same k-shard image restores into the FLAT engine.
+  {
+    auto b = make_balancer(Algorithm::kSendFloor, 11);
+    auto w = fresh_workload();
+    w->reset(g.num_nodes(), /*seed=*/42);
+    Engine flat(g, EngineConfig{.self_loops = 1}, *b, initial);
+    flat.set_workload(w.get());
+    EngineSnapshot::deserialize(bytes).restore(flat);
+    ASSERT_EQ(flat.time(), kHalf);
+    for (Step t = 0; t < kHalf; ++t) flat.step();
+    EXPECT_EQ(flat.loads(), ref.loads());
+    EXPECT_EQ(flat.min_load_seen(), ref.min_load_seen());
+  }
+
+  // And a FLAT image restores into 8 shards — the tier-2 routed path too
+  // (ROTOR-ROUTER has no windowed kernel).
+  {
+    auto half_b = make_balancer(Algorithm::kRotorRouter, 11);
+    Engine half(g, EngineConfig{.self_loops = 1}, *half_b, initial);
+    for (Step t = 0; t < kHalf; ++t) half.step();
+    const auto flat_bytes = EngineSnapshot::capture(half).serialize();
+
+    auto full_b = make_balancer(Algorithm::kRotorRouter, 11);
+    Engine full(g, EngineConfig{.self_loops = 1}, *full_b, initial);
+    for (Step t = 0; t < 2 * kHalf; ++t) full.step();
+
+    auto b = make_balancer(Algorithm::kRotorRouter, 11);
+    ShardedEngine eight(g, ShardedEngineConfig{.self_loops = 1}, *b, initial,
+                        8);
+    EngineSnapshot::deserialize(flat_bytes).restore(eight);
+    ASSERT_EQ(eight.time(), kHalf);
+    eight.run(kHalf);
+    EXPECT_EQ(eight.gather_loads(), full.loads());
+    EXPECT_EQ(eight.min_load_seen(), full.min_load_seen());
+  }
 }
 
 }  // namespace

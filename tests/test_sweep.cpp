@@ -227,6 +227,28 @@ TEST(SweepRunner, AutoNestingStaysDeterministicWithFewScenarios) {
   EXPECT_EQ(SweepRunner::csv_string(serial), SweepRunner::csv_string(auto8));
 }
 
+TEST(SweepRunner, HybridNestingMatchesSerialByteForByte) {
+  // 3 scenarios, 8 threads: hybrid splits the budget into 3 outer
+  // workers × a 2-wide inner pool each. Forced at {1, 8} threads, the
+  // CSV must be byte-identical to the plain serial run — the engines'
+  // round-parallel pipeline is thread-count-invariant and aggregation
+  // is by scenario index, so neither level of nesting may show.
+  const SweepMatrix m = small_matrix();
+  const auto scenarios = m.scenarios();
+  const std::vector<Scenario> subset(scenarios.begin(),
+                                     scenarios.begin() + 3);
+
+  const auto serial = SweepRunner(fast_options(1)).run(m, subset);
+  SweepOptions h1 = fast_options(1);
+  h1.nesting = SweepNesting::kHybrid;
+  SweepOptions h8 = fast_options(8);
+  h8.nesting = SweepNesting::kHybrid;
+  EXPECT_EQ(SweepRunner::csv_string(serial),
+            SweepRunner::csv_string(SweepRunner(h1).run(m, subset)));
+  EXPECT_EQ(SweepRunner::csv_string(serial),
+            SweepRunner::csv_string(SweepRunner(h8).run(m, subset)));
+}
+
 TEST(SweepMatrix, CustomShapeCaseDrivesTheInitialLoads) {
   SweepMatrix m;
   m.add_graph("cycle", make_cycle(8), 1.0 - lambda2_cycle(8, 2));
