@@ -36,6 +36,7 @@
 
 #include "analysis/experiment.hpp"
 #include "balancers/registry.hpp"
+#include "obs/metrics.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
 #include "shard/sharded_engine.hpp"
@@ -382,6 +383,10 @@ void timed_row(const char* series, const Graph& g, Algorithm algo,
   long long steps = 0;
   double elapsed = 0.0;
   std::size_t resident = 0, halo = 0;
+  const double rounds_before =
+      obs::MetricsRegistry::instance().family_sum("dlb_engine_rounds_total");
+  const double posted_before = obs::MetricsRegistry::instance().family_sum(
+      "dlb_shard_channel_bytes_posted_total");
   if (shards == 0) {
     EngineConfig config;
     config.self_loops = g.degree();
@@ -402,19 +407,36 @@ void timed_row(const char* series, const Graph& g, Algorithm algo,
     }
   }
   const double steps_per_s = static_cast<double>(steps) / elapsed;
-  std::printf("%s,%s,%lld,%d,%lld,%.3f,%.2f,%.0f,%zu,%zu,%ld\n", series,
-              algorithm_name(algo).c_str(),
+  // Registry-sampled columns, from the same telemetry the service
+  // exposes: the per-row delta of the engines' round counter (must agree
+  // with the roster's own step count), the channel bytes the row posted
+  // (0 for flat / tier-1-free runs), and the RSS collector gauge.
+  auto& reg = obs::MetricsRegistry::instance();
+  const double metric_rounds =
+      reg.family_sum("dlb_engine_rounds_total") - rounds_before;
+  const double metric_posted =
+      reg.family_sum("dlb_shard_channel_bytes_posted_total") - posted_before;
+  const double metric_rss = reg.sample("dlb_process_peak_rss_kib");
+  std::printf("%s,%s,%lld,%d,%lld,%.3f,%.2f,%.0f,%zu,%zu,%ld,%.0f,%.0f,%.0f\n",
+              series, algorithm_name(algo).c_str(),
               static_cast<long long>(g.num_nodes()), shards, steps, elapsed,
               steps_per_s, steps_per_s * static_cast<double>(g.num_nodes()),
-              resident, halo, peak_rss_kib());
+              resident, halo, peak_rss_kib(), metric_rounds, metric_posted,
+              metric_rss);
   std::fflush(stdout);
 }
 
 int run_timed_window(double window_s) {
+  // The timed roster runs with the registry armed: the metric_* columns
+  // come from the same series the service exposes, so the CSV doubles as
+  // a telemetry cross-check (metric_rounds must equal steps).
+  obs::register_process_collectors();
+  obs::MetricsRegistry::instance().arm(true);
   std::printf(
       "series,algorithm,nodes,shards,steps,window_s,steps_per_s,"
       "node_steps_per_s,max_shard_resident_bytes,max_shard_halo_bytes,"
-      "peak_rss_kib\n");
+      "peak_rss_kib,metric_rounds,metric_channel_posted_bytes,"
+      "metric_rss_kib\n");
   timed_row("flat", cycle_1m(), Algorithm::kSendFloor, 0, window_s);
   for (int k : {1, 2, 4, 8}) {
     timed_row("sharded", cycle_1m(), Algorithm::kSendFloor, k, window_s);

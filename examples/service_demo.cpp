@@ -43,6 +43,8 @@ struct Cli {
   Load admission_cap = 48;
   std::string checkpoint_path;
   std::string csv_path;
+  std::string metrics_file;  // Prometheus text exposition target
+  std::string trace_file;    // Chrome trace-event JSON written at exit
 };
 
 bool parse_flag(const char* arg, const char* name, std::string& out) {
@@ -82,12 +84,17 @@ Cli parse_cli(int argc, char** argv) {
       cli.checkpoint_path = s;
     } else if (parse_flag(argv[i], "--csv", s)) {
       cli.csv_path = s;
+    } else if (parse_flag(argv[i], "--metrics-file", s)) {
+      cli.metrics_file = s;
+    } else if (parse_flag(argv[i], "--trace", s)) {
+      cli.trace_file = s;
     } else {
       std::fprintf(stderr,
                    "usage: service_demo [--nodes=N] [--balancer=NAME] "
                    "[--rounds=T] [--stop-after=K] [--checkpoint=PATH] "
                    "[--checkpoint-interval=K] [--metrics-interval=K] "
-                   "[--cap=N] [--csv=PATH]\n");
+                   "[--cap=N] [--csv=PATH] [--metrics-file=PATH] "
+                   "[--trace=PATH]\n");
       std::exit(2);
     }
   }
@@ -143,6 +150,8 @@ int main(int argc, char** argv) {
           .checkpoint_interval = cli.checkpoint_interval,
           .metrics_interval = cli.metrics_interval,
           .metrics_out = &std::cerr,
+          .metrics_file = cli.metrics_file,
+          .trace_file = cli.trace_file,
           .csv = csv.is_open() ? &csv : nullptr,
           .log = &std::cerr,
           .stop_after = cli.stop_after,

@@ -2,6 +2,7 @@
 """Compare a bench_engine_hotpath JSON run against the committed baseline.
 
 Usage: check_bench_hotpath.py CURRENT.json BASELINE.json [--max-regression PCT]
+                              [--timed-window CSV]
 
 Soft regression gate: prints a per-benchmark table (current vs baseline
 steps/sec plus delta) and the implicit-vs-generic speedup ratios per
@@ -24,9 +25,27 @@ the numbers meaningless rather than merely noisy:
 Note the distinct "library_build_type" context is google-benchmark's own
 build flavor (debug on stock distro packages) and is irrelevant to the
 timed code; only dlb_build_type gates.
+
+With --timed-window CSV, the roster bench_engine_hotpath --timed-window
+printed is cross-checked against the google-benchmark series measuring
+the same configuration (flat 2^20 cycle send-floor vs
+BM_Cycle1M_SendFloor_Lazy; sharded k vs BM_Sharded_Cycle1M_SendFloor/k).
+The comparison uses the benchmark's *wall-clock* per-iteration time
+(real_time), not items_per_second: google-benchmark rates are CPU-time
+based, and the CPU a ShardedEngine burns in pool workers never accrues
+to the bench thread, so the reported k>1 rates are inflated by roughly
+the shard count (29k "steps/s" at k=8 on a 1-CPU container, where the
+wall clock says ~1k). The roster measures wall clock; so must the twin.
+The two harnesses then time the identical engine loop, and steps/s
+diverging by more than 15% means one of the measurements is broken (a
+misloaded CSV, a debug bench, a wrong roster graph) — warn loudly
+(exit 1 only under --strict, like the regression gate). A CSV whose
+header or rows cannot be parsed is structural and exits 1
+unconditionally.
 """
 
 import argparse
+import csv as csv_mod
 import json
 import sys
 
@@ -81,6 +100,90 @@ def require_sharded_series(path, rates):
                  "that excludes it")
 
 
+def extract_wall_rates(doc):
+    """benchmark name -> wall-clock steps/sec (1 iteration == 1 step).
+
+    items_per_second is CPU-time based and blind to pool-worker CPU;
+    real_time is what the --timed-window roster measures.
+    """
+    unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        rt = b.get("real_time")
+        if rt:
+            rates[b["name"]] = 1e9 / (float(rt) * unit_ns[b.get("time_unit",
+                                                                "ns")])
+    return rates
+
+
+def cross_check_timed_window(path, rates, tolerance_pct=15.0):
+    """Cross-checks the --timed-window CSV against the benchmark series.
+
+    `rates` must be wall-clock rates (extract_wall_rates). Returns the
+    list of flagged divergences (possibly empty). Structural CSV
+    problems (missing file, unknown header, no comparable rows) exit 1 —
+    a CSV that cannot be compared is as meaningless as a missing series.
+    """
+    try:
+        with open(path, newline="") as f:
+            rows = list(csv_mod.DictReader(f))
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    required = {"series", "algorithm", "nodes", "shards", "steps_per_s"}
+    if not rows or not required.issubset(rows[0].keys()):
+        sys.exit(f"error: {path} is not a --timed-window CSV "
+                 f"(header must contain {sorted(required)})")
+
+    def series_for(row):
+        """The google-benchmark series measuring this roster row."""
+        if row["algorithm"] != "SEND(floor)" or row["nodes"] != str(1 << 20):
+            return None  # the capstone demo rows have no benchmark twin
+        if row["series"] == "flat":
+            return "BM_Cycle1M_SendFloor_Lazy"
+        if row["series"] == "sharded":
+            return f"BM_Sharded_Cycle1M_SendFloor/{row['shards']}"
+        return None
+
+    flagged = []
+    compared = 0
+    print(f"\ntimed-window cross-check ({path}, tolerance "
+          f"{tolerance_pct:.0f}%):")
+    for row in rows:
+        name = series_for(row)
+        if name is None:
+            continue
+        bench = rates.get(name)
+        if bench is None:
+            print(f"  warning: no benchmark series {name} to compare "
+                  f"against roster row {row['series']}/{row['shards']}",
+                  file=sys.stderr)
+            continue
+        try:
+            timed = float(row["steps_per_s"])
+        except ValueError:
+            sys.exit(f"error: {path}: unparsable steps_per_s "
+                     f"{row['steps_per_s']!r}")
+        compared += 1
+        delta = 100.0 * (timed - bench) / bench
+        mark = ""
+        if abs(delta) > tolerance_pct:
+            mark = "  <-- divergence"
+            flagged.append(name)
+        print(f"  {name:<40} bench {bench:>10.1f}/s  "
+              f"timed {timed:>10.1f}/s  {delta:>+7.1f}%{mark}")
+    if compared == 0:
+        sys.exit(f"error: {path} has no rows comparable to the benchmark "
+                 "series (expected the send-floor 2^20-cycle roster)")
+    if flagged:
+        print(f"warning: {len(flagged)} timed-window row(s) diverge from "
+              f"the benchmark series by more than {tolerance_pct:.0f}% — "
+              "the two harnesses time the same loop; check for a stale "
+              "CSV or a debug bench binary", file=sys.stderr)
+    return flagged
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current")
@@ -88,6 +191,10 @@ def main():
     ap.add_argument("--max-regression", type=float, default=10.0,
                     help="warn for benchmarks slower than baseline by more "
                          "than this percent (default 10)")
+    ap.add_argument("--timed-window", metavar="CSV",
+                    help="cross-check steps/s between this --timed-window "
+                         "CSV and the current run's benchmark series "
+                         "(warn on >15%% divergence)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 when a flagged regression exists")
     args = ap.parse_args()
@@ -139,9 +246,14 @@ def main():
             print(f"  {family:<10} {imp / gen:5.2f}x  "
                   f"(committed baseline: {base_ratio:.2f}x)")
 
+    if args.timed_window:
+        flagged += cross_check_timed_window(args.timed_window,
+                                            extract_wall_rates(cur_doc))
+
     if flagged:
-        print(f"\nwarning: {len(flagged)} benchmark(s) regressed beyond "
-              f"{args.max_regression:.0f}% (soft gate"
+        print(f"\nwarning: {len(flagged)} benchmark(s) flagged "
+              f"(regression beyond {args.max_regression:.0f}% or "
+              f"timed-window divergence; soft gate"
               f"{'; strict mode: failing' if args.strict else ''})")
         if args.strict:
             return 1

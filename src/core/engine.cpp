@@ -5,10 +5,44 @@
 #include <limits>
 
 #include "graph/topology.hpp"
+#include "obs/trace.hpp"
 #include "util/assertions.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dlb {
+
+namespace {
+
+/// Phase-latency histograms of the flat engine, registered once on first
+/// use (leaked: handle lifetime must cover static teardown).
+struct FlatPhases {
+  obs::Histogram& prepare;
+  obs::Histogram& decide;
+  obs::Histogram& apply;
+  obs::Histogram& scatter;  ///< fused decide+apply of the implicit path
+};
+
+FlatPhases& flat_phases() {
+  static FlatPhases* p = [] {
+    auto& reg = obs::MetricsRegistry::instance();
+    const std::string name = "dlb_engine_phase_seconds";
+    const std::string help =
+        "Wall-clock latency of one engine phase within a round.";
+    return new FlatPhases{
+        reg.histogram(name, help, obs::phase_seconds_bounds(),
+                      {{"engine", "flat"}, {"phase", "prepare"}}),
+        reg.histogram(name, help, obs::phase_seconds_bounds(),
+                      {{"engine", "flat"}, {"phase", "decide"}}),
+        reg.histogram(name, help, obs::phase_seconds_bounds(),
+                      {{"engine", "flat"}, {"phase", "apply"}}),
+        reg.histogram(name, help, obs::phase_seconds_bounds(),
+                      {{"engine", "flat"}, {"phase", "scatter"}}),
+    };
+  }();
+  return *p;
+}
+
+}  // namespace
 
 Engine::Engine(const Graph& g, EngineConfig config, Balancer& balancer,
                LoadVector initial)
@@ -103,17 +137,27 @@ void Engine::step_rows(ThreadPool* pool) {
   ensure_rows();
   const NodeId n = g_->num_nodes();
   FlowSink sink(*g_, config_.self_loops, flows_.data());
-  balancer_->prepare_round(loads_, time(), sink);
-  if (pool != nullptr && balancer_->parallel_decide_safe()) {
-    pool->for_ranges(n, [&](std::int64_t first, std::int64_t last) {
-      balancer_->decide_range(static_cast<NodeId>(first),
-                              static_cast<NodeId>(last), loads_, time(), sink);
-    });
-  } else {
-    // Serial decide in ascending node order: balancers with a sequential
-    // RNG stream consume it exactly as the serial path does.
-    balancer_->decide_range(0, n, loads_, time(), sink);
+  {
+    obs::PhaseScope phase(flat_phases().prepare, "prepare", "flat", "t",
+                          time() + 1);
+    balancer_->prepare_round(loads_, time(), sink);
   }
+  {
+    obs::PhaseScope phase(flat_phases().decide, "decide", "flat", "t",
+                          time() + 1);
+    if (pool != nullptr && balancer_->parallel_decide_safe()) {
+      pool->for_ranges(n, [&](std::int64_t first, std::int64_t last) {
+        balancer_->decide_range(static_cast<NodeId>(first),
+                                static_cast<NodeId>(last), loads_, time(),
+                                sink);
+      });
+    } else {
+      // Serial decide in ascending node order: balancers with a
+      // sequential RNG stream consume it exactly as the serial path does.
+      balancer_->decide_range(0, n, loads_, time(), sink);
+    }
+  }
+  obs::PhaseScope phase(flat_phases().apply, "apply", "flat", "t", time() + 1);
   // The pull phase dispatches on the topology tag once per round: on
   // cycle/torus/hypercube every neighbor and rev_port is computed in
   // registers, the tables are never streamed.
@@ -152,6 +196,8 @@ void Engine::do_step() {
   Load round_min = 0;
   Load round_max = 0;
   const NodeId n = g_->num_nodes();
+  obs::PhaseScope phase(flat_phases().scatter, "scatter", "flat", "t",
+                        time() + 1);
   if (config_.assign_first_scatter && balancer_->assign_first_scatter_safe()) {
     // Assign-first protocol: the kernel's kept-load assign sweep is the
     // logical zero-fill, edge flows are plain adds — no epoch stamps.

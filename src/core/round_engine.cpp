@@ -2,13 +2,56 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <utility>
 
 #include "dynamics/workload.hpp"
+#include "obs/engine_telemetry.hpp"
+#include "obs/trace.hpp"
 #include "util/assertions.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dlb {
+
+namespace {
+
+std::uint64_t mono_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+RoundEngineBase::RoundEngineBase() = default;
+RoundEngineBase::~RoundEngineBase() = default;
+
+std::uint64_t RoundEngineBase::round_begin() const noexcept {
+  if (!obs::metrics_armed()) return 0;
+  return mono_ns();
+}
+
+void RoundEngineBase::round_end(std::uint64_t start_ns) {
+  if (start_ns == 0) return;
+  if (!telemetry_) {
+    telemetry_ = std::make_unique<obs::EngineTelemetry>(engine_kind());
+  }
+  obs::EngineTelemetry& tel = *telemetry_;
+  tel.rounds.inc();
+  tel.round_seconds.observe(static_cast<double>(mono_ns() - start_ns) * 1e-9);
+  tel.time.set(t_);
+  tel.injected.set(injected_total_);
+  tel.consumed.set(consumed_total_);
+  // Cached stats only. Forcing a refresh here would change
+  // min_load_seen_'s history in deferred-stats mode — telemetry must
+  // observe, never steer.
+  if (!stats_dirty_) {
+    tel.min_load.set(min_load_);
+    tel.max_load.set(max_load_);
+    tel.discrepancy.set(max_load_ - min_load_);
+  }
+}
 
 void RoundEngineBase::adopt_loads(LoadVector initial,
                                   ConservationPolicy audit) {
@@ -177,20 +220,30 @@ void RoundEngineBase::after_step() {
 }
 
 void RoundEngineBase::step() {
-  apply_workload(nullptr);
-  do_step();
-  after_step();
+  const std::uint64_t t0 = round_begin();
+  {
+    obs::TraceSpan span("round", engine_kind(), "t", t_ + 1);
+    apply_workload(nullptr);
+    do_step();
+    after_step();
+  }
+  round_end(t0);
 }
 
 void RoundEngineBase::step_parallel() {
-  if (pool_ != nullptr && pool_->parallelism() > 1) {
-    apply_workload(pool_);
-    do_step_parallel(*pool_);
-  } else {
-    apply_workload(nullptr);
-    do_step();
+  const std::uint64_t t0 = round_begin();
+  {
+    obs::TraceSpan span("round", engine_kind(), "t", t_ + 1);
+    if (pool_ != nullptr && pool_->parallelism() > 1) {
+      apply_workload(pool_);
+      do_step_parallel(*pool_);
+    } else {
+      apply_workload(nullptr);
+      do_step();
+    }
+    after_step();
   }
-  after_step();
+  round_end(t0);
 }
 
 void RoundEngineBase::run(Step steps) {

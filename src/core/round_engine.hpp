@@ -32,11 +32,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/load_vector.hpp"
 #include "util/serial.hpp"
 
 namespace dlb {
+
+namespace obs {
+struct EngineTelemetry;
+}  // namespace obs
 
 class ThreadPool;
 class WorkloadProcess;
@@ -54,7 +59,7 @@ struct ConservationPolicy {
 
 class RoundEngineBase {
  public:
-  virtual ~RoundEngineBase() = default;
+  virtual ~RoundEngineBase();
 
   RoundEngineBase(const RoundEngineBase&) = delete;
   RoundEngineBase& operator=(const RoundEngineBase&) = delete;
@@ -150,11 +155,16 @@ class RoundEngineBase {
   void load_core_state(StateReader& r);
 
  protected:
-  RoundEngineBase() = default;
+  RoundEngineBase();
 
   /// Installs the initial load vector (must be non-empty) and the audit
   /// policy; computes the conserved total and primes the cached stats.
   void adopt_loads(LoadVector initial, ConservationPolicy audit);
+
+  /// Telemetry label of this engine's metric series ("flat", "sharded",
+  /// "irregular", ...). Consulted lazily on the first round that runs
+  /// with the metrics registry armed.
+  virtual const char* engine_kind() const noexcept { return "flat"; }
 
   /// Advances loads_ by one round. Runs with the *pre-increment* time();
   /// implementations that notify observers label the step time() + 1.
@@ -190,6 +200,15 @@ class RoundEngineBase {
   }
   /// Post-round bookkeeping shared by step() and step_parallel().
   void after_step();
+  /// Metrics begin/commit around one round. round_begin() returns a
+  /// monotonic start stamp iff the registry is armed (0 otherwise);
+  /// round_end(0) is a no-op, so a disarmed round pays one relaxed load
+  /// per call. round_end publishes the round counter, latency, ledger
+  /// totals, and — only when the cached statistics are clean, never by
+  /// forcing a refresh — the min/max/discrepancy gauges. Telemetry
+  /// reads engine state exclusively; it cannot perturb determinism.
+  std::uint64_t round_begin() const noexcept;
+  void round_end(std::uint64_t start_ns);
   /// Applies the attached workload's deltas for round t_ (no-op without
   /// one). `pool` may be null; it is only used when the process allows
   /// parallel generation.
@@ -211,6 +230,9 @@ class RoundEngineBase {
   ConservationPolicy audit_;
   ThreadPool* pool_ = nullptr;
   WorkloadProcess* workload_ = nullptr;
+  /// Lazily-registered metric handles (null until a round runs with the
+  /// registry armed).
+  std::unique_ptr<obs::EngineTelemetry> telemetry_;
 };
 
 }  // namespace dlb

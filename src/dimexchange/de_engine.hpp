@@ -61,6 +61,7 @@ class DimensionExchange : public RoundEngineBase {
  protected:
   void do_step() override;
   void do_step_parallel(ThreadPool& pool) override;
+  const char* engine_kind() const noexcept override { return "dimexchange"; }
 
  private:
   /// Balances pairs [first, last) of `m`. `odd_up` is non-null exactly

@@ -48,6 +48,7 @@ class IrregularEngine : public RoundEngineBase {
  protected:
   void do_step() override;
   void do_step_parallel(ThreadPool& pool) override;
+  const char* engine_kind() const noexcept override { return "irregular"; }
 
  private:
   /// Pairs every directed CSR slot (u→v) with its reverse slot (v→u);

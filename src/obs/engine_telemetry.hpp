@@ -1,0 +1,29 @@
+// EngineTelemetry: the registry handles every round engine publishes
+// through. One bundle per engine *kind* ("flat", "sharded", "irregular",
+// "dimexchange") — handles are process-wide series, so several engine
+// instances of the same kind aggregate, which is exactly what the
+// exposition wants (the service runs one engine; tests run many).
+//
+// RoundEngineBase creates the bundle lazily, on the first round that
+// executes with the registry armed; disarmed processes never register
+// the series and the round loop pays a single relaxed load.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace dlb::obs {
+
+struct EngineTelemetry {
+  explicit EngineTelemetry(const char* kind);
+
+  Counter& rounds;           ///< dlb_engine_rounds_total
+  Histogram& round_seconds;  ///< dlb_engine_round_seconds
+  Gauge& time;               ///< dlb_engine_time (round counter)
+  Gauge& discrepancy;        ///< dlb_engine_discrepancy (cached stats only)
+  Gauge& min_load;           ///< dlb_engine_min_load
+  Gauge& max_load;           ///< dlb_engine_max_load
+  Gauge& injected;           ///< dlb_engine_injected_tokens (workload ledger)
+  Gauge& consumed;           ///< dlb_engine_consumed_tokens
+};
+
+}  // namespace dlb::obs

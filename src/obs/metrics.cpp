@@ -1,0 +1,332 @@
+#include "obs/metrics.hpp"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+#include "util/alloc.hpp"
+#include "util/assertions.hpp"
+
+namespace dlb::obs {
+
+namespace detail {
+
+int thread_stripe() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const int stripe = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<unsigned>(kCounterStripes));
+  return stripe;
+}
+
+}  // namespace detail
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name[0])) return false;
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+bool valid_label_key(const std::string& key) {
+  if (key.empty() || key == "le") return false;  // le is histogram-reserved
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(key[0])) return false;
+  return std::all_of(key.begin() + 1, key.end(), [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  });
+}
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (const auto& [key, value] : labels) {
+    (void)value;
+    DLB_REQUIRE(valid_label_key(key), "metrics: invalid label key");
+  }
+  return labels;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void append_escaped(std::string& out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+std::string render_labels(const Labels& labels, const char* extra_key,
+                          const std::string& extra_value) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    append_escaped(out, value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    append_escaped(out, extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Shortest round-trip decimal for a double ("%g" loses precision; 17
+/// significant digits always round-trip). Integers render without the
+/// exponent/point noise — counter values stay grep-friendly.
+std::string format_value(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v > -9.0e15 && v < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(const std::atomic<bool>* armed, std::vector<double> bounds)
+    : armed_(armed), bounds_(std::move(bounds)) {
+  DLB_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                  std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                      bounds_.end(),
+              "histogram bounds must be strictly ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::reset_value() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: engine destructors and TLS teardown may touch
+  // handles after main() returns; a never-destroyed registry makes that
+  // always safe.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_locked(
+    const std::string& name, const std::string& help, Kind kind) {
+  DLB_REQUIRE(valid_metric_name(name), "metrics: invalid metric name");
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.help = help;
+    family.kind = kind;
+  } else {
+    DLB_REQUIRE(family.kind == kind,
+                "metrics: name already registered under another kind");
+  }
+  return family;
+}
+
+MetricsRegistry::Series& MetricsRegistry::series_locked(Family& family,
+                                                        const Labels& labels) {
+  for (const std::unique_ptr<Series>& s : family.series) {
+    if (s->labels == labels) return *s;
+  }
+  family.series.push_back(std::make_unique<Series>());
+  family.series.back()->labels = labels;
+  return *family.series.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  const Labels canon = canonical(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = series_locked(family_locked(name, help, Kind::kCounter), canon);
+  if (!s.counter) s.counter.reset(new Counter(&armed_));
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  const Labels canon = canonical(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = series_locked(family_locked(name, help, Kind::kGauge), canon);
+  if (!s.gauge) s.gauge.reset(new Gauge(&armed_));
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds,
+                                      const Labels& labels) {
+  const Labels canon = canonical(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = series_locked(family_locked(name, help, Kind::kHistogram), canon);
+  if (!s.histogram) s.histogram.reset(new Histogram(&armed_, std::move(bounds)));
+  return *s.histogram;
+}
+
+void MetricsRegistry::gauge_callback(const std::string& name,
+                                     const std::string& help,
+                                     std::function<double()> fn,
+                                     const Labels& labels) {
+  DLB_REQUIRE(static_cast<bool>(fn), "metrics: null gauge callback");
+  const Labels canon = canonical(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = series_locked(family_locked(name, help, Kind::kCallback), canon);
+  s.callback = std::move(fn);
+}
+
+double MetricsRegistry::series_value(Kind kind, const Series& s) const {
+  switch (kind) {
+    case Kind::kCounter: return static_cast<double>(s.counter->value());
+    case Kind::kGauge: return s.gauge->value();
+    case Kind::kHistogram: return static_cast<double>(s.histogram->count());
+    case Kind::kCallback: return s.callback ? s.callback() : 0.0;
+  }
+  return 0.0;
+}
+
+double MetricsRegistry::sample(const std::string& name, const Labels& labels,
+                               double fallback) const {
+  const Labels canon = canonical(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = families_.find(name);
+  if (it == families_.end()) return fallback;
+  for (const std::unique_ptr<Series>& s : it->second.series) {
+    if (s->labels == canon) return series_value(it->second.kind, *s);
+  }
+  return fallback;
+}
+
+double MetricsRegistry::family_sum(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = families_.find(name);
+  if (it == families_.end()) return 0.0;
+  double total = 0.0;
+  for (const std::unique_ptr<Series>& s : it->second.series) {
+    total += series_value(it->second.kind, *s);
+  }
+  return total;
+}
+
+void MetricsRegistry::render_prometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    out << "# HELP " << name << ' ';
+    // HELP text escaping: backslash and newline only (the 0.0.4 rules).
+    for (const char c : family.help) {
+      if (c == '\\') out << "\\\\";
+      else if (c == '\n') out << "\\n";
+      else out << c;
+    }
+    out << '\n';
+    const char* type = "untyped";
+    switch (family.kind) {
+      case Kind::kCounter: type = "counter"; break;
+      case Kind::kGauge:
+      case Kind::kCallback: type = "gauge"; break;
+      case Kind::kHistogram: type = "histogram"; break;
+    }
+    out << "# TYPE " << name << ' ' << type << '\n';
+    for (const std::unique_ptr<Series>& s : family.series) {
+      if (family.kind == Kind::kHistogram) {
+        const Histogram& h = *s->histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          out << name << "_bucket"
+              << render_labels(s->labels, "le", format_value(h.bounds()[i]))
+              << ' ' << cumulative << '\n';
+        }
+        cumulative += h.bucket_count(h.bounds().size());
+        out << name << "_bucket"
+            << render_labels(s->labels, "le", "+Inf") << ' ' << cumulative
+            << '\n';
+        out << name << "_sum" << render_labels(s->labels, nullptr, "") << ' '
+            << format_value(h.sum()) << '\n';
+        out << name << "_count" << render_labels(s->labels, nullptr, "") << ' '
+            << h.count() << '\n';
+      } else {
+        out << name << render_labels(s->labels, nullptr, "") << ' '
+            << format_value(series_value(family.kind, *s)) << '\n';
+      }
+    }
+  }
+}
+
+void MetricsRegistry::reset_values() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, family] : families_) {
+    (void)name;
+    for (const std::unique_ptr<Series>& s : family.series) {
+      if (s->counter) s->counter->reset_value();
+      if (s->gauge) s->gauge->reset_value();
+      if (s->histogram) s->histogram->reset_value();
+    }
+  }
+}
+
+std::vector<double> MetricsRegistry::exponential_bounds(double start,
+                                                        double factor,
+                                                        int count) {
+  DLB_REQUIRE(start > 0.0 && factor > 1.0 && count >= 1,
+              "exponential_bounds: need start > 0, factor > 1, count >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+void register_process_collectors() {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.gauge_callback("dlb_process_peak_rss_kib",
+                     "Peak resident set size (getrusage ru_maxrss), KiB.",
+                     [] {
+                       rusage u{};
+                       getrusage(RUSAGE_SELF, &u);
+                       return static_cast<double>(u.ru_maxrss);
+                     });
+  reg.gauge_callback(
+      "dlb_alloc_huge_page_mmaps",
+      "Allocations >= 2 MiB served by anonymous mmap (huge-page eligible).",
+      [] { return static_cast<double>(alloc_stats().huge_allocs); });
+  reg.gauge_callback(
+      "dlb_alloc_huge_page_madvise_failures",
+      "Huge-page allocations whose MADV_HUGEPAGE hint failed (mapping "
+      "succeeded on 4 KiB pages).",
+      [] { return static_cast<double>(alloc_stats().madvise_failures); });
+}
+
+}  // namespace dlb::obs

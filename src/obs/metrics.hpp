@@ -1,0 +1,259 @@
+// MetricsRegistry: the process-wide telemetry registry behind every
+// observable surface of the library (the service's Prometheus text
+// exposition, the SIGUSR1 status block, the bench --timed-window metric
+// columns, and the obs test gates).
+//
+// Design constraints, in order:
+//
+//   1. Byte-determinism. Telemetry only *reads* engine state and writes
+//      into its own storage — no metric ever touches RNG streams, round
+//      order, or flow arithmetic, so the golden suites hold bit-for-bit
+//      with telemetry armed or disarmed.
+//   2. A disarmed registry costs one branch. Every handle holds a
+//      pointer to the registry's armed flag; inc()/set()/observe() test
+//      it first (a plain relaxed load, one predictable branch) and do
+//      nothing — no atomic RMW, no clock read — until an exporter arms
+//      the registry. Engines therefore instrument unconditionally and
+//      the hot benches stay inside the 2% overhead gate.
+//   3. Lock-free when armed. Counters are striped over cache-line-sized
+//      cells indexed by a per-thread slot (the "thread-local shards",
+//      merged on read), so concurrent increments from pool workers and
+//      shard threads never contend on one line. Gauges are single
+//      relaxed atomics; histogram buckets are plain atomics (phase
+//      latencies arrive at round rate, not node rate). The registration
+//      map is mutex-guarded, but registration happens at construction
+//      time, never per round.
+//
+// Series are identified by (name, labels); registering the same pair
+// twice returns the same handle, so the flat engine in every test binary
+// and the service daemon all aggregate into one family. Handles are
+// stable for the process lifetime (the registry never deletes a series).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dlb::obs {
+
+/// Label set of one series: (key, value) pairs. Keys must match
+/// [a-zA-Z_][a-zA-Z0-9_]*; values are arbitrary UTF-8 (escaped on
+/// exposition). Order is canonicalized (sorted by key) at registration.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+/// Stripe count of a counter: enough that a full pool of workers rarely
+/// collides, small enough that merge-on-read stays trivial.
+inline constexpr int kCounterStripes = 16;
+
+struct alignas(64) Stripe {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Stable per-thread stripe slot in [0, kCounterStripes). Threads beyond
+/// the stripe count share slots; fetch_add keeps shared slots exact.
+int thread_stripe() noexcept;
+
+}  // namespace detail
+
+class MetricsRegistry;
+
+/// Monotone counter. inc() is wait-free when armed, a no-op branch when
+/// not; value() merges the thread stripes (exact, since every increment
+/// is a fetch_add somewhere).
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    if (!armed_->load(std::memory_order_relaxed)) return;
+    stripes_[detail::thread_stripe()].v.fetch_add(delta,
+                                                  std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const detail::Stripe& s : stripes_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* armed) noexcept : armed_(armed) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+  void reset_value() noexcept {
+    for (detail::Stripe& s : stripes_) {
+      s.v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  const std::atomic<bool>* armed_;
+  detail::Stripe stripes_[detail::kCounterStripes];
+};
+
+/// Last-write-wins gauge (doubles, the Prometheus value domain; engine
+/// int64 observables are exact up to 2^53, far beyond the SIMD kernels'
+/// 2^51 load ceiling).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!armed_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void set(std::int64_t v) noexcept { set(static_cast<double>(v)); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* armed) noexcept : armed_(armed) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+  void reset_value() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* armed_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bounds are ascending upper bounds (Prometheus
+/// `le` semantics: an observation lands in the first bucket whose bound
+/// is >= the value); a +Inf overflow bucket is implicit. Buckets are
+/// plain atomics — observations arrive at phase rate (kHz), where a
+/// fetch_add is free.
+class Histogram {
+ public:
+  void observe(double v) noexcept {
+    if (!armed_->load(std::memory_order_relaxed)) return;
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // C++20 atomic<double> fetch_add (compiles to a CAS loop; observe
+    // rate makes contention irrelevant).
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Non-cumulative count of bucket i (i == bounds().size() is +Inf).
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool>* armed, std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+  void reset_value() noexcept;
+
+  const std::atomic<bool>* armed_;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1 (+Inf)
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide default registry (never destroyed; handles stay
+  /// valid through static teardown).
+  static MetricsRegistry& instance();
+
+  /// Registers (or finds) a series. Same (name, labels) => same handle;
+  /// a name registered under a different metric kind throws.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds, const Labels& labels = {});
+  /// Callback gauge, evaluated at exposition/sample time. For
+  /// process-global sources only (RSS, allocator stats) — the callback
+  /// must stay valid for the process lifetime. Re-registering the same
+  /// series replaces the callback.
+  void gauge_callback(const std::string& name, const std::string& help,
+                      std::function<double()> fn, const Labels& labels = {});
+
+  /// Arms / disarms every handle of this registry. Disarmed (the
+  /// default), all metric writes are single-branch no-ops.
+  void arm(bool on) noexcept { armed_.store(on, std::memory_order_relaxed); }
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Current value of one series (counter sum, gauge value, or callback
+  /// evaluation; histograms report their observation count). Returns
+  /// `fallback` when the series does not exist.
+  double sample(const std::string& name, const Labels& labels = {},
+                double fallback = 0.0) const;
+  /// Sum of every series of one family (e.g. per-shard byte counters).
+  double family_sum(const std::string& name) const;
+
+  /// Prometheus text exposition (version 0.0.4): # HELP/# TYPE per
+  /// family, one line per series, histograms as cumulative _bucket
+  /// series plus _sum/_count. Label values are escaped (\\, \", \n).
+  void render_prometheus(std::ostream& out) const;
+
+  /// Zeroes every counter/gauge/histogram value (series stay
+  /// registered). Test isolation helper — not for production paths.
+  void reset_values() noexcept;
+
+  /// `count` bucket bounds: start, start*factor, start*factor^2, ...
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                int count);
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram, kCallback };
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;
+  };
+  struct Family {
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Family& family_locked(const std::string& name, const std::string& help,
+                        Kind kind);
+  Series& series_locked(Family& family, const Labels& labels);
+  double series_value(Kind kind, const Series& s) const;
+
+  mutable std::mutex mutex_;
+  // std::map: exposition iterates families in sorted name order, which
+  // keeps the rendered text stable across runs (the smoke checker and
+  // the golden-file diffs rely on it).
+  std::map<std::string, Family> families_;
+  std::atomic<bool> armed_{false};
+};
+
+/// True when any exporter armed the default registry — the single branch
+/// engines test before paying for telemetry.
+inline bool metrics_armed() noexcept {
+  return MetricsRegistry::instance().armed();
+}
+
+/// Registers the process-wide callback gauges: peak RSS (getrusage
+/// ru_maxrss, KiB) and the AlignedAllocator huge-page outcome counters
+/// (mmap count + MADV_HUGEPAGE failures). Idempotent.
+void register_process_collectors();
+
+}  // namespace dlb::obs

@@ -1,0 +1,166 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+namespace dlb::obs {
+
+namespace {
+
+/// Stable small integer per thread for the Chrome `tid` field. Unlike
+/// the counter stripes these never alias — trace viewers lane by tid.
+std::uint32_t thread_trace_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// JSON string escaping for the (static literal) names we record. They
+/// are plain identifiers today; escape anyway so a future label can't
+/// corrupt the file.
+void write_json_string(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  // Leaked like the metrics registry: spans may close during static
+  // teardown of engine objects.
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+bool Tracer::env_requested() noexcept {
+  const char* v = std::getenv("DLB_TRACE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+void Tracer::enable(std::size_t capacity) {
+  if (capacity == 0) capacity = kDefaultCapacity;
+  enabled_.store(false, std::memory_order_relaxed);
+  if (capacity != capacity_) {
+    ring_ = std::make_unique<TraceEvent[]>(capacity);
+    capacity_ = capacity;
+  }
+  cursor_.store(0, std::memory_order_relaxed);
+  origin_ns_ = 0;
+  origin_ns_ = now_ns();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() noexcept {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::record(const char* name, const char* cat, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, const char* arg_name,
+                    std::int64_t arg_value) noexcept {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const std::uint64_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& e = ring_[idx % capacity_];
+  e.name = name;
+  e.cat = cat;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  e.tid = thread_trace_id();
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+}
+
+std::size_t Tracer::size() const noexcept {
+  const std::uint64_t n = cursor_.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(std::min<std::uint64_t>(n, capacity_));
+}
+
+std::uint64_t Tracer::dropped() const noexcept {
+  const std::uint64_t n = cursor_.load(std::memory_order_relaxed);
+  return n > capacity_ ? n - capacity_ : 0;
+}
+
+void Tracer::clear() noexcept { cursor_.store(0, std::memory_order_relaxed); }
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::size_t n = size();
+  std::vector<const TraceEvent*> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = ring_[i];
+    if (e.name != nullptr) events.push_back(&e);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              return a->start_ns < b->start_ns;
+            });
+  const long pid = static_cast<long>(::getpid());
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const TraceEvent* e : events) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":";
+    write_json_string(out, e->name);
+    out << ",\"cat\":";
+    write_json_string(out, e->cat);
+    // Chrome trace timestamps are microseconds; fractional values keep
+    // sub-microsecond phases visible.
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%ld,"
+                  "\"tid\":%u",
+                  static_cast<double>(e->start_ns) / 1e3,
+                  static_cast<double>(e->dur_ns) / 1e3, pid, e->tid);
+    out << buf;
+    if (e->arg_name != nullptr) {
+      out << ",\"args\":{";
+      write_json_string(out, e->arg_name);
+      std::snprintf(buf, sizeof(buf), ":%lld",
+                    static_cast<long long>(e->arg_value));
+      out << buf << '}';
+    }
+    out << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::vector<double> phase_seconds_bounds() {
+  return MetricsRegistry::exponential_bounds(1e-6, 4.0, 12);
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    write_chrome_trace(out);
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace dlb::obs

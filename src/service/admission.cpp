@@ -2,9 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/assertions.hpp"
 
 namespace dlb {
+
+namespace {
+
+/// Admission-control series (leaked; registered on first use).
+struct AdmissionMetrics {
+  obs::Gauge& backlog_entries;
+  obs::Gauge& backlog_tokens;
+};
+
+AdmissionMetrics& admission_metrics() {
+  static AdmissionMetrics* m = [] {
+    auto& reg = obs::MetricsRegistry::instance();
+    return new AdmissionMetrics{
+        reg.gauge("dlb_admission_backlog_entries",
+                  "Queued (node, amount) admission requests after the last "
+                  "prepared round."),
+        reg.gauge("dlb_admission_backlog_tokens",
+                  "Tokens waiting in the admission backlog after the last "
+                  "prepared round."),
+    };
+  }();
+  return *m;
+}
+
+}  // namespace
 
 AdmissionQueue::AdmissionQueue(WorkloadProcess& inner, Params params)
     : inner_(&inner), params_(params) {
@@ -73,6 +99,12 @@ void AdmissionQueue::prepare(Step t, std::span<const Load> loads) {
     for (NodeId u : *sparse) take(u, inner_->delta(u, t));
   } else {
     for (NodeId u = 0; u < n_; ++u) take(u, inner_->delta(u, t));
+  }
+
+  if (obs::metrics_armed()) {
+    AdmissionMetrics& m = admission_metrics();
+    m.backlog_entries.set(static_cast<std::int64_t>(backlog_.size()));
+    m.backlog_tokens.set(backlog_total());
   }
 }
 

@@ -1,16 +1,43 @@
 #include "service/balancer_service.hpp"
 
 #include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/admission.hpp"
-#include "util/alloc.hpp"
 #include "util/assertions.hpp"
 
 namespace dlb {
 
 namespace {
+
+/// Service-loop series (leaked; registered on first use).
+struct ServiceMetrics {
+  obs::Counter& rounds;
+  obs::Counter& checkpoints;
+  obs::Histogram& checkpoint_seconds;
+  obs::Counter& metrics_writes;
+};
+
+ServiceMetrics& service_metrics() {
+  auto& reg = obs::MetricsRegistry::instance();
+  static ServiceMetrics* m = new ServiceMetrics{
+      reg.counter("dlb_service_rounds_total",
+                  "Rounds executed by BalancerService::run."),
+      reg.counter("dlb_service_checkpoints_total",
+                  "Engine snapshots written (periodic + shutdown)."),
+      reg.histogram("dlb_service_checkpoint_seconds",
+                    "Wall-clock latency of one checkpoint capture + atomic "
+                    "file replace.",
+                    obs::phase_seconds_bounds()),
+      reg.counter("dlb_service_metrics_file_writes_total",
+                  "Prometheus exposition files written (tmp+rename)."),
+  };
+  return *m;
+}
 
 // Handlers only set flags; the service loop polls them between rounds.
 // sig_atomic_t is the only type the standard guarantees safe to write
@@ -36,6 +63,22 @@ BalancerService::BalancerService(Engine& engine, Options options,
               "BalancerService: negative checkpoint interval");
   DLB_REQUIRE(options_.metrics_interval >= 0,
               "BalancerService: negative metrics interval");
+  // Observability wiring. Any metrics surface arms the process registry
+  // (engines instrument unconditionally but pay only a branch until
+  // here); a trace file — or the DLB_TRACE env var — turns the phase
+  // tracer on. Both read engine state only: determinism is unaffected.
+  obs::register_process_collectors();
+  if (!options_.metrics_file.empty() || options_.metrics_out != nullptr) {
+    obs::MetricsRegistry::instance().arm(true);
+  }
+  if (!options_.trace_file.empty() || obs::Tracer::env_requested()) {
+    obs::Tracer::instance().enable();
+    if (options_.log) {
+      *options_.log << "[service] tracing enabled"
+                    << (options_.trace_file.empty() ? " (DLB_TRACE)" : "")
+                    << "\n";
+    }
+  }
   if (options_.restore_on_start && !options_.checkpoint_path.empty() &&
       file_exists(options_.checkpoint_path)) {
     // A corrupt or mismatched checkpoint throws (serial_error) rather
@@ -89,15 +132,17 @@ Step BalancerService::run(Step rounds) {
     if (g_metrics_requested) {
       g_metrics_requested = 0;
       if (options_.metrics_out) dump_metrics(*options_.metrics_out);
+      write_metrics_file();
     }
     // step_parallel() routes through the attached pool when one exists
     // and falls back to the serial round otherwise — identical results.
     engine_->step_parallel();
     ++done;
+    service_metrics().rounds.inc();
     emit_csv_row();
-    if (options_.metrics_interval > 0 && options_.metrics_out &&
-        done % options_.metrics_interval == 0) {
-      dump_metrics(*options_.metrics_out);
+    if (options_.metrics_interval > 0 && done % options_.metrics_interval == 0) {
+      if (options_.metrics_out) dump_metrics(*options_.metrics_out);
+      write_metrics_file();
     }
     if (options_.checkpoint_interval > 0 &&
         !options_.checkpoint_path.empty() &&
@@ -120,13 +165,34 @@ Step BalancerService::run(Step rounds) {
   if (g_stop_requested && options_.metrics_out) {
     dump_metrics(*options_.metrics_out);
   }
+  write_metrics_file();
+  if (!options_.trace_file.empty()) {
+    if (obs::Tracer::instance().write_chrome_trace_file(options_.trace_file)) {
+      if (options_.log) {
+        *options_.log << "[service] trace -> " << options_.trace_file << " ("
+                      << obs::Tracer::instance().size() << " span(s), "
+                      << obs::Tracer::instance().dropped() << " dropped)\n";
+      }
+    } else if (options_.log) {
+      *options_.log << "[service] trace write failed: " << options_.trace_file
+                    << "\n";
+    }
+  }
   return done;
 }
 
 void BalancerService::checkpoint() {
   if (options_.checkpoint_path.empty()) return;
-  EngineSnapshot::capture(*engine_, tracker_)
-      .write_file(options_.checkpoint_path);
+  {
+    obs::PhaseScope phase(service_metrics().checkpoint_seconds, "checkpoint",
+                          "service", "t", engine_->time());
+    EngineSnapshot::capture(*engine_, tracker_)
+        .write_file(options_.checkpoint_path);
+  }
+  // Registry counter and the per-service member advance together: the
+  // member keeps the snapshot tests' per-instance semantics, the counter
+  // is the process-wide exposition surface.
+  service_metrics().checkpoints.inc();
   ++checkpoints_written_;
   if (options_.log) {
     *options_.log << "[service] checkpoint #" << checkpoints_written_
@@ -157,9 +223,37 @@ void BalancerService::dump_metrics(std::ostream& out) const {
         << " window_mean=" << s.window_mean << " window_max=" << s.window_max
         << " window_p99=" << s.window_p99 << "\n";
   }
+  // Migrated onto the registry: the line renders the same bytes as the
+  // old direct huge_page_madvise_failures() read — the process collector
+  // is a callback gauge over the identical counter.
   out << "checkpoints: " << checkpoints_written_ << "\n"
-      << "huge_page_madvise_failures: " << huge_page_madvise_failures()
+      << "huge_page_madvise_failures: "
+      << static_cast<std::uint64_t>(obs::MetricsRegistry::instance().sample(
+             "dlb_alloc_huge_page_madvise_failures"))
       << "\n";
+}
+
+void BalancerService::write_metrics_file() const {
+  if (options_.metrics_file.empty()) return;
+  const std::string tmp = options_.metrics_file + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      if (options_.log) {
+        *options_.log << "[service] metrics write failed: " << tmp << "\n";
+      }
+      return;
+    }
+    obs::MetricsRegistry::instance().render_prometheus(out);
+  }
+  if (std::rename(tmp.c_str(), options_.metrics_file.c_str()) != 0) {
+    if (options_.log) {
+      *options_.log << "[service] metrics rename failed: "
+                    << options_.metrics_file << "\n";
+    }
+    return;
+  }
+  service_metrics().metrics_writes.inc();
 }
 
 }  // namespace dlb

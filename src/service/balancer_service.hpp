@@ -49,10 +49,19 @@ class BalancerService {
     Step checkpoint_interval = 0;
     /// Restore from checkpoint_path when the file exists at startup.
     bool restore_on_start = true;
-    /// Rounds between metrics dumps to `metrics_out`; 0 = on signal and
-    /// shutdown only.
+    /// Rounds between metrics dumps to `metrics_out` (and rewrites of
+    /// `metrics_file`); 0 = on signal and shutdown only.
     Step metrics_interval = 0;
     std::ostream* metrics_out = nullptr;  ///< nullptr = no metrics sink
+    /// Prometheus text exposition: the whole registry is rendered to this
+    /// file (atomic tmp+rename) every `metrics_interval` rounds, on
+    /// SIGUSR1, and at shutdown. Non-empty arms the metrics registry for
+    /// the process. Empty disables.
+    std::string metrics_file;
+    /// Chrome trace-event JSON written at shutdown (Perfetto-loadable).
+    /// Non-empty enables the phase tracer (so does the DLB_TRACE env
+    /// var). Empty leaves the tracer as the environment configured it.
+    std::string trace_file;
     std::ostream* csv = nullptr;          ///< per-round CSV sink (no header)
     std::ostream* log = nullptr;          ///< service log lines; nullptr = quiet
     /// Test/CI hook: raise SIGTERM from inside the loop after this many
@@ -89,8 +98,13 @@ class BalancerService {
   /// Writes a checkpoint now (atomic replace). No-op without a path.
   void checkpoint();
 
-  /// Plain-text status block.
+  /// Plain-text status block (the SIGUSR1 v1 format, preserved
+  /// byte-for-byte; allocator counters now read through the registry).
   void dump_metrics(std::ostream& out) const;
+
+  /// Renders the whole metrics registry as Prometheus text into
+  /// Options::metrics_file (atomic tmp+rename). No-op without a path.
+  void write_metrics_file() const;
 
   bool restored() const noexcept { return restored_; }
   Step checkpoints_written() const noexcept { return checkpoints_written_; }

@@ -1,17 +1,57 @@
 #include "shard/sharded_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "dynamics/workload.hpp"
+#include "obs/engine_telemetry.hpp"
+#include "obs/trace.hpp"
 #include "util/assertions.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dlb {
 
 namespace {
+
+std::uint64_t mono_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Phase-latency histograms of the sharded engine (leaked; see
+/// MetricsRegistry::instance).
+struct ShardPhases {
+  obs::Histogram& prepare;
+  obs::Histogram& halo;
+  obs::Histogram& decide;
+  obs::Histogram& drain;
+};
+
+ShardPhases& shard_phases() {
+  static ShardPhases* p = [] {
+    auto& reg = obs::MetricsRegistry::instance();
+    const std::string name = "dlb_engine_phase_seconds";
+    const std::string help =
+        "Wall-clock latency of one engine phase within a round.";
+    return new ShardPhases{
+        reg.histogram(name, help, obs::phase_seconds_bounds(),
+                      {{"engine", "sharded"}, {"phase", "prepare"}}),
+        reg.histogram(name, help, obs::phase_seconds_bounds(),
+                      {{"engine", "sharded"}, {"phase", "halo"}}),
+        reg.histogram(name, help, obs::phase_seconds_bounds(),
+                      {{"engine", "sharded"}, {"phase", "decide"}}),
+        reg.histogram(name, help, obs::phase_seconds_bounds(),
+                      {{"engine", "sharded"}, {"phase", "drain"}}),
+    };
+  }();
+  return *p;
+}
 
 /// Wire format of one tier-1 halo segment: header then `len` loads. The
 /// header is two NodeIds so the receiver needs no out-of-band layout —
@@ -79,6 +119,22 @@ ShardedEngine::ShardedEngine(const Graph& g, ShardedEngineConfig config,
     build_tier2_plan();
   }
 
+  // Per-shard channel byte counters, registered up front (registration
+  // is one mutex pass at construction; the per-post inc() is a no-op
+  // branch until an exporter arms the registry).
+  for (int s = 0; s < part_.shards(); ++s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    const obs::Labels labels{{"shard", std::to_string(s)}};
+    sh.bytes_posted = &obs::MetricsRegistry::instance().counter(
+        "dlb_shard_channel_bytes_posted_total",
+        "Bytes this shard posted into the cross-shard channel (halo "
+        "segments incl. headers, routed flow records).",
+        labels);
+    sh.bytes_drained = &obs::MetricsRegistry::instance().counter(
+        "dlb_shard_channel_bytes_drained_total",
+        "Bytes this shard drained from the cross-shard channel.", labels);
+  }
+
   // Statistics adoption, mirroring RoundEngineBase::adopt_loads.
   total_ = total_load(initial);
   base_total_ = total_;
@@ -87,6 +143,33 @@ ShardedEngine::ShardedEngine(const Graph& g, ShardedEngineConfig config,
   max_load_ = *hi;
   min_load_seen_ = min_load_;
   stats_dirty_ = false;
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+std::uint64_t ShardedEngine::round_begin() const noexcept {
+  if (!obs::metrics_armed()) return 0;
+  return mono_ns();
+}
+
+void ShardedEngine::round_end(std::uint64_t start_ns) {
+  if (start_ns == 0) return;
+  if (!telemetry_) {
+    telemetry_ = std::make_unique<obs::EngineTelemetry>("sharded");
+  }
+  obs::EngineTelemetry& tel = *telemetry_;
+  tel.rounds.inc();
+  tel.round_seconds.observe(static_cast<double>(mono_ns() - start_ns) * 1e-9);
+  tel.time.set(t_);
+  tel.injected.set(injected_total_);
+  tel.consumed.set(consumed_total_);
+  // Cached stats only — never refresh from here (deferred-stats history
+  // must be identical with telemetry on or off).
+  if (!stats_dirty_) {
+    tel.min_load.set(min_load_);
+    tel.max_load.set(max_load_);
+    tel.discrepancy.set(max_load_ - min_load_);
+  }
 }
 
 void ShardedEngine::build_tier1_plan() {
@@ -240,6 +323,8 @@ void ShardedEngine::exchange_halos() {
           std::as_bytes(std::span<const Load>(
               sh.window.data() + send.src_window,
               static_cast<std::size_t>(send.len))));
+      sh.bytes_posted->inc(sizeof(HaloHeader) +
+                           static_cast<std::uint64_t>(send.len) * sizeof(Load));
     }
   });
   for_shards(true, [&](int s) {
@@ -247,6 +332,7 @@ void ShardedEngine::exchange_halos() {
     channel_->drain(
         s, ShardTag::kHaloLoads,
         [&](int /*from*/, std::span<const std::byte> bytes) {
+          sh.bytes_drained->inc(bytes.size());
           std::size_t off = 0;
           while (off < bytes.size()) {
             HaloHeader hdr;
@@ -271,6 +357,7 @@ void ShardedEngine::exchange_halos() {
 }
 
 void ShardedEngine::decide_shard(int s, Step t) {
+  obs::TraceSpan span("decide", "shard", "shard", s);
   Shard& sh = shards_[static_cast<std::size_t>(s)];
   sh.acc.begin_round();
   if (reach_ >= 0) {
@@ -344,6 +431,7 @@ void ShardedEngine::decide_shard(int s, Step t) {
     if (buf.empty()) continue;
     channel_->post(s, o, ShardTag::kFlows,
                    std::span<const std::byte>(buf.data(), buf.size()));
+    sh.bytes_posted->inc(buf.size());
     buf.clear();
   }
 }
@@ -354,6 +442,7 @@ void ShardedEngine::drain_flows() {
     channel_->drain(
         s, ShardTag::kFlows,
         [&](int /*from*/, std::span<const std::byte> bytes) {
+          sh.bytes_drained->inc(bytes.size());
           DLB_REQUIRE(bytes.size() % kFlowRecordBytes == 0,
                       "flow stream: truncated record");
           const EpochAccumulator::Scatter next(sh.acc);
@@ -377,8 +466,12 @@ void ShardedEngine::drain_flows() {
 }
 
 void ShardedEngine::step() {
+  const std::uint64_t obs_t0 = round_begin();
+  obs::TraceSpan round_span("round", "sharded", "t", t_ + 1);
   apply_workload();
   {
+    obs::PhaseScope phase(shard_phases().prepare, "prepare", "sharded", "t",
+                          t_ + 1);
     // Serial once-per-round hook, before any shard decides — exactly the
     // decide_all contract. The sink exists only to convey graph/mode (no
     // built-in prepare_round writes flows); global loads are gathered
@@ -391,13 +484,25 @@ void ShardedEngine::step() {
   }
   const bool parallel_decide = balancer_->parallel_decide_safe();
   if (reach_ >= 0) {
-    exchange_halos();
+    {
+      obs::PhaseScope phase(shard_phases().halo, "halo", "sharded", "t",
+                            t_ + 1);
+      exchange_halos();
+    }
+    obs::PhaseScope phase(shard_phases().decide, "decide", "sharded", "t",
+                          t_ + 1);
     for_shards(parallel_decide, [&](int s) { decide_shard(s, t_); });
   } else {
-    // Serial shard order when the balancer is not parallel-safe keeps
-    // e.g. a sequential RNG stream in ascending node order — the same
-    // trajectory as the flat serial engine.
-    for_shards(parallel_decide, [&](int s) { decide_shard(s, t_); });
+    {
+      // Serial shard order when the balancer is not parallel-safe keeps
+      // e.g. a sequential RNG stream in ascending node order — the same
+      // trajectory as the flat serial engine.
+      obs::PhaseScope phase(shard_phases().decide, "decide", "sharded", "t",
+                            t_ + 1);
+      for_shards(parallel_decide, [&](int s) { decide_shard(s, t_); });
+    }
+    obs::PhaseScope phase(shard_phases().drain, "drain", "sharded", "t",
+                          t_ + 1);
     drain_flows();
   }
   Load lo = std::numeric_limits<Load>::max();
@@ -410,6 +515,7 @@ void ShardedEngine::step() {
   round_max_ = hi;
   round_stats_valid_ = true;
   after_step();
+  round_end(obs_t0);
 }
 
 void ShardedEngine::run(Step steps) {

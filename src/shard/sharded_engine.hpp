@@ -57,6 +57,10 @@
 
 namespace dlb {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 class ThreadPool;
 class WorkloadProcess;
 
@@ -78,6 +82,8 @@ class ShardedEngine {
   ShardedEngine(const Graph& g, ShardedEngineConfig config,
                 Balancer& balancer, const LoadVector& initial, int shards,
                 ShardChannel* channel = nullptr);
+
+  ~ShardedEngine();
 
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
@@ -188,6 +194,8 @@ class ShardedEngine {
     Load round_max = 0;
     Load inj = 0;              ///< this round's workload partials
     Load con = 0;
+    obs::Counter* bytes_posted = nullptr;   ///< channel bytes this shard sent
+    obs::Counter* bytes_drained = nullptr;  ///< channel bytes it received
   };
 
   /// Window slot of global node u on its owning shard.
@@ -218,6 +226,10 @@ class ShardedEngine {
     if (stats_dirty_) refresh_stats(false);
   }
   void after_step();
+  /// Metrics begin/commit around one round — the RoundEngineBase
+  /// contract verbatim: observe cached state only, never force a refresh.
+  std::uint64_t round_begin() const noexcept;
+  void round_end(std::uint64_t start_ns);
 
   /// Gathers the owned slices into scratch_ and returns a span over it
   /// (for prepare hooks that read the global loads).
@@ -249,6 +261,9 @@ class ShardedEngine {
   ConservationPolicy audit_;
   ThreadPool* pool_ = nullptr;
   WorkloadProcess* workload_ = nullptr;
+  /// Lazily-registered metric handles (null until a round runs with the
+  /// registry armed).
+  std::unique_ptr<obs::EngineTelemetry> telemetry_;
 };
 
 }  // namespace dlb

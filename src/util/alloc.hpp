@@ -48,7 +48,13 @@ inline std::atomic<std::uint64_t>& madvise_failure_counter() noexcept {
   return count;
 }
 
+inline std::atomic<std::uint64_t>& huge_alloc_counter() noexcept {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
 inline void* huge_page_alloc(std::size_t bytes) {
+  huge_alloc_counter().fetch_add(1, std::memory_order_relaxed);
 #if defined(__linux__)
   void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -83,6 +89,20 @@ inline void huge_page_free(void* p, std::size_t bytes) noexcept {
 /// Monotone process-lifetime counter, safe to read from any thread.
 inline std::uint64_t huge_page_madvise_failures() noexcept {
   return detail::madvise_failure_counter().load(std::memory_order_relaxed);
+}
+
+/// Process-lifetime allocator outcomes, safe to read from any thread.
+struct AllocStats {
+  /// Allocations >= kHugeThreshold served by the mmap path.
+  std::uint64_t huge_allocs = 0;
+  /// Of those, how many lost the MADV_HUGEPAGE hint (see above).
+  std::uint64_t madvise_failures = 0;
+};
+
+inline AllocStats alloc_stats() noexcept {
+  return AllocStats{
+      detail::huge_alloc_counter().load(std::memory_order_relaxed),
+      detail::madvise_failure_counter().load(std::memory_order_relaxed)};
 }
 
 template <class T, std::size_t Align = kCacheLineBytes>

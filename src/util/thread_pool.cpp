@@ -2,9 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/assertions.hpp"
 
 namespace dlb {
+
+namespace {
+
+/// Pool counters (leaked; registered on first use).
+struct PoolMetrics {
+  obs::Counter& jobs;
+  obs::Counter& chunks;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* m = [] {
+    auto& reg = obs::MetricsRegistry::instance();
+    return new PoolMetrics{
+        reg.counter("dlb_pool_jobs_total",
+                    "for_ranges jobs dispatched to the worker pool."),
+        reg.counter("dlb_pool_chunks_total",
+                    "Range chunks executed across all pool jobs."),
+    };
+  }();
+  return *m;
+}
+
+}  // namespace
 
 int ThreadPool::hardware_parallelism() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -55,7 +79,9 @@ void ThreadPool::drain_chunks() {
     const std::int64_t extra = total % chunks;
     const std::int64_t first = c * base + std::min<std::int64_t>(c, extra);
     const std::int64_t last = first + base + (c < extra ? 1 : 0);
+    pool_metrics().chunks.inc();
     try {
+      obs::TraceSpan span("chunk", "pool", "first", first);
       (*body)(first, last);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -92,6 +118,7 @@ void ThreadPool::for_ranges(
     body(0, total);
     return;
   }
+  pool_metrics().jobs.inc();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     DLB_REQUIRE(body_ == nullptr,

@@ -1,0 +1,380 @@
+// Observability gates:
+//
+//  1. Registry mechanics — striped counters stay exact under concurrent
+//     increments, histogram observations land in the documented `le`
+//     buckets, Prometheus label values are escaped per the 0.0.4 rules,
+//     and a disarmed registry records nothing.
+//  2. Byte-determinism — for EVERY registered balancer, a run with
+//     metrics armed AND the tracer enabled produces load trajectories,
+//     ledgers, and min/max histories byte-identical to a run with all
+//     telemetry off, on the flat engine and the sharded engine
+//     (k ∈ {1, 8}) at pool sizes {1, 8}, including deferred-stats mode.
+//     Telemetry observes; it must never steer.
+//  3. Tracer mechanics — the span ring is bounded (overwrites, never
+//     grows), and the Chrome trace export is valid JSON with the fields
+//     Perfetto requires.
+//
+// Tests that arm the process-global registry restore the disarmed state
+// on exit so ordering never leaks between tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "balancers/registry.hpp"
+#include "core/engine.hpp"
+#include "dynamics/workload.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "shard/sharded_engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dlb {
+namespace {
+
+/// Arms the registry (and optionally the tracer) for one scope.
+class TelemetryOn {
+ public:
+  explicit TelemetryOn(bool trace = true) {
+    obs::MetricsRegistry::instance().arm(true);
+    if (trace) obs::Tracer::instance().enable();
+  }
+  ~TelemetryOn() {
+    obs::MetricsRegistry::instance().arm(false);
+    obs::Tracer::instance().disable();
+  }
+};
+
+TEST(MetricsRegistryTest, CounterIsExactUnderConcurrentIncrements) {
+  TelemetryOn on(/*trace=*/false);
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& c = reg.counter("dlb_test_concurrent_total", "test");
+  const std::uint64_t before = c.value();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&c] {
+      for (int j = 0; j < kPerThread; ++j) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value() - before,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, DisarmedHandlesRecordNothing) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.arm(false);
+  obs::Counter& c = reg.counter("dlb_test_disarmed_total", "test");
+  obs::Gauge& g = reg.gauge("dlb_test_disarmed_gauge", "test");
+  obs::Histogram& h = reg.histogram("dlb_test_disarmed_hist", "test",
+                                    {1.0, 2.0});
+  const std::uint64_t c0 = c.value();
+  c.inc(5);
+  g.set(42.0);
+  h.observe(1.5);
+  EXPECT_EQ(c.value(), c0);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnsTheSameHandle) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& a =
+      reg.counter("dlb_test_identity_total", "test", {{"x", "1"}});
+  // Label order must not matter (canonicalized on registration).
+  obs::Counter& b =
+      reg.counter("dlb_test_identity_total", "test", {{"x", "1"}});
+  EXPECT_EQ(&a, &b);
+  obs::Counter& other =
+      reg.counter("dlb_test_identity_total", "test", {{"x", "2"}});
+  EXPECT_NE(&a, &other);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundariesFollowLeSemantics) {
+  TelemetryOn on(/*trace=*/false);
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Histogram& h = reg.histogram("dlb_test_bounds_hist", "test",
+                                    {1.0, 10.0, 100.0});
+  // le semantics: an observation of exactly a bound lands in that bucket.
+  h.observe(0.5);    // bucket le=1
+  h.observe(1.0);    // bucket le=1 (inclusive upper bound)
+  h.observe(1.0001); // bucket le=10
+  h.observe(10.0);   // bucket le=10
+  h.observe(99.0);   // bucket le=100
+  h.observe(1000.0); // +Inf overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 99.0 + 1000.0);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextEscapesLabelsAndRendersHistograms) {
+  TelemetryOn on(/*trace=*/false);
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& c = reg.counter(
+      "dlb_test_escape_total", "test",
+      {{"path", "a\\b"}, {"quote", "say \"hi\""}, {"nl", "two\nlines"}});
+  c.inc(3);
+  obs::Histogram& h =
+      reg.histogram("dlb_test_render_hist", "test", {0.5, 5.0});
+  h.observe(0.1);
+  h.observe(1.0);
+  h.observe(99.0);
+  std::ostringstream out;
+  reg.render_prometheus(out);
+  const std::string text = out.str();
+  // Escaping: backslash, double quote, newline (0.0.4 label rules).
+  EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos) << text;
+  EXPECT_NE(text.find("quote=\"say \\\"hi\\\"\""), std::string::npos) << text;
+  EXPECT_NE(text.find("nl=\"two\\nlines\""), std::string::npos) << text;
+  // Histogram exposition: cumulative buckets, +Inf, _sum/_count.
+  EXPECT_NE(text.find("dlb_test_render_hist_bucket{le=\"0.5\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dlb_test_render_hist_bucket{le=\"5\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dlb_test_render_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dlb_test_render_hist_count 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE dlb_test_escape_total counter"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, ProcessCollectorsReportRssAndAllocOutcomes) {
+  obs::register_process_collectors();
+  auto& reg = obs::MetricsRegistry::instance();
+  // RSS of a live test process is strictly positive.
+  EXPECT_GT(reg.sample("dlb_process_peak_rss_kib"), 0.0);
+  // Allocator gauges exist (values depend on test order; the madvise
+  // failure count can never exceed the huge-alloc count).
+  EXPECT_GE(reg.sample("dlb_alloc_huge_page_mmaps"), 0.0);
+  EXPECT_LE(reg.sample("dlb_alloc_huge_page_madvise_failures"),
+            reg.sample("dlb_alloc_huge_page_mmaps"));
+}
+
+TEST(TracerTest, RingIsBoundedAndExportsValidChromeTrace) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(/*capacity=*/64);
+  for (int i = 0; i < 200; ++i) {
+    tracer.record("span", "test", static_cast<std::uint64_t>(i) * 1000, 500,
+                  "i", i);
+  }
+  EXPECT_EQ(tracer.size(), 64u);
+  EXPECT_EQ(tracer.dropped(), 136u);
+  tracer.disable();
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"span\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos) << json;
+  // Re-enable resets the ring for the next run.
+  tracer.enable(/*capacity=*/64);
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.disable();
+}
+
+TEST(TracerTest, SpansRecordOnlyWhenEnabled) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(/*capacity=*/16);
+  { obs::TraceSpan span("on", "test"); }
+  EXPECT_EQ(tracer.size(), 1u);
+  tracer.disable();
+  { obs::TraceSpan span("off", "test"); }
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+// --- determinism gates ---------------------------------------------------
+
+struct Trajectory {
+  std::vector<LoadVector> loads;
+  std::vector<Load> min_seen;
+  std::vector<Load> disc;
+  Load injected = 0;
+  Load consumed = 0;
+};
+
+Trajectory run_flat(const std::string& name, const Graph& g, int d_loops,
+                    Step steps, int threads, bool deferred) {
+  const BalancerFactory factory = find_balancer_factory(name);
+  std::unique_ptr<Balancer> b = factory(7);
+  Engine e(g, EngineConfig{.self_loops = d_loops}, *b,
+           random_initial(g.num_nodes(), 500, 99));
+  PoissonWorkload workload(
+      PoissonWorkload::Params{.arrival_rate = 0.05, .departure_rate = 0.03});
+  workload.reset(g.num_nodes(), 11);
+  e.set_workload(&workload);
+  e.set_deferred_stats(deferred);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    e.set_thread_pool(pool.get());
+  }
+  Trajectory out;
+  for (Step t = 0; t < steps; ++t) {
+    e.step_parallel();
+    out.loads.push_back(e.loads());
+    if (!deferred) {
+      out.min_seen.push_back(e.min_load_seen());
+      out.disc.push_back(e.discrepancy());
+    }
+  }
+  // Deferred mode: observables are read once at the end (reading them
+  // per-round would force refreshes and change what "deferred" means).
+  out.min_seen.push_back(e.min_load_seen());
+  out.disc.push_back(e.discrepancy());
+  out.injected = e.injected_total();
+  out.consumed = e.consumed_total();
+  return out;
+}
+
+Trajectory run_sharded(const std::string& name, const Graph& g, int d_loops,
+                       Step steps, int k, int threads, bool deferred) {
+  const BalancerFactory factory = find_balancer_factory(name);
+  std::unique_ptr<Balancer> b = factory(7);
+  ShardedEngine e(g, ShardedEngineConfig{.self_loops = d_loops}, *b,
+                  random_initial(g.num_nodes(), 500, 99), k);
+  PoissonWorkload workload(
+      PoissonWorkload::Params{.arrival_rate = 0.05, .departure_rate = 0.03});
+  workload.reset(g.num_nodes(), 11);
+  e.set_workload(&workload);
+  e.set_deferred_stats(deferred);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    e.set_thread_pool(pool.get());
+  }
+  Trajectory out;
+  for (Step t = 0; t < steps; ++t) {
+    e.step();
+    out.loads.push_back(e.gather_loads());
+    if (!deferred) {
+      out.min_seen.push_back(e.min_load_seen());
+      out.disc.push_back(e.discrepancy());
+    }
+  }
+  out.min_seen.push_back(e.min_load_seen());
+  out.disc.push_back(e.discrepancy());
+  out.injected = e.injected_total();
+  out.consumed = e.consumed_total();
+  return out;
+}
+
+void expect_equal(const Trajectory& off, const Trajectory& on,
+                  const std::string& where) {
+  ASSERT_EQ(off.loads, on.loads) << where << ": load trajectory diverged";
+  EXPECT_EQ(off.min_seen, on.min_seen) << where;
+  EXPECT_EQ(off.disc, on.disc) << where;
+  EXPECT_EQ(off.injected, on.injected) << where;
+  EXPECT_EQ(off.consumed, on.consumed) << where;
+}
+
+TEST(TelemetryDeterminismTest, FlatEngineIsByteIdenticalWithTelemetryOnOrOff) {
+  constexpr Step kSteps = 24;
+  const Graph g = make_cycle(48);
+  for (const std::string& name : registered_balancer_names()) {
+    const BalancerTraits traits = find_balancer_traits(name);
+    const int d_loops = std::max(traits.min_loops(g.degree()), g.degree());
+    for (const int threads : {1, 8}) {
+      for (const bool deferred : {false, true}) {
+        const std::string where = name + " threads=" +
+                                  std::to_string(threads) +
+                                  (deferred ? " deferred" : "");
+        const Trajectory off =
+            run_flat(name, g, d_loops, kSteps, threads, deferred);
+        Trajectory on;
+        {
+          TelemetryOn telemetry;
+          on = run_flat(name, g, d_loops, kSteps, threads, deferred);
+        }
+        expect_equal(off, on, "flat " + where);
+      }
+    }
+  }
+}
+
+TEST(TelemetryDeterminismTest,
+     ShardedEngineIsByteIdenticalWithTelemetryOnOrOff) {
+  constexpr Step kSteps = 24;
+  const Graph g = make_cycle(48);
+  for (const std::string& name : registered_balancer_names()) {
+    const BalancerTraits traits = find_balancer_traits(name);
+    const int d_loops = std::max(traits.min_loops(g.degree()), g.degree());
+    for (const int k : {1, 8}) {
+      for (const int threads : {1, 8}) {
+        const std::string where = name + " k=" + std::to_string(k) +
+                                  " threads=" + std::to_string(threads);
+        const Trajectory off =
+            run_sharded(name, g, d_loops, kSteps, k, threads, false);
+        Trajectory on;
+        {
+          TelemetryOn telemetry;
+          on = run_sharded(name, g, d_loops, kSteps, k, threads, false);
+        }
+        expect_equal(off, on, "sharded " + where);
+      }
+    }
+  }
+}
+
+TEST(TelemetryDeterminismTest, EngineGaugesMirrorEngineStateWhenArmed) {
+  const Graph g = make_cycle(32);
+  std::unique_ptr<Balancer> b = find_balancer_factory("SEND(floor)")(7);
+  Engine e(g, EngineConfig{.self_loops = g.degree()}, *b,
+           random_initial(g.num_nodes(), 200, 5));
+  TelemetryOn on(/*trace=*/false);
+  auto& reg = obs::MetricsRegistry::instance();
+  const double rounds_before =
+      reg.sample("dlb_engine_rounds_total", {{"engine", "flat"}});
+  for (int i = 0; i < 10; ++i) e.step();
+  EXPECT_EQ(reg.sample("dlb_engine_rounds_total", {{"engine", "flat"}}) -
+                rounds_before,
+            10.0);
+  EXPECT_EQ(reg.sample("dlb_engine_time", {{"engine", "flat"}}),
+            static_cast<double>(e.time()));
+  EXPECT_EQ(reg.sample("dlb_engine_discrepancy", {{"engine", "flat"}}),
+            static_cast<double>(e.discrepancy()));
+}
+
+TEST(TelemetryDeterminismTest, ShardedChannelByteCountersTrackHaloTraffic) {
+  const Graph g = make_cycle(64);
+  std::unique_ptr<Balancer> b = find_balancer_factory("SEND(floor)")(7);
+  ShardedEngine e(g, ShardedEngineConfig{.self_loops = g.degree()}, *b,
+                  random_initial(g.num_nodes(), 200, 5), /*shards=*/4);
+  ASSERT_TRUE(e.windowed()) << "send-floor on a cycle must take tier 1";
+  TelemetryOn on(/*trace=*/false);
+  auto& reg = obs::MetricsRegistry::instance();
+  const double posted_before =
+      reg.family_sum("dlb_shard_channel_bytes_posted_total");
+  const double drained_before =
+      reg.family_sum("dlb_shard_channel_bytes_drained_total");
+  e.run(5);
+  const double posted =
+      reg.family_sum("dlb_shard_channel_bytes_posted_total") - posted_before;
+  const double drained =
+      reg.family_sum("dlb_shard_channel_bytes_drained_total") - drained_before;
+  EXPECT_GT(posted, 0.0);
+  // Every posted byte is drained exactly once per round.
+  EXPECT_EQ(posted, drained);
+}
+
+}  // namespace
+}  // namespace dlb
