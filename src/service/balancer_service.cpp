@@ -1,9 +1,12 @@
 #include "service/balancer_service.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -19,6 +22,7 @@ struct ServiceMetrics {
   obs::Counter& rounds;
   obs::Counter& checkpoints;
   obs::Histogram& checkpoint_seconds;
+  obs::Counter& checkpoint_write_failures;
   obs::Counter& metrics_writes;
 };
 
@@ -33,6 +37,9 @@ ServiceMetrics& service_metrics() {
                     "Wall-clock latency of one checkpoint capture + atomic "
                     "file replace.",
                     obs::phase_seconds_bounds()),
+      reg.counter("dlb_service_checkpoint_write_failures_total",
+                  "Checkpoint write attempts that failed (each retry "
+                  "counts; the round continues either way)."),
       reg.counter("dlb_service_metrics_file_writes_total",
                   "Prometheus exposition files written (tmp+rename)."),
   };
@@ -183,11 +190,49 @@ Step BalancerService::run(Step rounds) {
 
 void BalancerService::checkpoint() {
   if (options_.checkpoint_path.empty()) return;
+  // Capture once, retry only the write: the state is consistent no
+  // matter which attempt lands it. The previous good checkpoint stays
+  // intact throughout (write_file replaces atomically or not at all).
+  const int attempts = std::max(1, options_.checkpoint_write_retries);
+  bool written = false;
   {
     obs::PhaseScope phase(service_metrics().checkpoint_seconds, "checkpoint",
                           "service", "t", engine_->time());
-    EngineSnapshot::capture(*engine_, tracker_)
-        .write_file(options_.checkpoint_path);
+    const EngineSnapshot snap = EngineSnapshot::capture(*engine_, tracker_);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      try {
+        snap.write_file(options_.checkpoint_path);
+        written = true;
+        break;
+      } catch (const serial_error& e) {
+        service_metrics().checkpoint_write_failures.inc();
+        if (options_.log) {
+          *options_.log << "[service] checkpoint write attempt "
+                        << (attempt + 1) << "/" << attempts
+                        << " failed: " << e.what() << "\n";
+        }
+        if (attempt + 1 < attempts &&
+            options_.checkpoint_retry_backoff_ms > 0) {
+          const std::uint64_t ms =
+              std::min(options_.checkpoint_retry_backoff_cap_ms,
+                       options_.checkpoint_retry_backoff_ms
+                           << std::min(attempt, 20));
+          std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        }
+      }
+    }
+  }
+  if (!written) {
+    // Every attempt failed: keep serving rounds on the stale checkpoint
+    // rather than killing the run — the failure is already on the
+    // exposition surface for an operator to alert on.
+    if (options_.log) {
+      *options_.log << "[service] checkpoint at t=" << engine_->time()
+                    << " dropped after " << attempts
+                    << " failed write attempt(s); continuing on the "
+                       "previous checkpoint\n";
+    }
+    return;
   }
   // Registry counter and the per-service member advance together: the
   // member keeps the snapshot tests' per-instance semantics, the counter

@@ -47,6 +47,14 @@ class BalancerService {
     std::string checkpoint_path;
     /// Rounds between periodic checkpoints; 0 = only on shutdown.
     Step checkpoint_interval = 0;
+    /// Write attempts per checkpoint. A failed write (ENOSPC, a flaky
+    /// mount) is retried with capped exponential backoff; when every
+    /// attempt fails the failure is counted and logged and the service
+    /// keeps rounds flowing — a missed checkpoint widens the recovery
+    /// window, it does not stop the run.
+    int checkpoint_write_retries = 3;
+    std::uint64_t checkpoint_retry_backoff_ms = 10;   ///< base, doubles
+    std::uint64_t checkpoint_retry_backoff_cap_ms = 1000;
     /// Restore from checkpoint_path when the file exists at startup.
     bool restore_on_start = true;
     /// Rounds between metrics dumps to `metrics_out` (and rewrites of

@@ -1,6 +1,11 @@
 #include "service/snapshot.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "dynamics/workload.hpp"
@@ -257,17 +262,56 @@ EngineSnapshot EngineSnapshot::deserialize(
 void EngineSnapshot::write_file(const std::string& path) const {
   const std::vector<std::uint8_t> bytes = serialize();
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    check(out.good(), "snapshot write: cannot open temporary file");
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    check(out.good(), "snapshot write: write failed");
+  // POSIX write-fsync-rename: the image is durable *before* it takes the
+  // checkpoint's name, so a crash mid-write leaves either the old intact
+  // checkpoint or a stray .tmp — never a torn file under `path`. Each
+  // failure mode gets its own message (ENOSPC is the one operators hit).
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw serial_error("snapshot write: cannot open temporary file " + tmp +
+                       ": " + std::strerror(errno));
+  }
+  auto fail = [&](const std::string& what) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    if (saved == ENOSPC) {
+      throw serial_error("snapshot write: no space left on device (" + what +
+                         " " + tmp + ")");
+    }
+    throw serial_error("snapshot write: " + what + " " + tmp + ": " +
+                       std::strerror(saved));
+  };
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written,
+                              bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed for");
+    }
+    if (n == 0) {
+      // A zero-byte write on a regular file is a short write in disguise
+      // (typically a full filesystem that has not reported ENOSPC yet).
+      errno = ENOSPC;
+      fail("short write to");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) fail("fsync failed for");
+  if (::close(fd) != 0) {
+    // close() can surface deferred write errors (NFS, quotas); the fd is
+    // gone either way, so only unlink and report.
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    throw serial_error("snapshot write: close failed for " + tmp + ": " +
+                       std::strerror(saved));
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw serial_error("snapshot write: rename into place failed");
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    throw serial_error("snapshot write: rename " + tmp + " -> " + path +
+                       " failed: " + std::strerror(saved));
   }
 }
 

@@ -9,9 +9,10 @@
 // touching the engine. The interface is deliberately stream-shaped (post
 // appends to a per-(sender, receiver, tag) byte stream; drain hands each
 // sender's accumulated stream over once) because that is what a network
-// transport can actually provide cheaply — message framing, where needed,
-// lives in the payload (each halo segment and flow record is
-// self-describing).
+// transport can actually provide cheaply — message framing lives above
+// this seam: every post the engine makes is one framing.hpp frame
+// (checksummed header + payload), so a lossy transport's damage is
+// detected and retried at drain time rather than trusted.
 //
 // Phase discipline (the engine enforces it with its fork/join barriers):
 // within one round, every post() of a tag completes before any drain() of
@@ -27,6 +28,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -50,6 +52,24 @@ class ShardChannel {
 
   /// Number of shard endpoints this channel connects.
   virtual int shard_count() const = 0;
+
+  /// Round barrier notification: the engine calls this once, serially,
+  /// before the first post of round `t`. Transports that hold deferred
+  /// state (a fault injector's delayed frames, a socket's send queue)
+  /// release it here so it surfaces in round t's drains. Default: no-op.
+  virtual void begin_round(std::int64_t t) { (void)t; }
+
+  /// Discards every undelivered byte and any deferred transport state —
+  /// the supervisor calls this before rolling an engine back to a
+  /// checkpoint, so frames from the abandoned timeline never surface in
+  /// the replayed one. Default: no-op (override in stateful transports).
+  virtual void reset() {}
+
+  /// True when this transport can neither lose nor damage bytes (the
+  /// in-process matrix). The engine skips re-post bookkeeping on a
+  /// lossless channel and treats any frame damage as a bug instead of
+  /// weather; a fault injector or real network returns false.
+  virtual bool lossless() const { return true; }
 
   /// Appends `bytes` to the (from, to, tag) stream. `from == to` is legal
   /// (a 1-shard ring's halo wraps onto itself); the bytes simply come
@@ -83,6 +103,12 @@ class InProcessShardChannel final : public ShardChannel {
   }
 
   int shard_count() const override { return shards_; }
+
+  void reset() override {
+    for (auto& plane : cells_) {
+      for (auto& cell : plane) cell.clear();  // capacity kept, as in drain
+    }
+  }
 
   void post(int from, int to, ShardTag tag,
             std::span<const std::byte> bytes) override {

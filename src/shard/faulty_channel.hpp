@@ -1,0 +1,266 @@
+// Deterministic fault injection for the cross-shard transport.
+//
+// FaultyChannel decorates any inner ShardChannel and damages traffic the
+// way a real lossy transport would — dropped posts, duplicated posts,
+// single-bit corruption, frames delayed across a round barrier — plus
+// scheduled crash-kills of whole shards, which the ShardSupervisor (not
+// the channel) consumes. Every per-post decision is drawn from a
+// counter-based RNG keyed on (plan seed, round, sender, receiver, tag,
+// nth-post-on-that-edge): no shared sequential stream exists, so the
+// fault pattern is a pure function of the traffic schedule — the same
+// run produces the same faults byte-for-byte at any thread count, and a
+// failing seed is a reproducible regression test, the same discipline as
+// the src/dynamics/ workloads.
+//
+// Draw order per post is fixed (drop, corrupt, delay, duplicate — four
+// u01 draws always consumed, whether or not the plan arms that kind), so
+// a plan's fault pattern never shifts when another knob changes.
+//
+// Thread-safety mirrors the engine's phase discipline: post() runs on
+// the sender's thread and touches only (from, ·)-indexed state; delayed
+// frames are released by begin_round(), which the engine calls serially
+// between rounds.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/load_vector.hpp"  // Step
+#include "obs/metrics.hpp"
+#include "shard/channel.hpp"
+#include "util/assertions.hpp"
+#include "util/rng.hpp"
+
+namespace dlb {
+
+/// A reproducible fault schedule. Message-fault probabilities are
+/// per-post and independent; `crashes` lists SIGKILL-style shard losses
+/// ("kill shard s once round R has completed") that a ShardSupervisor
+/// consumes. Parse/describe round-trip the spec string used by CLI
+/// flags and CI: "seed=7,drop=0.1,dup=0.05,corrupt=0.02,delay=0.1,
+/// crash=12@2,crash=40@0".
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double drop = 0.0;       ///< P(post vanishes)
+  double duplicate = 0.0;  ///< P(post delivered twice)
+  double corrupt = 0.0;    ///< P(one deterministic bit flips)
+  double delay = 0.0;      ///< P(post held until the next round barrier)
+
+  struct Crash {
+    Step after_round = 0;  ///< fires once the engine has completed this round
+    int shard = 0;
+  };
+  std::vector<Crash> crashes;
+
+  bool message_faults() const noexcept {
+    return drop > 0 || duplicate > 0 || corrupt > 0 || delay > 0;
+  }
+
+  static FaultPlan parse(const std::string& spec) {
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t end = spec.find(',', pos);
+      if (end == std::string::npos) end = spec.size();
+      const std::string item = spec.substr(pos, end - pos);
+      pos = end + 1;
+      if (item.empty()) continue;
+      const std::size_t eq = item.find('=');
+      DLB_REQUIRE(eq != std::string::npos,
+                  "fault plan: expected key=value, got '" + item + "'");
+      const std::string key = item.substr(0, eq);
+      const std::string val = item.substr(eq + 1);
+      try {
+        if (key == "seed") {
+          plan.seed = std::stoull(val);
+        } else if (key == "drop") {
+          plan.drop = std::stod(val);
+        } else if (key == "dup") {
+          plan.duplicate = std::stod(val);
+        } else if (key == "corrupt") {
+          plan.corrupt = std::stod(val);
+        } else if (key == "delay") {
+          plan.delay = std::stod(val);
+        } else if (key == "crash") {
+          const std::size_t at = val.find('@');
+          DLB_REQUIRE(at != std::string::npos,
+                      "fault plan: crash wants ROUND@SHARD, got '" + val + "'");
+          plan.crashes.push_back(
+              Crash{static_cast<Step>(std::stoll(val.substr(0, at))),
+                    std::stoi(val.substr(at + 1))});
+        } else {
+          DLB_REQUIRE(false, "fault plan: unknown key '" + key + "'");
+        }
+      } catch (const std::invalid_argument&) {
+        DLB_REQUIRE(false, "fault plan: unparsable value in '" + item + "'");
+      } catch (const std::out_of_range&) {
+        DLB_REQUIRE(false, "fault plan: value out of range in '" + item + "'");
+      }
+    }
+    auto prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+    DLB_REQUIRE(prob(plan.drop) && prob(plan.duplicate) &&
+                    prob(plan.corrupt) && prob(plan.delay),
+                "fault plan: probabilities must lie in [0, 1]");
+    return plan;
+  }
+
+  std::string describe() const {
+    std::string s = "seed=" + std::to_string(seed);
+    auto add = [&s](const char* k, double v) {
+      if (v > 0) s += std::string(",") + k + "=" + std::to_string(v);
+    };
+    add("drop", drop);
+    add("dup", duplicate);
+    add("corrupt", corrupt);
+    add("delay", delay);
+    for (const Crash& c : crashes) {
+      s += ",crash=" + std::to_string(c.after_round) + "@" +
+           std::to_string(c.shard);
+    }
+    return s;
+  }
+};
+
+class FaultyChannel final : public ShardChannel {
+ public:
+  /// `inner` is not owned and must outlive this decorator.
+  FaultyChannel(ShardChannel& inner, FaultPlan plan)
+      : inner_(&inner), plan_(std::move(plan)) {
+    const std::size_t k = static_cast<std::size_t>(inner_->shard_count());
+    edge_counter_.assign(k * k * static_cast<std::size_t>(kShardTagCount), 0);
+    pending_.resize(k);
+    auto& reg = obs::MetricsRegistry::instance();
+    const std::string name = "dlb_shard_faults_injected_total";
+    const std::string help =
+        "Transport faults the FaultyChannel injected, by kind.";
+    injected_drop_ = &reg.counter(name, help, {{"kind", "drop"}});
+    injected_duplicate_ = &reg.counter(name, help, {{"kind", "duplicate"}});
+    injected_corrupt_ = &reg.counter(name, help, {{"kind", "corrupt"}});
+    injected_delay_ = &reg.counter(name, help, {{"kind", "delay"}});
+  }
+
+  int shard_count() const override { return inner_->shard_count(); }
+  bool lossless() const override { return false; }
+
+  void begin_round(std::int64_t t) override {
+    inner_->begin_round(t);
+    round_ = t;
+    std::fill(edge_counter_.begin(), edge_counter_.end(), 0);
+    // Release last round's delayed posts into the inner streams: they
+    // arrive ahead of this round's traffic and fail the receiver's
+    // round check (counted stale, retried) — a delay is a loss that
+    // additionally exercises the staleness path.
+    for (auto& queue : pending_) {
+      for (Delayed& d : queue) {
+        inner_->post(d.from, d.to, d.tag,
+                     std::span<const std::byte>(d.bytes.data(),
+                                                d.bytes.size()));
+      }
+      queue.clear();
+    }
+  }
+
+  void reset() override {
+    for (auto& queue : pending_) queue.clear();
+    inner_->reset();
+  }
+
+  void post(int from, int to, ShardTag tag,
+            std::span<const std::byte> bytes) override {
+    // Counter-RNG key: every (edge, nth-post) pair owns an independent
+    // stream; splitmix64 both mixes the key and drives the draws.
+    std::uint64_t state = plan_.seed;
+    state ^= splitmix64_mix(static_cast<std::uint64_t>(round_));
+    state ^= splitmix64_mix((static_cast<std::uint64_t>(from) << 40) ^
+                            (static_cast<std::uint64_t>(to) << 16) ^
+                            static_cast<std::uint64_t>(tag));
+    state ^= splitmix64_mix(0x5EEDULL + edge_counter_[edge_index(from, to,
+                                                                 tag)]++);
+    auto u01 = [&state]() {
+      return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+    };
+    const bool f_drop = u01() < plan_.drop;
+    const bool f_corrupt = u01() < plan_.corrupt;
+    const bool f_delay = u01() < plan_.delay;
+    const bool f_duplicate = u01() < plan_.duplicate;
+    if (f_drop) {
+      injected_drop_->inc();
+      return;
+    }
+    std::span<const std::byte> payload = bytes;
+    std::vector<std::byte> damaged;
+    if (f_corrupt && !bytes.empty()) {
+      injected_corrupt_->inc();
+      damaged.assign(bytes.begin(), bytes.end());
+      const std::uint64_t bit = splitmix64(state) % (damaged.size() * 8);
+      damaged[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+      payload = std::span<const std::byte>(damaged.data(), damaged.size());
+    }
+    if (f_delay) {
+      injected_delay_->inc();
+      pending_[static_cast<std::size_t>(from)].push_back(
+          Delayed{from, to, tag,
+                  std::vector<std::byte>(payload.begin(), payload.end())});
+      return;
+    }
+    inner_->post(from, to, tag, payload);
+    if (f_duplicate) {
+      injected_duplicate_->inc();
+      inner_->post(from, to, tag, payload);
+    }
+  }
+
+  void drain(int to, ShardTag tag,
+             const std::function<void(int from, std::span<const std::byte>)>&
+                 deliver) override {
+    inner_->drain(to, tag, deliver);
+  }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  /// Posts currently held across the round barrier (tests/diagnostics).
+  std::size_t pending_posts() const noexcept {
+    std::size_t n = 0;
+    for (const auto& queue : pending_) n += queue.size();
+    return n;
+  }
+
+ private:
+  /// splitmix64 finalizer over a constant key (no stream advance).
+  static std::uint64_t splitmix64_mix(std::uint64_t key) noexcept {
+    std::uint64_t s = key;
+    return splitmix64(s);
+  }
+
+  std::size_t edge_index(int from, int to, ShardTag tag) const noexcept {
+    const std::size_t k = static_cast<std::size_t>(inner_->shard_count());
+    return (static_cast<std::size_t>(from) * k +
+            static_cast<std::size_t>(to)) *
+               static_cast<std::size_t>(kShardTagCount) +
+           static_cast<std::size_t>(tag);
+  }
+
+  struct Delayed {
+    int from;
+    int to;
+    ShardTag tag;
+    std::vector<std::byte> bytes;
+  };
+
+  ShardChannel* inner_;
+  FaultPlan plan_;
+  std::int64_t round_ = 0;
+  std::vector<std::uint32_t> edge_counter_;   ///< per (from, to, tag) posts
+  std::vector<std::vector<Delayed>> pending_;  ///< per-sender held posts
+  obs::Counter* injected_drop_ = nullptr;
+  obs::Counter* injected_duplicate_ = nullptr;
+  obs::Counter* injected_corrupt_ = nullptr;
+  obs::Counter* injected_delay_ = nullptr;
+};
+
+}  // namespace dlb

@@ -1,0 +1,175 @@
+// Frame protocol of the cross-shard channel: detection before trust.
+//
+// The ShardChannel seam is stream-shaped and, until now, assumed perfect
+// delivery — one flipped bit in a halo segment would be memcpy'd straight
+// into a load window and silently desynchronize the round. Every message
+// the sharded engine posts is therefore wrapped in a fixed 48-byte frame
+// header carrying magic, version, tag, sender, round, a (seq, total)
+// position within the sender's per-round stream, the payload length, and
+// two FNV-1a checksums (one over the header itself, one over the
+// payload). At drain time the receiver can classify every failure a lossy
+// transport produces — corruption, truncation, duplication, reordering,
+// staleness (a frame delayed across a round boundary), and outright loss
+// (a (seq, total) hole) — *before* any payload byte reaches engine state,
+// and the engine's bounded re-post retry turns all of them back into the
+// byte-exact fault-free round. The header is encoded little-endian
+// byte-by-byte (the util/serial.hpp discipline), so frames are
+// implementation-independent bytes a process transport can replay.
+//
+// Decode contract: decode_frame distinguishes "the stream is unframed
+// garbage from here on" (kBadHeader / kTruncated — the caller must abort
+// the delivery, the rest of the bytes cannot be trusted) from "this frame
+// is intact framing around a damaged payload" (kBadPayload — the caller
+// skips exactly this frame and keeps parsing, because the validated
+// header gives the payload's extent).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/serial.hpp"
+
+namespace dlb {
+
+/// The round protocol could not be completed: a frame stream stayed
+/// incomplete after the configured re-post budget (a sender is gone and
+/// no supervisor recovered it), or a lossless transport delivered damage
+/// (an engine bug, not weather). Distinct from serial_error (persistence
+/// format) and invariant_error (caller bugs): this one means the
+/// *transport* failed the run.
+class shard_fault_error : public std::runtime_error {
+ public:
+  explicit shard_fault_error(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// "DLBF" little-endian — first four bytes of every frame.
+inline constexpr std::uint32_t kFrameMagic = 0x46424C44u;
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 48;
+
+/// One decoded frame: header fields plus a view into the payload bytes
+/// (valid while the drained buffer is).
+struct FrameView {
+  std::uint8_t tag = 0;        ///< ShardTag of the exchange
+  std::int32_t from = 0;       ///< sender shard id
+  std::int64_t round = 0;      ///< round the frame belongs to (t+1 in step t)
+  std::uint32_t seq = 0;       ///< position in the (from, to, tag, round) stream
+  std::uint32_t total = 0;     ///< frames in that stream (>= 1, known at post)
+  std::span<const std::byte> payload;
+};
+
+namespace framing_detail {
+
+inline void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+inline void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+inline std::uint32_t get_u32(const std::byte* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+inline std::uint64_t get_u64(const std::byte* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+inline std::uint64_t fnv1a64_bytes(std::span<const std::byte> data) noexcept {
+  return fnv1a64(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+}  // namespace framing_detail
+
+/// Appends one complete frame (header + payload) to `out`. The payload
+/// may be empty — an empty frame is how a tier-2 sender tells a receiver
+/// "no flows crossed this edge this round", which is what makes the
+/// expected-sender roster static and loss detectable.
+inline void append_frame(std::vector<std::byte>& out, std::uint8_t tag,
+                         std::int32_t from, std::int64_t round,
+                         std::uint32_t seq, std::uint32_t total,
+                         std::span<const std::byte> payload) {
+  using namespace framing_detail;
+  const std::size_t base = out.size();
+  put_u32(out, kFrameMagic);
+  out.push_back(static_cast<std::byte>(kFrameVersion));
+  out.push_back(static_cast<std::byte>(tag));
+  out.push_back(std::byte{0});  // flags, reserved in v1
+  out.push_back(std::byte{0});  // padding, must be zero
+  put_u32(out, static_cast<std::uint32_t>(from));
+  put_u32(out, seq);
+  put_u32(out, total);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, static_cast<std::uint64_t>(round));
+  put_u64(out, fnv1a64_bytes(payload));
+  // Header checksum covers everything above it; a flip anywhere in the
+  // first 40 bytes (including the payload checksum) fails this one.
+  put_u64(out, fnv1a64_bytes(
+                   std::span<const std::byte>(out.data() + base, 40)));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+enum class FrameStatus {
+  kOk,          ///< frame intact; `off` advanced past it
+  kBadHeader,   ///< magic/version/checksum wrong — abort the delivery
+  kTruncated,   ///< buffer ends inside the frame — abort the delivery
+  kBadPayload,  ///< header intact, payload checksum wrong; `off` advanced
+};
+
+/// Decodes the frame starting at `buf[off]`. Advances `off` past the
+/// frame on kOk and kBadPayload; leaves it untouched on kBadHeader and
+/// kTruncated (nothing after a damaged header can be located).
+inline FrameStatus decode_frame(std::span<const std::byte> buf,
+                                std::size_t& off, FrameView& out) {
+  using namespace framing_detail;
+  if (buf.size() - off < kFrameHeaderBytes) return FrameStatus::kTruncated;
+  const std::byte* h = buf.data() + off;
+  const std::uint64_t header_sum =
+      fnv1a64_bytes(std::span<const std::byte>(h, 40));
+  if (header_sum != get_u64(h + 40)) return FrameStatus::kBadHeader;
+  if (get_u32(h) != kFrameMagic) return FrameStatus::kBadHeader;
+  if (std::to_integer<std::uint8_t>(h[4]) != kFrameVersion ||
+      std::to_integer<std::uint8_t>(h[6]) != 0 ||
+      std::to_integer<std::uint8_t>(h[7]) != 0) {
+    return FrameStatus::kBadHeader;
+  }
+  out.tag = std::to_integer<std::uint8_t>(h[5]);
+  out.from = static_cast<std::int32_t>(get_u32(h + 8));
+  out.seq = get_u32(h + 12);
+  out.total = get_u32(h + 16);
+  const std::uint32_t len = get_u32(h + 20);
+  out.round = static_cast<std::int64_t>(get_u64(h + 24));
+  const std::uint64_t payload_sum = get_u64(h + 32);
+  if (buf.size() - off - kFrameHeaderBytes < len) {
+    return FrameStatus::kTruncated;
+  }
+  out.payload = buf.subspan(off + kFrameHeaderBytes, len);
+  off += kFrameHeaderBytes + len;
+  if (fnv1a64_bytes(out.payload) != payload_sum) {
+    return FrameStatus::kBadPayload;
+  }
+  return FrameStatus::kOk;
+}
+
+}  // namespace dlb

@@ -1,15 +1,18 @@
 #include "shard/sharded_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dynamics/workload.hpp"
 #include "obs/engine_telemetry.hpp"
 #include "obs/trace.hpp"
+#include "shard/framing.hpp"
 #include "util/assertions.hpp"
 #include "util/thread_pool.hpp"
 
@@ -53,14 +56,54 @@ ShardPhases& shard_phases() {
   return *p;
 }
 
-/// Wire format of one tier-1 halo segment: header then `len` loads. The
-/// header is two NodeIds so the receiver needs no out-of-band layout —
-/// a process transport replays the same bytes.
-struct HaloHeader {
-  NodeId dest_window;  ///< receiver's first window slot to fill
-  NodeId len;          ///< loads that follow
+/// Frame-protocol counters (leaked; registered on first use). The error
+/// family is labeled by detection kind so a lossy transport's weather is
+/// legible from the exposition alone.
+struct ShardProtocol {
+  obs::Counter& frames_posted;
+  obs::Counter& frames_drained;
+  obs::Counter& frames_reposted;
+  obs::Counter& retries;
+  obs::Counter& err_header;
+  obs::Counter& err_truncated;
+  obs::Counter& err_payload;
+  obs::Counter& err_stale;
+  obs::Counter& err_duplicate;
+  obs::Counter& err_unexpected;
 };
-static_assert(sizeof(HaloHeader) == 2 * sizeof(NodeId));
+
+ShardProtocol& shard_protocol() {
+  static ShardProtocol* p = [] {
+    auto& reg = obs::MetricsRegistry::instance();
+    const std::string err = "dlb_shard_frame_errors_total";
+    const std::string err_help =
+        "Damaged or misdelivered channel frames detected at drain time, "
+        "by kind.";
+    return new ShardProtocol{
+        reg.counter("dlb_shard_frames_posted_total",
+                    "Channel frames posted, including retry re-posts."),
+        reg.counter("dlb_shard_frames_drained_total",
+                    "Valid current-round frames accepted at drain time."),
+        reg.counter("dlb_shard_frames_reposted_total",
+                    "Frames re-posted to fill an incomplete stream."),
+        reg.counter("dlb_shard_retries_total",
+                    "Exchange retry sweeps (each covers every incomplete "
+                    "stream of the round)."),
+        reg.counter(err, err_help, {{"kind", "header"}}),
+        reg.counter(err, err_help, {{"kind", "truncated"}}),
+        reg.counter(err, err_help, {{"kind", "payload"}}),
+        reg.counter(err, err_help, {{"kind", "stale"}}),
+        reg.counter(err, err_help, {{"kind", "duplicate"}}),
+        reg.counter(err, err_help, {{"kind", "unexpected"}}),
+    };
+  }();
+  return *p;
+}
+
+/// Tier-1 frame payload: [dest_window:NodeId][len:NodeId][len × Load] —
+/// the same self-describing segment bytes the pre-framing wire carried,
+/// now integrity-checked by the frame around them.
+inline constexpr std::size_t kHaloSegmentHeader = 2 * sizeof(NodeId);
 
 /// Wire format of one tier-2 routed flow: (global node, amount), packed
 /// to 12 bytes (no struct padding on the wire).
@@ -83,6 +126,8 @@ ShardedEngine::ShardedEngine(const Graph& g, ShardedEngineConfig config,
   DLB_REQUIRE(config_.self_loops >= 0, "self_loops must be non-negative");
   DLB_REQUIRE(config_.conservation_interval >= 1,
               "sharded engine: audit interval must be >= 1");
+  DLB_REQUIRE(config_.fault.max_retries >= 0,
+              "sharded engine: negative retry budget");
   DLB_REQUIRE(initial.size() == static_cast<std::size_t>(g.num_nodes()),
               "initial load vector has wrong size");
   audit_ = ConservationPolicy{config_.check_conservation,
@@ -95,6 +140,7 @@ ShardedEngine::ShardedEngine(const Graph& g, ShardedEngineConfig config,
     owned_channel_ = std::make_unique<InProcessShardChannel>(part_.shards());
     channel_ = owned_channel_.get();
   }
+  lossless_ = channel_->lossless();
 
   balancer_->reset(g, config_.self_loops);
   reach_ = balancer_->window_reach(g);
@@ -103,7 +149,9 @@ ShardedEngine::ShardedEngine(const Graph& g, ShardedEngineConfig config,
   if (reach_ >= g.num_nodes()) reach_ = -1;
 
   const NodeId w = reach_ >= 0 ? reach_ : 0;
-  shards_.resize(static_cast<std::size_t>(part_.shards()));
+  const std::size_t k = static_cast<std::size_t>(part_.shards());
+  shards_.resize(k);
+  dead_.assign(k, 0);
   for (int s = 0; s < part_.shards(); ++s) {
     Shard& sh = shards_[static_cast<std::size_t>(s)];
     sh.begin = part_.begin(s);
@@ -112,6 +160,8 @@ ShardedEngine::ShardedEngine(const Graph& g, ShardedEngineConfig config,
     std::copy(initial.begin() + sh.begin, initial.begin() + sh.begin + sh.size,
               sh.window.begin() + w);
     sh.acc.reset(sh.window.size());
+    sh.inbound.resize(k);
+    sh.sent_frames.resize(k);
   }
   if (reach_ >= 0) {
     build_tier1_plan();
@@ -127,8 +177,8 @@ ShardedEngine::ShardedEngine(const Graph& g, ShardedEngineConfig config,
     const obs::Labels labels{{"shard", std::to_string(s)}};
     sh.bytes_posted = &obs::MetricsRegistry::instance().counter(
         "dlb_shard_channel_bytes_posted_total",
-        "Bytes this shard posted into the cross-shard channel (halo "
-        "segments incl. headers, routed flow records).",
+        "Bytes this shard posted into the cross-shard channel (framed "
+        "halo segments and routed flow records).",
         labels);
     sh.bytes_drained = &obs::MetricsRegistry::instance().counter(
         "dlb_shard_channel_bytes_drained_total",
@@ -173,15 +223,41 @@ void ShardedEngine::round_end(std::uint64_t start_ns) {
 }
 
 void ShardedEngine::build_tier1_plan() {
+  const int k = part_.shards();
+  for (Shard& sh : shards_) {
+    sh.expect_halo.assign(static_cast<std::size_t>(k), 0);
+  }
   // Invert the halo geometry: shard t's halo segments, grouped by owner,
   // become the owners' send lists. Pure ring arithmetic — no adjacency is
   // ever consulted, so a 2^26-node implicit cycle plans in O(k) space.
-  for (int t = 0; t < part_.shards(); ++t) {
+  // The same inversion fixes the receivers' frame expectations: shard t
+  // is owed exactly one frame per segment its halo borrows from `owner`,
+  // which is what lets a drain tell "nothing crossed" from "a frame was
+  // lost".
+  for (int t = 0; t < k; ++t) {
     for (const HaloSegment& seg : ring_halo_segments(part_, t, reach_)) {
       Shard& owner = shards_[static_cast<std::size_t>(seg.owner)];
       owner.sends.push_back(HaloSend{
           t, reach_ + (seg.global_begin - owner.begin), seg.len,
-          seg.window_offset});
+          seg.window_offset, 0, 0});
+      ++shards_[static_cast<std::size_t>(t)]
+            .expect_halo[static_cast<std::size_t>(seg.owner)];
+    }
+  }
+  // Stamp each send with its (seq, total) within the per-destination
+  // stream (sends were built in ascending destination order, so a
+  // stream's frames are contiguous and in order).
+  std::vector<std::uint32_t> count(static_cast<std::size_t>(k));
+  std::vector<std::uint32_t> next(static_cast<std::size_t>(k));
+  for (Shard& sh : shards_) {
+    std::fill(count.begin(), count.end(), 0);
+    std::fill(next.begin(), next.end(), 0);
+    for (const HaloSend& send : sh.sends) {
+      ++count[static_cast<std::size_t>(send.to)];
+    }
+    for (HaloSend& send : sh.sends) {
+      send.seq = next[static_cast<std::size_t>(send.to)]++;
+      send.total = count[static_cast<std::size_t>(send.to)];
     }
   }
 }
@@ -189,24 +265,40 @@ void ShardedEngine::build_tier1_plan() {
 void ShardedEngine::build_tier2_plan() {
   // The edge cut, computed once: nodes with no cut edge (the common case
   // on structured graphs — only the slice boundary qualifies) take a
-  // branch-free all-local scatter in the decide loop.
+  // branch-free all-local scatter in the decide loop. The cut also fixes
+  // the frame roster: shard s owes shard o exactly one flow frame per
+  // round iff any s-owned node has a neighbor owned by o — posted even
+  // when empty, so receivers can always distinguish "no flows" from "a
+  // lost frame".
   const int d = g_->degree();
+  const std::size_t k = static_cast<std::size_t>(part_.shards());
   with_topology(*g_, [&](const auto& topo) {
     for (int s = 0; s < part_.shards(); ++s) {
       Shard& sh = shards_[static_cast<std::size_t>(s)];
       sh.boundary.assign(static_cast<std::size_t>(sh.size), 0);
-      sh.flow_out.resize(static_cast<std::size_t>(part_.shards()));
+      sh.flow_out.resize(k);
+      sh.flow_sends_to.assign(k, 0);
       for (NodeId i = 0; i < sh.size; ++i) {
         const NodeId u = sh.begin + i;
         for (int p = 0; p < d; ++p) {
-          if (part_.owner(topo.neighbor(u, p)) != s) {
+          const int o = part_.owner(topo.neighbor(u, p));
+          if (o != s) {
             sh.boundary[static_cast<std::size_t>(i)] = 1;
             ++sh.cut_edges;
+            sh.flow_sends_to[static_cast<std::size_t>(o)] = 1;
           }
         }
       }
     }
   });
+  for (int to = 0; to < part_.shards(); ++to) {
+    Shard& rcv = shards_[static_cast<std::size_t>(to)];
+    rcv.expect_flows.assign(k, 0);
+    for (std::size_t from = 0; from < k; ++from) {
+      rcv.expect_flows[from] = shards_[from].flow_sends_to[
+          static_cast<std::size_t>(to)];
+    }
+  }
 }
 
 template <class Body>
@@ -252,6 +344,7 @@ void ShardedEngine::apply_workload() {
                                           : std::span<const Load>();
   workload_->prepare(t_, loads);
   const NodeId w = reach_ >= 0 ? reach_ : 0;
+  const bool logging = input_log_ != nullptr;
   if (const std::vector<NodeId>* sparse = workload_->affected_nodes()) {
     Load inj = 0;
     Load con = 0;
@@ -264,10 +357,14 @@ void ShardedEngine::apply_workload() {
       if (d > 0) {
         x += d;
         inj += d;
+        if (logging) sh.log_scratch.workload.emplace_back(u, d);
       } else if (d < 0) {
         const Load take = std::min(-d, std::max<Load>(x, 0));
         x -= take;
         con += take;
+        if (logging && take != 0) {
+          sh.log_scratch.workload.emplace_back(u, -take);
+        }
       }
     }
     injected_total_ += inj;
@@ -283,15 +380,20 @@ void ShardedEngine::apply_workload() {
     Load inj = 0;
     Load con = 0;
     for (NodeId i = 0; i < sh.size; ++i) {
-      const Load d = workload_->delta(sh.begin + i, t_);
+      const NodeId u = sh.begin + i;
+      const Load d = workload_->delta(u, t_);
       Load& x = sh.window[static_cast<std::size_t>(w + i)];
       if (d > 0) {
         x += d;
         inj += d;
+        if (logging) sh.log_scratch.workload.emplace_back(u, d);
       } else if (d < 0) {
         const Load take = std::min(-d, std::max<Load>(x, 0));
         x -= take;
         con += take;
+        if (logging && take != 0) {
+          sh.log_scratch.workload.emplace_back(u, -take);
+        }
       }
     }
     sh.inj = inj;
@@ -308,82 +410,329 @@ void ShardedEngine::apply_workload() {
   total_ += inj - con;
 }
 
-void ShardedEngine::exchange_halos() {
-  // Post phase: every shard serializes its boundary loads for the shards
-  // whose halos it feeds. Barrier between the two for_shards calls, so
-  // no drain starts before every post landed.
-  for_shards(true, [&](int s) {
-    const Shard& sh = shards_[static_cast<std::size_t>(s)];
-    for (const HaloSend& send : sh.sends) {
-      const HaloHeader hdr{send.dest_window, send.len};
-      channel_->post(s, send.to, ShardTag::kHaloLoads,
-                     std::as_bytes(std::span<const HaloHeader>(&hdr, 1)));
-      channel_->post(
-          s, send.to, ShardTag::kHaloLoads,
-          std::as_bytes(std::span<const Load>(
-              sh.window.data() + send.src_window,
-              static_cast<std::size_t>(send.len))));
-      sh.bytes_posted->inc(sizeof(HaloHeader) +
-                           static_cast<std::uint64_t>(send.len) * sizeof(Load));
-    }
-  });
-  for_shards(true, [&](int s) {
-    Shard& sh = shards_[static_cast<std::size_t>(s)];
-    channel_->drain(
-        s, ShardTag::kHaloLoads,
-        [&](int /*from*/, std::span<const std::byte> bytes) {
-          sh.bytes_drained->inc(bytes.size());
-          std::size_t off = 0;
-          while (off < bytes.size()) {
-            HaloHeader hdr;
-            DLB_REQUIRE(off + sizeof(HaloHeader) <= bytes.size(),
-                        "halo stream: truncated header");
-            std::memcpy(&hdr, bytes.data() + off, sizeof(HaloHeader));
-            const std::size_t payload =
-                static_cast<std::size_t>(hdr.len) * sizeof(Load);
-            DLB_REQUIRE(off + sizeof(HaloHeader) + payload <= bytes.size(),
-                        "halo stream: truncated payload");
-            DLB_REQUIRE(hdr.dest_window >= 0 && hdr.len >= 0 &&
-                            static_cast<std::size_t>(hdr.dest_window) +
-                                    static_cast<std::size_t>(hdr.len) <=
-                                sh.window.size(),
-                        "halo stream: segment out of window");
-            std::memcpy(sh.window.data() + hdr.dest_window,
-                        bytes.data() + off + sizeof(HaloHeader), payload);
-            off += sizeof(HaloHeader) + payload;
-          }
-        });
-  });
+void ShardedEngine::post_frame(int from, int to, ShardTag tag,
+                               std::uint32_t seq, std::uint32_t total,
+                               std::span<const std::byte> payload) {
+  Shard& sh = shards_[static_cast<std::size_t>(from)];
+  sh.frame_scratch.clear();
+  append_frame(sh.frame_scratch, static_cast<std::uint8_t>(tag), from, t_ + 1,
+               seq, total, payload);
+  channel_->post(from, to, tag,
+                 std::span<const std::byte>(sh.frame_scratch.data(),
+                                            sh.frame_scratch.size()));
+  sh.bytes_posted->inc(sh.frame_scratch.size());
+  shard_protocol().frames_posted.inc();
+  if (!lossless_) {
+    // Retention for selective re-post: the retry loop repeats exactly
+    // these bytes, so a re-posted frame is indistinguishable from the
+    // original on the wire.
+    auto& stream = sh.sent_frames[static_cast<std::size_t>(to)];
+    if (stream.size() <= seq) stream.resize(static_cast<std::size_t>(seq) + 1);
+    stream[seq] = sh.frame_scratch;
+  }
 }
 
-void ShardedEngine::decide_shard(int s, Step t) {
-  obs::TraceSpan span("decide", "shard", "shard", s);
+void ShardedEngine::reset_inbound(int s, ShardTag tag) {
   Shard& sh = shards_[static_cast<std::size_t>(s)];
-  sh.acc.begin_round();
-  if (reach_ >= 0) {
-    // Tier 1: the balancer's windowed gather kernel, single-touch over
-    // the owned window slots, min/max fused into the emit sweep. Nothing
-    // leaves the shard — the halo refill already happened.
-    FlowSink sink(*g_, config_.self_loops, &sh.acc);
-    balancer_->decide_window(
-        std::span<const Load>(sh.window.data(), sh.window.size()), sh.begin,
-        sh.size, reach_, t, sink);
-    DLB_REQUIRE(sink.emit_covered() == sh.size,
-                "decide_window did not cover every owned slot");
-    sh.round_min = sink.emit_min();
-    sh.round_max = sink.emit_max();
-    // O(1) apply: the accumulator's owned slots are the next loads; its
-    // (stale) halo slots are refilled before the next decide reads them.
-    sh.window.swap(sh.acc.values());
-    return;
+  const int k = part_.shards();
+  for (int from = 0; from < k; ++from) {
+    InboundStream& st = sh.inbound[static_cast<std::size_t>(from)];
+    if (tag == ShardTag::kHaloLoads) {
+      st.expected = sh.expect_halo.empty()
+                        ? 0
+                        : sh.expect_halo[static_cast<std::size_t>(from)];
+    } else {
+      st.expected = sh.expect_flows.empty()
+                        ? 0
+                        : sh.expect_flows[static_cast<std::size_t>(from)];
+    }
+    st.received = 0;
+    if (st.payloads.size() < st.expected) st.payloads.resize(st.expected);
+    st.seen.assign(st.expected, 0);
   }
+}
+
+bool ShardedEngine::inbound_complete(int s) const {
+  const Shard& sh = shards_[static_cast<std::size_t>(s)];
+  for (const InboundStream& st : sh.inbound) {
+    if (st.received < st.expected) return false;
+  }
+  return true;
+}
+
+void ShardedEngine::drain_frames(int s, ShardTag tag) {
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  ShardProtocol& proto = shard_protocol();
+  const std::int64_t round = t_ + 1;
+  const int k = part_.shards();
+  channel_->drain(
+      s, tag, [&](int from, std::span<const std::byte> bytes) {
+        sh.bytes_drained->inc(bytes.size());
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+          FrameView frame;
+          const FrameStatus status = decode_frame(bytes, off, frame);
+          if (status == FrameStatus::kBadHeader) {
+            // The rest of this delivery cannot be located; the retry
+            // sweep re-posts whatever it carried.
+            proto.err_header.inc();
+            break;
+          }
+          if (status == FrameStatus::kTruncated) {
+            proto.err_truncated.inc();
+            break;
+          }
+          if (status == FrameStatus::kBadPayload) {
+            proto.err_payload.inc();
+            continue;
+          }
+          if (frame.round != round) {
+            // A frame delayed across the round barrier: its round's
+            // retry already re-posted it, so it is pure duplicate now.
+            proto.err_stale.inc();
+            continue;
+          }
+          if (frame.tag != static_cast<std::uint8_t>(tag) ||
+              frame.from != from || frame.from < 0 || frame.from >= k) {
+            proto.err_unexpected.inc();
+            continue;
+          }
+          InboundStream& stream =
+              sh.inbound[static_cast<std::size_t>(frame.from)];
+          if (frame.total != stream.expected || frame.seq >= stream.expected) {
+            proto.err_unexpected.inc();
+            continue;
+          }
+          if (stream.seen[frame.seq]) {
+            proto.err_duplicate.inc();
+            continue;
+          }
+          stream.seen[frame.seq] = 1;
+          stream.payloads[frame.seq].assign(frame.payload.begin(),
+                                            frame.payload.end());
+          ++stream.received;
+          proto.frames_drained.inc();
+        }
+      });
+}
+
+void ShardedEngine::collect_frames(ShardTag tag) {
+  ShardProtocol& proto = shard_protocol();
+  const int k = part_.shards();
+  for (int attempt = 0;; ++attempt) {
+    for_shards(true, [&](int s) { drain_frames(s, tag); });
+    int missing_to = -1;
+    int missing_from = -1;
+    for (int to = 0; to < k && missing_to < 0; ++to) {
+      const Shard& rcv = shards_[static_cast<std::size_t>(to)];
+      for (int from = 0; from < k; ++from) {
+        const InboundStream& st =
+            rcv.inbound[static_cast<std::size_t>(from)];
+        if (st.received < st.expected) {
+          missing_to = to;
+          missing_from = from;
+          break;
+        }
+      }
+    }
+    if (missing_to < 0) return;
+    DLB_REQUIRE(!lossless_,
+                "sharded engine: incomplete frame stream on a lossless "
+                "channel (protocol bug, not transport weather)");
+    if (attempt >= config_.fault.max_retries) {
+      throw shard_fault_error(
+          "sharded engine: frame stream " + std::to_string(missing_from) +
+          " -> " + std::to_string(missing_to) + " (tag " +
+          std::to_string(static_cast<int>(tag)) + ", round " +
+          std::to_string(t_ + 1) + ") still incomplete after " +
+          std::to_string(attempt) + " re-post attempt(s) — sender lost?");
+    }
+    proto.retries.inc();
+    backoff(attempt);
+    // Re-post exactly the missing sequence numbers of every incomplete
+    // stream; duplicates from crossed retries are deduplicated by seq.
+    for (int to = 0; to < k; ++to) {
+      Shard& rcv = shards_[static_cast<std::size_t>(to)];
+      for (int from = 0; from < k; ++from) {
+        InboundStream& st = rcv.inbound[static_cast<std::size_t>(from)];
+        if (st.received >= st.expected) continue;
+        Shard& snd = shards_[static_cast<std::size_t>(from)];
+        const auto& retained = snd.sent_frames[static_cast<std::size_t>(to)];
+        for (std::uint32_t seq = 0; seq < st.expected; ++seq) {
+          if (st.seen[seq]) continue;
+          DLB_REQUIRE(seq < retained.size() && !retained[seq].empty(),
+                      "sharded engine: no retained frame to re-post");
+          channel_->post(from, to, tag,
+                         std::span<const std::byte>(retained[seq].data(),
+                                                    retained[seq].size()));
+          snd.bytes_posted->inc(retained[seq].size());
+          proto.frames_posted.inc();
+          proto.frames_reposted.inc();
+        }
+      }
+    }
+  }
+}
+
+void ShardedEngine::apply_halo_payload(Shard& sh,
+                                       std::span<const std::byte> payload) {
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    NodeId hdr[2];
+    DLB_REQUIRE(off + kHaloSegmentHeader <= payload.size(),
+                "halo stream: truncated header");
+    std::memcpy(hdr, payload.data() + off, kHaloSegmentHeader);
+    const NodeId dest_window = hdr[0];
+    const NodeId len = hdr[1];
+    const std::size_t seg = static_cast<std::size_t>(len) * sizeof(Load);
+    DLB_REQUIRE(off + kHaloSegmentHeader + seg <= payload.size(),
+                "halo stream: truncated payload");
+    DLB_REQUIRE(dest_window >= 0 && len >= 0 &&
+                    static_cast<std::size_t>(dest_window) +
+                            static_cast<std::size_t>(len) <=
+                        sh.window.size(),
+                "halo stream: segment out of window");
+    std::memcpy(sh.window.data() + dest_window,
+                payload.data() + off + kHaloSegmentHeader, seg);
+    off += kHaloSegmentHeader + seg;
+  }
+}
+
+void ShardedEngine::apply_flow_payload(Shard& sh,
+                                       std::span<const std::byte> payload) {
+  DLB_REQUIRE(payload.size() % kFlowRecordBytes == 0,
+              "flow stream: truncated record");
+  const EpochAccumulator::Scatter next(sh.acc);
+  for (std::size_t off = 0; off < payload.size(); off += kFlowRecordBytes) {
+    NodeId v;
+    Load f;
+    std::memcpy(&v, payload.data() + off, sizeof(NodeId));
+    std::memcpy(&f, payload.data() + off + sizeof(NodeId), sizeof(Load));
+    DLB_REQUIRE(v >= sh.begin && v < sh.begin + sh.size,
+                "flow stream: node not owned by this shard");
+    next.add(static_cast<std::size_t>(v - sh.begin), f);
+  }
+}
+
+void ShardedEngine::apply_halo_frames(int s) {
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  const bool logging = input_log_ != nullptr;
+  const int k = part_.shards();
+  // Ascending (sender, seq) order — fixed regardless of arrival order,
+  // which is what keeps a faulted round byte-identical to a clean one.
+  for (int from = 0; from < k; ++from) {
+    const InboundStream& st = sh.inbound[static_cast<std::size_t>(from)];
+    for (std::uint32_t seq = 0; seq < st.expected; ++seq) {
+      const std::vector<std::byte>& payload = st.payloads[seq];
+      apply_halo_payload(sh, std::span<const std::byte>(payload.data(),
+                                                        payload.size()));
+      if (logging) {
+        sh.log_scratch.stream.insert(sh.log_scratch.stream.end(),
+                                     payload.begin(), payload.end());
+      }
+    }
+  }
+}
+
+void ShardedEngine::apply_flow_frames(int s) {
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  const bool logging = input_log_ != nullptr;
+  const int k = part_.shards();
+  for (int from = 0; from < k; ++from) {
+    const InboundStream& st = sh.inbound[static_cast<std::size_t>(from)];
+    for (std::uint32_t seq = 0; seq < st.expected; ++seq) {
+      const std::vector<std::byte>& payload = st.payloads[seq];
+      apply_flow_payload(sh, std::span<const std::byte>(payload.data(),
+                                                        payload.size()));
+      if (logging) {
+        sh.log_scratch.stream.insert(sh.log_scratch.stream.end(),
+                                     payload.begin(), payload.end());
+      }
+    }
+  }
+}
+
+void ShardedEngine::exchange_halos() {
+  // Post phase: every shard serializes its boundary loads for the shards
+  // whose halos it feeds, one checksummed frame per segment. Barrier
+  // between the phases, so no drain starts before every post landed.
+  for_shards(true, [&](int s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    reset_inbound(s, ShardTag::kHaloLoads);
+    if (!lossless_) {
+      for (auto& stream : sh.sent_frames) stream.clear();
+    }
+    for (const HaloSend& send : sh.sends) {
+      sh.payload_scratch.clear();
+      const NodeId hdr[2] = {send.dest_window, send.len};
+      const auto* hb = reinterpret_cast<const std::byte*>(hdr);
+      sh.payload_scratch.insert(sh.payload_scratch.end(), hb,
+                                hb + kHaloSegmentHeader);
+      const auto* lb = reinterpret_cast<const std::byte*>(
+          sh.window.data() + send.src_window);
+      sh.payload_scratch.insert(
+          sh.payload_scratch.end(), lb,
+          lb + static_cast<std::size_t>(send.len) * sizeof(Load));
+      post_frame(s, send.to, ShardTag::kHaloLoads, send.seq, send.total,
+                 std::span<const std::byte>(sh.payload_scratch.data(),
+                                            sh.payload_scratch.size()));
+    }
+  });
+  // Drain/validate/apply in one parallel pass: completeness is a
+  // per-shard property, so a shard whose roster filled on the first
+  // drain applies its frames without a third pool barrier. Only bytes
+  // that passed both checksums and the (round, seq, total) checks ever
+  // reach a load window; a shard with missing frames (lossy transport
+  // weather) drops into the serial re-post loop below.
+  std::vector<unsigned char> applied(
+      static_cast<std::size_t>(part_.shards()), 0);
+  std::atomic<bool> all_complete{true};
+  for_shards(true, [&](int s) {
+    drain_frames(s, ShardTag::kHaloLoads);
+    if (inbound_complete(s)) {
+      apply_halo_frames(s);
+      applied[static_cast<std::size_t>(s)] = 1;
+    } else {
+      all_complete.store(false, std::memory_order_relaxed);
+    }
+  });
+  if (!all_complete.load(std::memory_order_relaxed)) {
+    collect_frames(ShardTag::kHaloLoads);
+    for_shards(true, [&](int s) {
+      if (!applied[static_cast<std::size_t>(s)]) apply_halo_frames(s);
+    });
+  }
+}
+
+void ShardedEngine::decide_tier1_core(Shard& sh, Balancer& bal, Step t) {
+  sh.acc.begin_round();
+  // Tier 1: the balancer's windowed gather kernel, single-touch over
+  // the owned window slots, min/max fused into the emit sweep. Nothing
+  // leaves the shard — the halo refill already happened.
+  FlowSink sink(*g_, config_.self_loops, &sh.acc);
+  bal.decide_window(
+      std::span<const Load>(sh.window.data(), sh.window.size()), sh.begin,
+      sh.size, reach_, t, sink);
+  DLB_REQUIRE(sink.emit_covered() == sh.size,
+              "decide_window did not cover every owned slot");
+  sh.round_min = sink.emit_min();
+  sh.round_max = sink.emit_max();
+  // O(1) apply: the accumulator's owned slots are the next loads; its
+  // (stale) halo slots are refilled before the next decide reads them.
+  sh.window.swap(sh.acc.values());
+}
+
+void ShardedEngine::decide_tier2_core(int s, Shard& sh, Balancer& bal, Step t,
+                                      bool discard_remote) {
+  sh.acc.begin_round();
   // Tier 2: the default decide() loop over the owned slice — the same
   // contract enforcement as Balancer::decide_range — with flows routed by
   // owner: local ones scatter into the shard's accumulator, cross-shard
-  // ones are staged per destination and posted below.
+  // ones are staged per destination (or discarded during a replay, whose
+  // peers already received the originals).
   const int d = g_->degree();
   const int d_plus = d + config_.self_loops;
-  const bool negatives_ok = balancer_->allows_negative();
+  const bool negatives_ok = bal.allows_negative();
   std::vector<Load> row(static_cast<std::size_t>(d_plus));
   const EpochAccumulator::Scatter next(sh.acc);
   with_topology(*g_, [&](const auto& topo) {
@@ -391,7 +740,7 @@ void ShardedEngine::decide_shard(int s, Step t) {
       const NodeId u = sh.begin + i;
       std::fill(row.begin(), row.end(), 0);
       const Load x = sh.window[static_cast<std::size_t>(i)];
-      balancer_->decide(u, x, t, row);
+      bal.decide(u, x, t, row);
       Load sent = 0;
       for (int p = 0; p < d_plus; ++p) {
         DLB_ASSERT(negatives_ok || row[static_cast<std::size_t>(p)] >= 0,
@@ -419,55 +768,96 @@ void ShardedEngine::decide_shard(int s, Step t) {
           const int o = part_.owner(v);
           if (o == s) {
             next.add(static_cast<std::size_t>(v - sh.begin), f);
-          } else if (f != 0) {
+          } else if (f != 0 && !discard_remote) {
             append_flow(sh.flow_out[static_cast<std::size_t>(o)], v, f);
           }
         }
       }
     }
   });
+}
+
+void ShardedEngine::decide_shard(int s, Step t) {
+  obs::TraceSpan span("decide", "shard", "shard", s);
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  if (reach_ >= 0) {
+    decide_tier1_core(sh, *balancer_, t);
+    return;
+  }
+  reset_inbound(s, ShardTag::kFlows);
+  if (!lossless_) {
+    for (auto& stream : sh.sent_frames) stream.clear();
+  }
+  decide_tier2_core(s, sh, *balancer_, t, /*discard_remote=*/false);
+  // One frame per rostered destination, always — an empty frame is the
+  // positive statement "no flows crossed this edge this round", which is
+  // what makes loss detectable without timeouts.
   for (int o = 0; o < part_.shards(); ++o) {
+    if (!sh.flow_sends_to[static_cast<std::size_t>(o)]) continue;
     std::vector<std::byte>& buf = sh.flow_out[static_cast<std::size_t>(o)];
-    if (buf.empty()) continue;
-    channel_->post(s, o, ShardTag::kFlows,
-                   std::span<const std::byte>(buf.data(), buf.size()));
-    sh.bytes_posted->inc(buf.size());
+    post_frame(s, o, ShardTag::kFlows, 0, 1,
+               std::span<const std::byte>(buf.data(), buf.size()));
     buf.clear();
   }
 }
 
 void ShardedEngine::drain_flows() {
-  for_shards(true, [&](int s) {
+  // Same fused happy path as exchange_halos: drain, and when the
+  // shard's roster is already full, apply + finalize in the same pool
+  // pass. Stragglers take the serial re-post loop and finish after.
+  const auto finish = [&](int s) {
     Shard& sh = shards_[static_cast<std::size_t>(s)];
-    channel_->drain(
-        s, ShardTag::kFlows,
-        [&](int /*from*/, std::span<const std::byte> bytes) {
-          sh.bytes_drained->inc(bytes.size());
-          DLB_REQUIRE(bytes.size() % kFlowRecordBytes == 0,
-                      "flow stream: truncated record");
-          const EpochAccumulator::Scatter next(sh.acc);
-          for (std::size_t off = 0; off < bytes.size();
-               off += kFlowRecordBytes) {
-            NodeId v;
-            Load f;
-            std::memcpy(&v, bytes.data() + off, sizeof(NodeId));
-            std::memcpy(&f, bytes.data() + off + sizeof(NodeId),
-                        sizeof(Load));
-            DLB_REQUIRE(v >= sh.begin && v < sh.begin + sh.size,
-                        "flow stream: node not owned by this shard");
-            next.add(static_cast<std::size_t>(v - sh.begin), f);
-          }
-        });
+    apply_flow_frames(s);
     // All of the round's adds (local + drained) have landed: materialize
     // the next loads, fold min/max into the same sweep, and swap.
     sh.acc.finalize_stats(sh.round_min, sh.round_max);
     sh.window.swap(sh.acc.values());
+  };
+  std::vector<unsigned char> applied(
+      static_cast<std::size_t>(part_.shards()), 0);
+  std::atomic<bool> all_complete{true};
+  for_shards(true, [&](int s) {
+    drain_frames(s, ShardTag::kFlows);
+    if (inbound_complete(s)) {
+      finish(s);
+      applied[static_cast<std::size_t>(s)] = 1;
+    } else {
+      all_complete.store(false, std::memory_order_relaxed);
+    }
   });
+  if (!all_complete.load(std::memory_order_relaxed)) {
+    collect_frames(ShardTag::kFlows);
+    for_shards(true, [&](int s) {
+      if (!applied[static_cast<std::size_t>(s)]) finish(s);
+    });
+  }
+}
+
+void ShardedEngine::backoff(int attempt) const {
+  const auto& fault = config_.fault;
+  if (fault.backoff_ns == 0) return;
+  const int shift = std::min(attempt, 20);
+  std::uint64_t ns = fault.backoff_ns << shift;
+  if (fault.backoff_cap_ns > 0) ns = std::min(ns, fault.backoff_cap_ns);
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
 }
 
 void ShardedEngine::step() {
+  DLB_REQUIRE(dead_count_ == 0,
+              "sharded engine: cannot step with a dead shard — the "
+              "supervisor must recover it first");
   const std::uint64_t obs_t0 = round_begin();
   obs::TraceSpan round_span("round", "sharded", "t", t_ + 1);
+  // Round barrier notification: deferred transport state (a fault
+  // injector's delayed frames) surfaces now, before any post of this
+  // round.
+  channel_->begin_round(t_ + 1);
+  if (input_log_ != nullptr) {
+    for (Shard& sh : shards_) {
+      sh.log_scratch.workload.clear();
+      sh.log_scratch.stream.clear();
+    }
+  }
   apply_workload();
   {
     obs::PhaseScope phase(shard_phases().prepare, "prepare", "sharded", "t",
@@ -515,12 +905,97 @@ void ShardedEngine::step() {
   round_max_ = hi;
   round_stats_valid_ = true;
   after_step();
+  if (input_log_ != nullptr) {
+    // After after_step so `round` is the committed round number — the
+    // supervisor's log and the engine clock can never disagree.
+    for (int s = 0; s < part_.shards(); ++s) {
+      input_log_->record_round(s, t_,
+                               shards_[static_cast<std::size_t>(s)]
+                                   .log_scratch);
+    }
+  }
   round_end(obs_t0);
 }
 
 void ShardedEngine::run(Step steps) {
   DLB_REQUIRE(steps >= 0, "run: negative step count");
   for (Step i = 0; i < steps; ++i) step();
+}
+
+void ShardedEngine::kill_shard(int s) {
+  DLB_REQUIRE(s >= 0 && s < part_.shards(), "kill_shard: shard out of range");
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  DLB_REQUIRE(!dead_[static_cast<std::size_t>(s)],
+              "kill_shard: shard is already dead");
+  // SIGKILL semantics: the slice is *gone*, not paused — anything short
+  // of a checkpoint restore must not be able to resurrect it.
+  std::fill(sh.window.begin(), sh.window.end(), 0);
+  sh.acc.reset(sh.window.size());
+  for (auto& buf : sh.flow_out) buf.clear();
+  for (auto& stream : sh.sent_frames) stream.clear();
+  dead_[static_cast<std::size_t>(s)] = 1;
+  ++dead_count_;
+}
+
+bool ShardedEngine::shard_dead(int s) const {
+  DLB_REQUIRE(s >= 0 && s < part_.shards(), "shard_dead: shard out of range");
+  return dead_[static_cast<std::size_t>(s)] != 0;
+}
+
+void ShardedEngine::recover_shard(int s, Step t0,
+                                  std::span<const Load> loads_at_t0,
+                                  std::span<const ShardRoundInputs* const>
+                                      rounds,
+                                  Balancer* replay_balancer) {
+  DLB_REQUIRE(s >= 0 && s < part_.shards(),
+              "recover_shard: shard out of range");
+  DLB_REQUIRE(dead_[static_cast<std::size_t>(s)],
+              "recover_shard: shard is not dead");
+  DLB_REQUIRE(loads_at_t0.size() ==
+                  static_cast<std::size_t>(part_.num_nodes()),
+              "recover_shard: checkpoint load vector has wrong size");
+  DLB_REQUIRE(t0 >= 0 && t0 + static_cast<Step>(rounds.size()) == t_,
+              "recover_shard: round inputs do not span t0+1 .. now");
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  const NodeId w = reach_ >= 0 ? reach_ : 0;
+  std::copy(loads_at_t0.begin() + sh.begin,
+            loads_at_t0.begin() + sh.begin + sh.size, sh.window.begin() + w);
+  Balancer& bal = replay_balancer != nullptr ? *replay_balancer : *balancer_;
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    DLB_REQUIRE(rounds[i] != nullptr, "recover_shard: missing round inputs");
+    const ShardRoundInputs& in = *rounds[i];
+    // The round that committed at time t0+i+1 ran its decides at
+    // t = t0+i — replay must present the same clock.
+    const Step t = t0 + static_cast<Step>(i);
+    for (const auto& [u, delta] : in.workload) {
+      DLB_REQUIRE(u >= sh.begin && u < sh.begin + sh.size,
+                  "recover_shard: logged workload node not owned");
+      sh.window[static_cast<std::size_t>(w + (u - sh.begin))] += delta;
+    }
+    if (replay_balancer != nullptr) {
+      // A stateful replica follows the live balancer's full per-round
+      // protocol (ROTOR-ROUTER's lazy table, per-edge carries) so its
+      // decides reproduce the lost shard's flows bit-exactly. Replay is
+      // gated on !prepare_reads_loads, so the empty span is safe.
+      FlowSink sink(*g_, config_.self_loops, &sh.acc);
+      replay_balancer->prepare_round(std::span<const Load>(), t, sink);
+    }
+    if (reach_ >= 0) {
+      apply_halo_payload(
+          sh, std::span<const std::byte>(in.stream.data(), in.stream.size()));
+      decide_tier1_core(sh, bal, t);
+    } else {
+      decide_tier2_core(s, sh, bal, t, /*discard_remote=*/true);
+      apply_flow_payload(
+          sh, std::span<const std::byte>(in.stream.data(), in.stream.size()));
+      Load lo = 0;
+      Load hi = 0;
+      sh.acc.finalize_stats(lo, hi);
+      sh.window.swap(sh.acc.values());
+    }
+  }
+  dead_[static_cast<std::size_t>(s)] = 0;
+  --dead_count_;
 }
 
 void ShardedEngine::refresh_stats(bool audit_total) const {
@@ -632,6 +1107,10 @@ void ShardedEngine::load_core_state(StateReader& r) {
   min_load_seen_ = r.i64();
   stats_dirty_ = r.b();
   round_stats_valid_ = false;
+  // A full-state restore redefines every slice — any killed shard is
+  // alive again (this is the supervisor's rollback recovery).
+  std::fill(dead_.begin(), dead_.end(), 0);
+  dead_count_ = 0;
 }
 
 }  // namespace dlb

@@ -44,6 +44,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/balancer.hpp"
@@ -70,6 +72,41 @@ struct ShardedEngineConfig {
   int self_loops = 0;            ///< d° self-loops per node
   bool check_conservation = true;
   int conservation_interval = 1;
+  /// Frame-loss recovery budget (only consulted on a lossy channel).
+  /// After an exchange's drains, any (sender → receiver) stream that is
+  /// still incomplete — frames lost, corrupted, truncated, or delayed —
+  /// triggers a re-post of exactly the missing sequence numbers; the
+  /// engine retries up to `max_retries` times with capped exponential
+  /// backoff before giving up with shard_fault_error. backoff_ns = 0
+  /// (the default) retries immediately — right for the in-process fault
+  /// injector, where the re-post *is* the recovery; a real network
+  /// transport sets a positive base.
+  struct FaultTolerance {
+    int max_retries = 8;
+    std::uint64_t backoff_ns = 0;          ///< base sleep before retry i
+    std::uint64_t backoff_cap_ns = 1000000;  ///< 1 ms ceiling
+  } fault;
+};
+
+/// Everything a shard's round consumed from outside its slice: workload
+/// deltas applied to owned nodes (post-truncation, so replay needs no
+/// workload process) and the validated inbound channel payloads (halo
+/// segments or flow records) in application order. A bounded log of
+/// these, kept by the ShardSupervisor, is what turns a per-shard
+/// checkpoint into a byte-exact replay of the lost rounds.
+struct ShardRoundInputs {
+  std::vector<std::pair<NodeId, Load>> workload;  ///< (global node, net delta)
+  std::vector<std::byte> stream;  ///< concatenated validated payloads
+};
+
+/// Sink for the engine's per-round input log (the supervisor implements
+/// it). record_round is called serially, once per shard in ascending
+/// shard order, after round `round` has fully committed.
+class ShardInputLog {
+ public:
+  virtual ~ShardInputLog() = default;
+  virtual void record_round(int shard, Step round,
+                            const ShardRoundInputs& inputs) = 0;
 };
 
 class ShardedEngine {
@@ -170,8 +207,43 @@ class ShardedEngine {
   void save_core_state(StateWriter& w) const;
   /// Restores what save_core_state (or a flat engine's) captured,
   /// scattering the flat load vector into the shard windows; throws
-  /// serial_error on size mismatch before mutating anything.
+  /// serial_error on size mismatch before mutating anything. Also
+  /// revives any killed shard — a full-state restore redefines every
+  /// slice, which is exactly the supervisor's rollback recovery.
   void load_core_state(StateReader& r);
+
+  // --- fault-tolerance surface (driven by ShardSupervisor) -----------
+
+  /// The transport this engine exchanges over (owned or injected).
+  ShardChannel& channel() noexcept { return *channel_; }
+
+  /// SIGKILL simulation: wipes shard s's window and accumulator (its
+  /// slice of the load vector is *gone*) and marks it dead. step()
+  /// refuses to run while any shard is dead — the supervisor must
+  /// recover first, exactly as a real barrier would block on the
+  /// missing member.
+  void kill_shard(int s);
+  bool shard_dead(int s) const;
+  int dead_shards() const noexcept { return dead_count_; }
+
+  /// Attaches the per-round input logger (nullptr detaches). While
+  /// attached, every round's externally-sourced inputs are recorded per
+  /// shard — the raw material of per-shard replay.
+  void set_input_log(ShardInputLog* log) noexcept { input_log_ = log; }
+
+  /// Recovers dead shard s from a checkpoint: restores its owned slice
+  /// from `loads_at_t0` (the full load vector captured when time() was
+  /// t0), then replays rounds t0+1 .. time() from `rounds` (one entry
+  /// per round, in order). `replay_balancer` substitutes for the live
+  /// balancer during replay — a private replica restored to its t0
+  /// state, used when the balancer is stateful so the live instance
+  /// (whose state already reflects the present) is never rewound;
+  /// nullptr replays through the live balancer (stateless decides).
+  /// Global ledgers, statistics, and the clock are untouched: only the
+  /// lost slice is rebuilt, byte-identically to the uninterrupted run.
+  void recover_shard(int s, Step t0, std::span<const Load> loads_at_t0,
+                     std::span<const ShardRoundInputs* const> rounds,
+                     Balancer* replay_balancer);
 
  private:
   struct HaloSend {
@@ -179,6 +251,19 @@ class ShardedEngine {
     NodeId src_window = 0;     ///< first window slot to read (owned region)
     NodeId len = 0;            ///< slots to send
     NodeId dest_window = 0;    ///< destination's window slot to fill
+    std::uint32_t seq = 0;     ///< frame position in the (s, to) stream
+    std::uint32_t total = 0;   ///< frames that stream carries per round
+  };
+
+  /// Reassembly state of one (sender → this shard) frame stream within
+  /// the current exchange. `expected` is static per tier (halo plan
+  /// inversion / flow cut), so a sender that goes silent is detected as
+  /// an incomplete stream, not silence.
+  struct InboundStream {
+    std::uint32_t expected = 0;  ///< frames this stream must deliver
+    std::uint32_t received = 0;  ///< distinct valid frames seen so far
+    std::vector<std::vector<std::byte>> payloads;  ///< by seq (kept capacity)
+    std::vector<std::uint8_t> seen;                ///< by seq
   };
 
   struct Shard {
@@ -190,6 +275,15 @@ class ShardedEngine {
     std::vector<std::uint8_t> boundary;   ///< tier 2: node has a cut edge
     std::vector<std::vector<std::byte>> flow_out;  ///< tier 2: per-dest staging
     std::uint64_t cut_edges = 0;
+    std::vector<std::uint32_t> expect_halo;   ///< frames owed per sender
+    std::vector<std::uint8_t> flow_sends_to;  ///< tier 2: dests s must frame
+    std::vector<std::uint8_t> expect_flows;   ///< tier 2: senders owing a frame
+    std::vector<InboundStream> inbound;       ///< per-sender reassembly
+    std::vector<std::vector<std::vector<std::byte>>> sent_frames;
+        ///< [dest][seq] retained frames for re-post (lossy channels only)
+    std::vector<std::byte> frame_scratch;     ///< frame encode buffer
+    std::vector<std::byte> payload_scratch;   ///< halo payload build buffer
+    ShardRoundInputs log_scratch;  ///< this round's inputs (when logging)
     Load round_min = 0;        ///< this round's emitted min (merged later)
     Load round_max = 0;
     Load inj = 0;              ///< this round's workload partials
@@ -211,7 +305,38 @@ class ShardedEngine {
   void exchange_halos();
   void decide_shard(int s, Step t);
   void drain_flows();
-  void finalize_shards();
+
+  // --- framed transport plumbing (see exchange_halos/drain_flows) ----
+  /// Frames `payload` and posts it as frame `seq` of `total` on the
+  /// (from, to, tag) stream; retains a copy for re-post on lossy
+  /// channels.
+  void post_frame(int from, int to, ShardTag tag, std::uint32_t seq,
+                  std::uint32_t total, std::span<const std::byte> payload);
+  /// Resets shard s's reassembly table to the tag's static expectations.
+  void reset_inbound(int s, ShardTag tag);
+  /// Drains shard s's streams, validating and filing every frame.
+  void drain_frames(int s, ShardTag tag);
+  /// True when every stream of shard s has all its expected frames.
+  bool inbound_complete(int s) const;
+  /// Drain/validate/re-post loop: returns only when every expected
+  /// stream is complete; throws shard_fault_error when the retry budget
+  /// is exhausted.
+  void collect_frames(ShardTag tag);
+  /// Parses one frame's halo payload ([dest_window, len, loads…]) into
+  /// the shard's window.
+  void apply_halo_payload(Shard& sh, std::span<const std::byte> payload);
+  /// Scatters one frame's flow records into the shard's accumulator.
+  void apply_flow_payload(Shard& sh, std::span<const std::byte> payload);
+  /// Applies shard s's completed streams in (sender, seq) order.
+  void apply_halo_frames(int s);
+  void apply_flow_frames(int s);
+  /// Tier-1 decide body over `bal` (live engine path and replay share it).
+  void decide_tier1_core(Shard& sh, Balancer& bal, Step t);
+  /// Tier-2 decide body; `discard_remote` drops cross-shard flows
+  /// instead of staging them (replay: the peers received the originals).
+  void decide_tier2_core(int s, Shard& sh, Balancer& bal, Step t,
+                         bool discard_remote);
+  void backoff(int attempt) const;
 
   /// Runs body(s) for every shard — through the pool when one is
   /// attached and `parallel_ok`, else serially in ascending shard order.
@@ -261,6 +386,10 @@ class ShardedEngine {
   ConservationPolicy audit_;
   ThreadPool* pool_ = nullptr;
   WorkloadProcess* workload_ = nullptr;
+  bool lossless_ = true;           ///< cached channel_->lossless()
+  std::vector<std::uint8_t> dead_;  ///< killed shards awaiting recovery
+  int dead_count_ = 0;
+  ShardInputLog* input_log_ = nullptr;
   /// Lazily-registered metric handles (null until a round runs with the
   /// registry armed).
   std::unique_ptr<obs::EngineTelemetry> telemetry_;

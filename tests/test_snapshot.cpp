@@ -14,11 +14,18 @@
 // the restore target (exercised under ASan/UBSan in CI).
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 #include "analysis/experiment.hpp"
 #include "balancers/registry.hpp"
@@ -517,6 +524,38 @@ TEST_F(SnapshotCorruption, FileRoundtripAndAtomicReplace) {
   std::remove(path.c_str());
 }
 
+TEST_F(SnapshotCorruption, WriteFileFailuresSurfaceDistinctErrors) {
+  Rig src("SEND(floor)", Churn::kStatic, 1);
+  src.step_rounds(4);
+  const EngineSnapshot snap = EngineSnapshot::capture(*src.engine);
+
+  // Unwritable location: the temp file cannot even be created.
+  try {
+    snap.write_file(::testing::TempDir() +
+                    "dlb_no_such_dir/nested/snapshot.bin");
+    FAIL() << "write into a missing directory must throw";
+  } catch (const serial_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open temporary file"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Rename-into-place failure: the destination is a directory, so the
+  // durable temp file cannot take its name. The temp must be cleaned up.
+  const std::string dir_path = ::testing::TempDir() + "dlb_write_target_dir";
+  ::mkdir(dir_path.c_str(), 0755);
+  try {
+    snap.write_file(dir_path);
+    FAIL() << "rename onto a directory must throw";
+  } catch (const serial_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rename"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(std::ifstream(dir_path + ".tmp").good())
+      << "failed write left its temp file behind";
+  ::rmdir(dir_path.c_str());
+}
+
 // -------------------------------------------------- service + admission --
 
 TEST(AdmissionQueue, CapsPerRoundInjectionAndDrainsFifo) {
@@ -591,6 +630,43 @@ TEST(BalancerService, SigtermStopsCheckpointsAndResumes) {
     EXPECT_EQ(rig->engine->consumed_total(), ref->engine->consumed_total());
   }
   std::remove(ck.c_str());
+}
+
+TEST(BalancerService, CheckpointWriteFailuresAreRetriedAndCounted) {
+  // Point the checkpoint at a directory that does not exist: every write
+  // attempt fails, the failure counter advances once per attempt, and the
+  // service keeps serving rounds on the (nonexistent) previous checkpoint.
+  auto& reg = obs::MetricsRegistry::instance();
+  const bool was_armed = reg.armed();
+  reg.arm(true);
+  const double failures_before =
+      reg.sample("dlb_service_checkpoint_write_failures_total");
+
+  Rig rig("SEND(floor)", Churn::kPoisson, 1);
+  std::ostringstream log;
+  BalancerService service(
+      *rig.engine,
+      BalancerService::Options{
+          .checkpoint_path = ::testing::TempDir() +
+                             "dlb_no_such_dir/nested/service.ck",
+          .checkpoint_interval = 5,
+          .checkpoint_write_retries = 2,
+          .checkpoint_retry_backoff_ms = 0,
+          .log = &log},
+      &rig.tracker);
+
+  EXPECT_EQ(service.run(10), 10);
+  EXPECT_EQ(service.checkpoints_written(), 0);
+  // Two periodic checkpoints (t=5, t=10) plus the shutdown checkpoint,
+  // each retried twice: six failed attempts on the counter.
+  const double failures_after =
+      reg.sample("dlb_service_checkpoint_write_failures_total");
+  EXPECT_EQ(failures_after - failures_before, 6.0);
+  EXPECT_NE(log.str().find("failed"), std::string::npos) << log.str();
+  EXPECT_NE(log.str().find("continuing on the previous checkpoint"),
+            std::string::npos)
+      << log.str();
+  reg.arm(was_armed);
 }
 
 // ------------------------------------------------- sharded-engine interop --
